@@ -1,0 +1,48 @@
+// Shared helpers for the experiment benches (E1..E12, see EXPERIMENTS.md).
+//
+// Every bench binary regenerates one experiment table on stdout (printed
+// once, before the google-benchmark timing output) and exposes the same
+// quantities as benchmark counters so runs are machine-comparable.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <mutex>
+#include <cstdarg>
+#include <set>
+
+#include "efd/efd.hpp"
+
+namespace efd::bench {
+
+/// Prints a table header exactly once per process.
+inline void table_header(const char* title, const char* columns) {
+  static std::once_flag flag;
+  std::call_once(flag, [&] { std::printf("\n=== %s ===\n%s\n", title, columns); });
+}
+
+/// Prints one table row, suppressing exact duplicates (google-benchmark
+/// re-invokes benchmark functions while calibrating iteration counts).
+inline void row(const char* fmt, ...) {
+  static std::set<std::string> seen;
+  static std::mutex mu;
+  char buf[512];
+  va_list ap;
+  va_start(ap, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, ap);
+  va_end(ap);
+  const std::lock_guard<std::mutex> guard(mu);
+  if (seen.insert(buf).second) std::fputs(buf, stdout);
+}
+
+/// Distinct non-⊥ decisions of the world's C-processes.
+inline std::set<Value> distinct_decisions(const World& w, int n) {
+  std::set<Value> vals;
+  for (int i = 0; i < n; ++i) {
+    if (w.decided(cpid(i))) vals.insert(w.decision(cpid(i)));
+  }
+  return vals;
+}
+
+}  // namespace efd::bench

@@ -1,0 +1,62 @@
+// E1 (Prop. 1): the generic 1-concurrent solver decides every menu task;
+// table: steps-to-decide per task and system size under 1-concurrency.
+#include "bench_common.hpp"
+
+namespace efd {
+namespace {
+
+std::int64_t run_one_concurrent(const TaskPtr& task, std::uint64_t seed) {
+  const int n = task->n_procs();
+  const ValueVec in = task->sample_input(seed);
+  const auto arrival = Task::participants(in);
+  World w = World::failure_free(1);
+  for (int i : arrival) {
+    w.spawn_c(i, make_one_concurrent(task, in[static_cast<std::size_t>(i)], "p1"));
+  }
+  KConcurrencyScheduler sched(1, arrival, 0);
+  const auto r = drive(w, sched, 1000000);
+  ValueVec out = w.output_vector();
+  out.resize(static_cast<std::size_t>(n));
+  if (!r.all_c_decided || !task->relation(in, out)) {
+    throw std::runtime_error("E1: 1-concurrent run failed for " + task->name());
+  }
+  return r.steps;
+}
+
+TaskPtr menu_task(int which, int n) {
+  switch (which) {
+    case 0:
+      return std::make_shared<ConsensusTask>(n);
+    case 1:
+      return std::make_shared<SetAgreementTask>(n, 2);
+    case 2:
+      return std::make_shared<RenamingTask>(n, n - 1, n - 1);  // strong (n-1)-renaming
+    case 3:
+      return std::make_shared<WeakSymmetryBreakingTask>(n);
+    default:
+      return std::make_shared<IdentityTask>(n);
+  }
+}
+
+void E1_OneConcurrent(benchmark::State& state) {
+  const int which = static_cast<int>(state.range(0));
+  const int n = static_cast<int>(state.range(1));
+  const TaskPtr task = menu_task(which, n);
+  std::int64_t steps = 0;
+  for (auto _ : state) {
+    steps = run_one_concurrent(task, 1);
+  }
+  state.counters["steps"] = static_cast<double>(steps);
+  state.counters["n"] = n;
+
+  bench::table_header("E1 (Prop. 1): every task is 1-concurrently solvable",
+                      "task                                   n   steps-to-all-decided");
+  efd::bench::row("%-38s %-3d %lld\n", task->name().c_str(), n, static_cast<long long>(steps));
+}
+
+}  // namespace
+}  // namespace efd
+
+BENCHMARK(efd::E1_OneConcurrent)
+    ->ArgsProduct({{0, 1, 2, 3, 4}, {3, 5, 8}})
+    ->Unit(benchmark::kMicrosecond);

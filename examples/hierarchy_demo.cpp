@@ -1,0 +1,22 @@
+// The task hierarchy (paper §4.3, Thm. 10).
+//
+// Classifies a menu of tasks by exhaustively exploring every k-concurrent
+// schedule of this library's solver for each task: the largest clean level
+// is the task's (observed) concurrency class, and Thm. 10 names its weakest
+// failure detector — ¬Ωk, with Ω at level 1 and no detector at level n.
+#include <cstdio>
+
+#include "efd/efd.hpp"
+
+int main() {
+  using namespace efd;
+  const int n = 4;
+  std::printf("Classifying the standard task menu at n = %d (exhaustive exploration)...\n\n", n);
+  const auto rows = classify_standard_menu(n, /*max_states=*/250000);
+  std::printf("%s\n", format_hierarchy(rows).c_str());
+  std::printf(
+      "Reading the table: a task solvable k- but not (k+1)-concurrently has\n"
+      "weakest failure detector anti-Omega-k (Thm. 10); all tasks on the same\n"
+      "level are equivalent to k-set agreement.\n");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// The headline classification, end to end (Thm. 10).
+//
+// One detector (→Ω2) is pushed through BOTH directions of the weakest-
+// failure-detector equivalence for level-2 tasks:
+//   forward  (Thm. 9): it solves 2-set agreement among all processes;
+//   backward (Thm. 8): the Fig. 1 extraction distills ¬Ω2 back out of it.
+// The round trip is what "¬Ωk is the weakest failure detector for class-k
+// tasks" means operationally.
+#include <cstdio>
+
+#include "efd/efd.hpp"
+
+int main() {
+  using namespace efd;
+  RoundTripConfig cfg;
+  cfg.n = 4;
+  cfg.k = 2;
+  cfg.seed = 7;
+  cfg.pattern = FailurePattern(cfg.n);
+  cfg.pattern.crash(3, 25);
+  cfg.extraction.explore_every = 2;
+  cfg.extraction.budget0 = 4000;
+  cfg.extraction.budget_step = 4000;
+  cfg.extraction.max_budget = 24000;
+
+  const auto detector = std::make_shared<VectorOmegaK>(cfg.k, 60);
+  std::printf("detector : %s, pattern %s\n", detector->name().c_str(),
+              cfg.pattern.to_string().c_str());
+
+  const RoundTripResult r = weakest_fd_round_trip(detector, cfg);
+
+  std::printf("forward  : %d-set agreement among %d processes  -> %s (%zu distinct, %lld steps)\n",
+              cfg.k, cfg.n, r.solved ? "SOLVED" : "failed", r.distinct,
+              static_cast<long long>(r.solve_steps));
+  std::printf("backward : Fig. 1 extraction of anti-Omega-%d   -> %s (horizon %lld)\n", cfg.k,
+              r.anti_omega_ok ? "SPEC PASSES" : "spec failed", static_cast<long long>(r.horizon));
+  std::printf("Thm. 10  : class-%d task <=> anti-Omega-%d, demonstrated both ways.\n", cfg.k,
+              cfg.k);
+  return (r.solved && r.anti_omega_ok) ? 0 : 1;
+}

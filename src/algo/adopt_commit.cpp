@@ -1,0 +1,45 @@
+#include "algo/adopt_commit.hpp"
+
+#include "sim/memory.hpp"
+
+namespace efd {
+
+Co<Value> adopt_commit(Context& ctx, AdoptCommitInstance inst, int me, Value v) {
+  // Phase A: publish the proposal, look for disagreement.
+  co_await ctx.write(reg(inst.ns + "/A", me), v);
+  Value seen;
+  bool conflict = false;
+  for (int p = 0; p < inst.num_parties; ++p) {
+    const Value a = co_await ctx.read(reg(inst.ns + "/A", p));
+    if (a.is_nil()) continue;
+    if (seen.is_nil()) {
+      seen = a;
+    } else if (!(a == seen)) {
+      conflict = true;
+    }
+  }
+  const Value mine = conflict ? seen : v;  // on conflict, push the first value seen
+
+  // Phase B: publish (value, clean-bit); commit only on a unanimous clean view.
+  co_await ctx.write(reg(inst.ns + "/B", me), vec(mine, Value(conflict ? 0 : 1)));
+  bool all_clean = true;
+  bool any_clean = false;
+  Value clean_value;
+  Value any_value;
+  for (int p = 0; p < inst.num_parties; ++p) {
+    const Value b = co_await ctx.read(reg(inst.ns + "/B", p));
+    if (b.is_nil()) continue;
+    any_value = b.at(0);
+    if (b.at(1).int_or(0) == 1) {
+      any_clean = true;
+      clean_value = b.at(0);
+    } else {
+      all_clean = false;
+    }
+  }
+  if (all_clean && any_clean) co_return vec(Value(1), clean_value);  // commit
+  if (any_clean) co_return vec(Value(0), clean_value);               // adopt the clean value
+  co_return vec(Value(0), any_value.is_nil() ? mine : any_value);    // adopt
+}
+
+}  // namespace efd

@@ -1,0 +1,27 @@
+// Adopt-commit object (Gafni's commit-adopt), register-based, one-shot.
+//
+// propose(v) returns (commit, u) or (adopt, u) with the classic guarantees:
+//  * validity — u was proposed by someone;
+//  * commit-validity — if every proposal equals v, everyone commits v;
+//  * agreement — if anyone commits u, everyone returns (·, u).
+// Obstruction-free termination in O(P) steps; never blocks. The round-based
+// consensus ablation (App. C.1 alternative in bench E12) builds consensus
+// from one adopt-commit per round plus Ω to break ties.
+//
+// Registers of instance `ns` (P parties): ns/A[p] = proposal,
+// ns/B[p] = [value, committed-bit].
+#pragma once
+
+#include "sim/proc.hpp"
+
+namespace efd {
+
+struct AdoptCommitInstance {
+  std::string ns;
+  int num_parties = 0;
+};
+
+/// Outcome encoding: [1, u] = commit u; [0, u] = adopt u.
+Co<Value> adopt_commit(Context& ctx, AdoptCommitInstance inst, int me, Value v);
+
+}  // namespace efd

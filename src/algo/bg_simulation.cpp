@@ -1,0 +1,130 @@
+#include "algo/bg_simulation.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+#include <vector>
+
+#include "algo/safe_agreement.hpp"
+#include "sim/memory.hpp"
+
+namespace efd {
+namespace {
+
+struct CodeState {
+  bool started = false;  // input known, state initialized
+  bool halted = false;
+  Value state;
+  int reads_agreed = 0;
+};
+
+Proc bg_simulator(Context& ctx, BgConfig cfg, Value my_input, BgHarvest harvest) {
+  const int me = ctx.pid().index;
+  std::vector<CodeState> codes(static_cast<std::size_t>(cfg.num_codes));
+  std::unordered_set<std::string> proposed;  // SA instances we already proposed in
+
+  auto sa_of = [&cfg](const std::string& tag) {
+    return SafeAgreementInstance{cfg.ns + "/sa/" + tag, cfg.num_simulators};
+  };
+
+  for (;;) {
+    for (int c = 0; c < cfg.num_codes; ++c) {
+      CodeState& cs = codes[static_cast<std::size_t>(c)];
+      if (cs.halted) continue;
+
+      if (!cs.started) {
+        if (!cfg.input_base.empty()) {
+          // Thm. 9 mode: the code's input is the real process's published input.
+          const Value in = co_await ctx.read(reg(cfg.input_base, c));
+          if (in.is_nil()) continue;  // not participating (yet)
+          cs.state = cfg.code->init(c, in);
+        } else {
+          // Colorless mode: agree on an input, each simulator proposing its own.
+          const auto inst = sa_of("in/" + std::to_string(c));
+          if (proposed.insert(inst.ns).second) {
+            co_await sa_propose(ctx, inst, me, my_input);
+          }
+          const Value r = co_await sa_try_resolve(ctx, inst);
+          if (r.at(0).int_or(0) == 0) continue;  // blocked: advance other codes
+          cs.state = cfg.code->init(c, r.at(1));
+        }
+        cs.started = true;
+      }
+
+      // Advance this code until it halts or blocks on a read agreement.
+      bool blocked = false;
+      bool progressed = false;
+      while (!cs.halted && !blocked) {
+        const SimAction act = cfg.code->action(cs.state);
+        switch (act.kind) {
+          case SimAction::Kind::kWrite:
+            co_await ctx.write(act.addr, act.value);
+            cs.state = cfg.code->transition(cs.state, Value{});
+            progressed = true;
+            break;
+          case SimAction::Kind::kYield:
+            cs.state = cfg.code->transition(cs.state, Value{});
+            progressed = true;
+            break;
+          case SimAction::Kind::kRead: {
+            const auto inst =
+                sa_of(std::to_string(c) + "/r" + std::to_string(cs.reads_agreed));
+            if (proposed.insert(inst.ns).second) {
+              const Value seen = co_await ctx.read(act.addr);
+              co_await sa_propose(ctx, inst, me, seen);
+            }
+            const Value r = co_await sa_try_resolve(ctx, inst);
+            if (r.at(0).int_or(0) == 0) {
+              blocked = true;  // someone is mid-propose: switch codes
+              break;
+            }
+            cs.state = cfg.code->transition(cs.state, r.at(1));
+            ++cs.reads_agreed;
+            progressed = true;
+            break;
+          }
+          case SimAction::Kind::kDecide:
+            co_await ctx.write(reg(cfg.ns + "/dec", c), act.value);
+            cs.state = cfg.code->transition(cs.state, Value{});
+            progressed = true;
+            break;
+          case SimAction::Kind::kQuery:
+            throw std::logic_error("bg_simulator: simulated code queried a failure detector");
+          case SimAction::Kind::kHalt:
+            cs.halted = true;
+            break;
+        }
+      }
+      // Smallest-id-first (Thm. 9): after real progress on the smallest
+      // live code, restart the pass from code 0.
+      if (cfg.smallest_id_first && progressed) break;
+    }
+
+    const Value decisions = co_await collect(ctx, cfg.ns + "/dec", cfg.num_codes);
+    const Value mine = harvest(decisions.as_vec());
+    if (!mine.is_nil()) {
+      co_await ctx.decide(mine);
+      co_return;
+    }
+    co_await ctx.yield();
+  }
+}
+
+}  // namespace
+
+ProcBody make_bg_simulator(BgConfig cfg, Value my_input, BgHarvest harvest) {
+  return [cfg = std::move(cfg), my_input = std::move(my_input),
+          harvest = std::move(harvest)](Context& ctx) {
+    return bg_simulator(ctx, cfg, my_input, harvest);
+  };
+}
+
+BgHarvest adopt_any() {
+  return [](const ValueVec& decisions) {
+    for (const auto& d : decisions) {
+      if (!d.is_nil()) return d;
+    }
+    return Value{};
+  };
+}
+
+}  // namespace efd

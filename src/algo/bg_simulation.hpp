@@ -1,0 +1,66 @@
+// BG-simulation [5, 7]: n simulators jointly execute N simulated codes.
+//
+// Each simulated code is a deterministic SimProgram. Writes and local steps
+// of a code are deterministic, so every simulator can perform them directly;
+// the result of every simulated READ is agreed through one safe-agreement
+// object per (code, read-index), each simulator proposing the value it
+// currently sees in the shared memory. A simulator that stalls mid-propose
+// blocks at most one code (safe agreement's propose window), which yields the
+// classic BG resilience accounting: s stalled simulators block at most s of
+// the N codes.
+//
+// The code inputs are agreed the same way: each simulator proposes its OWN
+// input for every code (legal for colorless tasks — exactly how Thm. 7 seeds
+// the simulation of A_x).
+//
+// Each code's decision is published to ns/dec[c]; a simulator finishes when
+// the caller-supplied `harvest` extracts its own decision from the decision
+// vector.
+//
+// CONTRACT on simulated codes: writes are replayed directly by every
+// simulator, so a register written by a simulated code must be write-once or
+// monotone-idempotent per code (all codes in this library satisfy this:
+// input/decision/level registers are written once, progress registers grow a
+// per-step address). Codes that overwrite one register with changing values
+// (e.g. Fig. 4 renaming's R_i) must be run natively or under the Fig. 3
+// gating wrapper, not under BG.
+#pragma once
+
+#include <functional>
+
+#include "algo/sim_program.hpp"
+#include "sim/world.hpp"
+
+namespace efd {
+
+struct BgConfig {
+  std::string ns = "bg";
+  int num_simulators = 0;
+  int num_codes = 0;
+  SimProgramPtr code;  ///< the program every simulated code runs
+
+  /// When true, each pass advances the smallest-id code that is neither
+  /// halted nor blocked (instead of round-robin). With s simulators this
+  /// keeps at most s codes concurrently un-halted mid-protocol — the
+  /// discipline Thm. 9 uses to squeeze a k-concurrent run of A out of k
+  /// simulating codes.
+  bool smallest_id_first = false;
+
+  /// When non-empty, code c's input is read from reg(input_base, c) (the
+  /// code is not started until that register is non-⊥) instead of being
+  /// safe-agreed from the simulators' own inputs. Thm. 9 needs this: inputs
+  /// of a colored task belong to specific processes and may not be invented.
+  std::string input_base;
+};
+
+/// Extracts the simulator's decision from the codes' decision vector
+/// (ns/dec[0..N-1], ⊥ where undecided); Nil = keep simulating.
+using BgHarvest = std::function<Value(const ValueVec& code_decisions)>;
+
+/// Body of simulator `me` (a C-process) with task input `my_input`.
+ProcBody make_bg_simulator(BgConfig cfg, Value my_input, BgHarvest harvest);
+
+/// Harvest policy for colorless adoption: decide the first code decision seen.
+[[nodiscard]] BgHarvest adopt_any();
+
+}  // namespace efd

@@ -1,0 +1,26 @@
+#include "algo/booster.hpp"
+
+#include "algo/bg_simulation.hpp"
+#include "algo/sim_program.hpp"
+
+namespace efd {
+
+ProcBody make_booster_simulator(const BoosterConfig& cfg, Value input) {
+  const KsaConfig inner = cfg.inner();
+  // The simulated code: the inner algorithm's C-side, as a replayable automaton.
+  auto code = std::make_shared<ReplayProgram>(
+      [inner](int index, const Value& in, Context& ctx) {
+        return make_ksa_client(inner, in)(ctx);
+        (void)index;  // the client derives its index from ctx.pid()
+      });
+  BgConfig bg;
+  bg.ns = cfg.ns + "/bg";
+  bg.num_simulators = cfg.n;
+  bg.num_codes = cfg.k + 1;  // U = {p_1, ..., p_{k+1}}
+  bg.code = std::move(code);
+  return make_bg_simulator(std::move(bg), std::move(input), adopt_any());
+}
+
+ProcBody make_booster_server(const BoosterConfig& cfg) { return make_ksa_server(cfg.inner()); }
+
+}  // namespace efd

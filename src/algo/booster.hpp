@@ -1,0 +1,36 @@
+// The Thm. 7 booster: from (U, k)-set agreement to (Π^C, k)-set agreement.
+//
+// Given a failure detector that solves k-set agreement among ONE fixed set U
+// of k+1 C-processes (here: →Ωk driving the algorithm of
+// set_agreement_antiomega.hpp), all n C-processes solve k-set agreement as
+// follows: they BG-simulate the k+1 C-codes of the U-algorithm, each
+// simulator seeding every simulated code with its own input (legal because
+// set agreement is colorless), while the REAL S-processes execute the
+// algorithm's S-part against the real failure detector. Any simulated code's
+// decision is adopted by every simulator. At most k distinct values can come
+// out of the inner algorithm, so at most k distinct values are decided by all
+// n processes — the paper's "puzzle" generalizing [12].
+#pragma once
+
+#include "algo/set_agreement_antiomega.hpp"
+#include "sim/world.hpp"
+
+namespace efd {
+
+struct BoosterConfig {
+  std::string ns = "boost";
+  int n = 0;  ///< C-processes (= S-processes)
+  int k = 0;  ///< agreement degree; the inner scope U has k+1 codes
+
+  /// Namespace of the inner (U, k)-agreement instance shared by the simulated
+  /// C-codes and the real S-processes.
+  [[nodiscard]] KsaConfig inner() const { return KsaConfig{ns + "/inner", n, k}; }
+};
+
+/// C-process p_{i+1}: BG-simulator of the k+1 inner codes, proposing `input`.
+ProcBody make_booster_simulator(const BoosterConfig& cfg, Value input);
+
+/// S-process q_{i+1}: runs the inner algorithm's S-part (queries →Ωk).
+ProcBody make_booster_server(const BoosterConfig& cfg);
+
+}  // namespace efd

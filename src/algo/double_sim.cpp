@@ -1,0 +1,56 @@
+#include "algo/double_sim.hpp"
+
+#include "algo/bg_simulation.hpp"
+#include "algo/k_codes_sim.hpp"
+#include "sim/memory.hpp"
+
+namespace efd {
+namespace {
+
+KCodesConfig outer_config(const Thm9Config& cfg) {
+  // The simulated code p'_j: a BG-simulator over the n task codes. Its
+  // harvest never fires (Nil forever): codes run as long as task codes need
+  // progress; the OUTER simulators decide by polling their own task-decision
+  // register (poll_base).
+  BgConfig bg;
+  bg.ns = cfg.ns + "/ibg";
+  bg.num_simulators = cfg.k;
+  bg.num_codes = cfg.n;
+  bg.code = cfg.task_code;
+  bg.smallest_id_first = true;
+  bg.input_base = cfg.ns + "/In";
+  auto code = std::make_shared<ReplayProgram>(
+      [bg](int index, const Value&, Context& ctx) {
+        return make_bg_simulator(bg, Value{}, [](const ValueVec&) { return Value{}; })(ctx);
+        (void)index;
+      });
+
+  KCodesConfig kc;
+  kc.ns = cfg.ns + "/kc";
+  kc.n = cfg.n;
+  kc.k = cfg.k;
+  kc.code = std::move(code);
+  kc.inputs.assign(static_cast<std::size_t>(cfg.k), Value{});
+  kc.poll_base = cfg.ns + "/ibg/dec";
+  return kc;
+}
+
+Proc thm9_simulator(Context& ctx, Thm9Config cfg, Value input) {
+  co_await ctx.write(reg(cfg.ns + "/In", ctx.pid().index), input);
+  // Keep the awaited coroutine in a named object: GCC 12 mishandles the
+  // lifetime of some temporaries in co_await full-expressions.
+  Proc inner = make_kcodes_simulator(outer_config(cfg), {})(ctx);
+  co_await std::move(inner);
+}
+
+}  // namespace
+
+ProcBody make_thm9_simulator(const Thm9Config& cfg, Value input) {
+  return [cfg, input = std::move(input)](Context& ctx) { return thm9_simulator(ctx, cfg, input); };
+}
+
+ProcBody make_thm9_server(const Thm9Config& cfg) {
+  return make_kcodes_server(outer_config(cfg));
+}
+
+}  // namespace efd

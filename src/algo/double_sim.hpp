@@ -1,0 +1,43 @@
+// The Thm. 9 double simulation: solving any k-concurrently solvable task
+// with ¬Ωk (via its equivalent →Ωk), in every environment.
+//
+// Composition, exactly as Appendix C.2 builds it:
+//   * every C-process p_i publishes its task input and becomes a Fig. 2
+//     simulator: the n processes, helped by the S-processes and →Ωk,
+//     jointly run k simulated codes p'_1..p'_k (algo/k_codes_sim.hpp);
+//   * each simulated code p'_j is a BG-simulator over the n task codes
+//     p''_1..p''_n (algo/bg_simulation.hpp) in smallest-id-first mode, so
+//     with k BG-simulators the induced run of the task algorithm is
+//     k-concurrent;
+//   * the task codes are the given k-concurrent solution (a SimProgram);
+//     their inputs are read from the published input registers (a code is
+//     not started before its owner participates), and their decisions are
+//     published per-process, where the owning simulator polls for its own.
+//
+// The task algorithm must obey the BG write contract (write-once /
+// per-step-address registers); the generic Prop. 1 solver does, and it
+// solves k-set agreement k-concurrently (see tests/test_solvability.cpp),
+// which is the instantiation the integration tests and bench E4b exercise.
+#pragma once
+
+#include "algo/sim_program.hpp"
+#include "sim/world.hpp"
+
+namespace efd {
+
+struct Thm9Config {
+  std::string ns = "t9";
+  int n = 0;  ///< C-processes = S-processes = task codes
+  int k = 0;  ///< concurrency level of the task solution = codes simulated
+
+  /// The k-concurrent task solution, as a deterministic automaton.
+  SimProgramPtr task_code;
+};
+
+/// C-process p_{i+1} with task input `input`.
+ProcBody make_thm9_simulator(const Thm9Config& cfg, Value input);
+
+/// S-process q_{i+1}; queries →Ωk.
+ProcBody make_thm9_server(const Thm9Config& cfg);
+
+}  // namespace efd

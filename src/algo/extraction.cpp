@@ -1,0 +1,182 @@
+#include "algo/extraction.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "fd/detectors.hpp"
+#include "fd/reduction.hpp"
+#include "sim/memory.hpp"
+#include "sim/schedule.hpp"
+
+namespace efd {
+namespace {
+
+/// The structured adversary of the hunt: a (k+1)-window over the C-codes
+/// (arrival order 0..n-1) interleaved with single-step round-robin over the
+/// non-starved simulated S-processes. Lockstep single-stepping is what keeps
+/// contested Paxos instances livelocked, as an adversarial scheduler may.
+class CorridorScheduler final : public Scheduler {
+ public:
+  CorridorScheduler(int n, int k, std::vector<int> starved)
+      : n_(n), window_(k + 1), starved_(std::move(starved)) {
+    std::sort(starved_.begin(), starved_.end());
+  }
+
+  std::optional<Pid> next(const World& w) override {
+    active_.erase(std::remove_if(active_.begin(), active_.end(),
+                                 [&w](int i) { return w.decided(cpid(i)) || w.terminated(cpid(i)); }),
+                  active_.end());
+    while (next_arrival_ < n_ && static_cast<int>(active_.size()) < window_) {
+      active_.push_back(next_arrival_++);
+    }
+    // Alternate: one C step, one (non-starved) S step.
+    if (!s_turn_ && !active_.empty()) {
+      const int ci = active_[c_cursor_ % active_.size()];
+      ++c_cursor_;
+      s_turn_ = true;
+      return cpid(ci);
+    }
+    s_turn_ = false;
+    for (int tries = 0; tries < n_; ++tries) {
+      const int qi = static_cast<int>(s_cursor_ % static_cast<std::size_t>(n_));
+      ++s_cursor_;
+      if (std::binary_search(starved_.begin(), starved_.end(), qi)) continue;
+      const Pid pid = spid(qi);
+      if (w.exists(pid) && !w.terminated(pid)) return pid;
+    }
+    if (!active_.empty()) {
+      const int ci = active_[c_cursor_ % active_.size()];
+      ++c_cursor_;
+      return cpid(ci);
+    }
+    return std::nullopt;
+  }
+
+ private:
+  int n_;
+  int window_;
+  std::vector<int> starved_;
+  int next_arrival_ = 0;
+  std::vector<int> active_;
+  std::size_t c_cursor_ = 0;
+  std::size_t s_cursor_ = 0;
+  bool s_turn_ = false;
+};
+
+/// Lexicographic k-subsets of {0..n-1}.
+std::vector<std::vector<int>> k_subsets(int n, int k) {
+  std::vector<std::vector<int>> out;
+  std::vector<int> cur;
+  const std::function<void(int)> rec = [&](int start) {
+    if (static_cast<int>(cur.size()) == k) {
+      out.push_back(cur);
+      return;
+    }
+    for (int i = start; i < n; ++i) {
+      cur.push_back(i);
+      rec(i + 1);
+      cur.pop_back();
+    }
+  };
+  rec(0);
+  return out;
+}
+
+std::vector<int> complement_of(const std::vector<int>& u, int n) {
+  std::vector<int> out;
+  for (int i = 0; i < n; ++i) {
+    if (!std::binary_search(u.begin(), u.end(), i)) out.push_back(i);
+  }
+  return out;
+}
+
+Value encode_set(const std::vector<int>& ids) {
+  ValueVec v;
+  v.reserve(ids.size());
+  for (int i : ids) v.emplace_back(i);
+  return Value(std::move(v));
+}
+
+}  // namespace
+
+ExtractionResult extract_once(const FdDag& dag, const ExtractionConfig& cfg, int budget) {
+  ExtractionResult res;
+  const KsaConfig inner{"A", cfg.n, cfg.k};
+
+  for (const auto& u : k_subsets(cfg.n, cfg.k)) {
+    // A fresh local universe per candidate starved set: replay determinism
+    // makes every hunt over the same DAG snapshot reproducible.
+    World local(FailurePattern(cfg.n), TrivialFd{}.history(FailurePattern(cfg.n), 0));
+    for (int i = 0; i < cfg.n; ++i) {
+      local.spawn_c(i, make_ksa_client(inner, Value(i % (cfg.k + 1))));
+    }
+    for (int j = 0; j < cfg.n; ++j) {
+      auto samples = std::make_shared<ValueVec>(dag.samples_of(j));
+      auto next = std::make_shared<std::size_t>(0);
+      local.spawn_s(j, make_ksa_server_with_advice(inner, [samples, next]() {
+        if (*next >= samples->size()) return Value{};
+        return (*samples)[(*next)++];
+      }));
+    }
+    CorridorScheduler sched(cfg.n, cfg.k, u);
+    const DriveResult r = drive(local, sched, budget);
+    res.sim_steps += r.steps;
+    if (!local.all_c_decided()) {
+      res.witness_found = true;
+      res.starved = u;
+      res.output = complement_of(u, cfg.n);
+      return res;
+    }
+  }
+
+  // No witness at this budget (all explored runs decided): fall back to a
+  // fixed set; pre-convergence samples of ¬Ωk are unconstrained.
+  res.output.resize(static_cast<std::size_t>(cfg.n - cfg.k));
+  for (int i = cfg.k; i < cfg.n; ++i) res.output[static_cast<std::size_t>(i - cfg.k)] = i;
+  return res;
+}
+
+namespace {
+
+// Standalone coroutine (a coroutine lambda's captures die with the lambda
+// object after World::spawn, so factories only bind and call).
+Proc extraction_sproc(Context& ctx, ExtractionConfig cfg) {
+  const int me = ctx.pid().index;
+  FdDag local(cfg.n);
+  int round = 0;
+  int budget = cfg.budget0;
+  for (;;) {
+    // --- DAG round: sample D, merge publications, publish own vertex ---
+    const Value sample = co_await ctx.query();
+    for (int j = 0; j < cfg.n; ++j) {
+      if (j == me) continue;
+      const Value pub = co_await ctx.read(reg(cfg.ns + "/dag", j));
+      if (!pub.is_nil()) local.merge(FdDag::decode(pub));
+    }
+    std::vector<int> preds(static_cast<std::size_t>(cfg.n));
+    for (int j = 0; j < cfg.n; ++j) preds[static_cast<std::size_t>(j)] = local.count(j) - 1;
+    local.append(me, sample, std::move(preds));
+    co_await ctx.write(reg(cfg.ns + "/dag", me), local.encode());
+
+    // --- Periodic hunt: pure local computation, then publish the sample ---
+    if (++round % cfg.explore_every == 0) {
+      const ExtractionResult r = extract_once(local, cfg, budget);
+      budget = std::min(budget + cfg.budget_step, cfg.max_budget);
+      co_await ctx.write(reg(cfg.ns + "/out", me), encode_set(r.output));
+    }
+  }
+}
+
+}  // namespace
+
+ProcBody make_extraction_sproc(ExtractionConfig cfg) {
+  return [cfg = std::move(cfg)](Context& ctx) { return extraction_sproc(ctx, cfg); };
+}
+
+HistoryPtr emulated_history_from_trace(const Trace& trace, const ExtractionConfig& cfg) {
+  std::vector<int> fallback_ids;
+  for (int i = cfg.k; i < cfg.n; ++i) fallback_ids.push_back(i);
+  return history_from_out_registers(trace, cfg.ns + "/out", cfg.n, encode_set(fallback_ids));
+}
+
+}  // namespace efd

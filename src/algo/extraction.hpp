@@ -1,0 +1,70 @@
+// Extracting ¬Ωk from a failure detector that solves a hard task
+// (Thm. 8 / Fig. 1 / Appendix B).
+//
+// Setting: a detector D solves task T (here: k-set agreement via the KSA
+// algorithm A of set_agreement_antiomega.hpp), and T is not (k+1)-
+// concurrently solvable. Each S-process q_i (1) builds the CHT sampling DAG
+// by querying D and publishing vertices (fd/dag.hpp), and (2) locally
+// simulates (k+1)-concurrent runs of the restricted algorithm A_sim — the
+// C-part of A plus simulated S-processes whose queries are answered from the
+// DAG — hunting for a run in which some live participant never decides.
+// Since at most k simulated S-processes may be starved in a (k+1)-concurrent
+// simulation, emitting the OTHER n−k ids emulates ¬Ωk: once the hunt locks
+// onto a persistently non-deciding run, its starved set must contain a
+// correct process (else A would have decided), and that correct process is
+// permanently excluded from the output.
+//
+// Search-space substitution (documented in DESIGN.md): instead of the
+// unbounded corridor DFS over all schedules, the hunt enumerates the
+// structured adversary family {starve U, |U| = k; single-step round-robin
+// everywhere else} with a growing step budget. Lockstep round-robin
+// livelocks every contested Paxos instance, so a candidate U is a persistent
+// witness exactly when it covers the post-stabilization proposers — which is
+// the paper's σ*: the starved set of the first never-deciding run. The
+// emulated output is the complement of the locked-in U.
+#pragma once
+
+#include <vector>
+
+#include "algo/set_agreement_antiomega.hpp"
+#include "fd/dag.hpp"
+#include "fd/history.hpp"
+#include "sim/trace.hpp"
+#include "sim/world.hpp"
+
+namespace efd {
+
+struct ExtractionConfig {
+  std::string ns = "extract";
+  int n = 0;  ///< S-processes (= C-processes)
+  int k = 0;  ///< target: emulate ¬Ωk
+
+  int explore_every = 3;    ///< run the hunt every this many DAG rounds
+  int budget0 = 1500;       ///< simulation step budget of the first hunt
+  int budget_step = 1500;   ///< budget growth per subsequent hunt
+  int max_budget = 60000;   ///< cap (keeps each emulation step bounded)
+};
+
+/// One hunt over a DAG snapshot.
+struct ExtractionResult {
+  std::vector<int> output;   ///< the emitted (n-k)-set of S-ids
+  std::vector<int> starved;  ///< the witness starved set U (empty on fallback)
+  bool witness_found = false;
+  std::int64_t sim_steps = 0;  ///< local simulation steps spent
+};
+
+/// Pure local computation (zero model steps): simulate (k+1)-concurrent runs
+/// of A_sim fed from `dag` and return the emulated ¬Ωk sample.
+ExtractionResult extract_once(const FdDag& dag, const ExtractionConfig& cfg, int budget);
+
+/// S-process body: interleaves DAG building (queries D) with periodic hunts;
+/// publishes each emulated sample to reg(ns + "/out", me) so the emulated
+/// history is reconstructible from the run trace. Runs forever.
+ProcBody make_extraction_sproc(ExtractionConfig cfg);
+
+/// Rebuilds the emulated ¬Ωk history H'(q_i, t) from a traced run: the value
+/// of q_i's module at time t is its latest published sample at or before t
+/// (before the first publication: the fallback set {k..n-1}).
+HistoryPtr emulated_history_from_trace(const Trace& trace, const ExtractionConfig& cfg);
+
+}  // namespace efd

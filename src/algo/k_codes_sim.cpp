@@ -1,0 +1,168 @@
+#include "algo/k_codes_sim.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "algo/paxos.hpp"
+#include "sim/memory.hpp"
+
+namespace efd {
+namespace {
+
+std::string cons_ns(const KCodesConfig& cfg, int j, int ell) {
+  return cfg.ns + "/c/" + std::to_string(j) + "/" + std::to_string(ell);
+}
+
+std::string est_reg(const KCodesConfig& cfg, int j, int ell, int i) {
+  return cfg.ns + "/est/" + std::to_string(j) + "/" + std::to_string(ell) + "/" +
+         std::to_string(i);
+}
+
+/// Active simulators (R[i] == 1), ascending.
+Co<Value> read_pars(Context& ctx, const KCodesConfig& cfg) {
+  ValueVec pars;
+  for (int i = 0; i < cfg.n; ++i) {
+    const Value r = co_await ctx.read(reg(cfg.ns + "/R", i));
+    if (r.int_or(0) == 1) pars.emplace_back(i);
+  }
+  co_return Value(std::move(pars));
+}
+
+struct CodeState {
+  Value state;
+  int ell = 0;  // agreed reads so far
+  bool halted = false;
+};
+
+Proc kcodes_simulator(Context& ctx, KCodesConfig cfg, KCodesHarvest harvest) {
+  const int me = ctx.pid().index;
+  co_await ctx.write(reg(cfg.ns + "/R", me), Value(1));
+
+  std::vector<CodeState> codes(static_cast<std::size_t>(cfg.k));
+  for (int j = 0; j < cfg.k; ++j) {
+    codes[static_cast<std::size_t>(j)].state =
+        cfg.code->init(j, j < static_cast<int>(cfg.inputs.size()) ? cfg.inputs[static_cast<std::size_t>(j)]
+                                                                  : Value{});
+  }
+  std::unordered_map<std::string, int> rounds;  // paxos round per instance
+
+  for (;;) {
+    const Value pars = co_await read_pars(ctx, cfg);
+    const int m = static_cast<int>(pars.size());
+
+    for (int j = 0; j < std::min(m, cfg.k); ++j) {
+      CodeState& cs = codes[static_cast<std::size_t>(j)];
+      if (cs.halted) continue;
+
+      const SimAction act = cfg.code->action(cs.state);
+      switch (act.kind) {
+        case SimAction::Kind::kWrite:
+          co_await ctx.write(act.addr, act.value);
+          cs.state = cfg.code->transition(cs.state, Value{});
+          break;
+        case SimAction::Kind::kYield:
+          cs.state = cfg.code->transition(cs.state, Value{});
+          break;
+        case SimAction::Kind::kDecide:
+          co_await ctx.write(reg(cfg.ns + "/dec", j), act.value);
+          cs.state = cfg.code->transition(cs.state, Value{});
+          break;
+        case SimAction::Kind::kHalt:
+          cs.halted = true;
+          break;
+        case SimAction::Kind::kQuery:
+          throw std::logic_error("kcodes_simulator: simulated code queried a failure detector");
+        case SimAction::Kind::kRead: {
+          const PaxosInstance inst{cons_ns(cfg, j, cs.ell), 2 * cfg.n};
+          const Value dec = co_await paxos_decision(ctx, inst);
+          if (!dec.is_nil()) {  // next step of p'_j is decided: adopt it
+            cs.state = cfg.code->transition(cs.state, dec.at(0));
+            ++cs.ell;
+            co_await ctx.write(reg(cfg.ns + "/steps", j), Value(cs.ell));
+            break;
+          }
+          // Publish my estimate (the value I currently read), then drive the
+          // instance if I am its leader.
+          const Value seen = co_await ctx.read(act.addr);
+          co_await ctx.write(est_reg(cfg, j, cs.ell, me), vec(seen));
+          bool i_lead = false;
+          if (m <= cfg.k) {
+            i_lead = pars.at(static_cast<std::size_t>(j)).int_or(-1) == me;
+          } else {
+            const Value lead = co_await ctx.read(reg(cfg.ns + "/vOm", j));
+            // Slot j names an S-process; as a C-actor I never lead here.
+            i_lead = false;
+            (void)lead;
+          }
+          if (i_lead) {
+            co_await paxos_attempt(ctx, inst, me, rounds[inst.ns]++, vec(seen));
+          }
+          break;
+        }
+      }
+    }
+
+    Value mine;
+    if (!cfg.poll_base.empty()) {
+      mine = co_await ctx.read(reg(cfg.poll_base, me));
+    } else {
+      const Value decisions = co_await collect(ctx, cfg.ns + "/dec", cfg.k);
+      mine = harvest(decisions.as_vec());
+    }
+    if (!mine.is_nil()) {
+      co_await ctx.write(reg(cfg.ns + "/R", me), Value(0));  // depart
+      co_await ctx.decide(mine);
+      co_return;
+    }
+    co_await ctx.yield();
+  }
+}
+
+Proc kcodes_server(Context& ctx, KCodesConfig cfg) {
+  const int me = ctx.pid().index;
+  std::unordered_map<std::string, int> rounds;
+  for (;;) {
+    const Value advice = co_await ctx.query();  // →Ωk sample: k-vector of S-ids
+    for (int j = 0; j < cfg.k; ++j) {
+      co_await ctx.write(reg(cfg.ns + "/vOm", j), advice.at(static_cast<std::size_t>(j)));
+    }
+    const Value pars = co_await read_pars(ctx, cfg);
+    if (static_cast<int>(pars.size()) <= cfg.k) {
+      co_await ctx.yield();  // ranked C-simulators lead; nothing for me to do
+      continue;
+    }
+    for (int j = 0; j < cfg.k; ++j) {
+      if (advice.at(static_cast<std::size_t>(j)).int_or(-1) != me) continue;
+      const std::int64_t ell = (co_await ctx.read(reg(cfg.ns + "/steps", j))).int_or(0);
+      const PaxosInstance inst{cons_ns(cfg, j, static_cast<int>(ell)), 2 * cfg.n};
+      const Value dec = co_await paxos_decision(ctx, inst);
+      if (!dec.is_nil()) continue;
+      // Echo a published estimate, as the paper's leader answers queries.
+      Value est;
+      for (int i = 0; i < cfg.n && est.is_nil(); ++i) {
+        est = co_await ctx.read(est_reg(cfg, j, static_cast<int>(ell), i));
+      }
+      if (est.is_nil()) continue;  // no simulator asked yet
+      co_await paxos_attempt(ctx, inst, cfg.n + me, rounds[inst.ns]++, est);
+    }
+  }
+}
+
+}  // namespace
+
+ProcBody make_kcodes_simulator(KCodesConfig cfg, KCodesHarvest harvest) {
+  return [cfg = std::move(cfg), harvest = std::move(harvest)](Context& ctx) {
+    return kcodes_simulator(ctx, cfg, harvest);
+  };
+}
+
+ProcBody make_kcodes_server(KCodesConfig cfg) {
+  return [cfg = std::move(cfg)](Context& ctx) { return kcodes_server(ctx, cfg); };
+}
+
+std::int64_t kcodes_progress(const World& w, const KCodesConfig& cfg, int j) {
+  return w.memory().read(reg(cfg.ns + "/steps", j)).int_or(0);
+}
+
+}  // namespace efd

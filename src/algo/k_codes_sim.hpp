@@ -1,0 +1,57 @@
+// Simulating k codes with →Ωk (Fig. 2, Thm. 14).
+//
+// n C-process simulators jointly execute k simulated codes p'_1..p'_k. The
+// result of every simulated READ is fixed by one leader-based consensus
+// instance cons(j, ℓ) per (code, read-index); deterministic actions (writes,
+// local steps, decides) need no agreement and are replayed by every simulator
+// (same write-once contract as BG-simulation). The leader of code j's
+// consensus instances is
+//   * the j-th smallest registered simulator while at most k simulators are
+//     registered (a C-process actor), and
+//   * the S-process named by slot j of →Ωk otherwise
+// — evaluated locally from the registration registers and the →Ωk slots the
+// S-processes keep published. Both C- and S-processes share one Paxos actor
+// id space (C i -> i, S i -> n+i), so either kind can drive an instance, as
+// in the paper's query/response consensus. Thm. 14: in every environment at
+// least one simulated code takes infinitely many steps, and if ℓ simulators
+// participate at most min(k, ℓ) codes do.
+#pragma once
+
+#include <functional>
+
+#include "algo/sim_program.hpp"
+#include "sim/world.hpp"
+
+namespace efd {
+
+struct KCodesConfig {
+  std::string ns = "kc";
+  int n = 0;        ///< simulators (C) = S-processes
+  int k = 0;        ///< number of simulated codes
+  SimProgramPtr code;  ///< program each code runs (index = code id)
+  ValueVec inputs;     ///< inputs[j] = input of code j (size k)
+
+  /// When non-empty, simulator i departs with the value of reg(poll_base, i)
+  /// once that register becomes non-⊥, instead of harvesting the codes' own
+  /// decisions. This is how the Thm. 9 double simulation returns each
+  /// process its OWN task decision: the simulated codes are BG-simulators
+  /// that publish per-task-process decisions to poll_base.
+  std::string poll_base;
+};
+
+/// Same shape as BgHarvest: Nil = keep simulating, otherwise the simulator's
+/// own decision extracted from the codes' decision vector ns/dec[0..k-1].
+using KCodesHarvest = std::function<Value(const ValueVec& code_decisions)>;
+
+/// C-process p_{i+1}: registers, advances codes, drives consensus instances
+/// it leads; departs (R_i := 0) once `harvest` yields its decision.
+ProcBody make_kcodes_simulator(KCodesConfig cfg, KCodesHarvest harvest);
+
+/// S-process q_{i+1}: publishes its →Ωk slots and drives the consensus
+/// instances its slots make it lead, echoing published estimates.
+ProcBody make_kcodes_server(KCodesConfig cfg);
+
+/// Steps (agreed reads) of code j as currently published at ns/steps[j].
+[[nodiscard]] std::int64_t kcodes_progress(const World& w, const KCodesConfig& cfg, int j);
+
+}  // namespace efd

@@ -1,0 +1,90 @@
+#include "algo/leader_consensus.hpp"
+
+#include "algo/adopt_commit.hpp"
+#include "sim/memory.hpp"
+
+namespace efd {
+namespace {
+
+Proc consensus_client(Context& ctx, LeaderConsensusConfig cfg, Value input) {
+  const int i = ctx.pid().index;
+  co_await ctx.write(reg(cfg.ns + "/In", i), input);
+  const Value d = co_await await_nonnil(ctx, cfg.ns + "/DEC");
+  co_await ctx.decide(d);
+}
+
+Proc consensus_server(Context& ctx, LeaderConsensusConfig cfg) {
+  const int me = ctx.pid().index;
+  const PaxosInstance inst{cfg.ns, cfg.n};
+  int round = 0;
+  for (;;) {
+    const Value leader = co_await ctx.query();
+    if (leader.int_or(-1) != me) {
+      co_await ctx.yield();
+      continue;
+    }
+    // Leader: pick the first published proposal and push a ballot.
+    Value proposal;
+    for (int j = 0; j < cfg.n && proposal.is_nil(); ++j) {
+      proposal = co_await ctx.read(reg(cfg.ns + "/In", j));
+    }
+    if (proposal.is_nil()) {
+      co_await ctx.yield();  // nobody participates yet
+      continue;
+    }
+    co_await paxos_attempt(ctx, inst, me, round++, proposal);
+  }
+}
+
+Proc consensus_server_ac(Context& ctx, LeaderConsensusConfig cfg) {
+  const int me = ctx.pid().index;
+  // Round registers: cfg.ns/r<r>/... adopt-commit instances over the n
+  // S-actors; cfg.ns/round publishes the highest round anyone entered.
+  Value est;
+  int round = 0;
+  for (;;) {
+    const Value leader = co_await ctx.query();
+    if (leader.int_or(-1) != me) {
+      co_await ctx.yield();
+      continue;
+    }
+    if (est.is_nil()) {
+      for (int j = 0; j < cfg.n && est.is_nil(); ++j) {
+        est = co_await ctx.read(reg(cfg.ns + "/In", j));
+      }
+      if (est.is_nil()) {
+        co_await ctx.yield();  // nobody participates yet
+        continue;
+      }
+    }
+    // One adopt-commit per round, rounds taken strictly in order: a commit at
+    // round r is safe because every process that later passes round r adopts
+    // the committed value there (commit-agreement) before it can commit in
+    // any round > r.
+    const AdoptCommitInstance inst{cfg.ns + "/ac" + std::to_string(round), cfg.n};
+    const Value r = co_await adopt_commit(ctx, inst, me, est);
+    est = r.at(1);  // carry the adopted value into the next round
+    if (r.at(0).int_or(0) == 1) {
+      co_await ctx.write(cfg.ns + "/DEC", est);
+    }
+    ++round;
+  }
+}
+
+}  // namespace
+
+ProcBody make_consensus_client(LeaderConsensusConfig cfg, Value input) {
+  return [cfg = std::move(cfg), input = std::move(input)](Context& ctx) {
+    return consensus_client(ctx, cfg, input);
+  };
+}
+
+ProcBody make_consensus_server(LeaderConsensusConfig cfg) {
+  return [cfg = std::move(cfg)](Context& ctx) { return consensus_server(ctx, cfg); };
+}
+
+ProcBody make_consensus_server_ac(LeaderConsensusConfig cfg) {
+  return [cfg = std::move(cfg)](Context& ctx) { return consensus_server_ac(ctx, cfg); };
+}
+
+}  // namespace efd

@@ -1,0 +1,36 @@
+// EFD consensus with Ω advice (paper §2.3, Prop. 6 with k = 1).
+//
+// C-process p_i writes its proposal to ns/In[i] and busy-waits on the
+// decision register — it depends only on S-processes taking steps, never on
+// other C-processes, so progress is wait-free in the EFD sense. Each
+// S-process queries Ω; whoever is leader repeatedly drives Paxos ballots,
+// proposing the first published input it sees. After Ω stabilizes on one
+// correct S-process, that leader's ballot eventually dominates and the
+// instance decides; Paxos keeps agreement/validity safe during the chaotic
+// pre-GST period.
+#pragma once
+
+#include "algo/paxos.hpp"
+#include "sim/world.hpp"
+
+namespace efd {
+
+struct LeaderConsensusConfig {
+  std::string ns = "cons";
+  int n = 0;  ///< number of C-processes = number of S-processes (actors)
+};
+
+/// Body of C-process p_{i+1} proposing `input`.
+ProcBody make_consensus_client(LeaderConsensusConfig cfg, Value input);
+
+/// Body of S-process q_{i+1}; queries Ω (history must emit Int S-ids).
+ProcBody make_consensus_server(LeaderConsensusConfig cfg);
+
+/// Ablation variant of the server: instead of Paxos ballots, the leader runs
+/// rounds of adopt-commit objects (one per round), carrying the adopted
+/// value forward and publishing the decision on commit. Same interface and
+/// client; compared against the Paxos server in bench E12. Safety argument:
+/// commit in round r fixes the value every later round can adopt or commit.
+ProcBody make_consensus_server_ac(LeaderConsensusConfig cfg);
+
+}  // namespace efd

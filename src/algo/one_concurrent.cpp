@@ -1,0 +1,31 @@
+#include "algo/one_concurrent.hpp"
+
+#include "sim/memory.hpp"
+
+namespace efd {
+
+Proc one_concurrent_solver(Context& ctx, TaskPtr task, Value input, std::string ns) {
+  const OneConcurrentRegs regs(ns);
+  const int n = task->n_procs();
+  const int i = ctx.pid().index;
+
+  co_await ctx.write(reg(regs.in_base, i), input);  // (1) register participation
+
+  const Value iv = co_await collect(ctx, regs.in_base, n);   // (2) inputs seen
+  const Value ov = co_await collect(ctx, regs.out_base, n);  // (3) outputs seen
+
+  ValueVec in(iv.as_vec());
+  ValueVec out(ov.as_vec());
+  const Value mine = task->pick_output(in, out, i);  // (4) extend per Δ
+
+  co_await ctx.write(reg(regs.out_base, i), mine);
+  co_await ctx.decide(mine);
+}
+
+ProcBody make_one_concurrent(TaskPtr task, Value input, std::string ns) {
+  return [task = std::move(task), input = std::move(input), ns = std::move(ns)](Context& ctx) {
+    return one_concurrent_solver(ctx, task, input, ns);
+  };
+}
+
+}  // namespace efd

@@ -1,0 +1,32 @@
+// The generic 1-concurrent solver (Prop. 1, Appendix A).
+//
+// Every task is 1-concurrently solvable: a process (1) writes its input,
+// (2) collects the inputs written so far, (3) collects the outputs already
+// chosen, and (4) extends the output vector using the task's sequential
+// specification (Task::pick_output). In 1-concurrent runs processes execute
+// these four phases without interleaving, so the inductive argument of
+// Appendix A applies verbatim. This is a *restricted* algorithm: S-processes
+// take only null steps.
+#pragma once
+
+#include "sim/proc.hpp"
+#include "sim/world.hpp"
+#include "tasks/task.hpp"
+
+namespace efd {
+
+/// Register bases used by the solver (shared with the extraction harness,
+/// which simulates this algorithm): inputs at ns/In[i], outputs at ns/Out[i].
+struct OneConcurrentRegs {
+  std::string in_base;
+  std::string out_base;
+  explicit OneConcurrentRegs(const std::string& ns) : in_base(ns + "/In"), out_base(ns + "/Out") {}
+};
+
+/// Body of C-process p_{i+1} solving `task` with input `input`.
+Proc one_concurrent_solver(Context& ctx, TaskPtr task, Value input, std::string ns);
+
+/// Convenience factory binding (task, input, namespace) into a ProcBody.
+ProcBody make_one_concurrent(TaskPtr task, Value input, std::string ns = "p1c");
+
+}  // namespace efd

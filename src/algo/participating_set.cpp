@@ -1,0 +1,27 @@
+#include "algo/participating_set.hpp"
+
+#include "sim/snapshot.hpp"
+#include "tasks/participating_set.hpp"
+
+namespace efd {
+namespace {
+
+Proc participating_set_solver(Context& ctx, ParticipatingSetConfig cfg, Value input) {
+  const int me = ctx.pid().index;
+  const Value view = co_await immediate_snapshot(ctx, cfg.ns, me, cfg.n, input);
+  std::vector<int> ids;
+  for (int q = 0; q < cfg.n; ++q) {
+    if (!view.at(static_cast<std::size_t>(q)).is_nil()) ids.push_back(q);
+  }
+  co_await ctx.decide(ParticipatingSetTask::encode_view(ids));
+}
+
+}  // namespace
+
+ProcBody make_participating_set_solver(ParticipatingSetConfig cfg, Value input) {
+  return [cfg = std::move(cfg), input = std::move(input)](Context& ctx) {
+    return participating_set_solver(ctx, cfg, input);
+  };
+}
+
+}  // namespace efd

@@ -1,0 +1,20 @@
+// Wait-free solver for the participating-set task: one-shot immediate
+// snapshot (sim/snapshot.hpp). Restricted algorithm — no S-processes, no
+// advice, any concurrency: the constructive witness that the task sits in
+// class n of the Thm. 10 hierarchy.
+#pragma once
+
+#include "sim/world.hpp"
+
+namespace efd {
+
+struct ParticipatingSetConfig {
+  std::string ns = "ps";
+  int n = 0;
+};
+
+/// C-process p_{i+1}: contributes its input to the immediate snapshot and
+/// decides the view (a sorted Vec of participant ids).
+ProcBody make_participating_set_solver(ParticipatingSetConfig cfg, Value input);
+
+}  // namespace efd

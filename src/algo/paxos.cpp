@@ -1,0 +1,42 @@
+#include "algo/paxos.hpp"
+
+#include "sim/memory.hpp"
+
+namespace efd {
+
+Co<Value> paxos_attempt(Context& ctx, PaxosInstance inst, int me, int round, Value v) {
+  const std::int64_t ballot =
+      static_cast<std::int64_t>(round) * inst.num_actors + me + 1;  // ballots >= 1, unique per actor
+
+  co_await ctx.write(inst.ns + "/RB[" + std::to_string(me) + "]", Value(ballot));
+
+  // Phase 1: abort if a higher ballot started; adopt the highest accepted value.
+  std::int64_t best_ballot = 0;
+  Value best_value;
+  for (int a = 0; a < inst.num_actors; ++a) {
+    const Value rb = co_await ctx.read(inst.ns + "/RB[" + std::to_string(a) + "]");
+    if (rb.int_or(0) > ballot) co_return Value{};
+    const Value acc = co_await ctx.read(inst.ns + "/ACC[" + std::to_string(a) + "]");
+    if (acc.is_vec() && acc.at(0).int_or(0) > best_ballot) {
+      best_ballot = acc.at(0).int_or(0);
+      best_value = acc.at(1);
+    }
+  }
+  if (best_ballot > 0) v = best_value;
+
+  co_await ctx.write(inst.ns + "/ACC[" + std::to_string(me) + "]", vec(Value(ballot), v));
+
+  // Phase 2: re-validate the ballot, then publish the decision.
+  for (int a = 0; a < inst.num_actors; ++a) {
+    const Value rb = co_await ctx.read(inst.ns + "/RB[" + std::to_string(a) + "]");
+    if (rb.int_or(0) > ballot) co_return Value{};
+  }
+  co_await ctx.write(inst.ns + "/DEC", v);
+  co_return v;
+}
+
+Co<Value> paxos_decision(Context& ctx, PaxosInstance inst) {
+  co_return co_await ctx.read(inst.ns + "/DEC");
+}
+
+}  // namespace efd

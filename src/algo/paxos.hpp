@@ -1,0 +1,38 @@
+// Register-based single-shot consensus, Disk-Paxos style (Gafni–Lamport),
+// used as the "leader-based consensus algorithm" of Appendix C.1.
+//
+// Safety (agreement + validity) holds under arbitrary concurrency and any
+// number of stalled actors; termination requires that eventually a single
+// live actor keeps proposing (the leader, supplied by Ω / →Ωk advice or by a
+// deterministic rank rule). Actors share a global id space so that both
+// C-processes and S-processes can drive the same instance, exactly as the
+// paper's query/response consensus allows either kind of process to act as
+// leader.
+//
+// Registers of instance `ns` (A actors):
+//   ns/RB[a]   highest ballot actor a has entered (int, 0 = none)
+//   ns/ACC[a]  [ballot, value] last accepted by actor a
+//   ns/DEC     decided value (written once a ballot fully succeeds)
+#pragma once
+
+#include <string>
+
+#include "sim/proc.hpp"
+
+namespace efd {
+
+struct PaxosInstance {
+  std::string ns;
+  int num_actors = 0;
+};
+
+/// One complete ballot attempt by actor `me` (0-based) in round `round`,
+/// proposing `v` if no previously-accepted value is discovered. Returns the
+/// decided value on success, Nil when preempted by a higher ballot. Takes
+/// O(num_actors) steps; never blocks.
+Co<Value> paxos_attempt(Context& ctx, PaxosInstance inst, int me, int round, Value v);
+
+/// Single-step peek at the decision register; Nil if undecided.
+Co<Value> paxos_decision(Context& ctx, PaxosInstance inst);
+
+}  // namespace efd

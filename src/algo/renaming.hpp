@@ -1,0 +1,26 @@
+// The k-concurrent (j, j+k-1)-renaming algorithm (Fig. 4, Thm. 15).
+//
+// A restricted algorithm (S-processes take only null steps) that mimics the
+// wait-free (j, 2j-1)-renaming of Attiya et al.: each process repeatedly
+// suggests a name, publishes (id, suggestion, contending-bit), and on
+// conflict re-suggests the r-th name not suggested by others, where r is its
+// rank among the not-yet-decided participants. In k-concurrent runs the rank
+// is at most k and at most j-1 foreign suggestions exist, so every chosen
+// name is at most j+k-1; Thm. 16 then gives solvability with ¬Ωk.
+#pragma once
+
+#include "sim/world.hpp"
+
+namespace efd {
+
+struct RenamingConfig {
+  std::string ns = "ren";
+  int n = 0;  ///< total C-processes (register width)
+};
+
+/// Body of C-process p_{i+1} with original name `input` (the algorithm keys
+/// on the register index i, as in the paper; the original name is written
+/// alongside for the record).
+ProcBody make_renaming_kconc(RenamingConfig cfg, Value input);
+
+}  // namespace efd

@@ -1,0 +1,79 @@
+#include "algo/renaming_1resilient.hpp"
+
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/memory.hpp"
+
+namespace efd {
+namespace {
+
+Proc one_resilient_wrapper(Context& ctx, OneResilientConfig cfg, SimProgramPtr inner,
+                           Value input) {
+  const int i = ctx.pid().index;
+  co_await ctx.write(reg(cfg.ns + "/W", i), Value(1));  // register participation
+
+  Value st = inner->init(i, input);
+  std::optional<Value> name;
+
+  while (!name) {
+    const Value wv = co_await collect(ctx, cfg.ns + "/W", cfg.n);
+    std::vector<int> participants;  // S  = {ℓ | R_ℓ ≠ ⊥}
+    std::vector<int> undecided;     // S' = {ℓ | R_ℓ = 1}
+    for (int l = 0; l < cfg.n; ++l) {
+      const Value w = wv.at(static_cast<std::size_t>(l));
+      if (w.is_nil()) continue;
+      participants.push_back(l);
+      if (w.int_or(0) == 1) undecided.push_back(l);
+    }
+    if (undecided.empty()) break;  // we decided concurrently with the collect? impossible: we're undecided
+    const int min1 = undecided.front();
+    const int min2 = undecided.size() >= 2 ? undecided[1] : min1;
+
+    const auto sz = static_cast<int>(participants.size());
+    const bool my_turn = (sz == cfg.j && (i == min1 || i == min2)) ||
+                         (sz == cfg.j - 1 && i == min1);
+    if (!my_turn) {
+      co_await ctx.yield();
+      continue;
+    }
+
+    // One more step of A.
+    const SimAction act = inner->action(st);
+    Value result;
+    switch (act.kind) {
+      case SimAction::Kind::kRead:
+        result = co_await ctx.read(act.addr);
+        break;
+      case SimAction::Kind::kWrite:
+        co_await ctx.write(act.addr, act.value);
+        break;
+      case SimAction::Kind::kYield:
+        co_await ctx.yield();
+        break;
+      case SimAction::Kind::kDecide:
+        co_await ctx.yield();  // the decide itself is a wrapper-level step
+        name = act.value;
+        break;
+      case SimAction::Kind::kQuery:
+        throw std::logic_error("one_resilient_wrapper: restricted algorithm may not query a FD");
+      case SimAction::Kind::kHalt:
+        throw std::logic_error("one_resilient_wrapper: inner algorithm halted without deciding");
+    }
+    st = inner->transition(st, result);
+  }
+
+  co_await ctx.write(reg(cfg.ns + "/W", i), Value(0));  // declare decided, depart
+  co_await ctx.decide(*name);
+}
+
+}  // namespace
+
+ProcBody make_one_resilient_wrapper(OneResilientConfig cfg, SimProgramPtr inner, Value input) {
+  return [cfg = std::move(cfg), inner = std::move(inner), input = std::move(input)](Context& ctx) {
+    return one_resilient_wrapper(ctx, cfg, inner, input);
+  };
+}
+
+}  // namespace efd

@@ -1,0 +1,30 @@
+// The 1-resilient renaming wrapper (Fig. 3, Thm. 12).
+//
+// Given ANY restricted algorithm A (as a SimProgram), the wrapper lets at
+// most the two smallest-id undecided participants advance A concurrently:
+// each process registers (R_i := 1), repeatedly collects the registration
+// vector, and takes one step of its A-automaton only while it is among the
+// two smallest undecided ids of a full participating set (or the single
+// smallest of a (j-1)-sized set). The induced run of A is thus 2-concurrent.
+// In the paper this turns a hypothetical 2-concurrent strong-renaming
+// algorithm into a 1-resilient one, powering the impossibility of Thm. 12;
+// here we instantiate it with real algorithms (e.g. Fig. 4 with k = 2) to
+// measure the wrapper's 2-concurrency and liveness under one crash.
+#pragma once
+
+#include "algo/sim_program.hpp"
+#include "sim/world.hpp"
+
+namespace efd {
+
+struct OneResilientConfig {
+  std::string ns = "wrap";
+  int n = 0;  ///< total C-processes
+  int j = 0;  ///< max participants of the wrapped renaming task
+};
+
+/// Body of C-process p_{i+1}: runs `inner` (the algorithm A) under the
+/// Fig. 3 gating discipline, then decides the name A decided.
+ProcBody make_one_resilient_wrapper(OneResilientConfig cfg, SimProgramPtr inner, Value input);
+
+}  // namespace efd

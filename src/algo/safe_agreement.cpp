@@ -1,0 +1,48 @@
+#include "algo/safe_agreement.hpp"
+
+#include "sim/memory.hpp"
+
+namespace efd {
+namespace {
+
+std::string level_base(const SafeAgreementInstance& inst) { return inst.ns + "/L"; }
+
+}  // namespace
+
+Co<void> sa_propose(Context& ctx, SafeAgreementInstance inst, int me, Value v) {
+  co_await ctx.write(reg(level_base(inst), me), vec(v, Value(1)));
+  const Value snap = co_await double_collect(ctx, level_base(inst), inst.num_parties);
+  bool saw_committed = false;
+  for (int p = 0; p < inst.num_parties; ++p) {
+    if (snap.at(static_cast<std::size_t>(p)).at(1).int_or(0) == 2) saw_committed = true;
+  }
+  co_await ctx.write(reg(level_base(inst), me), vec(v, Value(saw_committed ? 0 : 2)));
+}
+
+Co<Value> sa_try_resolve(Context& ctx, SafeAgreementInstance inst) {
+  const Value snap = co_await double_collect(ctx, level_base(inst), inst.num_parties);
+  bool found = false;  // Nil is a legal agreed value, so track the winner explicitly
+  Value winner;
+  for (int p = 0; p < inst.num_parties; ++p) {
+    const Value cell = snap.at(static_cast<std::size_t>(p));
+    if (cell.is_nil()) continue;
+    const auto level = cell.at(1).int_or(0);
+    if (level == 1) co_return vec(Value(0));  // blocked: someone mid-propose
+    if (level == 2 && !found) {
+      found = true;
+      winner = cell.at(0);  // min id wins
+    }
+  }
+  if (!found) co_return vec(Value(0));  // nobody committed yet
+  co_return vec(Value(1), winner);
+}
+
+Co<Value> sa_resolve(Context& ctx, SafeAgreementInstance inst) {
+  for (;;) {
+    const Value r = co_await sa_try_resolve(ctx, inst);
+    if (r.at(0).int_or(0) == 1) co_return r.at(1);
+    co_await ctx.yield();
+  }
+}
+
+}  // namespace efd

@@ -1,0 +1,40 @@
+// Safe agreement — the BG-simulation building block [5, 7].
+//
+// Propose/resolve object with the classic guarantees: agreement and validity
+// always; the resolve phase may BLOCK (only) while some party is inside its
+// propose window. A simulator that stalls mid-propose blocks at most this one
+// object, which is exactly the accounting BG-simulation relies on.
+//
+// Snapshots are taken with repeated double collects (atomic when they
+// return), which is required for agreement: with plain collects a late
+// proposer with a small id could commit after an early resolver already
+// returned a larger-id value.
+//
+// Registers of instance `ns` (P parties): ns/L[p] = [value, level] with
+// level 1 = proposing, 2 = committed, 0 = abstained.
+#pragma once
+
+#include <string>
+
+#include "sim/proc.hpp"
+
+namespace efd {
+
+struct SafeAgreementInstance {
+  std::string ns;
+  int num_parties = 0;
+};
+
+/// Propose phase for party `me`. O(P) steps amortized; never blocks forever
+/// under fair scheduling. Call at most once per instance per party.
+Co<void> sa_propose(Context& ctx, SafeAgreementInstance inst, int me, Value v);
+
+/// One resolve attempt: returns [1, value] when resolved, [0] when blocked by
+/// an in-flight proposer. Safe to call repeatedly; must be preceded by the
+/// caller's own sa_propose on this instance.
+Co<Value> sa_try_resolve(Context& ctx, SafeAgreementInstance inst);
+
+/// Blocking resolve: spins on sa_try_resolve until resolved.
+Co<Value> sa_resolve(Context& ctx, SafeAgreementInstance inst);
+
+}  // namespace efd

@@ -1,0 +1,119 @@
+#include "algo/set_agreement_antiomega.hpp"
+
+#include <vector>
+
+#include "sim/memory.hpp"
+
+namespace efd {
+namespace {
+
+std::string inst_ns(const KsaConfig& cfg, int j) { return cfg.ns + "/inst" + std::to_string(j); }
+
+Proc ksa_client(Context& ctx, KsaConfig cfg, Value input) {
+  const int i = ctx.pid().index;
+  co_await ctx.write(reg(cfg.ns + "/In", i), input);
+  for (;;) {
+    for (int j = 0; j < cfg.k; ++j) {
+      const Value d = co_await ctx.read(inst_ns(cfg, j) + "/DEC");
+      if (!d.is_nil()) {
+        co_await ctx.decide(d);
+        co_return;
+      }
+    }
+  }
+}
+
+// Shared server loop; `use_query` selects the live FD module, otherwise the
+// injected step-free `advice_src` is consulted (Nil = no advice yet).
+Proc ksa_server_core(Context& ctx, KsaConfig cfg, bool use_query, AdviceSource advice_src) {
+  const int me = ctx.pid().index;
+  std::vector<int> round(static_cast<std::size_t>(cfg.k), 0);
+  for (;;) {
+    Value advice;
+    if (use_query) {
+      advice = co_await ctx.query();  // k-vector of S-ids
+    } else {
+      advice = advice_src();
+      if (advice.is_nil()) {  // recorded samples exhausted: idle
+        co_await ctx.yield();
+        continue;
+      }
+    }
+    bool led_any = false;
+    for (int j = 0; j < cfg.k; ++j) {
+      if (advice.at(static_cast<std::size_t>(j)).int_or(-1) != me) continue;
+      Value proposal;
+      for (int c = 0; c < cfg.n && proposal.is_nil(); ++c) {
+        proposal = co_await ctx.read(reg(cfg.ns + "/In", c));
+      }
+      if (proposal.is_nil()) continue;
+      const PaxosInstance inst{inst_ns(cfg, j), cfg.n};
+      co_await paxos_attempt(ctx, inst, me, round[static_cast<std::size_t>(j)]++, proposal);
+      led_any = true;
+    }
+    if (!led_any) co_await ctx.yield();
+  }
+}
+
+Proc ksa_server(Context& ctx, KsaConfig cfg) {
+  return ksa_server_core(ctx, std::move(cfg), /*use_query=*/true, {});
+}
+
+Proc nsa_client(Context& ctx, KsaConfig cfg, Value input) {
+  const int i = ctx.pid().index;
+  co_await ctx.write(reg(cfg.ns + "/In", i), input);
+  for (;;) {
+    for (int j = 0; j < cfg.n; ++j) {
+      const Value v = co_await ctx.read(reg(cfg.ns + "/V", j));
+      if (!v.is_nil()) {
+        co_await ctx.decide(v);
+        co_return;
+      }
+    }
+  }
+}
+
+Proc nsa_server(Context& ctx, KsaConfig cfg) {
+  const int me = ctx.pid().index;
+  // Wait until at least one C-process wrote its input, then relay it once.
+  for (;;) {
+    for (int c = 0; c < cfg.n; ++c) {
+      const Value v = co_await ctx.read(reg(cfg.ns + "/In", c));
+      if (!v.is_nil()) {
+        co_await ctx.write(reg(cfg.ns + "/V", me), v);
+        co_return;
+      }
+    }
+    co_await ctx.yield();
+  }
+}
+
+}  // namespace
+
+ProcBody make_ksa_client(KsaConfig cfg, Value input) {
+  return [cfg = std::move(cfg), input = std::move(input)](Context& ctx) {
+    return ksa_client(ctx, cfg, input);
+  };
+}
+
+ProcBody make_ksa_server(KsaConfig cfg) {
+  return [cfg = std::move(cfg)](Context& ctx) { return ksa_server(ctx, cfg); };
+}
+
+ProcBody make_ksa_server_with_advice(KsaConfig cfg, AdviceSource advice) {
+  return [cfg = std::move(cfg), advice = std::move(advice)](Context& ctx) {
+    return ksa_server_core(ctx, cfg, /*use_query=*/false, advice);
+  };
+}
+
+ProcBody make_nsa_noadvice_client(KsaConfig cfg, Value input) {
+  return [cfg = std::move(cfg), input = std::move(input)](Context& ctx) {
+    return nsa_client(ctx, cfg, input);
+  };
+}
+
+ProcBody make_nsa_noadvice_server(KsaConfig cfg) {
+  return [cfg = std::move(cfg)](Context& ctx) { return nsa_server(ctx, cfg); };
+}
+
+}  // namespace efd

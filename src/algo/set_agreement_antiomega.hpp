@@ -1,0 +1,49 @@
+// k-set agreement with →Ωk advice (Prop. 6 / the colorless face of Thm. 9).
+//
+// The classic construction from [28]: run k parallel consensus instances; the
+// proposer of instance j is whoever slot j of →Ωk currently names. Since
+// eventually at least one slot stabilizes on a correct S-process, at least
+// one instance decides; since there are only k instances, at most k distinct
+// values are decided; validity is inherited from Paxos. C-processes publish
+// their proposal and adopt the first instance decision they observe — their
+// progress depends only on S-processes, never on other C-processes.
+//
+// Also exposes a no-advice variant (§2.2 example): with n S-processes and NO
+// failure detector, (Π^C, n)-set agreement is solvable in every environment —
+// each S-process relays the first input it sees into its own slot.
+#pragma once
+
+#include "algo/paxos.hpp"
+#include "sim/world.hpp"
+
+namespace efd {
+
+struct KsaConfig {
+  std::string ns = "ksa";
+  int n = 0;  ///< C-process count = S-process count
+  int k = 0;  ///< agreement degree (number of parallel instances)
+};
+
+/// C-process p_{i+1} proposing `input`; decides the first instance decision seen.
+ProcBody make_ksa_client(KsaConfig cfg, Value input);
+
+/// S-process q_{i+1}; queries →Ωk (history must emit k-vectors of Int S-ids).
+ProcBody make_ksa_server(KsaConfig cfg);
+
+/// Step-free advice source: the next →Ωk sample, or Nil when none is
+/// available yet (the server then idles for one step). Host-side state;
+/// consumes no model steps — used by the Fig. 1 extraction to replay
+/// recorded DAG samples into a simulated S-process.
+using AdviceSource = std::function<Value()>;
+
+/// S-part of the KSA algorithm with an injected advice source instead of a
+/// live failure-detector module.
+ProcBody make_ksa_server_with_advice(KsaConfig cfg, AdviceSource advice);
+
+/// §2.2 example, C side: wait for ns/V[j] (any j) and decide it.
+ProcBody make_nsa_noadvice_client(KsaConfig cfg, Value input);
+/// §2.2 example, S side: copy the first published input into ns/V[me]. Takes
+/// no FD queries at all.
+ProcBody make_nsa_noadvice_server(KsaConfig cfg);
+
+}  // namespace efd

@@ -1,0 +1,84 @@
+// Simulable process programs.
+//
+// Simulation-based computing is the engine of the paper: BG-simulation
+// (Thm. 7), the k-codes simulation of Fig. 2, the Asim construction and
+// corridor DFS of Fig. 1 all need to advance OTHER processes' automata one
+// step at a time, feeding each step's result from an agreement protocol or a
+// recorded FD sample instead of live memory. A SimProgram is exactly such an
+// automaton: `action(state)` says what the process wants to do next and
+// `transition(state, result)` advances it.
+//
+// Algorithms in this library are written once, as coroutines (ProcBody). The
+// ReplayProgram adapter turns any deterministic ProcBody into a SimProgram by
+// encoding the state as the sequence of step results delivered so far and
+// re-executing the coroutine to answer `action` — O(steps^2) per simulated
+// run, which is fine at model-exploration scales and keeps a single source of
+// truth for every algorithm.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "sim/proc.hpp"
+#include "sim/world.hpp"
+
+namespace efd {
+
+struct SimAction {
+  enum class Kind : std::uint8_t { kRead, kWrite, kQuery, kYield, kDecide, kHalt };
+  Kind kind = Kind::kHalt;
+  std::string addr;  ///< register for kRead/kWrite
+  Value value;       ///< written / decided value
+};
+
+/// A deterministic process automaton with explicit, copyable state.
+class SimProgram {
+ public:
+  virtual ~SimProgram() = default;
+
+  /// Initial state of the process with the given index and task input.
+  [[nodiscard]] virtual Value init(int index, const Value& input) const = 0;
+
+  /// The pending operation in `state` (kHalt once the process returned).
+  [[nodiscard]] virtual SimAction action(const Value& state) const = 0;
+
+  /// State after the pending operation completes with `result` (Nil for
+  /// writes/yields/decides).
+  [[nodiscard]] virtual Value transition(const Value& state, const Value& result) const = 0;
+};
+
+using SimProgramPtr = std::shared_ptr<const SimProgram>;
+
+/// Adapts a deterministic coroutine algorithm into a SimProgram. The encoded
+/// state is [index, input, r_1, ..., r_t]: the process identity plus the
+/// results of its first t steps. Determinism of the body is required (all our
+/// algorithms are; schedulers are the only source of nondeterminism).
+class ReplayProgram final : public SimProgram {
+ public:
+  /// `body(index, input, ctx)` must return the process coroutine.
+  using Body = std::function<Proc(int index, const Value& input, Context& ctx)>;
+
+  explicit ReplayProgram(Body body) : body_(std::move(body)) {}
+
+  [[nodiscard]] Value init(int index, const Value& input) const override;
+  [[nodiscard]] SimAction action(const Value& state) const override;
+  [[nodiscard]] Value transition(const Value& state, const Value& result) const override;
+
+ private:
+  Body body_;
+};
+
+/// Runs `prog` natively: every SimAction becomes one real step through `ctx`.
+/// This makes SimPrograms directly spawnable into a World.
+Proc run_sim_program(Context& ctx, SimProgramPtr prog, int index, Value input);
+
+/// ProcBody factory for run_sim_program.
+ProcBody make_sim_program_body(SimProgramPtr prog, int index, Value input);
+
+/// Runs `prog` through `ctx` like run_sim_program but intercepts its decide
+/// step and RETURNS the decided value instead of deciding for the caller —
+/// the subroutine form used by task reductions (e.g. Lemma 11 builds
+/// consensus around a renaming algorithm's decision).
+Co<Value> run_until_decision(Context& ctx, SimProgramPtr prog, int index, Value input);
+
+}  // namespace efd

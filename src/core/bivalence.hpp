@@ -1,0 +1,49 @@
+// FLP-style non-termination witness search (supporting Lemma 11 / Thm. 12).
+//
+// The paper's impossibility results (wait-free 2-consensus, 2-concurrent
+// strong renaming) assert that every candidate restricted algorithm has an
+// infinite non-deciding run. For a CONCRETE candidate with finitely many
+// reachable configurations, such a run shows up as a reachable cycle in the
+// configuration graph whose steps belong to undecided processes — a "lasso".
+//
+// The searcher operates on SimPrograms (explicit automaton states), so a
+// configuration is exactly (local states, memory, decisions) and cycle
+// detection is sound: a repeated configuration really is a loop the
+// adversarial scheduler can iterate forever. (Coroutine-based algorithms
+// can be searched through ReplayProgram only if their step-result history
+// is periodic, which it never is — hand the searcher a genuine finite-state
+// automaton.) Every reported lasso is re-validated by replaying prefix +
+// several cycle iterations and checking that no decision occurs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "algo/sim_program.hpp"
+#include "sim/value.hpp"
+
+namespace efd {
+
+struct LassoConfig {
+  std::vector<int> participants;    ///< process indices (full concurrency)
+  int max_depth = 400;
+  std::int64_t max_states = 200000;
+  int validate_iterations = 8;      ///< cycle repetitions for re-validation
+};
+
+struct LassoResult {
+  bool found = false;               ///< a validated non-terminating lasso exists
+  bool budget_exhausted = false;
+  std::vector<int> prefix;          ///< schedule (participant ids) reaching the cycle
+  std::vector<int> cycle;           ///< the repeating choice sequence
+  std::int64_t states = 0;
+};
+
+/// Searches for an infinite non-deciding schedule of the restricted
+/// algorithm `prog` (every participant runs it, seeded with inputs[i]).
+LassoResult find_nontermination(const SimProgramPtr& prog, const ValueVec& inputs,
+                                const LassoConfig& cfg);
+
+}  // namespace efd

@@ -1,0 +1,60 @@
+// The EFD system harness: assembling and verifying task-solving runs.
+//
+// Bundles the paper's run anatomy — n C-processes with task inputs, n
+// S-processes with a failure detector, an environment's failure pattern, a
+// scheduler — into one driver that executes the run and checks the outcome
+// against the task relation (run satisfaction, §2.2). Also provides the
+// *personified* scheduler of §2.3 (C-process p_i stops exactly when q_i
+// crashes), which realizes classical solvability as a sub-case of EFD runs
+// for the Prop. 3/5 experiments.
+#pragma once
+
+#include <functional>
+#include <optional>
+
+#include "fd/detectors.hpp"
+#include "sim/schedule.hpp"
+#include "tasks/task.hpp"
+
+namespace efd {
+
+struct EfdSetup {
+  TaskPtr task;
+  DetectorPtr detector;
+  FailurePattern pattern{0};
+  std::uint64_t seed = 0;
+  ValueVec inputs;  ///< task inputs, ⊥ = not participating
+
+  /// C-process body factory (index, input). Non-participants are not spawned.
+  std::function<ProcBody(int, Value)> c_body;
+  /// S-process body factory; null for restricted algorithms (no S-processes).
+  std::function<ProcBody(int)> s_body;
+};
+
+struct EfdRunResult {
+  bool all_decided = false;     ///< every participating C-process decided
+  bool satisfied = false;       ///< (I, O) ∈ Δ for the produced output vector
+  ValueVec outputs;             ///< O, ⊥ where undecided
+  std::int64_t steps = 0;
+  int max_concurrency = 0;      ///< peak undecided participants (traced runs)
+};
+
+/// Executes one run under `sched` and verifies it against the task.
+EfdRunResult run_efd(const EfdSetup& setup, Scheduler& sched, std::int64_t max_steps,
+                     bool trace = false);
+
+/// Convenience: fair round-robin run.
+EfdRunResult run_efd_fair(const EfdSetup& setup, std::int64_t max_steps, bool trace = false);
+
+/// The personified scheduler of §2.3: fair round-robin in which C-process p_i
+/// is scheduled only while S-process q_i is alive — runs of conventional
+/// (classical) failure-detector algorithms are exactly these runs.
+class PersonifiedScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] std::optional<Pid> next(const World& w) override;
+
+ private:
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace efd

@@ -1,0 +1,148 @@
+#include "core/hierarchy.hpp"
+
+#include <sstream>
+
+#include "algo/one_concurrent.hpp"
+#include "algo/participating_set.hpp"
+#include "algo/renaming.hpp"
+#include "sim/memory.hpp"
+#include "tasks/participating_set.hpp"
+#include "tasks/consensus.hpp"
+#include "tasks/identity.hpp"
+#include "tasks/renaming.hpp"
+#include "tasks/set_agreement.hpp"
+#include "tasks/symmetry_breaking.hpp"
+
+namespace efd {
+namespace {
+
+// The wait-free identity algorithm: publish the input, decide it.
+Proc identity_solver(Context& ctx, Value input) {
+  co_await ctx.write(reg("id/In", ctx.pid().index), input);
+  co_await ctx.decide(input);
+}
+
+}  // namespace
+
+std::string fd_class_name(int level, int n) {
+  if (level >= n) return "trivial (wait-free)";
+  if (level == 1) return "Omega (= antiOmega-1)";
+  return "antiOmega-" + std::to_string(level);
+}
+
+HierarchyRow classify(const TaskPtr& task, const std::function<ProcBody(int, Value)>& body,
+                      const ValueVec& inputs, int k_max, const ExploreConfig& base_cfg) {
+  HierarchyRow row;
+  row.task = task->name();
+  ExploreConfig cfg = base_cfg;
+  if (cfg.arrival.empty()) cfg.arrival = Task::participants(inputs);
+
+  for (int k = 1; k <= k_max; ++k) {
+    cfg.k = k;
+    const ExploreOutcome o = explore_k_concurrent(task, body, inputs, cfg);
+    row.states_explored += o.states;
+    if (!o.ok) {
+      row.violation_above = row.observed_level == k - 1 && row.observed_level > 0;
+      row.violation = o.violation;
+      break;
+    }
+    row.observed_level = k;
+    if (o.budget_exhausted) {
+      row.note = "exploration budget hit; level is certified only up to sampling";
+      break;
+    }
+  }
+  const int n = task->n_procs();
+  row.weakest_fd = fd_class_name(row.observed_level, n);
+  return row;
+}
+
+std::vector<HierarchyRow> classify_standard_menu(int n, std::int64_t max_states) {
+  std::vector<HierarchyRow> rows;
+  ExploreConfig cfg;
+  cfg.max_states = max_states;
+
+  auto one_conc_body = [](const TaskPtr& task, const std::string& ns) {
+    return [task, ns](int, Value input) { return make_one_concurrent(task, input, ns); };
+  };
+
+  {  // identity: wait-free, class n. Solved by the direct 2-step algorithm
+     // (publish, decide own input) so level-n exploration stays exhaustive.
+    auto task = std::make_shared<IdentityTask>(n);
+    auto body = [](int, Value input) {
+      return ProcBody([input](Context& ctx) { return identity_solver(ctx, input); });
+    };
+    auto row = classify(task, body, task->sample_input(1), n, cfg);
+    row.note = "wait-free: needs no advice (Prop. 2)";
+    rows.push_back(std::move(row));
+  }
+  {  // consensus: class 1 (Ω).
+    auto task = std::make_shared<ConsensusTask>(n);
+    ValueVec in(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) in[static_cast<std::size_t>(i)] = Value(i);  // all-distinct: hardest
+    rows.push_back(classify(task, one_conc_body(task, "cons"), in, n, cfg));
+  }
+  for (int k = 2; k < n; ++k) {  // k-set agreement: class k.
+    auto task = std::make_shared<SetAgreementTask>(n, k);
+    ValueVec in(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) in[static_cast<std::size_t>(i)] = Value(i);
+    rows.push_back(classify(task, one_conc_body(task, "ksa" + std::to_string(k)), in, n, cfg));
+  }
+  if (n >= 3) {  // strong 2-renaming: class 1 (Cor. 13).
+    auto task = std::make_shared<RenamingTask>(RenamingTask::strong(n, 2));
+    const ValueVec in = task->sample_input(0);
+    RenamingConfig rcfg{"sren", n};
+    auto row = classify(
+        task, [rcfg](int, Value input) { return make_renaming_kconc(rcfg, input); }, in, n, cfg);
+    row.note = "strong renaming == consensus (Cor. 13)";
+    rows.push_back(std::move(row));
+  }
+  if (n >= 4) {  // (3, 4)-renaming with the Fig. 4 algorithm: level >= 2.
+    auto task = std::make_shared<RenamingTask>(n, 3, 4);
+    const ValueVec in = task->sample_input(0);
+    RenamingConfig rcfg{"ren34", n};
+    auto row = classify(
+        task, [rcfg](int, Value input) { return make_renaming_kconc(rcfg, input); }, in, n, cfg);
+    row.note = "exact maximal level open for some (j,k) (paper fn. 4)";
+    rows.push_back(std::move(row));
+  }
+  {  // participating set: wait-free via immediate snapshot (class n).
+    auto task = std::make_shared<ParticipatingSetTask>(n);
+    const ParticipatingSetConfig pcfg{"ps", n};
+    auto body = [pcfg](int, Value input) { return make_participating_set_solver(pcfg, input); };
+    ExploreConfig ps_cfg = cfg;
+    ps_cfg.max_depth = 600;  // immediate snapshot takes O(n^2) steps per process
+    auto row = classify(task, body, task->sample_input(2), n, ps_cfg);
+    // Preserve a budget note: the solver is wait-free, but certifying high
+    // levels exhaustively can exceed the exploration budget.
+    const std::string tag = "wait-free via one-shot immediate snapshot";
+    row.note = row.note.empty() ? tag : row.note + "; " + tag;
+    rows.push_back(std::move(row));
+  }
+  {  // weak symmetry breaking with the generic solver.
+    auto task = std::make_shared<WeakSymmetryBreakingTask>(n);
+    auto row = classify(task, one_conc_body(task, "wsb"), task->sample_input(3), n, cfg);
+    row.note = "level of the generic solver; the task's own class is open here";
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+std::string format_hierarchy(const std::vector<HierarchyRow>& rows) {
+  std::ostringstream os;
+  os << "task                                 | level | weakest FD            | violation at level+1\n";
+  os << "-------------------------------------+-------+-----------------------+---------------------\n";
+  for (const auto& r : rows) {
+    std::string name = r.task;
+    name.resize(36, ' ');
+    std::string fd = r.weakest_fd;
+    fd.resize(21, ' ');
+    os << name << " |   " << r.observed_level << "   | " << fd << " | "
+       << (r.violation.empty() ? std::string("-") : r.violation);
+    if (!r.note.empty()) os << "  [" << r.note << "]";
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace efd

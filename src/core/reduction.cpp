@@ -1,0 +1,105 @@
+#include "core/reduction.hpp"
+
+#include <unordered_map>
+
+#include "algo/paxos.hpp"
+#include "sim/memory.hpp"
+
+namespace efd {
+namespace {
+
+std::string slot_ns(const SlotRenamingConfig& cfg, int t) {
+  return cfg.ns + "/slot" + std::to_string(t);
+}
+
+Proc slot_renaming_client(Context& ctx, SlotRenamingConfig cfg, Value input) {
+  const int me = ctx.pid().index;
+  co_await ctx.write(reg(cfg.ns + "/Part", me), input);  // register with original name
+  for (;;) {
+    for (int t = 1; t <= cfg.j; ++t) {
+      const Value winner = co_await ctx.read(slot_ns(cfg, t) + "/DEC");
+      if (winner.is_nil()) break;  // slots fill in order; later ones are empty too
+      if (winner.int_or(-1) == me) {
+        co_await ctx.decide(Value(t));
+        co_return;
+      }
+    }
+    co_await ctx.yield();
+  }
+}
+
+Proc slot_renaming_server(Context& ctx, SlotRenamingConfig cfg) {
+  const int me = ctx.pid().index;
+  std::unordered_map<int, int> rounds;
+  for (;;) {
+    const Value leader = co_await ctx.query();  // Ω
+    if (leader.int_or(-1) != me) {
+      co_await ctx.yield();
+      continue;
+    }
+    // Find the first undecided slot and the already-named ids.
+    int slot = 0;
+    std::vector<bool> named(static_cast<std::size_t>(cfg.n), false);
+    for (int t = 1; t <= cfg.j && slot == 0; ++t) {
+      const Value winner = co_await ctx.read(slot_ns(cfg, t) + "/DEC");
+      if (winner.is_nil()) {
+        slot = t;
+      } else if (winner.int_or(-1) >= 0 && winner.int_or(-1) < cfg.n) {
+        named[static_cast<std::size_t>(winner.as_int())] = true;
+      }
+    }
+    if (slot == 0) {  // all slots assigned
+      co_await ctx.yield();
+      continue;
+    }
+    // Candidate: smallest registered id without a name yet.
+    int cand = -1;
+    for (int i = 0; i < cfg.n && cand < 0; ++i) {
+      if (named[static_cast<std::size_t>(i)]) continue;
+      const Value part = co_await ctx.read(reg(cfg.ns + "/Part", i));
+      if (!part.is_nil()) cand = i;
+    }
+    if (cand < 0) {
+      co_await ctx.yield();  // nobody is waiting for a name
+      continue;
+    }
+    const PaxosInstance inst{slot_ns(cfg, slot), cfg.n};
+    co_await paxos_attempt(ctx, inst, me, rounds[slot]++, Value(cand));
+  }
+}
+
+Proc consensus_from_renaming(Context& ctx, std::string ns, int me, Value input,
+                             SimProgramPtr renaming) {
+  co_await ctx.write(reg(ns + "/V", me), input);      // publish proposal
+  const Value name = co_await run_until_decision(ctx, renaming, me, Value(me + 1));
+  if (name.int_or(0) == 1) {
+    co_await ctx.decide(input);                       // I won: my proposal
+  } else {
+    // Name 2 proves the other process wrote its proposal before my renaming
+    // finished, so this read busy-waits only finitely.
+    const Value other = co_await await_nonnil(ctx, reg(ns + "/V", 1 - me));
+    co_await ctx.decide(other);
+  }
+}
+
+}  // namespace
+
+ProcBody make_slot_renaming_client(SlotRenamingConfig cfg, Value input) {
+  return [cfg = std::move(cfg), input = std::move(input)](Context& ctx) {
+    return slot_renaming_client(ctx, cfg, input);
+  };
+}
+
+ProcBody make_slot_renaming_server(SlotRenamingConfig cfg) {
+  return [cfg = std::move(cfg)](Context& ctx) { return slot_renaming_server(ctx, cfg); };
+}
+
+ProcBody make_consensus_from_renaming(std::string ns, int me, Value input,
+                                      SimProgramPtr renaming) {
+  return [ns = std::move(ns), me, input = std::move(input),
+          renaming = std::move(renaming)](Context& ctx) {
+    return consensus_from_renaming(ctx, ns, me, input, renaming);
+  };
+}
+
+}  // namespace efd

@@ -1,0 +1,43 @@
+// Task-level reductions around strong renaming (paper §5, Lemma 11, Cor. 13).
+//
+// Cor. 13 says strong renaming ≡ consensus (weakest detector Ω). Both
+// directions are implemented as real algorithms:
+//
+//  * consensus ⇒ strong renaming ("slot claiming"): names 1..j are awarded by
+//    a chain of Ω-driven consensus instances; instance t elects, among the
+//    participants not yet named by instances < t, the one with the smallest
+//    id. Every participant gets a distinct name in 1..j.
+//
+//  * strong renaming ⇒ consensus (the Lemma 11 construction, verbatim):
+//    both processes publish their proposals, run the given 2-process strong
+//    renaming algorithm, and the process that obtains name 1 wins — it
+//    decides its own proposal, the other adopts the winner's. Validity holds
+//    because a name ≠ 1 proves the other process participated (wrote its
+//    proposal first).
+#pragma once
+
+#include "algo/sim_program.hpp"
+#include "sim/world.hpp"
+
+namespace efd {
+
+struct SlotRenamingConfig {
+  std::string ns = "slots";
+  int n = 0;  ///< C-processes = S-processes
+  int j = 0;  ///< max participants = namespace size (strong renaming)
+};
+
+/// C-process p_{i+1} with original name `input`: registers, then watches the
+/// slot decisions and decides t when slot t elects its id.
+ProcBody make_slot_renaming_client(SlotRenamingConfig cfg, Value input);
+
+/// S-process q_{i+1}: fills slots 1..j in order with Ω-led Paxos, proposing
+/// the smallest registered id not yet named.
+ProcBody make_slot_renaming_server(SlotRenamingConfig cfg);
+
+/// The Lemma 11 construction for processes {0, 1} of the pair instance `ns`:
+/// `renaming` must be a strong 2-renaming automaton (names {1, 2}) over the
+/// SAME two indices. `me` ∈ {0, 1}.
+ProcBody make_consensus_from_renaming(std::string ns, int me, Value input, SimProgramPtr renaming);
+
+}  // namespace efd

@@ -1,0 +1,148 @@
+#include "core/solvability.hpp"
+
+#include <unordered_set>
+
+#include "fd/detectors.hpp"
+
+namespace efd {
+namespace {
+
+/// Everything the DFS needs to know about a replayed prefix.
+struct ReplayInfo {
+  std::vector<int> eligible;   ///< admitted, undecided C-indices (the window)
+  bool terminal = false;       ///< everyone arrived and decided
+  bool relation_ok = true;
+  std::uint64_t sig = 0;       ///< full-configuration signature
+};
+
+class Explorer {
+ public:
+  Explorer(const TaskPtr& task, const std::function<ProcBody(int, Value)>& body,
+           const ValueVec& inputs, const ExploreConfig& cfg)
+      : task_(task), body_(body), inputs_(inputs), cfg_(cfg) {}
+
+  ExploreOutcome run() {
+    std::vector<int> sched;
+    dfs(sched);
+    return out_;
+  }
+
+ private:
+  /// Deterministically replays `sched` (a sequence of C-index choices) and
+  /// summarizes the resulting configuration.
+  ReplayInfo replay(const std::vector<int>& sched) {
+    World w = World::failure_free(1);
+    for (int i : cfg_.arrival) {
+      w.spawn_c(i, body_(i, inputs_[static_cast<std::size_t>(i)]));
+    }
+
+    // Admission bookkeeping mirrors KConcurrencyScheduler.
+    std::size_t next_arrival = 0;
+    std::vector<int> active;
+    auto refresh = [&] {
+      active.erase(std::remove_if(active.begin(), active.end(),
+                                  [&w](int i) { return w.decided(cpid(i)); }),
+                   active.end());
+      while (next_arrival < cfg_.arrival.size() && static_cast<int>(active.size()) < cfg_.k) {
+        active.push_back(cfg_.arrival[next_arrival++]);
+      }
+    };
+    refresh();
+
+    // Per-process signature: fold the result of every delivered step.
+    std::vector<std::uint64_t> proc_sig(static_cast<std::size_t>(task_->n_procs()),
+                                        1469598103934665603ULL);
+    w.enable_trace();
+    for (int c : sched) {
+      w.step(cpid(c));
+      refresh();
+    }
+    for (const auto& s : w.trace()) {
+      auto& h = proc_sig[static_cast<std::size_t>(s.pid.index)];
+      h = h * 1099511628211ULL + s.result.hash() + static_cast<std::uint64_t>(s.op);
+    }
+
+    ReplayInfo info;
+    info.eligible = active;
+    info.terminal = next_arrival == cfg_.arrival.size() && active.empty();
+    ValueVec outs = w.output_vector();
+    outs.resize(static_cast<std::size_t>(task_->n_procs()));
+    info.relation_ok = task_->relation(inputs_, outs);
+    std::uint64_t sig = w.memory().content_hash();
+    for (std::size_t i = 0; i < proc_sig.size(); ++i) {
+      sig = sig * 1099511628211ULL + proc_sig[i] + (w.exists(cpid(static_cast<int>(i))) &&
+                                                    w.decided(cpid(static_cast<int>(i)))
+                                                        ? 7919u
+                                                        : 0u);
+    }
+    sig = sig * 1099511628211ULL + static_cast<std::uint64_t>(next_arrival);
+    info.sig = sig;
+    return info;
+  }
+
+  void dfs(std::vector<int>& sched) {
+    if (!out_.ok || out_.budget_exhausted) return;
+    if (++out_.states > cfg_.max_states) {
+      out_.budget_exhausted = true;
+      return;
+    }
+    const ReplayInfo info = replay(sched);
+    if (!info.relation_ok) {
+      out_.ok = false;
+      out_.violation = "task relation violated";
+      out_.bad_schedule = sched;
+      return;
+    }
+    if (info.terminal) {
+      ++out_.terminal_runs;
+      return;
+    }
+    if (static_cast<int>(sched.size()) >= cfg_.max_depth) {
+      out_.ok = false;
+      out_.violation = "no decision within step bound (possible non-termination)";
+      out_.bad_schedule = sched;
+      return;
+    }
+    if (cfg_.dedup && !visited_.insert(info.sig).second) return;
+    for (int c : info.eligible) {
+      sched.push_back(c);
+      dfs(sched);
+      sched.pop_back();
+      if (!out_.ok || out_.budget_exhausted) return;
+    }
+  }
+
+  TaskPtr task_;
+  const std::function<ProcBody(int, Value)>& body_;
+  ValueVec inputs_;
+  ExploreConfig cfg_;
+  ExploreOutcome out_;
+  std::unordered_set<std::uint64_t> visited_;
+};
+
+}  // namespace
+
+ExploreOutcome explore_k_concurrent(const TaskPtr& task,
+                                    const std::function<ProcBody(int, Value)>& body,
+                                    const ValueVec& inputs, const ExploreConfig& cfg) {
+  return Explorer(task, body, inputs, cfg).run();
+}
+
+int max_clean_level(const TaskPtr& task, const std::function<ProcBody(int, Value)>& body,
+                    const ValueVec& inputs, int k_max, ExploreConfig base_cfg) {
+  if (base_cfg.arrival.empty()) {
+    base_cfg.arrival = Task::participants(inputs);
+  }
+  int best = 0;
+  for (int k = 1; k <= k_max; ++k) {
+    ExploreConfig cfg = base_cfg;
+    cfg.k = k;
+    const ExploreOutcome o = explore_k_concurrent(task, body, inputs, cfg);
+    if (!o.ok) break;
+    best = k;
+    if (o.budget_exhausted) break;  // cannot certify higher levels
+  }
+  return best;
+}
+
+}  // namespace efd

@@ -1,0 +1,58 @@
+// Exhaustive k-concurrent run exploration (paper §2.2, k-concurrency).
+//
+// For a RESTRICTED algorithm (S-processes take only null steps) a run is
+// fully determined by the sequence of C-process choices, so the space of
+// k-concurrent runs over a fixed input vector and arrival order is a tree:
+// at every point the scheduler picks one of the (at most k) admitted,
+// undecided participants; a new participant is admitted whenever the window
+// has room. The explorer walks this tree exhaustively (with state-signature
+// deduplication — different interleavings converge), replaying prefixes
+// deterministically, and checks the task relation at every node.
+//
+// This is the constructive face of the paper's solvability definitions:
+//  * a clean sweep at level k is machine-checked evidence that the algorithm
+//    solves the task k-concurrently on the explored inputs;
+//  * a violation at level k+1 (relation breach or no decision within the
+//    step bound) exhibits the run the impossibility proofs talk about.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/world.hpp"
+#include "tasks/task.hpp"
+
+namespace efd {
+
+struct ExploreConfig {
+  int k = 1;                       ///< concurrency window
+  std::vector<int> arrival;        ///< participating C-indices in arrival order
+  int max_depth = 300;             ///< per-run step bound ("never decides" proxy)
+  std::int64_t max_states = 100000;  ///< exploration budget
+  bool dedup = true;               ///< merge states with equal signatures
+};
+
+struct ExploreOutcome {
+  bool ok = true;
+  bool budget_exhausted = false;   ///< hit max_states before covering the tree
+  std::int64_t terminal_runs = 0;  ///< complete runs reached (all decided)
+  std::int64_t states = 0;
+  std::string violation;           ///< "" when ok
+  std::vector<int> bad_schedule;   ///< C-index choices reproducing the violation
+};
+
+/// Explores every k-concurrent schedule of the restricted algorithm `body`
+/// over `inputs`. `body(i, input)` builds C-process i's coroutine.
+ExploreOutcome explore_k_concurrent(const TaskPtr& task,
+                                    const std::function<ProcBody(int, Value)>& body,
+                                    const ValueVec& inputs, const ExploreConfig& cfg);
+
+/// The largest level 1..k_max at which exploration stays clean on the given
+/// inputs (0 if even level 1 fails). The empirical "concurrency level" used
+/// by the hierarchy table.
+int max_clean_level(const TaskPtr& task, const std::function<ProcBody(int, Value)>& body,
+                    const ValueVec& inputs, int k_max, ExploreConfig base_cfg = {});
+
+}  // namespace efd

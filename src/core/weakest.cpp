@@ -1,0 +1,47 @@
+#include "core/weakest.hpp"
+
+#include <set>
+
+#include "algo/set_agreement_antiomega.hpp"
+#include "fd/reduction.hpp"
+#include "sim/schedule.hpp"
+
+namespace efd {
+
+RoundTripResult weakest_fd_round_trip(const DetectorPtr& d, RoundTripConfig cfg) {
+  RoundTripResult out;
+  if (cfg.pattern.n() == 0) cfg.pattern = FailurePattern(cfg.n);
+
+  // Direction 1 (Thm. 9 face): D solves k-set agreement among all n.
+  {
+    World w(cfg.pattern, d->history(cfg.pattern, cfg.seed));
+    const KsaConfig ksa{"wrt", cfg.n, cfg.k};
+    for (int i = 0; i < cfg.n; ++i) w.spawn_c(i, make_ksa_client(ksa, Value(i)));
+    for (int i = 0; i < cfg.n; ++i) w.spawn_s(i, make_ksa_server(ksa));
+    RandomScheduler rs(cfg.seed + 3);
+    const DriveResult r = drive(w, rs, cfg.solve_steps);
+    out.solve_steps = r.steps;
+    std::set<Value> vals;
+    for (int i = 0; i < cfg.n; ++i) {
+      if (w.decided(cpid(i))) vals.insert(w.decision(cpid(i)));
+    }
+    out.distinct = vals.size();
+    out.solved = r.all_c_decided && static_cast<int>(vals.size()) <= cfg.k;
+  }
+
+  // Direction 2 (Thm. 8 face): the Fig. 1 extraction emulates ¬Ωk from D.
+  {
+    ExtractionConfig ex = cfg.extraction;
+    ex.n = cfg.n;
+    ex.k = cfg.k;
+    std::vector<ProcBody> bodies;
+    for (int i = 0; i < cfg.n; ++i) bodies.push_back(make_extraction_sproc(ex));
+    const ReductionRun run = run_reduction(cfg.pattern, d, cfg.seed, bodies, cfg.extract_steps);
+    const auto h = emulated_history_from_trace(run.trace, ex);
+    out.horizon = run.horizon;
+    out.anti_omega_ok = AntiOmegaK::check(cfg.k, cfg.pattern, *h, run.horizon);
+  }
+  return out;
+}
+
+}  // namespace efd

@@ -1,0 +1,43 @@
+// The weakest-failure-detector round trip (Thm. 10, operationally).
+//
+// Thm. 10 is an equivalence: a level-k task is solvable WITH ¬Ωk (Thm. 9),
+// and any detector solving it YIELDS ¬Ωk (Thm. 8). This driver runs both
+// directions on one detector and reports the round trip:
+//
+//   D --(solves)--> k-set agreement          [algo/set_agreement_antiomega]
+//   D --(Fig. 1 extraction)--> emulated ¬Ωk  [algo/extraction]
+//   emulated history |= ¬Ωk spec             [AntiOmegaK::check]
+//
+// Used by tests/test_weakest.cpp and as a one-call demonstration of the
+// paper's headline classification.
+#pragma once
+
+#include "algo/extraction.hpp"
+#include "fd/detectors.hpp"
+
+namespace efd {
+
+struct RoundTripConfig {
+  int n = 4;
+  int k = 2;
+  std::uint64_t seed = 1;
+  FailurePattern pattern{0};
+
+  std::int64_t solve_steps = 2000000;    ///< budget for the solving run
+  std::int64_t extract_steps = 6000;     ///< budget for the reduction run
+  ExtractionConfig extraction{};         ///< ns/budgets; n,k are overwritten
+};
+
+struct RoundTripResult {
+  bool solved = false;          ///< all n processes decided, ≤ k values
+  std::size_t distinct = 0;
+  std::int64_t solve_steps = 0;
+  bool anti_omega_ok = false;   ///< emulated history passes the ¬Ωk check
+  Time horizon = 0;
+};
+
+/// Runs both directions of Thm. 10 with detector `d` (expected to emit →Ωk
+/// shaped samples, e.g. VectorOmegaK or a MappedDetector chain ending there).
+RoundTripResult weakest_fd_round_trip(const DetectorPtr& d, RoundTripConfig cfg);
+
+}  // namespace efd

@@ -1,0 +1,61 @@
+// Umbrella header for the EFD (external failure detection) library — a C++
+// reproduction of "Wait-Freedom with Advice" (Delporte-Gallet, Fauconnier,
+// Gafni, Kuznetsov; PODC 2012 / arXiv:1109.3056).
+//
+// Layering (each header documents its piece of the paper):
+//   sim/    deterministic shared-memory simulator: Values, registers,
+//           coroutine processes, the World executor, schedulers, traces
+//   fd/     failure patterns, environments, detector zoo (Ω, ¬Ωk, →Ωk, ...),
+//           the CHT sampling DAG, the reduction harness
+//   tasks/  the task formalism and the paper's menu of tasks
+//   algo/   the constructions: Prop. 1 solver, Paxos, Ω-consensus, k-set
+//           agreement with →Ωk, safe agreement, BG-simulation, Fig. 2
+//           k-codes simulation, Fig. 4 renaming, Fig. 3 wrapper, Thm. 7
+//           booster, Fig. 1 ¬Ωk extraction
+//   core/   system harness, exhaustive k-concurrency exploration, FLP-style
+//           lasso search, task reductions, the Thm. 10 hierarchy table
+#pragma once
+
+#include "algo/bg_simulation.hpp"
+#include "algo/booster.hpp"
+#include "algo/double_sim.hpp"
+#include "algo/extraction.hpp"
+#include "algo/k_codes_sim.hpp"
+#include "algo/leader_consensus.hpp"
+#include "algo/one_concurrent.hpp"
+#include "algo/participating_set.hpp"
+#include "algo/adopt_commit.hpp"
+#include "algo/paxos.hpp"
+#include "algo/renaming.hpp"
+#include "algo/renaming_1resilient.hpp"
+#include "algo/safe_agreement.hpp"
+#include "algo/set_agreement_antiomega.hpp"
+#include "algo/sim_program.hpp"
+#include "core/bivalence.hpp"
+#include "core/efd_system.hpp"
+#include "core/hierarchy.hpp"
+#include "core/reduction.hpp"
+#include "core/weakest.hpp"
+#include "core/solvability.hpp"
+#include "fd/dag.hpp"
+#include "fd/detectors.hpp"
+#include "fd/emulations.hpp"
+#include "fd/failure_pattern.hpp"
+#include "fd/history.hpp"
+#include "fd/reduction.hpp"
+#include "sim/ids.hpp"
+#include "sim/memory.hpp"
+#include "sim/proc.hpp"
+#include "sim/snapshot.hpp"
+#include "sim/adversary.hpp"
+#include "sim/schedule.hpp"
+#include "sim/trace.hpp"
+#include "sim/value.hpp"
+#include "sim/world.hpp"
+#include "tasks/consensus.hpp"
+#include "tasks/identity.hpp"
+#include "tasks/participating_set.hpp"
+#include "tasks/renaming.hpp"
+#include "tasks/set_agreement.hpp"
+#include "tasks/symmetry_breaking.hpp"
+#include "tasks/task.hpp"

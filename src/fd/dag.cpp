@@ -1,0 +1,124 @@
+#include "fd/dag.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/memory.hpp"
+
+namespace efd {
+
+int FdDag::total() const {
+  int t = 0;
+  for (const auto& v : per_proc_) t += static_cast<int>(v.size());
+  return t;
+}
+
+void FdDag::append(int proc, Value sample, std::vector<int> preds) {
+  if (static_cast<int>(preds.size()) != n()) {
+    throw std::invalid_argument("FdDag::append: preds size mismatch");
+  }
+  auto& list = per_proc_.at(static_cast<std::size_t>(proc));
+  DagVertex v;
+  v.proc = proc;
+  v.seq = static_cast<int>(list.size());
+  v.sample = std::move(sample);
+  v.preds = std::move(preds);
+  list.push_back(std::move(v));
+}
+
+void FdDag::merge(const FdDag& other) {
+  if (other.n() != n()) throw std::invalid_argument("FdDag::merge: size mismatch");
+  for (int p = 0; p < n(); ++p) {
+    auto& mine = per_proc_[static_cast<std::size_t>(p)];
+    const auto& theirs = other.per_proc_[static_cast<std::size_t>(p)];
+    for (std::size_t s = mine.size(); s < theirs.size(); ++s) mine.push_back(theirs[s]);
+  }
+}
+
+ValueVec FdDag::samples_of(int proc) const {
+  ValueVec out;
+  for (const auto& v : of(proc)) out.push_back(v.sample);
+  return out;
+}
+
+bool FdDag::precedes(int proc_a, int seq_a, int proc_b, int seq_b) const {
+  const auto& list = per_proc_.at(static_cast<std::size_t>(proc_b));
+  if (seq_b < 0 || seq_b >= static_cast<int>(list.size())) return false;
+  const auto& vb = list[static_cast<std::size_t>(seq_b)];
+  if (proc_a == proc_b) return seq_a < seq_b;
+  // preds are transitively closed by construction (each vertex records the
+  // highest seq of every process it has seen, and "seen" includes everything
+  // its predecessors saw because publications are cumulative).
+  return vb.preds.at(static_cast<std::size_t>(proc_a)) >= seq_a;
+}
+
+Value FdDag::encode() const {
+  ValueVec procs;
+  for (const auto& list : per_proc_) {
+    ValueVec vl;
+    for (const auto& v : list) {
+      ValueVec preds;
+      for (int p : v.preds) preds.emplace_back(p);
+      vl.push_back(vec(Value(v.proc), Value(v.seq), v.sample, Value(std::move(preds))));
+    }
+    procs.emplace_back(std::move(vl));
+  }
+  return Value(std::move(procs));
+}
+
+FdDag FdDag::decode(const Value& v) {
+  FdDag dag(static_cast<int>(v.size()));
+  for (std::size_t p = 0; p < v.size(); ++p) {
+    const Value list = v.at(p);
+    for (std::size_t s = 0; s < list.size(); ++s) {
+      const Value cell = list.at(s);
+      std::vector<int> preds;
+      const Value pv = cell.at(3);
+      preds.reserve(pv.size());
+      for (std::size_t q = 0; q < pv.size(); ++q) {
+        preds.push_back(static_cast<int>(pv.at(q).int_or(-1)));
+      }
+      dag.append(static_cast<int>(p), cell.at(2), std::move(preds));
+    }
+  }
+  return dag;
+}
+
+namespace {
+
+// Standalone coroutine (not a lambda: captures of a coroutine lambda die with
+// the lambda object after World::spawn).
+Proc dag_builder(Context& ctx, std::string ns, int n) {
+  const int me = ctx.pid().index;
+  FdDag local(n);
+  for (;;) {
+    const Value sample = co_await ctx.query();
+    // Merge everyone's publication to compute causal predecessors.
+    for (int j = 0; j < n; ++j) {
+      if (j == me) continue;
+      const Value pub = co_await ctx.read(reg(ns + "/dag", j));
+      if (!pub.is_nil()) local.merge(FdDag::decode(pub));
+    }
+    std::vector<int> preds(static_cast<std::size_t>(n));
+    for (int j = 0; j < n; ++j) preds[static_cast<std::size_t>(j)] = local.count(j) - 1;
+    local.append(me, sample, std::move(preds));
+    co_await ctx.write(reg(ns + "/dag", me), local.encode());
+  }
+}
+
+}  // namespace
+
+ProcBody make_dag_builder(std::string ns, int n) {
+  return [ns = std::move(ns), n](Context& ctx) { return dag_builder(ctx, ns, n); };
+}
+
+FdDag read_dag(const World& w, const std::string& ns, int n) {
+  FdDag dag(n);
+  for (int j = 0; j < n; ++j) {
+    const Value pub = w.memory().read(reg(ns + "/dag", j));
+    if (!pub.is_nil()) dag.merge(FdDag::decode(pub));
+  }
+  return dag;
+}
+
+}  // namespace efd

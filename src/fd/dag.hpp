@@ -1,0 +1,70 @@
+// The Chandra–Hadzilacos–Toueg sampling DAG (paper Appendix B, after [9, 28]).
+//
+// S-processes periodically query their failure-detector module and publish
+// the sampled values with causal predecessor edges; the union of these
+// publications is a DAG G whose vertices [q_i, d, k] mean "q_i's k-th query
+// returned d" and whose edges respect causal precedence. Two facts make G
+// useful: (1) a crashed process contributes finitely many vertices, and
+// (2) a correct process contributes infinitely many, each causally after
+// everything published before it. The Fig. 1 extraction feeds simulated
+// S-processes from G instead of the live detector.
+//
+// Representation: per-process, seq-ordered vertex lists; each vertex carries
+// the latest sequence number of every process it causally follows. The DAG is
+// Value-encodable so S-processes can exchange it through registers.
+#pragma once
+
+#include <vector>
+
+#include "sim/proc.hpp"
+#include "sim/world.hpp"
+
+namespace efd {
+
+struct DagVertex {
+  int proc = 0;           ///< S-index of the sampler
+  int seq = 0;            ///< 0-based query count of `proc`
+  Value sample;           ///< the detector's answer
+  std::vector<int> preds; ///< preds[j] = highest seq of q_j seen before this query (-1 = none)
+};
+
+class FdDag {
+ public:
+  explicit FdDag(int n) : per_proc_(static_cast<std::size_t>(n)) {}
+
+  [[nodiscard]] int n() const noexcept { return static_cast<int>(per_proc_.size()); }
+  [[nodiscard]] const std::vector<DagVertex>& of(int proc) const {
+    return per_proc_.at(static_cast<std::size_t>(proc));
+  }
+  [[nodiscard]] int count(int proc) const { return static_cast<int>(of(proc).size()); }
+  [[nodiscard]] int total() const;
+
+  /// Appends q_proc's next vertex; preds must have size n.
+  void append(int proc, Value sample, std::vector<int> preds);
+
+  /// Union with another publication of the same system (vertices are keyed by
+  /// (proc, seq); identical keys must carry identical samples).
+  void merge(const FdDag& other);
+
+  /// The seq-ordered samples of q_proc — what a simulated q_proc consumes.
+  [[nodiscard]] ValueVec samples_of(int proc) const;
+
+  /// True iff vertex (proc_a, seq_a) causally precedes (proc_b, seq_b).
+  [[nodiscard]] bool precedes(int proc_a, int seq_a, int proc_b, int seq_b) const;
+
+  [[nodiscard]] Value encode() const;
+  [[nodiscard]] static FdDag decode(const Value& v);
+
+ private:
+  std::vector<std::vector<DagVertex>> per_proc_;
+};
+
+/// S-process body that builds the DAG forever: each round it queries the
+/// detector, merges every other process's publication, appends a vertex
+/// causally after everything it saw, and republishes at reg(ns + "/dag", i).
+ProcBody make_dag_builder(std::string ns, int n);
+
+/// Host-side: assemble the full DAG from the publication registers of `w`.
+[[nodiscard]] FdDag read_dag(const World& w, const std::string& ns, int n);
+
+}  // namespace efd

@@ -1,0 +1,51 @@
+// Derived failure detectors: static (sample-level) emulations.
+//
+// The reduction harness (fd/reduction.hpp) emulates detectors by running
+// S-process algorithms; for the common case where the emulation is a pure
+// per-sample function of the source detector's output, MappedDetector builds
+// the derived detector directly — realizing "if D' is weaker than D, every
+// task solvable with D' is solvable with D" (§2.2) as a type: plug the
+// mapped detector into any solver written for D'.
+//
+// Shipped maps:
+//   ◇P → Ω          smallest unsuspected process
+//   Ω  → →Ωk        leader in slot 0, rotating noise elsewhere
+//   →Ωk → ¬Ωk       complement of the named slots, truncated to n-k ids
+#pragma once
+
+#include <functional>
+
+#include "fd/detectors.hpp"
+
+namespace efd {
+
+/// D' whose histories are pointwise images of D's: H'(q, t) = map(q, t, H(q, t)).
+class MappedDetector final : public FailureDetector {
+ public:
+  using SampleMap = std::function<Value(int qi, Time t, const Value& sample)>;
+
+  MappedDetector(DetectorPtr source, std::string name, SampleMap map)
+      : source_(std::move(source)), name_(std::move(name)), map_(std::move(map)) {}
+
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] HistoryPtr history(const FailurePattern& f, std::uint64_t seed) const override;
+  [[nodiscard]] Time stabilization_time(const FailurePattern& f) const override {
+    return source_->stabilization_time(f);
+  }
+
+ private:
+  DetectorPtr source_;
+  std::string name_;
+  SampleMap map_;
+};
+
+/// Ω from ◇P: output the smallest process not currently suspected.
+[[nodiscard]] DetectorPtr omega_from_diamond_p(DetectorPtr diamond_p, int n);
+
+/// →Ωk from Ω: the leader occupies slot 0; remaining slots rotate.
+[[nodiscard]] DetectorPtr vec_omega_from_omega(DetectorPtr omega, int n, int k);
+
+/// ¬Ωk from →Ωk: ids not named by the sample, truncated to exactly n-k.
+[[nodiscard]] DetectorPtr anti_omega_from_vec_omega(DetectorPtr vec_omega, int n, int k);
+
+}  // namespace efd

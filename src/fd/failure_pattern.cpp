@@ -1,0 +1,97 @@
+#include "fd/failure_pattern.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace efd {
+namespace {
+
+// SplitMix64: small deterministic PRNG step used for pattern sampling.
+std::uint64_t mix(std::uint64_t& s) {
+  s += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = s;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+std::vector<int> FailurePattern::correct_set() const {
+  std::vector<int> out;
+  for (int i = 0; i < n(); ++i) {
+    if (correct(i)) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<int> FailurePattern::faulty_set() const {
+  std::vector<int> out;
+  for (int i = 0; i < n(); ++i) {
+    if (!correct(i)) out.push_back(i);
+  }
+  return out;
+}
+
+int FailurePattern::num_correct() const {
+  return static_cast<int>(correct_set().size());
+}
+
+Time FailurePattern::last_crash_time() const {
+  Time t = 0;
+  for (int i = 0; i < n(); ++i) {
+    if (const auto c = crash_time(i)) t = std::max(t, *c);
+  }
+  return t;
+}
+
+std::string FailurePattern::to_string() const {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (int i = 0; i < n(); ++i) {
+    if (const auto c = crash_time(i)) {
+      if (!first) os << ", ";
+      first = false;
+      os << "q" << (i + 1) << "@" << *c;
+    }
+  }
+  os << "}";
+  return first ? std::string("{failure-free}") : os.str();
+}
+
+std::vector<FailurePattern> Environment::enumerate(Time crash_time) const {
+  std::vector<FailurePattern> out;
+  const std::uint32_t limit = 1U << n_;
+  for (std::uint32_t mask = 0; mask < limit; ++mask) {
+    const int faults = __builtin_popcount(mask);
+    if (faults > t_ || faults == n_) continue;
+    FailurePattern f(n_);
+    for (int i = 0; i < n_; ++i) {
+      if ((mask >> i) & 1U) f.crash(i, crash_time);
+    }
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
+FailurePattern Environment::sample(std::uint64_t seed, int faults, Time horizon) const {
+  faults = std::min({faults, t_, n_ - 1});
+  std::uint64_t s = seed * 0x9E3779B97F4A7C15ULL + 1;
+  std::vector<int> ids(static_cast<std::size_t>(n_));
+  for (int i = 0; i < n_; ++i) ids[static_cast<std::size_t>(i)] = i;
+  // Deterministic Fisher-Yates prefix to pick the faulty set.
+  for (int i = 0; i < faults; ++i) {
+    const auto j = i + static_cast<int>(mix(s) % static_cast<std::uint64_t>(n_ - i));
+    std::swap(ids[static_cast<std::size_t>(i)], ids[static_cast<std::size_t>(j)]);
+  }
+  FailurePattern f(n_);
+  for (int i = 0; i < faults; ++i) {
+    const Time when = horizon > 0 ? static_cast<Time>(mix(s) % static_cast<std::uint64_t>(horizon))
+                                  : 0;
+    f.crash(ids[static_cast<std::size_t>(i)], when);
+  }
+  return f;
+}
+
+}  // namespace efd

@@ -1,0 +1,96 @@
+// Failure patterns and environments (paper §2.1).
+//
+// Only S-processes fail. A failure pattern F maps each time τ to the set of
+// S-processes crashed by τ; crashes are permanent. An environment E is a set
+// of allowed failure patterns; E_t is the classic "at most t faulty"
+// environment. The simulator represents a pattern by one crash time per
+// S-process (Nil crash time = correct).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/ids.hpp"
+
+namespace efd {
+
+/// A concrete failure pattern over n S-processes.
+class FailurePattern {
+ public:
+  /// All n S-processes correct.
+  explicit FailurePattern(int n) : crash_at_(static_cast<std::size_t>(n)) {}
+
+  /// Pattern with the given crash times (std::nullopt = never crashes).
+  explicit FailurePattern(std::vector<std::optional<Time>> crash_at)
+      : crash_at_(std::move(crash_at)) {}
+
+  [[nodiscard]] int n() const noexcept { return static_cast<int>(crash_at_.size()); }
+
+  /// Marks S-process qi crashed from time `t` on.
+  void crash(int qi, Time t) { crash_at_.at(static_cast<std::size_t>(qi)) = t; }
+
+  /// True iff qi has not crashed by time t (i.e. qi ∉ F(t)).
+  [[nodiscard]] bool alive(int qi, Time t) const {
+    const auto& c = crash_at_.at(static_cast<std::size_t>(qi));
+    return !c.has_value() || t < *c;
+  }
+
+  /// True iff qi takes infinitely many steps in fair runs (never crashes).
+  [[nodiscard]] bool correct(int qi) const {
+    return !crash_at_.at(static_cast<std::size_t>(qi)).has_value();
+  }
+
+  [[nodiscard]] std::optional<Time> crash_time(int qi) const {
+    return crash_at_.at(static_cast<std::size_t>(qi));
+  }
+
+  /// Indices of correct S-processes.
+  [[nodiscard]] std::vector<int> correct_set() const;
+  /// Indices of faulty S-processes.
+  [[nodiscard]] std::vector<int> faulty_set() const;
+  [[nodiscard]] int num_correct() const;
+  [[nodiscard]] int num_faulty() const { return n() - num_correct(); }
+
+  /// Latest crash time in the pattern (0 when failure-free) — a lower bound
+  /// for any "after all crashes happened" stabilization point.
+  [[nodiscard]] Time last_crash_time() const;
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::optional<Time>> crash_at_;
+};
+
+/// The environment E_t: all patterns over n S-processes with at most t faulty
+/// (and, per the paper's standing assumption, at least one correct process).
+class Environment {
+ public:
+  Environment(int n, int max_faulty) : n_(n), t_(max_faulty) {}
+
+  [[nodiscard]] int n() const noexcept { return n_; }
+  [[nodiscard]] int max_faulty() const noexcept { return t_; }
+
+  [[nodiscard]] bool allows(const FailurePattern& f) const {
+    return f.n() == n_ && f.num_faulty() <= t_ && f.num_correct() >= 1;
+  }
+
+  /// All patterns in which each faulty process (any subset of size ≤ t)
+  /// crashes at the single time `crash_time`. Exponential in n; intended for
+  /// exhaustive checks at small n.
+  [[nodiscard]] std::vector<FailurePattern> enumerate(Time crash_time) const;
+
+  /// A deterministic pseudo-random pattern: `faults` processes (chosen by
+  /// seed) crash at seed-derived times in [0, horizon).
+  [[nodiscard]] FailurePattern sample(std::uint64_t seed, int faults, Time horizon) const;
+
+ private:
+  int n_;
+  int t_;
+};
+
+/// The wait-free environment E_{n-1} over n S-processes.
+inline Environment wait_free_env(int n) { return Environment(n, n - 1); }
+
+}  // namespace efd

@@ -1,0 +1,41 @@
+// Failure-detector histories (paper §2.1).
+//
+// A history H maps (S-process, time) to the detector output sampled by that
+// process at that time. A FailureDetector maps a failure pattern to a set of
+// histories; the simulator draws one deterministic history per (pattern,
+// seed) pair. "Eventual" properties are realized with an explicit global
+// stabilization time (GST): before GST the history may be arbitrary
+// (seed-derived noise), from GST on it satisfies the detector's promise.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "fd/failure_pattern.hpp"
+#include "sim/ids.hpp"
+#include "sim/value.hpp"
+
+namespace efd {
+
+/// One failure-detector history H : Π^S × T → R.
+class History {
+ public:
+  virtual ~History() = default;
+  /// Output of qi's module at time t. Only queried while qi is alive.
+  [[nodiscard]] virtual Value at(int qi, Time t) const = 0;
+};
+
+/// History backed by an arbitrary function.
+class FnHistory final : public History {
+ public:
+  explicit FnHistory(std::function<Value(int, Time)> fn) : fn_(std::move(fn)) {}
+  [[nodiscard]] Value at(int qi, Time t) const override { return fn_(qi, t); }
+
+ private:
+  std::function<Value(int, Time)> fn_;
+};
+
+using HistoryPtr = std::shared_ptr<const History>;
+
+}  // namespace efd

@@ -1,0 +1,55 @@
+// Failure-detector reduction harness (paper §2.2, "Comparing failure
+// detectors").
+//
+// D' is weaker than D in E if S-processes running a reduction algorithm with
+// D can maintain registers whose evolution is a history of D'. The harness
+// runs such a reduction in a traced World and reconstructs the emulated
+// history from the timestamped writes to the output registers, so detector
+// spec checks (OmegaFd::check, AntiOmegaK::check, ...) apply to emulated
+// detectors exactly as to native ones.
+//
+// Shipped reductions:
+//  * →Ωk  ⇒  ¬Ωk   (complement construction, [28])
+//  * Ω    ⇒  →Ωk   (embed the leader in slot 0, pad with rotation)
+//  * any D solving a non-(k+1)-concurrent task  ⇒  ¬Ωk: the Fig. 1
+//    extraction (algo/extraction.hpp), which plugs into the same harness.
+#pragma once
+
+#include <vector>
+
+#include "fd/detectors.hpp"
+#include "fd/history.hpp"
+#include "sim/schedule.hpp"
+#include "sim/trace.hpp"
+#include "sim/world.hpp"
+
+namespace efd {
+
+struct ReductionRun {
+  Trace trace;
+  FailurePattern pattern{0};
+  Time horizon = 0;
+};
+
+/// Runs S-process bodies (C-processes take null steps: this is a reduction
+/// algorithm) under round-robin fair scheduling for `steps` steps.
+ReductionRun run_reduction(const FailurePattern& pattern, const DetectorPtr& detector,
+                           std::uint64_t seed, const std::vector<ProcBody>& s_bodies,
+                           std::int64_t steps);
+
+/// Emulated history from the timestamped writes to reg(out_base, i): the
+/// value of q_i's emulated module at time t is its latest write at or before
+/// t, `initial` before the first write.
+HistoryPtr history_from_out_registers(const Trace& trace, const std::string& out_base, int n,
+                                      Value initial);
+
+/// S-process body emulating ¬Ωk from →Ωk: each sample's complement (padded to
+/// exactly n-k ids) is published to reg(out_base, me). Once a slot stabilizes
+/// on a correct process, that process is never output again.
+ProcBody make_vec_to_anti_converter(std::string out_base, int n, int k);
+
+/// S-process body emulating →Ωk from Ω: the Ω leader occupies slot 0, the
+/// remaining slots rotate deterministically.
+ProcBody make_omega_to_vec_converter(std::string out_base, int n, int k);
+
+}  // namespace efd

@@ -1,0 +1,44 @@
+#include "sim/memory.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace efd {
+
+std::string reg(const std::string& base, int i) { return base + "[" + std::to_string(i) + "]"; }
+
+std::string reg2(const std::string& base, int i, int j) {
+  return base + "[" + std::to_string(i) + "][" + std::to_string(j) + "]";
+}
+
+std::string reg3(const std::string& base, int i, int j, int k) {
+  return base + "[" + std::to_string(i) + "][" + std::to_string(j) + "][" + std::to_string(k) + "]";
+}
+
+Value RegisterFile::read(const std::string& addr) const {
+  const auto it = cells_.find(addr);
+  return it == cells_.end() ? Value{} : it->second;
+}
+
+void RegisterFile::write(const std::string& addr, Value v) {
+  cells_[addr] = std::move(v);
+  ++writes_;
+}
+
+std::uint64_t RegisterFile::content_hash() const {
+  // Order-independent: combine per-cell hashes with a commutative fold over
+  // sorted keys so the hash is stable across unordered_map iteration orders.
+  std::vector<const std::pair<const std::string, Value>*> items;
+  items.reserve(cells_.size());
+  for (const auto& kv : cells_) items.push_back(&kv);
+  std::sort(items.begin(), items.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const auto* kv : items) {
+    h = h * 1099511628211ULL + std::hash<std::string>{}(kv->first);
+    h = h * 1099511628211ULL + kv->second.hash();
+  }
+  return h;
+}
+
+}  // namespace efd

@@ -1,0 +1,49 @@
+// Shared memory: an unbounded array of atomic read/write registers.
+//
+// Registers are addressed by string names; `reg("V", i)` builds the indexed
+// name "V[i]". A register never written reads as Nil (⊥), matching the
+// paper's convention for initial register values. All accesses are single
+// model steps performed by the World executor — the RegisterFile itself is a
+// plain sequential store; atomicity comes from the one-step-at-a-time
+// interleaving semantics of the simulator.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+
+#include "sim/value.hpp"
+
+namespace efd {
+
+/// Builds the canonical name of an indexed register, e.g. reg("V", 2) == "V[2]".
+[[nodiscard]] std::string reg(const std::string& base, int i);
+/// Doubly-indexed register name, e.g. reg2("cons", 1, 3) == "cons[1][3]".
+[[nodiscard]] std::string reg2(const std::string& base, int i, int j);
+/// Triply-indexed register name.
+[[nodiscard]] std::string reg3(const std::string& base, int i, int j, int k);
+
+/// The shared store. One instance per World.
+class RegisterFile {
+ public:
+  /// Current value of `addr`; Nil if never written.
+  [[nodiscard]] Value read(const std::string& addr) const;
+
+  /// Overwrites `addr` with `v`.
+  void write(const std::string& addr, Value v);
+
+  /// Number of distinct registers ever written.
+  [[nodiscard]] std::size_t footprint() const noexcept { return cells_.size(); }
+
+  /// Total number of write operations applied (for bench reporting).
+  [[nodiscard]] std::size_t write_count() const noexcept { return writes_; }
+
+  /// Deterministic hash of the full memory contents (for exploration dedup).
+  [[nodiscard]] std::uint64_t content_hash() const;
+
+ private:
+  std::unordered_map<std::string, Value> cells_;
+  std::size_t writes_ = 0;
+};
+
+}  // namespace efd

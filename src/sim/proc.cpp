@@ -1,0 +1,32 @@
+#include "sim/proc.hpp"
+
+#include "sim/memory.hpp"
+
+namespace efd {
+
+Co<Value> collect(Context& ctx, std::string base, int n) {
+  ValueVec out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    out.push_back(co_await ctx.read(reg(base, i)));
+  }
+  co_return Value(std::move(out));
+}
+
+Co<Value> double_collect(Context& ctx, std::string base, int n) {
+  Value prev = co_await collect(ctx, base, n);
+  for (;;) {
+    Value cur = co_await collect(ctx, base, n);
+    if (cur == prev) co_return cur;
+    prev = std::move(cur);
+  }
+}
+
+Co<Value> await_nonnil(Context& ctx, std::string addr) {
+  for (;;) {
+    Value v = co_await ctx.read(addr);
+    if (!v.is_nil()) co_return v;
+  }
+}
+
+}  // namespace efd

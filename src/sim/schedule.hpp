@@ -1,0 +1,102 @@
+// Schedulers: who takes the next step.
+//
+// A Scheduler produces the schedule Sch of a run, one pid at a time, possibly
+// reacting to the world's current state (decisions, crashes). The library
+// ships:
+//  * ExplicitSchedule  — replay a fixed finite sequence (the α(I,σ) map used
+//                        by exhaustive exploration);
+//  * RoundRobinScheduler — fair: cycles over alive S-processes and
+//                        non-terminated C-processes;
+//  * RandomScheduler   — seeded uniform choice among eligible processes;
+//  * KConcurrencyScheduler — admits C-processes per an arrival order while
+//                        keeping at most k participating-undecided at any
+//                        time (the paper's k-concurrent runs), interleaving
+//                        S-process steps fairly.
+// `drive` runs a world under a scheduler until all C-processes decide, the
+// scheduler is exhausted, or a step bound is hit.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "sim/ids.hpp"
+#include "sim/world.hpp"
+
+namespace efd {
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  /// Next process to step, or nullopt when the schedule is exhausted.
+  [[nodiscard]] virtual std::optional<Pid> next(const World& w) = 0;
+};
+
+/// Replays a fixed sequence of pids.
+class ExplicitSchedule final : public Scheduler {
+ public:
+  explicit ExplicitSchedule(std::vector<Pid> seq) : seq_(std::move(seq)) {}
+  [[nodiscard]] std::optional<Pid> next(const World&) override {
+    if (pos_ >= seq_.size()) return std::nullopt;
+    return seq_[pos_++];
+  }
+
+ private:
+  std::vector<Pid> seq_;
+  std::size_t pos_ = 0;
+};
+
+/// Fair round-robin over alive S-processes and non-terminated C-processes.
+/// Produces fair runs: every correct S-process is scheduled infinitely often.
+class RoundRobinScheduler final : public Scheduler {
+ public:
+  [[nodiscard]] std::optional<Pid> next(const World& w) override;
+
+ private:
+  std::size_t cursor_ = 0;
+};
+
+/// Seeded uniform choice among eligible (alive, non-terminated) processes.
+/// Fair with probability 1; deterministic given the seed.
+class RandomScheduler final : public Scheduler {
+ public:
+  explicit RandomScheduler(std::uint64_t seed) : state_(seed * 2862933555777941757ULL + 3037ULL) {}
+  [[nodiscard]] std::optional<Pid> next(const World& w) override;
+
+ private:
+  std::uint64_t state_;
+};
+
+/// k-concurrent scheduler (paper §2.2): C-processes arrive in `arrival`
+/// order; a new one is admitted only while fewer than k admitted C-processes
+/// are undecided. Alive S-processes are interleaved round-robin, `s_stride`
+/// S-steps per C-step, so runs stay fair on the S side.
+class KConcurrencyScheduler final : public Scheduler {
+ public:
+  KConcurrencyScheduler(int k, std::vector<int> arrival, int s_stride = 1)
+      : k_(k), arrival_(std::move(arrival)), s_stride_(s_stride) {}
+
+  [[nodiscard]] std::optional<Pid> next(const World& w) override;
+
+ private:
+  int k_;
+  std::vector<int> arrival_;  ///< C-process indices in arrival order
+  int s_stride_;
+  std::size_t next_arrival_ = 0;
+  std::vector<int> active_;  ///< admitted, undecided C indices
+  std::size_t c_cursor_ = 0;
+  std::size_t s_cursor_ = 0;
+  int s_budget_ = 0;
+};
+
+struct DriveResult {
+  std::int64_t steps = 0;       ///< scheduled (possibly null) steps executed
+  bool all_c_decided = false;   ///< stop cause: every C-process decided
+  bool exhausted = false;       ///< stop cause: scheduler returned nullopt
+};
+
+/// Runs `w` under `sched` until all C-processes decide, the scheduler is
+/// exhausted, or `max_steps` steps were attempted.
+DriveResult drive(World& w, Scheduler& sched, std::int64_t max_steps);
+
+}  // namespace efd

@@ -1,0 +1,63 @@
+#include "sim/snapshot.hpp"
+
+#include "sim/memory.hpp"
+
+namespace efd {
+
+Co<void> versioned_write(Context& ctx, std::string base, int me, Value v) {
+  const Value cur = co_await ctx.read(reg(base, me));
+  const std::int64_t seq = cur.is_vec() ? cur.at(0).int_or(0) : 0;
+  co_await ctx.write(reg(base, me), vec(Value(seq + 1), std::move(v)));
+}
+
+Co<Value> atomic_snapshot(Context& ctx, std::string base, int n) {
+  const Value stable = co_await double_collect(ctx, base, n);
+  ValueVec out(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const Value cell = stable.at(static_cast<std::size_t>(i));
+    if (cell.is_vec()) out[static_cast<std::size_t>(i)] = cell.at(1);
+  }
+  co_return Value(std::move(out));
+}
+
+Co<Value> immediate_snapshot(Context& ctx, std::string ns, int me, int n, Value v) {
+  // R[p] = [level, value]; a process descends one level per iteration until
+  // the processes at its level or below fill it.
+  int level = n + 1;
+  for (;;) {
+    --level;
+    co_await ctx.write(reg(ns + "/R", me), vec(Value(level), v));
+    const Value snap = co_await double_collect(ctx, ns + "/R", n);
+    ValueVec view(static_cast<std::size_t>(n));
+    int at_or_below = 0;
+    for (int q = 0; q < n; ++q) {
+      const Value cell = snap.at(static_cast<std::size_t>(q));
+      if (cell.is_vec() && cell.at(0).int_or(n + 1) <= level) {
+        view[static_cast<std::size_t>(q)] = cell.at(1);
+        ++at_or_below;
+      }
+    }
+    if (at_or_below >= level) co_return Value(std::move(view));
+  }
+}
+
+bool view_contains(const Value& view, int id) {
+  return !view.at(static_cast<std::size_t>(id)).is_nil();
+}
+
+bool view_subset(const Value& a, const Value& b) {
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!a.at(i).is_nil() && b.at(i).is_nil()) return false;
+  }
+  return true;
+}
+
+int view_size(const Value& view) {
+  int s = 0;
+  for (std::size_t i = 0; i < view.size(); ++i) {
+    if (!view.at(i).is_nil()) ++s;
+  }
+  return s;
+}
+
+}  // namespace efd

@@ -1,0 +1,41 @@
+// Snapshot objects built from read/write registers.
+//
+// Two classic constructions the simulation layer offers to algorithms:
+//
+//  * versioned atomic snapshot — single-writer registers hold [seq, value];
+//    a repeated double collect that sees two identical collects is a
+//    linearizable snapshot (identical collects of versioned registers pin a
+//    linearization point between them, with no ABA because seq grows).
+//    Lock-free: a snapshot can be delayed only by concurrent writes.
+//
+//  * one-shot immediate snapshot (Borowsky–Gafni) — every participant writes
+//    its value once and obtains a view such that views are totally ordered
+//    by containment, contain their owner, and satisfy immediacy
+//    (q ∈ view_p ⇒ view_q ⊆ view_p). This is the object behind the
+//    participating-set task and BG-style simulations.
+#pragma once
+
+#include "sim/proc.hpp"
+
+namespace efd {
+
+/// Writes [next-seq, v] to reg(base, me). One register write per call plus
+/// one read to learn the current sequence number (2 steps).
+Co<void> versioned_write(Context& ctx, std::string base, int me, Value v);
+
+/// Linearizable snapshot of the n versioned registers at `base`; returns the
+/// n current values (Nil where never written), stripped of seq numbers.
+Co<Value> atomic_snapshot(Context& ctx, std::string base, int n);
+
+/// One-shot immediate snapshot for participant `me` of n, contributing `v`.
+/// Returns an n-vector with the contribution of every process in the view
+/// (Nil outside the view). Classic descending-level algorithm: O(n^2) steps.
+Co<Value> immediate_snapshot(Context& ctx, std::string ns, int me, int n, Value v);
+
+/// View-shape checkers used by the property tests and the participating-set
+/// task: all on n-vectors with Nil outside the view.
+[[nodiscard]] bool view_contains(const Value& view, int id);
+[[nodiscard]] bool view_subset(const Value& a, const Value& b);
+[[nodiscard]] int view_size(const Value& view);
+
+}  // namespace efd

@@ -1,0 +1,68 @@
+#include "sim/trace.hpp"
+
+#include <sstream>
+#include <unordered_set>
+
+namespace efd {
+namespace {
+
+const char* op_name(OpKind k) {
+  switch (k) {
+    case OpKind::kRead:
+      return "read";
+    case OpKind::kWrite:
+      return "write";
+    case OpKind::kQuery:
+      return "query";
+    case OpKind::kYield:
+      return "yield";
+    case OpKind::kDecide:
+      return "decide";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string StepRecord::to_string() const {
+  std::ostringstream os;
+  os << "t=" << time << " " << pid.to_string() << " " << op_name(op);
+  if (op == OpKind::kRead) os << " " << addr << " -> " << result.to_string();
+  if (op == OpKind::kWrite) os << " " << addr << " := " << value.to_string();
+  if (op == OpKind::kQuery) os << " -> " << result.to_string();
+  if (op == OpKind::kDecide) os << " " << value.to_string();
+  if (null_step) os << " (null)";
+  return os.str();
+}
+
+int max_concurrency(const Trace& trace) {
+  std::unordered_set<int> undecided;
+  int peak = 0;
+  for (const auto& s : trace) {
+    if (!s.pid.is_c() || s.null_step) continue;
+    undecided.insert(s.pid.index);
+    peak = std::max(peak, static_cast<int>(undecided.size()));
+    if (s.op == OpKind::kDecide) undecided.erase(s.pid.index);
+  }
+  return peak;
+}
+
+bool is_k_concurrent(const Trace& trace, int k) { return max_concurrency(trace) <= k; }
+
+int steps_of(const Trace& trace, Pid pid) {
+  int n = 0;
+  for (const auto& s : trace) {
+    if (s.pid == pid && !s.null_step) ++n;
+  }
+  return n;
+}
+
+std::string format_trace(const Trace& trace, std::size_t limit) {
+  std::ostringstream os;
+  const std::size_t n = std::min(limit, trace.size());
+  for (std::size_t i = 0; i < n; ++i) os << trace[i].to_string() << "\n";
+  if (trace.size() > n) os << "... (" << (trace.size() - n) << " more steps)\n";
+  return os.str();
+}
+
+}  // namespace efd

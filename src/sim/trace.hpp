@@ -1,0 +1,47 @@
+// Run traces and run-shape checkers (fairness, k-concurrency).
+//
+// A trace is the executed prefix of a run: one record per scheduled step,
+// including null steps of decided/terminated processes. The checkers below
+// implement the paper's run predicates on finite prefixes:
+//  * participation: a C-process participates once it takes its first step
+//    (its first step is the input write, per §2.2);
+//  * k-concurrency: at every moment, at most k participating C-processes are
+//    undecided (§2.2).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/ids.hpp"
+#include "sim/proc.hpp"
+#include "sim/value.hpp"
+
+namespace efd {
+
+struct StepRecord {
+  Time time{};
+  Pid pid{};
+  OpKind op{OpKind::kYield};
+  std::string addr;   ///< register for read/write
+  Value value;        ///< written / decided value
+  Value result;       ///< read result / FD sample
+  bool null_step{false};  ///< process already terminated; step had no effect
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+using Trace = std::vector<StepRecord>;
+
+/// Maximum over time of |{participating C-processes not yet decided}|.
+[[nodiscard]] int max_concurrency(const Trace& trace);
+
+/// True iff the trace is k-concurrent in the paper's sense.
+[[nodiscard]] bool is_k_concurrent(const Trace& trace, int k);
+
+/// Number of (non-null) steps taken by `pid` in the trace.
+[[nodiscard]] int steps_of(const Trace& trace, Pid pid);
+
+/// Renders at most `limit` records, one per line (for demos / debugging).
+[[nodiscard]] std::string format_trace(const Trace& trace, std::size_t limit = 100);
+
+}  // namespace efd

@@ -1,0 +1,93 @@
+#include "sim/value.hpp"
+
+#include <sstream>
+
+namespace efd {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+void hash_bytes(std::uint64_t& h, const void* data, std::size_t n) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+}
+
+void hash_value(std::uint64_t& h, const Value& v) noexcept {
+  if (v.is_nil()) {
+    hash_bytes(h, "N", 1);
+  } else if (v.is_int()) {
+    const std::int64_t x = v.as_int();
+    hash_bytes(h, "I", 1);
+    hash_bytes(h, &x, sizeof(x));
+  } else if (v.is_str()) {
+    const auto& s = v.as_str();
+    hash_bytes(h, "S", 1);
+    hash_bytes(h, s.data(), s.size());
+  } else {
+    hash_bytes(h, "V", 1);
+    for (const auto& e : v.as_vec()) hash_value(h, e);
+    hash_bytes(h, "]", 1);
+  }
+}
+
+int kind_rank(const Value& v) noexcept {
+  if (v.is_nil()) return 0;
+  if (v.is_int()) return 1;
+  if (v.is_str()) return 2;
+  return 3;
+}
+
+}  // namespace
+
+Value Value::at(std::size_t i) const noexcept {
+  if (!is_vec()) return {};
+  const auto& v = as_vec();
+  return i < v.size() ? v[i] : Value{};
+}
+
+std::size_t Value::size() const noexcept { return is_vec() ? as_vec().size() : 0; }
+
+bool operator==(const Value& a, const Value& b) noexcept {
+  return (a <=> b) == std::strong_ordering::equal;
+}
+
+std::strong_ordering operator<=>(const Value& a, const Value& b) noexcept {
+  if (const int ra = kind_rank(a), rb = kind_rank(b); ra != rb) return ra <=> rb;
+  if (a.is_nil()) return std::strong_ordering::equal;
+  if (a.is_int()) return a.as_int() <=> b.as_int();
+  if (a.is_str()) return a.as_str().compare(b.as_str()) <=> 0;
+  const auto& va = a.as_vec();
+  const auto& vb = b.as_vec();
+  const std::size_t n = std::min(va.size(), vb.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (auto c = va[i] <=> vb[i]; c != std::strong_ordering::equal) return c;
+  }
+  return va.size() <=> vb.size();
+}
+
+std::string Value::to_string() const {
+  if (is_nil()) return "nil";
+  if (is_int()) return std::to_string(as_int());
+  if (is_str()) return "\"" + as_str() + "\"";
+  std::ostringstream os;
+  os << '[';
+  const auto& v = as_vec();
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << v[i].to_string();
+  }
+  os << ']';
+  return os.str();
+}
+
+std::uint64_t Value::hash() const noexcept {
+  std::uint64_t h = kFnvOffset;
+  hash_value(h, *this);
+  return h;
+}
+
+}  // namespace efd

@@ -1,0 +1,99 @@
+// Immutable register datum for the EFD shared-memory simulator.
+//
+// Every shared register in the model holds one Value. Values form a small
+// recursive algebra: Nil (the paper's bottom, written ⊥), 64-bit integers,
+// strings, and vectors of Values. Values are ordered and hashable so they can
+// be used as keys in deterministic explorations (corridor DFS, bivalence
+// search) and as canonical encodings of simulated-process states.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace efd {
+
+class Value;
+using ValueVec = std::vector<Value>;
+
+/// One immutable datum. Cheap to copy (vector/string payloads are shared).
+class Value {
+ public:
+  /// Nil — the paper's ⊥ (unwritten register / non-participating / undecided).
+  Value() noexcept = default;
+  Value(std::int64_t v) : rep_(v) {}                       // NOLINT(google-explicit-constructor)
+  Value(int v) : rep_(static_cast<std::int64_t>(v)) {}     // NOLINT(google-explicit-constructor)
+  Value(bool v) : rep_(static_cast<std::int64_t>(v)) {}    // NOLINT(google-explicit-constructor)
+  Value(std::string v) : rep_(std::make_shared<const std::string>(std::move(v))) {}  // NOLINT
+  Value(const char* v) : Value(std::string(v)) {}          // NOLINT(google-explicit-constructor)
+  Value(ValueVec v) : rep_(std::make_shared<const ValueVec>(std::move(v))) {}  // NOLINT
+  Value(std::initializer_list<Value> v) : Value(ValueVec(v)) {}
+
+  [[nodiscard]] bool is_nil() const noexcept { return std::holds_alternative<std::monostate>(rep_); }
+  [[nodiscard]] bool is_int() const noexcept { return std::holds_alternative<std::int64_t>(rep_); }
+  [[nodiscard]] bool is_str() const noexcept {
+    return std::holds_alternative<std::shared_ptr<const std::string>>(rep_);
+  }
+  [[nodiscard]] bool is_vec() const noexcept {
+    return std::holds_alternative<std::shared_ptr<const ValueVec>>(rep_);
+  }
+
+  /// Integer payload. Precondition: is_int(); throws std::bad_variant_access otherwise.
+  [[nodiscard]] std::int64_t as_int() const { return std::get<std::int64_t>(rep_); }
+  /// Integer payload or `dflt` when this Value is not an integer (e.g. Nil).
+  [[nodiscard]] std::int64_t int_or(std::int64_t dflt) const noexcept {
+    return is_int() ? std::get<std::int64_t>(rep_) : dflt;
+  }
+  [[nodiscard]] const std::string& as_str() const {
+    return *std::get<std::shared_ptr<const std::string>>(rep_);
+  }
+  [[nodiscard]] const ValueVec& as_vec() const {
+    return *std::get<std::shared_ptr<const ValueVec>>(rep_);
+  }
+
+  /// Element access for vectors; Nil when out of range or not a vector.
+  [[nodiscard]] Value at(std::size_t i) const noexcept;
+  /// Vector size; 0 for non-vectors.
+  [[nodiscard]] std::size_t size() const noexcept;
+
+  /// Structural equality (deep for vectors, by content for strings).
+  friend bool operator==(const Value& a, const Value& b) noexcept;
+  /// Total order: Nil < Int < Str < Vec, lexicographic within a kind.
+  friend std::strong_ordering operator<=>(const Value& a, const Value& b) noexcept;
+
+  /// Stable textual form, e.g. `[1, "x", nil]`. Used in traces and tests.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Deterministic structural hash (FNV-1a over the canonical encoding).
+  [[nodiscard]] std::uint64_t hash() const noexcept;
+
+ private:
+  std::variant<std::monostate, std::int64_t, std::shared_ptr<const std::string>,
+               std::shared_ptr<const ValueVec>>
+      rep_;
+};
+
+/// The paper's ⊥.
+inline const Value kNil{};
+
+/// Convenience: build a vector Value from parts.
+template <class... Ts>
+Value vec(Ts&&... parts) {
+  ValueVec v;
+  v.reserve(sizeof...(parts));
+  (v.emplace_back(std::forward<Ts>(parts)), ...);
+  return Value(std::move(v));
+}
+
+}  // namespace efd
+
+template <>
+struct std::hash<efd::Value> {
+  std::size_t operator()(const efd::Value& v) const noexcept {
+    return static_cast<std::size_t>(v.hash());
+  }
+};

@@ -1,0 +1,118 @@
+#include "sim/world.hpp"
+
+#include "fd/detectors.hpp"
+
+namespace efd {
+
+World World::failure_free(int num_s) {
+  return World(FailurePattern(num_s), TrivialFd{}.history(FailurePattern(num_s), 0));
+}
+
+void World::spawn(Pid pid, ProcBody body) {
+  if (exists(pid)) throw std::invalid_argument("World::spawn: duplicate pid " + pid.to_string());
+  if (pid.is_s() && pid.index >= pattern_.n()) {
+    throw std::invalid_argument("World::spawn: S-process index beyond failure pattern");
+  }
+  Slot s;
+  s.ctx = std::make_unique<Context>(pid);
+  s.proc = body(*s.ctx);
+  if (!s.proc.valid()) throw std::invalid_argument("World::spawn: body produced no coroutine");
+  slots_.emplace(pid, std::move(s));
+  if (pid.is_c()) {
+    num_c_ = std::max(num_c_, pid.index + 1);
+  } else {
+    num_s_ = std::max(num_s_, pid.index + 1);
+  }
+}
+
+std::vector<Pid> World::pids() const {
+  std::vector<Pid> out;
+  out.reserve(slots_.size());
+  for (const auto& [pid, _] : slots_) out.push_back(pid);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+const World::Slot& World::slot(Pid pid) const {
+  const auto it = slots_.find(pid);
+  if (it == slots_.end()) throw std::out_of_range("World: unknown pid " + pid.to_string());
+  return it->second;
+}
+
+World::Slot& World::slot(Pid pid) {
+  const auto it = slots_.find(pid);
+  if (it == slots_.end()) throw std::out_of_range("World: unknown pid " + pid.to_string());
+  return it->second;
+}
+
+void World::prime(Slot& s) {
+  if (s.primed) return;
+  s.primed = true;
+  // Run local initialization up to the first operation; this consumes no step.
+  s.proc.handle().resume();
+  if (auto err = s.proc.handle().promise().error) std::rethrow_exception(err);
+}
+
+bool World::step(Pid pid) {
+  Slot& s = slot(pid);
+  if (pid.is_s() && !pattern_.alive(pid.index, now_)) return false;  // crashed: no step
+  prime(s);
+
+  StepRecord rec;
+  rec.time = now_;
+  rec.pid = pid;
+
+  if (s.proc.done() || !s.ctx->has_pending()) {
+    // Terminated (typically after a decide): null steps forever.
+    rec.null_step = true;
+    rec.op = OpKind::kYield;
+  } else {
+    const PendingOp op = s.ctx->pending();  // copy: deliver() consumes it
+    rec.op = op.kind;
+    rec.addr = op.addr;
+    rec.value = op.value;
+    Value result;
+    switch (op.kind) {
+      case OpKind::kRead:
+        result = mem_.read(op.addr);
+        break;
+      case OpKind::kWrite:
+        mem_.write(op.addr, op.value);
+        break;
+      case OpKind::kQuery:
+        if (!pid.is_s()) throw std::logic_error("FD query from C-process " + pid.to_string());
+        result = history_->at(pid.index, now_);
+        break;
+      case OpKind::kYield:
+        break;
+      case OpKind::kDecide:
+        s.ctx->record_decision(op.value);
+        break;
+    }
+    rec.result = result;
+    s.ctx->deliver(std::move(result));
+    if (auto err = s.proc.handle().promise().error) std::rethrow_exception(err);
+    ++s.steps;
+  }
+
+  if (tracing_) trace_.push_back(std::move(rec));
+  ++now_;
+  return true;
+}
+
+bool World::all_c_decided() const {
+  for (const auto& [pid, s] : slots_) {
+    if (pid.is_c() && !s.ctx->decided()) return false;
+  }
+  return true;
+}
+
+ValueVec World::output_vector() const {
+  ValueVec out(static_cast<std::size_t>(num_c_));
+  for (const auto& [pid, s] : slots_) {
+    if (pid.is_c() && s.ctx->decided()) out[static_cast<std::size_t>(pid.index)] = s.ctx->decision();
+  }
+  return out;
+}
+
+}  // namespace efd

@@ -1,0 +1,127 @@
+// The World: deterministic executor of EFD runs.
+//
+// A World holds the shared registers, the spawned C- and S-process
+// coroutines, a failure pattern for the S-processes, and one failure-detector
+// history. `step(pid)` performs exactly one step of `pid`: it executes the
+// process's pending operation against the memory / FD history at the current
+// time, then resumes the coroutine until it registers its next operation.
+// Runs are fully deterministic given (process bodies, schedule, pattern,
+// history), which is what makes replay-based exploration (corridor DFS,
+// bivalence search) sound.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "fd/failure_pattern.hpp"
+#include "fd/history.hpp"
+#include "sim/ids.hpp"
+#include "sim/memory.hpp"
+#include "sim/proc.hpp"
+#include "sim/trace.hpp"
+
+namespace efd {
+
+/// Factory producing a process body bound to its Context.
+using ProcBody = std::function<Proc(Context&)>;
+
+class World {
+ public:
+  /// A world with `num_s` S-processes failing per `pattern` and consulting
+  /// `history`. C-processes are added via spawn_c; their count is free.
+  World(FailurePattern pattern, HistoryPtr history)
+      : pattern_(std::move(pattern)), history_(std::move(history)) {
+    if (!history_) throw std::invalid_argument("World: null history");
+  }
+
+  /// Convenience: failure-free world with a trivial (all-Nil) history.
+  static World failure_free(int num_s);
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+  // Movable: Contexts are heap-allocated (stable addresses), so suspended
+  // coroutine frames referencing them survive the move.
+  World(World&&) noexcept = default;
+  World& operator=(World&&) noexcept = default;
+
+  // ---- population ----
+
+  /// Spawns C-process p_{i+1}. The body typically starts by writing its input.
+  void spawn_c(int i, ProcBody body) { spawn(cpid(i), std::move(body)); }
+  /// Spawns S-process q_{i+1}.
+  void spawn_s(int i, ProcBody body) { spawn(spid(i), std::move(body)); }
+  void spawn(Pid pid, ProcBody body);
+
+  [[nodiscard]] bool exists(Pid pid) const { return slots_.count(pid) != 0; }
+  [[nodiscard]] std::vector<Pid> pids() const;
+  [[nodiscard]] int num_c() const noexcept { return num_c_; }
+  [[nodiscard]] int num_s() const noexcept { return num_s_; }
+
+  // ---- execution ----
+
+  /// Performs one step of `pid` at the current time. Returns false (and does
+  /// not advance time) if `pid` is a crashed S-process; otherwise advances
+  /// time by one tick. Steps of terminated processes are null steps.
+  bool step(Pid pid);
+
+  [[nodiscard]] Time now() const noexcept { return now_; }
+
+  /// True iff pid's coroutine has run to completion.
+  [[nodiscard]] bool terminated(Pid pid) const { return slot(pid).proc.done(); }
+  /// True iff pid executed a decide step.
+  [[nodiscard]] bool decided(Pid pid) const { return slot(pid).ctx->decided(); }
+  [[nodiscard]] Value decision(Pid pid) const { return slot(pid).ctx->decision(); }
+  /// Non-null steps taken by pid so far.
+  [[nodiscard]] int steps_taken(Pid pid) const { return slot(pid).steps; }
+  /// True once pid has taken at least one step (C-processes: participating).
+  [[nodiscard]] bool participating(Pid pid) const { return slot(pid).steps > 0; }
+
+  /// True iff every spawned C-process has decided.
+  [[nodiscard]] bool all_c_decided() const;
+  /// Output vector O of the run so far: O[i] = decision of p_{i+1}, ⊥ if none.
+  [[nodiscard]] ValueVec output_vector() const;
+
+  // ---- environment access ----
+
+  [[nodiscard]] RegisterFile& memory() noexcept { return mem_; }
+  [[nodiscard]] const RegisterFile& memory() const noexcept { return mem_; }
+  [[nodiscard]] const FailurePattern& pattern() const noexcept { return pattern_; }
+  [[nodiscard]] const History& history() const noexcept { return *history_; }
+  /// True iff pid can take a step now (C-processes always can).
+  [[nodiscard]] bool alive(Pid pid) const {
+    return pid.is_c() || pattern_.alive(pid.index, now_);
+  }
+
+  // ---- tracing ----
+
+  void enable_trace(bool on = true) noexcept { tracing_ = on; }
+  [[nodiscard]] const Trace& trace() const noexcept { return trace_; }
+
+ private:
+  struct Slot {
+    Proc proc;
+    std::unique_ptr<Context> ctx;
+    bool primed = false;
+    int steps = 0;
+  };
+
+  [[nodiscard]] const Slot& slot(Pid pid) const;
+  [[nodiscard]] Slot& slot(Pid pid);
+  void prime(Slot& s);
+
+  FailurePattern pattern_;
+  HistoryPtr history_;
+  RegisterFile mem_;
+  std::unordered_map<Pid, Slot> slots_;
+  Time now_ = 0;
+  int num_c_ = 0;
+  int num_s_ = 0;
+  bool tracing_ = false;
+  Trace trace_;
+};
+
+}  // namespace efd

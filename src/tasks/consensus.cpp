@@ -1,0 +1,15 @@
+#include "tasks/consensus.hpp"
+
+namespace efd {
+
+ValueVec ConsensusTask::sample_input(std::uint64_t seed) const {
+  // Binary consensus inputs keep the bivalence search space small.
+  ValueVec in(static_cast<std::size_t>(n_procs()));
+  for (int i = 0; i < n_procs(); ++i) {
+    in[static_cast<std::size_t>(i)] =
+        Value(static_cast<std::int64_t>((seed >> (i % 63)) & 1ULL));
+  }
+  return in;
+}
+
+}  // namespace efd

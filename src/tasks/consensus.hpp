@@ -1,0 +1,31 @@
+// Consensus = (Π^C, 1)-set agreement (paper §2.1). Thin named wrapper so the
+// hierarchy and bench tables can refer to "consensus" directly.
+#pragma once
+
+#include "tasks/set_agreement.hpp"
+
+namespace efd {
+
+class ConsensusTask final : public Task {
+ public:
+  explicit ConsensusTask(int n) : inner_(n, 1) {}
+
+  [[nodiscard]] std::string name() const override {
+    return "consensus[n=" + std::to_string(inner_.n_procs()) + "]";
+  }
+  [[nodiscard]] int n_procs() const override { return inner_.n_procs(); }
+  [[nodiscard]] bool input_ok(const ValueVec& in) const override { return inner_.input_ok(in); }
+  [[nodiscard]] bool relation(const ValueVec& in, const ValueVec& out) const override {
+    return inner_.relation(in, out);
+  }
+  [[nodiscard]] Value pick_output(const ValueVec& in, const ValueVec& out, int i) const override {
+    return inner_.pick_output(in, out, i);
+  }
+  [[nodiscard]] bool colorless() const override { return true; }
+  [[nodiscard]] ValueVec sample_input(std::uint64_t seed) const override;
+
+ private:
+  SetAgreementTask inner_;
+};
+
+}  // namespace efd

@@ -1,0 +1,45 @@
+// The identity task: every participant outputs its own input. Wait-free
+// solvable (level n in the hierarchy) — the menu's calibration point showing
+// that class-n tasks need no advice at all (Prop. 2).
+#pragma once
+
+#include "tasks/task.hpp"
+
+namespace efd {
+
+class IdentityTask final : public Task {
+ public:
+  explicit IdentityTask(int n) : n_(n) {}
+
+  [[nodiscard]] std::string name() const override {
+    return "identity[n=" + std::to_string(n_) + "]";
+  }
+  [[nodiscard]] int n_procs() const override { return n_; }
+
+  [[nodiscard]] bool input_ok(const ValueVec& in) const override {
+    return static_cast<int>(in.size()) == n_;
+  }
+  [[nodiscard]] bool relation(const ValueVec& in, const ValueVec& out) const override {
+    if (!input_ok(in) || static_cast<int>(out.size()) != n_) return false;
+    for (int i = 0; i < n_; ++i) {
+      const Value& o = out[static_cast<std::size_t>(i)];
+      if (!o.is_nil() && o != in[static_cast<std::size_t>(i)]) return false;
+    }
+    return outputs_within_inputs(in, out);
+  }
+  [[nodiscard]] Value pick_output(const ValueVec& in, const ValueVec&, int i) const override {
+    return in.at(static_cast<std::size_t>(i));
+  }
+  [[nodiscard]] ValueVec sample_input(std::uint64_t seed) const override {
+    ValueVec in(static_cast<std::size_t>(n_));
+    for (int i = 0; i < n_; ++i) {
+      in[static_cast<std::size_t>(i)] = Value(static_cast<std::int64_t>(seed % 97) + i);
+    }
+    return in;
+  }
+
+ private:
+  int n_;
+};
+
+}  // namespace efd

@@ -1,0 +1,94 @@
+#include "tasks/participating_set.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace efd {
+
+ParticipatingSetTask::ParticipatingSetTask(int n) : n_(n) {
+  if (n < 1) throw std::invalid_argument("ParticipatingSetTask: need n >= 1");
+}
+
+Value ParticipatingSetTask::encode_view(const std::vector<int>& ids) {
+  std::vector<int> s = ids;
+  std::sort(s.begin(), s.end());
+  s.erase(std::unique(s.begin(), s.end()), s.end());
+  ValueVec out;
+  out.reserve(s.size());
+  for (int id : s) out.emplace_back(id);
+  return Value(std::move(out));
+}
+
+std::vector<int> ParticipatingSetTask::decode_view(const Value& v) {
+  std::vector<int> out;
+  for (std::size_t i = 0; i < v.size(); ++i) out.push_back(static_cast<int>(v.at(i).int_or(-1)));
+  return out;
+}
+
+bool ParticipatingSetTask::input_ok(const ValueVec& in) const {
+  return static_cast<int>(in.size()) == n_;
+}
+
+bool ParticipatingSetTask::relation(const ValueVec& in, const ValueVec& out) const {
+  if (!input_ok(in) || static_cast<int>(out.size()) != n_) return false;
+  if (!outputs_within_inputs(in, out)) return false;
+
+  auto is_subset = [](const std::vector<int>& a, const std::vector<int>& b) {
+    return std::includes(b.begin(), b.end(), a.begin(), a.end());
+  };
+
+  std::vector<std::pair<int, std::vector<int>>> views;
+  for (int i = 0; i < n_; ++i) {
+    const Value& o = out[static_cast<std::size_t>(i)];
+    if (o.is_nil()) continue;
+    if (!o.is_vec()) return false;
+    auto ids = decode_view(o);
+    if (!std::is_sorted(ids.begin(), ids.end())) return false;
+    for (int id : ids) {
+      // Views contain only participants.
+      if (id < 0 || id >= n_ || in[static_cast<std::size_t>(id)].is_nil()) return false;
+    }
+    // (1) self-inclusion.
+    if (!std::binary_search(ids.begin(), ids.end(), i)) return false;
+    views.emplace_back(i, std::move(ids));
+  }
+  for (const auto& [i, vi] : views) {
+    for (const auto& [j, vj] : views) {
+      // (2) containment: comparable pairs only.
+      if (!is_subset(vi, vj) && !is_subset(vj, vi)) return false;
+      // (3) immediacy: j in view_i implies view_j ⊆ view_i.
+      if (std::binary_search(vi.begin(), vi.end(), j) && !is_subset(vj, vi)) return false;
+    }
+  }
+  return true;
+}
+
+Value ParticipatingSetTask::pick_output(const ValueVec& in, const ValueVec& out, int i) const {
+  // Sequential extension: my view = everyone already decided plus every
+  // participant I can see — the largest view so far, which keeps containment
+  // and immediacy intact.
+  std::vector<int> ids;
+  for (int q = 0; q < n_; ++q) {
+    if (!in[static_cast<std::size_t>(q)].is_nil() &&
+        (q == i || !out[static_cast<std::size_t>(q)].is_nil())) {
+      ids.push_back(q);
+    }
+  }
+  // Also absorb ids inside earlier views (their owners participate by (1)).
+  for (int q = 0; q < n_; ++q) {
+    const Value& o = out[static_cast<std::size_t>(q)];
+    if (o.is_nil()) continue;
+    for (int id : decode_view(o)) ids.push_back(id);
+  }
+  return encode_view(ids);
+}
+
+ValueVec ParticipatingSetTask::sample_input(std::uint64_t seed) const {
+  ValueVec in(static_cast<std::size_t>(n_));
+  for (int i = 0; i < n_; ++i) {
+    in[static_cast<std::size_t>(i)] = Value(static_cast<std::int64_t>(seed % 50 + 1) + i);
+  }
+  return in;
+}
+
+}  // namespace efd

@@ -1,0 +1,40 @@
+// The participating-set (immediate snapshot) task.
+//
+// Every participant outputs a view — a set of participant ids — such that
+// (1) self-inclusion: i ∈ O[i];
+// (2) containment: any two views are ⊆-comparable;
+// (3) immediacy: j ∈ O[i] ⇒ O[j] ⊆ O[i];
+// and every id in a view belongs to a participant. The task is WAIT-FREE
+// solvable (the one-shot immediate snapshot of sim/snapshot.hpp solves it),
+// making it the menu's nontrivial class-n citizen: unbounded concurrency,
+// no advice needed — the opposite pole from consensus in the Thm. 10
+// hierarchy. Views are encoded as sorted Vec of ids.
+#pragma once
+
+#include "tasks/task.hpp"
+
+namespace efd {
+
+class ParticipatingSetTask final : public Task {
+ public:
+  explicit ParticipatingSetTask(int n);
+
+  [[nodiscard]] std::string name() const override {
+    return "participating-set[n=" + std::to_string(n_) + "]";
+  }
+  [[nodiscard]] int n_procs() const override { return n_; }
+
+  [[nodiscard]] bool input_ok(const ValueVec& in) const override;
+  [[nodiscard]] bool relation(const ValueVec& in, const ValueVec& out) const override;
+  [[nodiscard]] Value pick_output(const ValueVec& in, const ValueVec& out, int i) const override;
+  [[nodiscard]] ValueVec sample_input(std::uint64_t seed) const override;
+
+  /// Encodes a participant-id set as the task's output value.
+  [[nodiscard]] static Value encode_view(const std::vector<int>& ids);
+  [[nodiscard]] static std::vector<int> decode_view(const Value& v);
+
+ private:
+  int n_;
+};
+
+}  // namespace efd

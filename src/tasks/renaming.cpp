@@ -1,0 +1,74 @@
+#include "tasks/renaming.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace efd {
+
+RenamingTask::RenamingTask(int n, int j, int l) : n_(n), j_(j), l_(l) {
+  if (!(0 < j && j < n)) throw std::invalid_argument("RenamingTask: need 0 < j < n");
+  if (l < j) throw std::invalid_argument("RenamingTask: namespace smaller than participants");
+}
+
+std::string RenamingTask::name() const {
+  return "(" + std::to_string(j_) + "," + std::to_string(l_) + ")-renaming[n=" +
+         std::to_string(n_) + "]";
+}
+
+bool RenamingTask::input_ok(const ValueVec& in) const {
+  if (static_cast<int>(in.size()) != n_) return false;
+  const auto parts = participants(in);
+  if (static_cast<int>(parts.size()) > j_) return false;
+  std::vector<Value> names;
+  for (int i : parts) {
+    const Value& v = in[static_cast<std::size_t>(i)];
+    if (!v.is_int() || v.as_int() < 1) return false;  // original names: positive ints
+    names.push_back(v);
+  }
+  std::sort(names.begin(), names.end());
+  return std::adjacent_find(names.begin(), names.end()) == names.end();  // distinct
+}
+
+bool RenamingTask::relation(const ValueVec& in, const ValueVec& out) const {
+  if (!input_ok(in) || static_cast<int>(out.size()) != n_) return false;
+  if (!outputs_within_inputs(in, out)) return false;
+  std::vector<std::int64_t> names;
+  for (const auto& v : out) {
+    if (v.is_nil()) continue;
+    if (!v.is_int()) return false;
+    const auto x = v.as_int();
+    if (x < 1 || x > l_) return false;
+    names.push_back(x);
+  }
+  std::sort(names.begin(), names.end());
+  return std::adjacent_find(names.begin(), names.end()) == names.end();
+}
+
+Value RenamingTask::pick_output(const ValueVec&, const ValueVec& out, int) const {
+  // Smallest name in {1..l} not already taken; exists while ≤ j ≤ l
+  // participants hold names.
+  std::vector<std::int64_t> taken;
+  for (const auto& v : out) {
+    if (v.is_int()) taken.push_back(v.as_int());
+  }
+  std::sort(taken.begin(), taken.end());
+  std::int64_t cand = 1;
+  for (const auto t : taken) {
+    if (t == cand) ++cand;
+  }
+  if (cand > l_) throw std::logic_error("RenamingTask::pick_output: namespace exhausted");
+  return Value(cand);
+}
+
+ValueVec RenamingTask::sample_input(std::uint64_t seed) const {
+  // First j processes (rotated by seed) participate with distinct large names.
+  ValueVec in(static_cast<std::size_t>(n_));
+  const int rot = static_cast<int>(seed % static_cast<std::uint64_t>(n_));
+  for (int a = 0; a < j_; ++a) {
+    const int i = (a + rot) % n_;
+    in[static_cast<std::size_t>(i)] = Value(static_cast<std::int64_t>(100 + i));
+  }
+  return in;
+}
+
+}  // namespace efd

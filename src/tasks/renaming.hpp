@@ -1,0 +1,38 @@
+// (j, ℓ)-renaming (paper §5, [3]).
+//
+// Defined on n > j processes; in every run at most j processes participate.
+// Inputs are distinct original names (positive ints from a large space);
+// every participant must output a distinct new name in {1..ℓ}. Strong
+// j-renaming is (j, j)-renaming. Renaming is a *colored* task: a process may
+// not adopt another's output, which is exactly why it evaded weakest-FD
+// characterizations before the EFD framework.
+#pragma once
+
+#include "tasks/task.hpp"
+
+namespace efd {
+
+class RenamingTask final : public Task {
+ public:
+  RenamingTask(int n, int j, int l);
+
+  /// Strong j-renaming: (j, j)-renaming.
+  static RenamingTask strong(int n, int j) { return {n, j, j}; }
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] int n_procs() const override { return n_; }
+  [[nodiscard]] int max_participants() const noexcept { return j_; }
+  [[nodiscard]] int namespace_size() const noexcept { return l_; }
+
+  [[nodiscard]] bool input_ok(const ValueVec& in) const override;
+  [[nodiscard]] bool relation(const ValueVec& in, const ValueVec& out) const override;
+  [[nodiscard]] Value pick_output(const ValueVec& in, const ValueVec& out, int i) const override;
+  [[nodiscard]] ValueVec sample_input(std::uint64_t seed) const override;
+
+ private:
+  int n_;
+  int j_;
+  int l_;
+};
+
+}  // namespace efd

@@ -1,0 +1,73 @@
+#include "tasks/set_agreement.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace efd {
+
+SetAgreementTask::SetAgreementTask(int n, int k) : n_(n), k_(k) {
+  if (n < 1 || k < 1) throw std::invalid_argument("SetAgreementTask: need n,k >= 1");
+  u_.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) u_[static_cast<std::size_t>(i)] = i;
+}
+
+SetAgreementTask::SetAgreementTask(int n, int k, std::vector<int> u) : n_(n), k_(k), u_(std::move(u)) {
+  if (n < 1 || k < 1) throw std::invalid_argument("SetAgreementTask: need n,k >= 1");
+  std::sort(u_.begin(), u_.end());
+  u_.erase(std::unique(u_.begin(), u_.end()), u_.end());
+  for (int i : u_) {
+    if (i < 0 || i >= n) throw std::invalid_argument("SetAgreementTask: scope index out of range");
+  }
+}
+
+std::string SetAgreementTask::name() const {
+  const bool full = static_cast<int>(u_.size()) == n_;
+  return (full ? std::string("(Pi,") : "(U" + std::to_string(u_.size()) + ",") +
+         std::to_string(k_) + ")-set-agreement[n=" + std::to_string(n_) + "]";
+}
+
+bool SetAgreementTask::in_scope(int i) const {
+  return std::binary_search(u_.begin(), u_.end(), i);
+}
+
+bool SetAgreementTask::input_ok(const ValueVec& in) const {
+  if (static_cast<int>(in.size()) != n_) return false;
+  for (int i = 0; i < n_; ++i) {
+    if (!in[static_cast<std::size_t>(i)].is_nil() && !in_scope(i)) return false;
+  }
+  return true;
+}
+
+bool SetAgreementTask::relation(const ValueVec& in, const ValueVec& out) const {
+  if (!input_ok(in) || static_cast<int>(out.size()) != n_) return false;
+  if (!outputs_within_inputs(in, out)) return false;
+  const auto inputs = distinct_values(in);
+  const auto outputs = distinct_values(out);
+  if (static_cast<int>(outputs.size()) > k_) return false;
+  // Validity: every decided value is some participant's proposal.
+  return std::all_of(outputs.begin(), outputs.end(), [&inputs](const Value& v) {
+    return std::binary_search(inputs.begin(), inputs.end(), v);
+  });
+}
+
+Value SetAgreementTask::pick_output(const ValueVec& in, const ValueVec& out, int i) const {
+  // Adopting an already-decided value never increases the distinct count;
+  // with no decisions yet, deciding one's own input is valid (1 <= k).
+  for (const auto& v : out) {
+    if (!v.is_nil()) return v;
+  }
+  return in.at(static_cast<std::size_t>(i));
+}
+
+ValueVec SetAgreementTask::sample_input(std::uint64_t seed) const {
+  ValueVec in(static_cast<std::size_t>(n_));
+  for (int i : u_) {
+    // Proposals drawn from {0..k}: the paper's canonical input alphabet.
+    const auto v = (seed ^ (0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(i + 1))) %
+                   static_cast<std::uint64_t>(k_ + 1);
+    in[static_cast<std::size_t>(i)] = Value(static_cast<std::int64_t>(v));
+  }
+  return in;
+}
+
+}  // namespace efd

@@ -1,0 +1,42 @@
+// (U, k)-set agreement (paper §2.1).
+//
+// Processes in U ⊆ Π^C propose values; every decided value must be some
+// participant's proposal, and at most k distinct values may be decided.
+// (Π^C, k)-agreement is classic k-set agreement; (Π^C, 1)-agreement is
+// consensus. Set agreement is colorless: adopting another participant's
+// input or output is always legal.
+#pragma once
+
+#include <vector>
+
+#include "tasks/task.hpp"
+
+namespace efd {
+
+class SetAgreementTask final : public Task {
+ public:
+  /// Agreement among all n processes.
+  SetAgreementTask(int n, int k);
+  /// Agreement among U (0-based C-indices); others must not participate.
+  SetAgreementTask(int n, int k, std::vector<int> u);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] int n_procs() const override { return n_; }
+  [[nodiscard]] int k() const noexcept { return k_; }
+  [[nodiscard]] const std::vector<int>& scope() const noexcept { return u_; }
+
+  [[nodiscard]] bool input_ok(const ValueVec& in) const override;
+  [[nodiscard]] bool relation(const ValueVec& in, const ValueVec& out) const override;
+  [[nodiscard]] Value pick_output(const ValueVec& in, const ValueVec& out, int i) const override;
+  [[nodiscard]] bool colorless() const override { return true; }
+  [[nodiscard]] ValueVec sample_input(std::uint64_t seed) const override;
+
+ private:
+  [[nodiscard]] bool in_scope(int i) const;
+
+  int n_;
+  int k_;
+  std::vector<int> u_;  ///< sorted scope
+};
+
+}  // namespace efd

@@ -1,0 +1,71 @@
+#include "tasks/symmetry_breaking.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace efd {
+
+WeakSymmetryBreakingTask::WeakSymmetryBreakingTask(int n) : n_(n) {
+  if (n < 2) throw std::invalid_argument("WeakSymmetryBreakingTask: need n >= 2");
+}
+
+bool WeakSymmetryBreakingTask::input_ok(const ValueVec& in) const {
+  if (static_cast<int>(in.size()) != n_) return false;
+  // Inputs are distinct identities (positive ints), as in renaming-style
+  // colored tasks; participation is unrestricted.
+  std::vector<Value> names;
+  for (const auto& v : in) {
+    if (v.is_nil()) continue;
+    if (!v.is_int() || v.as_int() < 1) return false;
+    names.push_back(v);
+  }
+  std::sort(names.begin(), names.end());
+  return std::adjacent_find(names.begin(), names.end()) == names.end();
+}
+
+bool WeakSymmetryBreakingTask::relation(const ValueVec& in, const ValueVec& out) const {
+  if (!input_ok(in) || static_cast<int>(out.size()) != n_) return false;
+  if (!outputs_within_inputs(in, out)) return false;
+  int zeros = 0;
+  int ones = 0;
+  int decided = 0;
+  for (const auto& v : out) {
+    if (v.is_nil()) continue;
+    const auto x = v.int_or(-1);
+    if (x != 0 && x != 1) return false;
+    ++decided;
+    (x == 0 ? zeros : ones) += 1;
+  }
+  // The "not all equal" obligation only binds on the complete output of a
+  // full-participation run.
+  if (decided == n_ && (zeros == 0 || ones == 0)) return false;
+  return true;
+}
+
+Value WeakSymmetryBreakingTask::pick_output(const ValueVec&, const ValueVec& out, int) const {
+  int zeros = 0;
+  int ones = 0;
+  int decided = 0;
+  for (const auto& v : out) {
+    if (v.is_nil()) continue;
+    ++decided;
+    (v.int_or(0) == 0 ? zeros : ones) += 1;
+  }
+  if (decided == n_ - 1) {
+    // Last decider: break symmetry if everyone so far agreed.
+    if (zeros == 0) return Value(0);
+    if (ones == 0) return Value(1);
+  }
+  return Value(0);
+}
+
+ValueVec WeakSymmetryBreakingTask::sample_input(std::uint64_t seed) const {
+  ValueVec in(static_cast<std::size_t>(n_));
+  for (int i = 0; i < n_; ++i) {
+    in[static_cast<std::size_t>(i)] =
+        Value(static_cast<std::int64_t>(1 + ((seed + static_cast<std::uint64_t>(i) * 17) % 1000) * static_cast<std::uint64_t>(n_) + static_cast<std::uint64_t>(i)));
+  }
+  return in;
+}
+
+}  // namespace efd

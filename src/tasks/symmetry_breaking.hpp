@@ -1,0 +1,30 @@
+// Weak symmetry breaking (paper §1, [13, 18, 1]).
+//
+// Every participant outputs 0 or 1; in runs where ALL n processes participate
+// and decide, not all outputs may be equal. A canonical "colored" task used
+// in the paper's motivation for the EFD classification.
+#pragma once
+
+#include "tasks/task.hpp"
+
+namespace efd {
+
+class WeakSymmetryBreakingTask final : public Task {
+ public:
+  explicit WeakSymmetryBreakingTask(int n);
+
+  [[nodiscard]] std::string name() const override {
+    return "weak-symmetry-breaking[n=" + std::to_string(n_) + "]";
+  }
+  [[nodiscard]] int n_procs() const override { return n_; }
+
+  [[nodiscard]] bool input_ok(const ValueVec& in) const override;
+  [[nodiscard]] bool relation(const ValueVec& in, const ValueVec& out) const override;
+  [[nodiscard]] Value pick_output(const ValueVec& in, const ValueVec& out, int i) const override;
+  [[nodiscard]] ValueVec sample_input(std::uint64_t seed) const override;
+
+ private:
+  int n_;
+};
+
+}  // namespace efd

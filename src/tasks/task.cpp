@@ -1,0 +1,40 @@
+#include "tasks/task.hpp"
+
+#include <algorithm>
+
+namespace efd {
+
+std::vector<int> Task::participants(const ValueVec& in) {
+  std::vector<int> out;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    if (!in[i].is_nil()) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+std::vector<Value> Task::distinct_values(const ValueVec& v) {
+  std::vector<Value> vals;
+  for (const auto& x : v) {
+    if (!x.is_nil()) vals.push_back(x);
+  }
+  std::sort(vals.begin(), vals.end());
+  vals.erase(std::unique(vals.begin(), vals.end()), vals.end());
+  return vals;
+}
+
+bool Task::outputs_within_inputs(const ValueVec& in, const ValueVec& out) {
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (!out[i].is_nil() && (i >= in.size() || in[i].is_nil())) return false;
+  }
+  return true;
+}
+
+ValueVec restrict_to(const ValueVec& in, const std::vector<int>& keep) {
+  ValueVec out(in.size());
+  for (int i : keep) {
+    if (i >= 0 && static_cast<std::size_t>(i) < in.size()) out[static_cast<std::size_t>(i)] = in[static_cast<std::size_t>(i)];
+  }
+  return out;
+}
+
+}  // namespace efd

@@ -1,0 +1,67 @@
+// Distributed tasks (paper §2.1).
+//
+// A task T = (I, O, Δ) over m C-processes: prefix-closed sets of input and
+// output m-vectors (⊥ = not participating / undecided) and a total relation
+// Δ. The library represents a task by a predicate `relation(I, O)` that must
+// accept every (input, partial-output) pair allowed by Δ — prefix closure of
+// outputs is the task author's obligation and is exercised by the property
+// tests in tests/test_tasks.cpp.
+//
+// `pick_output` is the task's "sequential specification" used by the generic
+// 1-concurrent solver of Prop. 1 (Appendix A): given the inputs seen so far
+// and the outputs already chosen, extend the output vector at position i.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/value.hpp"
+
+namespace efd {
+
+class Task {
+ public:
+  virtual ~Task() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// Number of C-processes (the paper's m; we use n = m throughout).
+  [[nodiscard]] virtual int n_procs() const = 0;
+
+  /// I ∈ 𝕀 (prefix closure included): is this a legal (partial) input vector?
+  [[nodiscard]] virtual bool input_ok(const ValueVec& in) const = 0;
+
+  /// (I, O) ∈ Δ where O may be partial (some ⊥). Must satisfy the paper's
+  /// conditions: O[i] ≠ ⊥ ⇒ I[i] ≠ ⊥, and prefix closure in O.
+  [[nodiscard]] virtual bool relation(const ValueVec& in, const ValueVec& out) const = 0;
+
+  /// Sequential extension: a value v such that replacing out[i] (= ⊥) by v
+  /// keeps (in, out) ∈ Δ. Precondition: in[i] ≠ ⊥, out[i] = ⊥, and
+  /// relation(in, out) holds. Exists by the task axioms (condition (3)).
+  [[nodiscard]] virtual Value pick_output(const ValueVec& in, const ValueVec& out,
+                                          int i) const = 0;
+
+  /// True for colorless tasks (a process may adopt any participant's input or
+  /// output). Used by the Prop. 5 experiments.
+  [[nodiscard]] virtual bool colorless() const { return false; }
+
+  /// A canonical full-participation input vector, deterministic in `seed`.
+  [[nodiscard]] virtual ValueVec sample_input(std::uint64_t seed) const = 0;
+
+  // ---- helpers ----
+
+  /// Participants of an input vector (indices with non-⊥ input).
+  [[nodiscard]] static std::vector<int> participants(const ValueVec& in);
+  /// Distinct non-⊥ values in a vector.
+  [[nodiscard]] static std::vector<Value> distinct_values(const ValueVec& v);
+  /// True iff every non-⊥ position of `out` has a non-⊥ input.
+  [[nodiscard]] static bool outputs_within_inputs(const ValueVec& in, const ValueVec& out);
+};
+
+using TaskPtr = std::shared_ptr<const Task>;
+
+/// Restriction of `in` to the given participant set (others forced to ⊥).
+[[nodiscard]] ValueVec restrict_to(const ValueVec& in, const std::vector<int>& keep);
+
+}  // namespace efd

@@ -1,0 +1,134 @@
+// Tests for the FLP-style lasso search (core/bivalence.hpp), driven by a
+// naive strong 2-renaming candidate — the concrete face of Lemma 11 /
+// Thm. 12: candidate algorithms for 2-concurrent strong renaming livelock.
+#include <gtest/gtest.h>
+
+#include "core/bivalence.hpp"
+#include "sim/memory.hpp"
+#include "sim/schedule.hpp"
+#include "sim/world.hpp"
+
+namespace efd {
+namespace {
+
+// Naive strong 2-renaming for processes {0, 1}: publish a name, read the
+// other's, flip 1<->2 on a clash, decide after two clash-free looks. Solo
+// and asymmetric runs decide; symmetric lockstep flips forever — the
+// non-deciding run Thm. 12 says must exist in SOME form for every candidate.
+// State encoding: [me, name, stable, phase].
+struct NaiveRenaming final : SimProgram {
+  Value init(int index, const Value&) const override {
+    return vec(Value(index), Value(1), Value(0), Value(0));
+  }
+  SimAction action(const Value& st) const override {
+    const int me = static_cast<int>(st.at(0).int_or(0));
+    const auto phase = st.at(3).int_or(0);
+    if (phase == 0) return {SimAction::Kind::kWrite, reg("nr/R", me), st.at(1)};
+    if (phase == 1) return {SimAction::Kind::kRead, reg("nr/R", 1 - me), {}};
+    if (phase == 2) return {SimAction::Kind::kDecide, "", st.at(1)};
+    return {};
+  }
+  Value transition(const Value& st, const Value& result) const override {
+    const auto phase = st.at(3).int_or(0);
+    std::int64_t name = st.at(1).int_or(1);
+    std::int64_t stable = st.at(2).int_or(0);
+    std::int64_t next = phase + 1;
+    if (phase == 1) {
+      if (result.is_nil() || result.int_or(0) != name) {
+        next = ++stable >= 2 ? 2 : 0;
+      } else {
+        stable = 0;
+        name = 3 - name;  // clash: flip
+        next = 0;
+      }
+    }
+    return vec(st.at(0), Value(name), Value(stable), Value(next));
+  }
+};
+
+LassoConfig two_party_cfg() {
+  LassoConfig cfg;
+  cfg.participants = {0, 1};
+  cfg.max_depth = 200;
+  return cfg;
+}
+
+TEST(Lasso, SoloRunsOfCandidateTerminate) {
+  // Run the automaton natively in a world: solo it decides name 1.
+  World w = World::failure_free(1);
+  w.spawn_c(0, make_sim_program_body(std::make_shared<NaiveRenaming>(), 0, Value{}));
+  RoundRobinScheduler rr;
+  const auto r = drive(w, rr, 1000);
+  EXPECT_TRUE(r.all_c_decided);
+  EXPECT_EQ(w.decision(cpid(0)).as_int(), 1);
+}
+
+TEST(Lasso, SequentialRunsGetDistinctNames) {
+  World w = World::failure_free(1);
+  auto prog = std::make_shared<NaiveRenaming>();
+  w.spawn_c(0, make_sim_program_body(prog, 0, Value{}));
+  w.spawn_c(1, make_sim_program_body(prog, 1, Value{}));
+  while (!w.decided(cpid(0))) w.step(cpid(0));
+  while (!w.decided(cpid(1))) w.step(cpid(1));
+  EXPECT_NE(w.decision(cpid(0)), w.decision(cpid(1)));
+}
+
+TEST(Lasso, FindsNonTerminationInNaiveRenaming) {
+  // FLP/Thm. 12 evidence: the candidate has an infinite non-deciding
+  // 2-concurrent schedule.
+  const auto r = find_nontermination(std::make_shared<NaiveRenaming>(), {Value(0), Value(1)},
+                                     two_party_cfg());
+  EXPECT_TRUE(r.found);
+  EXPECT_FALSE(r.cycle.empty());
+}
+
+TEST(Lasso, WitnessReplaysWithoutDecidingInAWorld) {
+  const auto r = find_nontermination(std::make_shared<NaiveRenaming>(), {Value(0), Value(1)},
+                                     two_party_cfg());
+  ASSERT_TRUE(r.found);
+
+  // Replay the lasso against the real coroutine runtime: still no decision.
+  World w = World::failure_free(1);
+  auto prog = std::make_shared<NaiveRenaming>();
+  w.spawn_c(0, make_sim_program_body(prog, 0, Value{}));
+  w.spawn_c(1, make_sim_program_body(prog, 1, Value{}));
+  for (int c : r.prefix) w.step(cpid(c));
+  for (int rep = 0; rep < 25; ++rep) {
+    for (int c : r.cycle) w.step(cpid(c));
+  }
+  EXPECT_FALSE(w.all_c_decided());
+}
+
+TEST(Lasso, TerminatingAutomatonHasNoLasso) {
+  // A trivially-deciding automaton: one write, one decide.
+  struct Trivial final : SimProgram {
+    Value init(int index, const Value& in) const override { return vec(Value(index), in, Value(0)); }
+    SimAction action(const Value& st) const override {
+      const auto pc = st.at(2).int_or(0);
+      if (pc == 0) {
+        return {SimAction::Kind::kWrite, reg("t/In", static_cast<int>(st.at(0).int_or(0))),
+                st.at(1)};
+      }
+      if (pc == 1) return {SimAction::Kind::kDecide, "", st.at(1)};
+      return {};
+    }
+    Value transition(const Value& st, const Value&) const override {
+      return vec(st.at(0), st.at(1), Value(st.at(2).int_or(0) + 1));
+    }
+  };
+  const auto r = find_nontermination(std::make_shared<Trivial>(), {Value(7), Value(8)},
+                                     two_party_cfg());
+  EXPECT_FALSE(r.found);
+  EXPECT_FALSE(r.budget_exhausted);
+}
+
+TEST(Lasso, BudgetExhaustionIsReported) {
+  LassoConfig cfg = two_party_cfg();
+  cfg.max_states = 3;  // absurdly small
+  const auto r = find_nontermination(std::make_shared<NaiveRenaming>(), {Value(0), Value(1)}, cfg);
+  EXPECT_FALSE(r.found);
+  EXPECT_TRUE(r.budget_exhausted);
+}
+
+}  // namespace
+}  // namespace efd

@@ -1,0 +1,167 @@
+// Tests for EFD consensus with Ω advice (algo/leader_consensus.hpp):
+// termination in fair runs of every environment, agreement, validity, and
+// wait-freedom in the EFD sense (C-progress depends only on S-processes).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "algo/leader_consensus.hpp"
+#include "fd/detectors.hpp"
+#include "sim/schedule.hpp"
+#include "tasks/consensus.hpp"
+
+namespace efd {
+namespace {
+
+struct ConsensusCase {
+  int n;
+  int faults;
+  Time gst;
+  std::uint64_t seed;
+};
+
+class ConsensusSweep : public ::testing::TestWithParam<ConsensusCase> {};
+
+TEST_P(ConsensusSweep, AgreementValidityTermination) {
+  const auto p = GetParam();
+  const FailurePattern f = Environment(p.n, p.n - 1).sample(p.seed, p.faults, 20);
+  OmegaFd omega(p.gst);
+  World w(f, omega.history(f, p.seed));
+  const LeaderConsensusConfig cfg{"cons", p.n};
+  for (int i = 0; i < p.n; ++i) w.spawn_c(i, make_consensus_client(cfg, Value(100 + i)));
+  for (int i = 0; i < p.n; ++i) w.spawn_s(i, make_consensus_server(cfg));
+  RandomScheduler rs(p.seed * 31 + 1);
+  const auto r = drive(w, rs, 400000);
+  ASSERT_TRUE(r.all_c_decided) << f.to_string();
+
+  std::set<std::int64_t> vals;
+  for (int i = 0; i < p.n; ++i) vals.insert(w.decision(cpid(i)).as_int());
+  EXPECT_EQ(vals.size(), 1u);                       // agreement
+  EXPECT_GE(*vals.begin(), 100);                    // validity
+  EXPECT_LT(*vals.begin(), 100 + p.n);
+
+  ConsensusTask task(p.n);
+  ValueVec in(static_cast<std::size_t>(p.n));
+  for (int i = 0; i < p.n; ++i) in[static_cast<std::size_t>(i)] = Value(100 + i);
+  EXPECT_TRUE(task.relation(in, w.output_vector()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ConsensusSweep,
+    ::testing::Values(ConsensusCase{2, 0, 10, 1}, ConsensusCase{2, 1, 25, 2},
+                      ConsensusCase{3, 0, 10, 3}, ConsensusCase{3, 1, 30, 4},
+                      ConsensusCase{3, 2, 40, 5}, ConsensusCase{4, 2, 35, 6},
+                      ConsensusCase{5, 3, 50, 7}, ConsensusCase{5, 4, 60, 8},
+                      ConsensusCase{4, 0, 0, 9}, ConsensusCase{6, 3, 45, 10}));
+
+TEST(Consensus, SubsetParticipation) {
+  // Only p2 participates: it must still decide its own value.
+  const int n = 3;
+  FailurePattern f(n);
+  OmegaFd omega(10);
+  World w(f, omega.history(f, 3));
+  const LeaderConsensusConfig cfg{"cons", n};
+  w.spawn_c(1, make_consensus_client(cfg, Value(55)));
+  for (int i = 0; i < n; ++i) w.spawn_s(i, make_consensus_server(cfg));
+  RoundRobinScheduler rr;
+  const auto r = drive(w, rr, 100000);
+  ASSERT_TRUE(r.all_c_decided);
+  EXPECT_EQ(w.decision(cpid(1)).as_int(), 55);
+}
+
+TEST(Consensus, CProgressIndependentOfOtherCProcesses) {
+  // EFD wait-freedom: p1 decides even though p2 never takes a single step.
+  const int n = 2;
+  FailurePattern f(n);
+  OmegaFd omega(10);
+  World w(f, omega.history(f, 5));
+  const LeaderConsensusConfig cfg{"cons", n};
+  w.spawn_c(0, make_consensus_client(cfg, Value(7)));
+  w.spawn_c(1, make_consensus_client(cfg, Value(8)));  // spawned but never scheduled
+  for (int i = 0; i < n; ++i) w.spawn_s(i, make_consensus_server(cfg));
+  // Custom schedule: only p1 and the S-processes run.
+  for (int round = 0; round < 5000 && !w.decided(cpid(0)); ++round) {
+    w.step(cpid(0));
+    for (int i = 0; i < n; ++i) w.step(spid(i));
+  }
+  EXPECT_TRUE(w.decided(cpid(0)));
+  EXPECT_EQ(w.decision(cpid(0)).as_int(), 7);
+  EXPECT_EQ(w.steps_taken(cpid(1)), 0);
+}
+
+TEST(Consensus, NoDecisionBeforeAnyInput) {
+  const int n = 2;
+  FailurePattern f(n);
+  OmegaFd omega(0);
+  World w(f, omega.history(f, 1));
+  const LeaderConsensusConfig cfg{"cons", n};
+  for (int i = 0; i < n; ++i) w.spawn_s(i, make_consensus_server(cfg));
+  RoundRobinScheduler rr;
+  drive(w, rr, 5000);
+  EXPECT_TRUE(w.memory().read("cons/DEC").is_nil());
+}
+
+TEST(Consensus, AdoptCommitServerVariant) {
+  // The ablation server (rounds of adopt-commit instead of Paxos ballots)
+  // implements the same interface with the same guarantees.
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const int n = 3;
+    const FailurePattern f = Environment(n, n - 1).sample(seed, static_cast<int>(seed % n), 15);
+    OmegaFd omega(35);
+    World w(f, omega.history(f, seed));
+    const LeaderConsensusConfig cfg{"consac", n};
+    for (int i = 0; i < n; ++i) w.spawn_c(i, make_consensus_client(cfg, Value(200 + i)));
+    for (int i = 0; i < n; ++i) w.spawn_s(i, make_consensus_server_ac(cfg));
+    RandomScheduler rs(seed * 5 + 2);
+    const auto r = drive(w, rs, 600000);
+    ASSERT_TRUE(r.all_c_decided) << "seed " << seed << " " << f.to_string();
+    std::set<std::int64_t> vals;
+    for (int i = 0; i < n; ++i) vals.insert(w.decision(cpid(i)).as_int());
+    EXPECT_EQ(vals.size(), 1u) << "seed " << seed;
+    EXPECT_GE(*vals.begin(), 200);
+    EXPECT_LT(*vals.begin(), 200 + n);
+  }
+}
+
+TEST(Consensus, AdoptCommitServerSafetyBeforeGst) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const int n = 3;
+    FailurePattern f(n);
+    OmegaFd omega(1000000);  // never stabilizes within the run
+    World w(f, omega.history(f, seed));
+    const LeaderConsensusConfig cfg{"consac", n};
+    for (int i = 0; i < n; ++i) w.spawn_c(i, make_consensus_client(cfg, Value(i)));
+    for (int i = 0; i < n; ++i) w.spawn_s(i, make_consensus_server_ac(cfg));
+    RandomScheduler rs(seed);
+    drive(w, rs, 30000);
+    std::set<std::int64_t> vals;
+    for (int i = 0; i < n; ++i) {
+      if (w.decided(cpid(i))) vals.insert(w.decision(cpid(i)).as_int());
+    }
+    EXPECT_LE(vals.size(), 1u) << "seed " << seed;
+  }
+}
+
+TEST(Consensus, SafetyHoldsEvenBeforeGst) {
+  // With a huge GST the leader oracle misbehaves for the whole run; safety
+  // (no two different decisions) must still hold whenever decisions happen.
+  const int n = 3;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    FailurePattern f(n);
+    OmegaFd omega(1000000);  // never stabilizes within the run
+    World w(f, omega.history(f, seed));
+    const LeaderConsensusConfig cfg{"cons", n};
+    for (int i = 0; i < n; ++i) w.spawn_c(i, make_consensus_client(cfg, Value(i)));
+    for (int i = 0; i < n; ++i) w.spawn_s(i, make_consensus_server(cfg));
+    RandomScheduler rs(seed);
+    drive(w, rs, 30000);
+    std::set<std::int64_t> vals;
+    for (int i = 0; i < n; ++i) {
+      if (w.decided(cpid(i))) vals.insert(w.decision(cpid(i)).as_int());
+    }
+    EXPECT_LE(vals.size(), 1u) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace efd

@@ -1,0 +1,125 @@
+// Tests for the CHT sampling DAG (fd/dag.hpp): structure, encoding, causal
+// precedence, and the live builder process.
+#include <gtest/gtest.h>
+
+#include "fd/dag.hpp"
+#include "fd/detectors.hpp"
+#include "sim/schedule.hpp"
+
+namespace efd {
+namespace {
+
+TEST(FdDag, AppendAndCount) {
+  FdDag d(2);
+  EXPECT_EQ(d.total(), 0);
+  d.append(0, Value(10), {-1, -1});
+  d.append(0, Value(11), {0, -1});
+  d.append(1, Value(20), {1, -1});
+  EXPECT_EQ(d.count(0), 2);
+  EXPECT_EQ(d.count(1), 1);
+  EXPECT_EQ(d.total(), 3);
+  EXPECT_EQ(d.of(0)[1].seq, 1);
+  EXPECT_EQ(d.of(0)[1].sample.as_int(), 11);
+}
+
+TEST(FdDag, SamplesOfPreservesOrder) {
+  FdDag d(1);
+  d.append(0, Value(1), {-1});
+  d.append(0, Value(2), {0});
+  const ValueVec s = d.samples_of(0);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[0].as_int(), 1);
+  EXPECT_EQ(s[1].as_int(), 2);
+}
+
+TEST(FdDag, EncodeDecodeRoundTrip) {
+  FdDag d(2);
+  d.append(0, vec(Value(1), Value(2)), {-1, -1});
+  d.append(1, Value("x"), {0, -1});
+  const FdDag e = FdDag::decode(d.encode());
+  EXPECT_EQ(e.n(), 2);
+  EXPECT_EQ(e.count(0), 1);
+  EXPECT_EQ(e.count(1), 1);
+  EXPECT_EQ(e.of(0)[0].sample, vec(Value(1), Value(2)));
+  EXPECT_EQ(e.of(1)[0].preds, (std::vector<int>{0, -1}));
+}
+
+TEST(FdDag, MergeIsUnionBySeq) {
+  FdDag a(2);
+  a.append(0, Value(1), {-1, -1});
+  FdDag b(2);
+  b.append(0, Value(1), {-1, -1});
+  b.append(0, Value(2), {0, -1});
+  b.append(1, Value(3), {1, -1});
+  a.merge(b);
+  EXPECT_EQ(a.count(0), 2);
+  EXPECT_EQ(a.count(1), 1);
+  a.merge(b);  // idempotent
+  EXPECT_EQ(a.total(), 3);
+}
+
+TEST(FdDag, PrecedesWithinProcess) {
+  FdDag d(1);
+  d.append(0, Value(1), {-1});
+  d.append(0, Value(2), {0});
+  EXPECT_TRUE(d.precedes(0, 0, 0, 1));
+  EXPECT_FALSE(d.precedes(0, 1, 0, 0));
+  EXPECT_FALSE(d.precedes(0, 0, 0, 0));
+}
+
+TEST(FdDag, PrecedesAcrossProcesses) {
+  FdDag d(2);
+  d.append(0, Value(1), {-1, -1});
+  d.append(1, Value(2), {0, -1});  // saw q1's vertex 0
+  EXPECT_TRUE(d.precedes(0, 0, 1, 0));
+  EXPECT_FALSE(d.precedes(1, 0, 0, 0));
+}
+
+TEST(DagBuilder, BuildsGrowingCausalDag) {
+  const int n = 3;
+  FailurePattern f(n);
+  f.crash(2, 12);
+  OmegaFd omega(30);
+  World w(f, omega.history(f, 2));
+  for (int i = 0; i < n; ++i) w.spawn_s(i, make_dag_builder("g", n));
+  RoundRobinScheduler rr;
+  drive(w, rr, 900);
+
+  const FdDag dag = read_dag(w, "g", n);
+  // Correct processes keep sampling; the crashed one stops.
+  EXPECT_GT(dag.count(0), 3);
+  EXPECT_GT(dag.count(1), 3);
+  EXPECT_LT(dag.count(2), dag.count(0));
+  // Later vertices causally follow earlier ones of other processes.
+  ASSERT_GT(dag.count(0), 1);
+  const auto& last = dag.of(0).back();
+  EXPECT_GE(last.preds[1], 0) << "q1's last vertex must have seen some vertex of q2";
+}
+
+TEST(DagBuilder, SamplesComeFromTheDetectorHistory) {
+  const int n = 2;
+  FailurePattern f(n);
+  OmegaFd omega(0);  // stable from t=0: always outputs the safe process 0
+  World w(f, omega.history(f, 4));
+  for (int i = 0; i < n; ++i) w.spawn_s(i, make_dag_builder("g", n));
+  RoundRobinScheduler rr;
+  drive(w, rr, 200);
+  const FdDag dag = read_dag(w, "g", n);
+  for (int p = 0; p < n; ++p) {
+    for (const auto& v : dag.of(p)) EXPECT_EQ(v.sample.as_int(), 0);
+  }
+}
+
+TEST(FdDag, MergeSizeMismatchThrows) {
+  FdDag a(2);
+  FdDag b(3);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(FdDag, AppendPredsArityThrows) {
+  FdDag a(2);
+  EXPECT_THROW(a.append(0, Value(1), {-1}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace efd

@@ -1,0 +1,152 @@
+// Tests for the failure-detector zoo (fd/detectors.hpp): every detector's
+// histories satisfy its own specification across patterns and seeds, and the
+// spec checkers reject histories that break the promise.
+#include <gtest/gtest.h>
+
+#include "fd/detectors.hpp"
+
+namespace efd {
+namespace {
+
+constexpr Time kHorizon = 400;
+
+FailurePattern pattern_with(int n, std::vector<std::pair<int, Time>> crashes) {
+  FailurePattern f(n);
+  for (auto [qi, t] : crashes) f.crash(qi, t);
+  return f;
+}
+
+TEST(TrivialFd, AlwaysNil) {
+  FailurePattern f(3);
+  const auto h = TrivialFd{}.history(f, 1);
+  for (int qi = 0; qi < 3; ++qi) {
+    for (Time t = 0; t < 50; ++t) EXPECT_TRUE(h->at(qi, t).is_nil());
+  }
+}
+
+TEST(OmegaFd, StabilizesOnCorrectLeader) {
+  const auto f = pattern_with(3, {{0, 10}});
+  OmegaFd omega(20);
+  const auto h = omega.history(f, 7);
+  EXPECT_TRUE(OmegaFd::check(f, *h, kHorizon));
+  // The stable leader must be correct (q1 crashed, so not 0).
+  const auto leader = h->at(1, kHorizon - 1).as_int();
+  EXPECT_TRUE(f.correct(static_cast<int>(leader)));
+}
+
+TEST(OmegaFd, StabilizationAfterLastCrash) {
+  const auto f = pattern_with(2, {{0, 100}});
+  OmegaFd omega(5);
+  EXPECT_GT(omega.stabilization_time(f), 100);
+}
+
+TEST(OmegaFd, CheckRejectsRotatingLeader) {
+  FailurePattern f(3);
+  FnHistory rotating([](int, Time t) { return Value(static_cast<int>(t % 3)); });
+  EXPECT_FALSE(OmegaFd::check(f, rotating, kHorizon));
+}
+
+TEST(OmegaFd, CheckRejectsFaultyLeader) {
+  const auto f = pattern_with(2, {{1, 0}});
+  FnHistory fixed([](int, Time) { return Value(1); });  // q2 is faulty
+  EXPECT_FALSE(OmegaFd::check(f, fixed, kHorizon));
+}
+
+TEST(AntiOmegaK, SampleShapeIsExactlyNMinusK) {
+  FailurePattern f(5);
+  AntiOmegaK anti(2, 10);
+  const auto h = anti.history(f, 3);
+  for (Time t = 0; t < 50; ++t) {
+    const Value v = h->at(0, t);
+    ASSERT_TRUE(v.is_vec());
+    EXPECT_EQ(v.size(), 3u);
+  }
+}
+
+TEST(AntiOmegaK, CheckRejectsAlwaysEveryone) {
+  FailurePattern f(3);
+  // Outputs every process in rotation: nobody is eventually excluded.
+  FnHistory all([](int, Time t) {
+    return vec(Value(static_cast<int>(t % 3)), Value(static_cast<int>((t + 1) % 3)));
+  });
+  EXPECT_FALSE(AntiOmegaK::check(1, f, all, kHorizon));
+}
+
+TEST(AntiOmegaK, CheckRejectsWrongArity) {
+  FailurePattern f(3);
+  FnHistory tiny([](int, Time) { return vec(Value(0)); });  // size 1, expected n-k=2
+  EXPECT_FALSE(AntiOmegaK::check(1, f, tiny, kHorizon));
+}
+
+TEST(VectorOmegaK, StableSlotNamesCorrectProcess) {
+  const auto f = pattern_with(4, {{1, 5}});
+  VectorOmegaK vo(2, 30);
+  const auto h = vo.history(f, 9);
+  EXPECT_TRUE(VectorOmegaK::check(2, f, *h, kHorizon));
+  const int slot = vo.stable_slot(f, 9);
+  const auto leader = h->at(0, kHorizon - 1).at(static_cast<std::size_t>(slot)).as_int();
+  EXPECT_TRUE(f.correct(static_cast<int>(leader)));
+}
+
+TEST(VectorOmegaK, CheckRejectsAllRotating) {
+  FailurePattern f(3);
+  FnHistory rot([](int, Time t) {
+    return vec(Value(static_cast<int>(t % 3)), Value(static_cast<int>((t + 1) % 3)));
+  });
+  EXPECT_FALSE(VectorOmegaK::check(2, f, rot, kHorizon));
+}
+
+TEST(EventuallyPerfect, EventuallySuspectsExactlyTheCrashed) {
+  const auto f = pattern_with(3, {{2, 4}});
+  EventuallyPerfectFd p(10);
+  const auto h = p.history(f, 5);
+  const Value late = h->at(0, kHorizon - 1);
+  ASSERT_EQ(late.size(), 1u);
+  EXPECT_EQ(late.at(0).as_int(), 2);
+}
+
+// ---- parameterized sweep: every detector satisfies its own spec on every
+// pattern of E_t and several seeds ----
+
+struct SweepParam {
+  int n;
+  int k;
+  std::uint64_t seed;
+};
+
+class DetectorSpecSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(DetectorSpecSweep, OmegaSatisfiesSpec) {
+  const auto [n, k, seed] = GetParam();
+  for (const auto& f : Environment(n, n - 1).enumerate(15)) {
+    OmegaFd omega(25);
+    EXPECT_TRUE(OmegaFd::check(f, *omega.history(f, seed), kHorizon)) << f.to_string();
+  }
+}
+
+TEST_P(DetectorSpecSweep, AntiOmegaSatisfiesSpec) {
+  const auto [n, k, seed] = GetParam();
+  if (k >= n) GTEST_SKIP();
+  for (const auto& f : Environment(n, n - 1).enumerate(15)) {
+    AntiOmegaK anti(k, 25);
+    EXPECT_TRUE(AntiOmegaK::check(k, f, *anti.history(f, seed), kHorizon)) << f.to_string();
+  }
+}
+
+TEST_P(DetectorSpecSweep, VectorOmegaSatisfiesSpec) {
+  const auto [n, k, seed] = GetParam();
+  if (k >= n) GTEST_SKIP();
+  for (const auto& f : Environment(n, n - 1).enumerate(15)) {
+    VectorOmegaK vo(k, 25);
+    EXPECT_TRUE(VectorOmegaK::check(k, f, *vo.history(f, seed), kHorizon)) << f.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DetectorSpecSweep,
+                         ::testing::Values(SweepParam{2, 1, 1}, SweepParam{3, 1, 2},
+                                           SweepParam{3, 2, 3}, SweepParam{4, 2, 4},
+                                           SweepParam{4, 3, 5}, SweepParam{5, 2, 6},
+                                           SweepParam{5, 4, 7}, SweepParam{4, 1, 8}));
+
+}  // namespace
+}  // namespace efd

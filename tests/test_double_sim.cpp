@@ -1,0 +1,92 @@
+// Dedicated coverage for the Thm. 9 double simulation (algo/double_sim.hpp)
+// beyond the integration smoke: crash patterns, partial participation, and
+// the k-concurrency the inner BG discipline enforces.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "algo/double_sim.hpp"
+#include "algo/one_concurrent.hpp"
+#include "fd/detectors.hpp"
+#include "sim/schedule.hpp"
+#include "tasks/set_agreement.hpp"
+
+namespace efd {
+namespace {
+
+SimProgramPtr task_program(const TaskPtr& task) {
+  return std::make_shared<ReplayProgram>([task](int, const Value& input, Context& ctx) {
+    return make_one_concurrent(task, input, "t9task")(ctx);
+  });
+}
+
+Thm9Config make_cfg(int n, int k, const TaskPtr& task) {
+  Thm9Config cfg;
+  cfg.ns = "t9";
+  cfg.n = n;
+  cfg.k = k;
+  cfg.task_code = task_program(task);
+  return cfg;
+}
+
+TEST(DoubleSim, SurvivesSCrashes) {
+  const int n = 3, k = 2;
+  FailurePattern f(n);
+  f.crash(0, 6);  // even the initially-preferred S-process may die
+  VectorOmegaK vo(k, 50);
+  World w(f, vo.history(f, 21));
+  auto task = std::make_shared<SetAgreementTask>(n, k);
+  const auto cfg = make_cfg(n, k, task);
+  for (int i = 0; i < n; ++i) w.spawn_c(i, make_thm9_simulator(cfg, Value(i)));
+  for (int i = 0; i < n; ++i) w.spawn_s(i, make_thm9_server(cfg));
+  RandomScheduler rs(4);
+  const auto r = drive(w, rs, 30000000);
+  ASSERT_TRUE(r.all_c_decided);
+  ValueVec in{Value(0), Value(1), Value(2)};
+  EXPECT_TRUE(task->relation(in, w.output_vector()));
+}
+
+TEST(DoubleSim, PartialParticipation) {
+  // Only p1 and p3 participate; the non-participant's task code never starts
+  // (its input register stays ⊥), yet the others decide.
+  const int n = 3, k = 2;
+  FailurePattern f(n);
+  VectorOmegaK vo(k, 30);
+  World w(f, vo.history(f, 5));
+  auto task = std::make_shared<SetAgreementTask>(n, k);
+  const auto cfg = make_cfg(n, k, task);
+  w.spawn_c(0, make_thm9_simulator(cfg, Value(10)));
+  w.spawn_c(2, make_thm9_simulator(cfg, Value(30)));
+  for (int i = 0; i < n; ++i) w.spawn_s(i, make_thm9_server(cfg));
+  RandomScheduler rs(6);
+  const auto r = drive(w, rs, 30000000);
+  ASSERT_TRUE(r.all_c_decided);
+  ValueVec in{Value(10), kNil, Value(30)};
+  ValueVec out = w.output_vector();
+  out.resize(static_cast<std::size_t>(n));
+  EXPECT_TRUE(task->relation(in, out));
+  EXPECT_TRUE(out[1].is_nil());
+}
+
+TEST(DoubleSim, AgreementBoundAcrossSeeds) {
+  const int n = 3, k = 2;
+  for (std::uint64_t seed : {2u, 8u}) {
+    FailurePattern f(n);
+    f.crash(static_cast<int>(seed % n), 10);
+    VectorOmegaK vo(k, 40);
+    World w(f, vo.history(f, seed));
+    auto task = std::make_shared<SetAgreementTask>(n, k);
+    const auto cfg = make_cfg(n, k, task);
+    for (int i = 0; i < n; ++i) w.spawn_c(i, make_thm9_simulator(cfg, Value(100 + i)));
+    for (int i = 0; i < n; ++i) w.spawn_s(i, make_thm9_server(cfg));
+    RandomScheduler rs(seed + 1);
+    const auto r = drive(w, rs, 30000000);
+    ASSERT_TRUE(r.all_c_decided) << "seed " << seed;
+    std::set<std::int64_t> vals;
+    for (int i = 0; i < n; ++i) vals.insert(w.decision(cpid(i)).as_int());
+    EXPECT_LE(static_cast<int>(vals.size()), k) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace efd

@@ -1,0 +1,110 @@
+// Tests for the EFD run harness (core/efd_system.hpp), incl. the
+// personified scheduler realizing classical solvability (Prop. 3 / §2.3).
+#include <gtest/gtest.h>
+
+#include "algo/leader_consensus.hpp"
+#include "algo/one_concurrent.hpp"
+#include "core/efd_system.hpp"
+#include "tasks/consensus.hpp"
+#include "tasks/identity.hpp"
+
+namespace efd {
+namespace {
+
+EfdSetup consensus_setup(int n, int faults, std::uint64_t seed) {
+  EfdSetup s;
+  s.task = std::make_shared<ConsensusTask>(n);
+  s.detector = std::make_shared<OmegaFd>(30);
+  s.pattern = Environment(n, n - 1).sample(seed, faults, 15);
+  s.seed = seed;
+  s.inputs.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) s.inputs[static_cast<std::size_t>(i)] = Value(i);
+  const LeaderConsensusConfig cfg{"cons", n};
+  s.c_body = [cfg](int, Value input) { return make_consensus_client(cfg, input); };
+  s.s_body = [cfg](int) { return make_consensus_server(cfg); };
+  return s;
+}
+
+TEST(EfdSystem, FairRunSolvesConsensus) {
+  const auto setup = consensus_setup(3, 1, 4);
+  const auto r = run_efd_fair(setup, 300000);
+  EXPECT_TRUE(r.all_decided);
+  EXPECT_TRUE(r.satisfied);
+}
+
+TEST(EfdSystem, TracedRunReportsConcurrency) {
+  const auto setup = consensus_setup(3, 0, 5);
+  const auto r = run_efd_fair(setup, 300000, /*trace=*/true);
+  EXPECT_TRUE(r.all_decided);
+  EXPECT_GE(r.max_concurrency, 1);
+  EXPECT_LE(r.max_concurrency, 3);
+}
+
+TEST(EfdSystem, PartialParticipationIsHonored) {
+  auto setup = consensus_setup(3, 0, 6);
+  setup.inputs[1] = kNil;  // p2 does not participate
+  const auto r = run_efd_fair(setup, 300000);
+  EXPECT_TRUE(r.all_decided);
+  EXPECT_TRUE(r.satisfied);
+  EXPECT_TRUE(r.outputs[1].is_nil());
+}
+
+TEST(EfdSystem, RestrictedAlgorithmNeedsNoSBodies) {
+  const int n = 2;
+  EfdSetup s;
+  s.task = std::make_shared<IdentityTask>(n);
+  s.detector = std::make_shared<TrivialFd>();
+  s.pattern = FailurePattern(n);
+  s.inputs = {Value(10), Value(20)};
+  s.c_body = [task = s.task](int, Value input) { return make_one_concurrent(task, input, "id"); };
+  const auto r = run_efd_fair(s, 10000);
+  EXPECT_TRUE(r.all_decided);
+  EXPECT_TRUE(r.satisfied);
+  EXPECT_EQ(r.outputs[0].as_int(), 10);
+}
+
+TEST(EfdSystem, ValidatesArity) {
+  auto setup = consensus_setup(3, 0, 1);
+  setup.inputs.pop_back();
+  RoundRobinScheduler rr;
+  EXPECT_THROW(run_efd(setup, rr, 100), std::invalid_argument);
+}
+
+TEST(Personified, CProcessStopsWithItsSProcess) {
+  // In personified runs p_i takes steps only while q_i is alive (§2.3).
+  const int n = 2;
+  FailurePattern f(n);
+  f.crash(1, 6);
+  World w(f, OmegaFd(10).history(f, 1));
+  auto spin = [](Context& ctx) -> Proc {
+    for (;;) co_await ctx.yield();
+  };
+  for (int i = 0; i < n; ++i) w.spawn_c(i, spin);
+  for (int i = 0; i < n; ++i) w.spawn_s(i, spin);
+  PersonifiedScheduler ps;
+  for (int s = 0; s < 200; ++s) {
+    const auto pid = ps.next(w);
+    ASSERT_TRUE(pid.has_value());
+    w.step(*pid);
+  }
+  const int p2_steps = w.steps_taken(cpid(1));
+  EXPECT_GT(w.steps_taken(cpid(0)), p2_steps);
+  EXPECT_LE(p2_steps, 6);  // p2 froze when q2 crashed at t=6
+}
+
+TEST(Personified, EfdSolutionAlsoSolvesClassically) {
+  // Prop. 3: every personified run of an EFD algorithm satisfies the task.
+  const auto setup = consensus_setup(3, 1, 9);
+  PersonifiedScheduler ps;
+  const auto r = run_efd(setup, ps, 300000);
+  EXPECT_TRUE(r.satisfied);
+  // All C-processes whose S-counterpart is correct must decide.
+  for (int i = 0; i < 3; ++i) {
+    if (setup.pattern.correct(i)) {
+      EXPECT_FALSE(r.outputs[static_cast<std::size_t>(i)].is_nil()) << "p" << (i + 1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace efd

@@ -1,0 +1,118 @@
+// Tests for derived detectors (fd/emulations.hpp): each mapped detector's
+// histories satisfy the target specification, and a mapped detector can
+// drive a solver written for the target — the solvability-transfer fact of
+// §2.2 ("if D' is weaker than D, tasks solvable with D' solve with D").
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "algo/leader_consensus.hpp"
+#include "algo/set_agreement_antiomega.hpp"
+#include "fd/emulations.hpp"
+#include "sim/schedule.hpp"
+
+namespace efd {
+namespace {
+
+constexpr Time kHorizon = 400;
+
+struct EmuCase {
+  int n, k, faults;
+  std::uint64_t seed;
+};
+
+class EmulationSweep : public ::testing::TestWithParam<EmuCase> {};
+
+TEST_P(EmulationSweep, OmegaFromDiamondPSatisfiesOmega) {
+  const auto p = GetParam();
+  const FailurePattern f = Environment(p.n, p.n - 1).sample(p.seed, p.faults, 20);
+  const auto omega = omega_from_diamond_p(std::make_shared<EventuallyPerfectFd>(30), p.n);
+  EXPECT_TRUE(OmegaFd::check(f, *omega->history(f, p.seed), kHorizon)) << f.to_string();
+}
+
+TEST_P(EmulationSweep, VecOmegaFromOmegaSatisfiesVecOmega) {
+  const auto p = GetParam();
+  if (p.k >= p.n) GTEST_SKIP();
+  const FailurePattern f = Environment(p.n, p.n - 1).sample(p.seed, p.faults, 20);
+  const auto vec = vec_omega_from_omega(std::make_shared<OmegaFd>(30), p.n, p.k);
+  EXPECT_TRUE(VectorOmegaK::check(p.k, f, *vec->history(f, p.seed), kHorizon)) << f.to_string();
+}
+
+TEST_P(EmulationSweep, AntiOmegaFromVecOmegaSatisfiesAntiOmega) {
+  const auto p = GetParam();
+  if (p.k >= p.n) GTEST_SKIP();
+  const FailurePattern f = Environment(p.n, p.n - 1).sample(p.seed, p.faults, 20);
+  const auto anti =
+      anti_omega_from_vec_omega(std::make_shared<VectorOmegaK>(p.k, 30), p.n, p.k);
+  EXPECT_TRUE(AntiOmegaK::check(p.k, f, *anti->history(f, p.seed), kHorizon)) << f.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EmulationSweep,
+                         ::testing::Values(EmuCase{3, 1, 1, 1}, EmuCase{3, 2, 2, 2},
+                                           EmuCase{4, 2, 1, 3}, EmuCase{4, 3, 3, 4},
+                                           EmuCase{5, 2, 2, 5}, EmuCase{5, 4, 4, 6},
+                                           EmuCase{6, 3, 2, 7}));
+
+TEST(Emulation, ChainedDetectorsStack) {
+  // ◇P → Ω → →Ω2 → ¬Ω2, all at once.
+  const int n = 4, k = 2;
+  FailurePattern f(n);
+  f.crash(3, 10);
+  const auto chain = anti_omega_from_vec_omega(
+      vec_omega_from_omega(omega_from_diamond_p(std::make_shared<EventuallyPerfectFd>(25), n),
+                           n, k),
+      n, k);
+  EXPECT_TRUE(AntiOmegaK::check(k, f, *chain->history(f, 3), kHorizon));
+  EXPECT_NE(chain->name().find("antiOmega"), std::string::npos);
+}
+
+TEST(Emulation, MappedDetectorDrivesARealSolver) {
+  // Consensus clients/servers written for Ω run unchanged on the Ω derived
+  // from ◇P: solvability transfers through the reduction.
+  const int n = 3;
+  FailurePattern f(n);
+  f.crash(0, 8);
+  const auto omega = omega_from_diamond_p(std::make_shared<EventuallyPerfectFd>(25), n);
+  World w(f, omega->history(f, 5));
+  const LeaderConsensusConfig cfg{"cons", n};
+  for (int i = 0; i < n; ++i) w.spawn_c(i, make_consensus_client(cfg, Value(70 + i)));
+  for (int i = 0; i < n; ++i) w.spawn_s(i, make_consensus_server(cfg));
+  RandomScheduler rs(5);
+  const auto r = drive(w, rs, 400000);
+  ASSERT_TRUE(r.all_c_decided);
+  std::set<std::int64_t> vals;
+  for (int i = 0; i < n; ++i) vals.insert(w.decision(cpid(i)).as_int());
+  EXPECT_EQ(vals.size(), 1u);
+}
+
+TEST(Emulation, KsaRunsOnVecOmegaDerivedFromOmega) {
+  const int n = 4, k = 2;
+  FailurePattern f(n);
+  f.crash(2, 12);
+  const auto vo = vec_omega_from_omega(std::make_shared<OmegaFd>(35), n, k);
+  World w(f, vo->history(f, 9));
+  const KsaConfig cfg{"ksa", n, k};
+  for (int i = 0; i < n; ++i) w.spawn_c(i, make_ksa_client(cfg, Value(i)));
+  for (int i = 0; i < n; ++i) w.spawn_s(i, make_ksa_server(cfg));
+  RandomScheduler rs(9);
+  const auto r = drive(w, rs, 800000);
+  ASSERT_TRUE(r.all_c_decided);
+  EXPECT_LE(static_cast<int>([&] {
+              std::set<std::int64_t> vals;
+              for (int i = 0; i < n; ++i) vals.insert(w.decision(cpid(i)).as_int());
+              return vals.size();
+            }()),
+            k);
+}
+
+TEST(Emulation, StabilizationTimeIsInherited) {
+  const int n = 3;
+  FailurePattern f(n);
+  f.crash(1, 50);
+  auto base = std::make_shared<OmegaFd>(20);
+  const auto derived = vec_omega_from_omega(base, n, 2);
+  EXPECT_EQ(derived->stabilization_time(f), base->stabilization_time(f));
+}
+
+}  // namespace
+}  // namespace efd

@@ -1,0 +1,107 @@
+// Tests for failure patterns and environments (fd/failure_pattern.hpp).
+#include <gtest/gtest.h>
+
+#include "fd/failure_pattern.hpp"
+
+namespace efd {
+namespace {
+
+TEST(FailurePattern, FreshPatternIsFailureFree) {
+  FailurePattern f(3);
+  EXPECT_EQ(f.n(), 3);
+  EXPECT_EQ(f.num_correct(), 3);
+  EXPECT_EQ(f.num_faulty(), 0);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(f.correct(i));
+    EXPECT_TRUE(f.alive(i, 1000000));
+  }
+}
+
+TEST(FailurePattern, CrashIsPermanent) {
+  FailurePattern f(2);
+  f.crash(0, 5);
+  EXPECT_TRUE(f.alive(0, 4));
+  EXPECT_FALSE(f.alive(0, 5));
+  EXPECT_FALSE(f.alive(0, 500));
+  EXPECT_FALSE(f.correct(0));
+  EXPECT_TRUE(f.correct(1));
+}
+
+TEST(FailurePattern, CorrectAndFaultySets) {
+  FailurePattern f(4);
+  f.crash(1, 0);
+  f.crash(3, 7);
+  EXPECT_EQ(f.correct_set(), (std::vector<int>{0, 2}));
+  EXPECT_EQ(f.faulty_set(), (std::vector<int>{1, 3}));
+  EXPECT_EQ(f.num_correct(), 2);
+  EXPECT_EQ(f.num_faulty(), 2);
+}
+
+TEST(FailurePattern, LastCrashTime) {
+  FailurePattern f(3);
+  EXPECT_EQ(f.last_crash_time(), 0);
+  f.crash(0, 4);
+  f.crash(2, 9);
+  EXPECT_EQ(f.last_crash_time(), 9);
+}
+
+TEST(FailurePattern, ToString) {
+  FailurePattern f(2);
+  EXPECT_EQ(f.to_string(), "{failure-free}");
+  f.crash(1, 3);
+  EXPECT_EQ(f.to_string(), "{q2@3}");
+}
+
+TEST(Environment, AllowsRespectsBound) {
+  Environment e(3, 1);
+  FailurePattern ok(3);
+  ok.crash(0, 1);
+  EXPECT_TRUE(e.allows(ok));
+  FailurePattern bad(3);
+  bad.crash(0, 1);
+  bad.crash(1, 2);
+  EXPECT_FALSE(e.allows(bad));
+}
+
+TEST(Environment, RequiresOneCorrectProcess) {
+  Environment e(2, 2);
+  FailurePattern all_dead(2);
+  all_dead.crash(0, 0);
+  all_dead.crash(1, 0);
+  EXPECT_FALSE(e.allows(all_dead));
+}
+
+TEST(Environment, EnumerateCoversAllSubsets) {
+  Environment e(3, 1);
+  const auto pats = e.enumerate(5);
+  // {} plus the three singletons.
+  EXPECT_EQ(pats.size(), 4u);
+  for (const auto& f : pats) EXPECT_TRUE(e.allows(f));
+}
+
+TEST(Environment, EnumerateWaitFree) {
+  const auto pats = wait_free_env(3).enumerate(0);
+  // All subsets except the full set: 2^3 - 1 = 7.
+  EXPECT_EQ(pats.size(), 7u);
+}
+
+TEST(Environment, SampleIsDeterministicAndLegal) {
+  Environment e(5, 3);
+  const auto a = e.sample(42, 2, 100);
+  const auto b = e.sample(42, 2, 100);
+  EXPECT_EQ(a.faulty_set(), b.faulty_set());
+  EXPECT_EQ(a.num_faulty(), 2);
+  EXPECT_TRUE(e.allows(a));
+  for (int i : a.faulty_set()) {
+    EXPECT_LT(*a.crash_time(i), 100);
+  }
+}
+
+TEST(Environment, SampleClampsToEnvironmentBound) {
+  Environment e(3, 1);
+  const auto f = e.sample(7, 5, 10);  // asks for 5 faults, gets at most 1
+  EXPECT_LE(f.num_faulty(), 1);
+}
+
+}  // namespace
+}  // namespace efd

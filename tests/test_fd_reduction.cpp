@@ -1,0 +1,103 @@
+// Tests for the failure-detector reduction harness (fd/reduction.hpp):
+// emulated histories satisfy the target detector's specification.
+#include <gtest/gtest.h>
+
+#include "fd/reduction.hpp"
+
+namespace efd {
+namespace {
+
+Value initial_anti_sample(int n, int k) {
+  ValueVec v;
+  for (int i = 0; i < n - k; ++i) v.emplace_back(i);
+  return Value(std::move(v));
+}
+
+struct RedCase {
+  int n, k, faults;
+  std::uint64_t seed;
+};
+
+class VecToAntiSweep : public ::testing::TestWithParam<RedCase> {};
+
+// →Ωk is at least as strong as ¬Ωk (the direction used throughout §4).
+TEST_P(VecToAntiSweep, EmulatedHistoryIsAntiOmegaK) {
+  const auto p = GetParam();
+  const FailurePattern f = Environment(p.n, p.n - 1).sample(p.seed, p.faults, 30);
+  auto vo = std::make_shared<VectorOmegaK>(p.k, 60);
+  std::vector<ProcBody> bodies;
+  for (int i = 0; i < p.n; ++i) bodies.push_back(make_vec_to_anti_converter("anti", p.n, p.k));
+  const ReductionRun run = run_reduction(f, vo, p.seed, bodies, 4000);
+  const auto h = history_from_out_registers(run.trace, "anti", p.n,
+                                            initial_anti_sample(p.n, p.k));
+  EXPECT_TRUE(AntiOmegaK::check(p.k, f, *h, run.horizon)) << f.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, VecToAntiSweep,
+                         ::testing::Values(RedCase{3, 1, 1, 1}, RedCase{3, 2, 1, 2},
+                                           RedCase{4, 2, 2, 3}, RedCase{4, 3, 1, 4},
+                                           RedCase{5, 2, 3, 5}, RedCase{5, 3, 2, 6},
+                                           RedCase{5, 4, 4, 7}, RedCase{6, 3, 3, 8}));
+
+class OmegaToVecSweep : public ::testing::TestWithParam<RedCase> {};
+
+// Ω is at least as strong as →Ωk for every k (slot 0 carries the leader).
+TEST_P(OmegaToVecSweep, EmulatedHistoryIsVectorOmegaK) {
+  const auto p = GetParam();
+  const FailurePattern f = Environment(p.n, p.n - 1).sample(p.seed, p.faults, 20);
+  auto omega = std::make_shared<OmegaFd>(50);
+  std::vector<ProcBody> bodies;
+  for (int i = 0; i < p.n; ++i) bodies.push_back(make_omega_to_vec_converter("vk", p.n, p.k));
+  const ReductionRun run = run_reduction(f, omega, p.seed, bodies, 4000);
+  ValueVec init;
+  for (int j = 0; j < p.k; ++j) init.emplace_back(0);
+  const auto h = history_from_out_registers(run.trace, "vk", p.n, Value(std::move(init)));
+  EXPECT_TRUE(VectorOmegaK::check(p.k, f, *h, run.horizon)) << f.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, OmegaToVecSweep,
+                         ::testing::Values(RedCase{3, 1, 1, 1}, RedCase{3, 2, 2, 2},
+                                           RedCase{4, 2, 1, 3}, RedCase{4, 3, 3, 4},
+                                           RedCase{5, 3, 2, 5}, RedCase{5, 2, 4, 6}));
+
+TEST(ReductionHarness, HistoryBeforeFirstWriteIsInitial) {
+  Trace empty;
+  const auto h = history_from_out_registers(empty, "x", 2, Value(42));
+  EXPECT_EQ(h->at(0, 0).as_int(), 42);
+  EXPECT_EQ(h->at(1, 999).as_int(), 42);
+}
+
+TEST(ReductionHarness, HistoryFollowsWrites) {
+  Trace t;
+  StepRecord a;
+  a.time = 5;
+  a.pid = spid(0);
+  a.op = OpKind::kWrite;
+  a.addr = reg("x", 0);
+  a.value = Value(1);
+  t.push_back(a);
+  a.time = 9;
+  a.value = Value(2);
+  t.push_back(a);
+  const auto h = history_from_out_registers(t, "x", 1, Value(0));
+  EXPECT_EQ(h->at(0, 4).as_int(), 0);
+  EXPECT_EQ(h->at(0, 5).as_int(), 1);
+  EXPECT_EQ(h->at(0, 8).as_int(), 1);
+  EXPECT_EQ(h->at(0, 9).as_int(), 2);
+}
+
+TEST(ReductionHarness, IgnoresWritesFromWrongProcessOrAddress) {
+  Trace t;
+  StepRecord a;
+  a.time = 1;
+  a.pid = spid(1);  // q2 writing q1's register: not q1's module output
+  a.op = OpKind::kWrite;
+  a.addr = reg("x", 0);
+  a.value = Value(7);
+  t.push_back(a);
+  const auto h = history_from_out_registers(t, "x", 2, Value(0));
+  EXPECT_EQ(h->at(0, 5).as_int(), 0);
+}
+
+}  // namespace
+}  // namespace efd

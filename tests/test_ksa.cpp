@@ -1,0 +1,144 @@
+// Tests for k-set agreement with →Ωk (algo/set_agreement_antiomega.hpp) and
+// the no-advice (Π, n)-set agreement of §2.2.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "algo/set_agreement_antiomega.hpp"
+#include "fd/detectors.hpp"
+#include "sim/schedule.hpp"
+#include "tasks/set_agreement.hpp"
+
+namespace efd {
+namespace {
+
+struct KsaCase {
+  int n;
+  int k;
+  int faults;
+  Time gst;
+  std::uint64_t seed;
+};
+
+class KsaSweep : public ::testing::TestWithParam<KsaCase> {};
+
+TEST_P(KsaSweep, AtMostKValuesAllFromInputs) {
+  const auto p = GetParam();
+  const FailurePattern f = Environment(p.n, p.n - 1).sample(p.seed, p.faults, 15);
+  VectorOmegaK vo(p.k, p.gst);
+  World w(f, vo.history(f, p.seed));
+  const KsaConfig cfg{"ksa", p.n, p.k};
+  for (int i = 0; i < p.n; ++i) w.spawn_c(i, make_ksa_client(cfg, Value(i)));
+  for (int i = 0; i < p.n; ++i) w.spawn_s(i, make_ksa_server(cfg));
+  RandomScheduler rs(p.seed * 17 + 3);
+  const auto r = drive(w, rs, 800000);
+  ASSERT_TRUE(r.all_c_decided) << f.to_string();
+
+  std::set<std::int64_t> vals;
+  for (int i = 0; i < p.n; ++i) {
+    const auto d = w.decision(cpid(i)).as_int();
+    EXPECT_GE(d, 0);
+    EXPECT_LT(d, p.n);  // validity: someone's input
+    vals.insert(d);
+  }
+  EXPECT_LE(static_cast<int>(vals.size()), p.k);
+
+  SetAgreementTask task(p.n, p.k);
+  ValueVec in(static_cast<std::size_t>(p.n));
+  for (int i = 0; i < p.n; ++i) in[static_cast<std::size_t>(i)] = Value(i);
+  EXPECT_TRUE(task.relation(in, w.output_vector()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KsaSweep,
+    ::testing::Values(KsaCase{3, 2, 0, 20, 1}, KsaCase{3, 2, 2, 35, 2}, KsaCase{4, 2, 1, 30, 3},
+                      KsaCase{4, 3, 2, 30, 4}, KsaCase{5, 2, 2, 40, 5}, KsaCase{5, 3, 4, 50, 6},
+                      KsaCase{5, 4, 2, 40, 7}, KsaCase{6, 2, 3, 45, 8}, KsaCase{6, 5, 5, 60, 9},
+                      KsaCase{4, 2, 3, 50, 10}));
+
+TEST(Ksa, ConsensusDegenerateCase) {
+  // k = 1: →Ω1 is Ω; the algorithm degenerates to consensus.
+  const int n = 3;
+  FailurePattern f(n);
+  f.crash(1, 5);
+  VectorOmegaK vo(1, 25);
+  World w(f, vo.history(f, 2));
+  const KsaConfig cfg{"ksa", n, 1};
+  for (int i = 0; i < n; ++i) w.spawn_c(i, make_ksa_client(cfg, Value(10 * i)));
+  for (int i = 0; i < n; ++i) w.spawn_s(i, make_ksa_server(cfg));
+  RoundRobinScheduler rr;
+  const auto r = drive(w, rr, 400000);
+  ASSERT_TRUE(r.all_c_decided);
+  std::set<std::int64_t> vals;
+  for (int i = 0; i < n; ++i) vals.insert(w.decision(cpid(i)).as_int());
+  EXPECT_EQ(vals.size(), 1u);
+}
+
+TEST(NoAdvice, NSetAgreementSolvableInEveryEnvironment) {
+  // §2.2: with n S-processes and NO failure detector, (Π, n)-set agreement
+  // is solvable: each correct S-process relays one input into its slot.
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const int n = 4;
+    FailurePattern f = Environment(n, n - 1).sample(seed, static_cast<int>(seed % n), 10);
+    TrivialFd trivial;
+    World w(f, trivial.history(f, seed));
+    const KsaConfig cfg{"nsa", n, n};
+    for (int i = 0; i < n; ++i) w.spawn_c(i, make_nsa_noadvice_client(cfg, Value(i)));
+    for (int i = 0; i < n; ++i) w.spawn_s(i, make_nsa_noadvice_server(cfg));
+    RandomScheduler rs(seed + 500);
+    const auto r = drive(w, rs, 100000);
+    ASSERT_TRUE(r.all_c_decided) << f.to_string();
+    std::set<std::int64_t> vals;
+    for (int i = 0; i < n; ++i) {
+      const auto d = w.decision(cpid(i)).as_int();
+      EXPECT_GE(d, 0);
+      EXPECT_LT(d, n);
+      vals.insert(d);
+    }
+    EXPECT_LE(static_cast<int>(vals.size()), n);
+  }
+}
+
+TEST(NoAdvice, FewerRelayersFewerValues) {
+  // With only one correct S-process, the no-advice algorithm actually
+  // achieves 1-set agreement among deciders — the S-count bounds the values.
+  const int n = 3;
+  FailurePattern f(n);
+  f.crash(1, 0);
+  f.crash(2, 0);
+  TrivialFd trivial;
+  World w(f, trivial.history(f, 0));
+  const KsaConfig cfg{"nsa", n, n};
+  for (int i = 0; i < n; ++i) w.spawn_c(i, make_nsa_noadvice_client(cfg, Value(i)));
+  for (int i = 0; i < n; ++i) w.spawn_s(i, make_nsa_noadvice_server(cfg));
+  RoundRobinScheduler rr;
+  const auto r = drive(w, rr, 50000);
+  ASSERT_TRUE(r.all_c_decided);
+  std::set<std::int64_t> vals;
+  for (int i = 0; i < n; ++i) vals.insert(w.decision(cpid(i)).as_int());
+  EXPECT_EQ(vals.size(), 1u);
+}
+
+TEST(Ksa, SafetyUnderPermanentNoise) {
+  // →Ωk that never stabilizes: liveness may be lost, but never more than k
+  // distinct decisions.
+  const int n = 4, k = 2;
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    FailurePattern f(n);
+    VectorOmegaK vo(k, 1000000);
+    World w(f, vo.history(f, seed));
+    const KsaConfig cfg{"ksa", n, k};
+    for (int i = 0; i < n; ++i) w.spawn_c(i, make_ksa_client(cfg, Value(i)));
+    for (int i = 0; i < n; ++i) w.spawn_s(i, make_ksa_server(cfg));
+    RandomScheduler rs(seed);
+    drive(w, rs, 40000);
+    std::set<std::int64_t> vals;
+    for (int i = 0; i < n; ++i) {
+      if (w.decided(cpid(i))) vals.insert(w.decision(cpid(i)).as_int());
+    }
+    EXPECT_LE(static_cast<int>(vals.size()), k) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace efd

@@ -1,0 +1,73 @@
+// Unit tests for the register file (sim/memory.hpp).
+#include "sim/memory.hpp"
+
+#include <gtest/gtest.h>
+
+namespace efd {
+namespace {
+
+TEST(RegisterFile, UnwrittenReadsAsNil) {
+  RegisterFile m;
+  EXPECT_TRUE(m.read("nope").is_nil());
+  EXPECT_EQ(m.footprint(), 0u);
+}
+
+TEST(RegisterFile, WriteThenRead) {
+  RegisterFile m;
+  m.write("a", Value(1));
+  EXPECT_EQ(m.read("a").as_int(), 1);
+  EXPECT_EQ(m.footprint(), 1u);
+}
+
+TEST(RegisterFile, OverwriteKeepsLatest) {
+  RegisterFile m;
+  m.write("a", Value(1));
+  m.write("a", Value(2));
+  EXPECT_EQ(m.read("a").as_int(), 2);
+  EXPECT_EQ(m.footprint(), 1u);
+  EXPECT_EQ(m.write_count(), 2u);
+}
+
+TEST(RegisterFile, DistinctAddressesAreIndependent) {
+  RegisterFile m;
+  m.write("a", Value(1));
+  m.write("b", Value("x"));
+  EXPECT_EQ(m.read("a").as_int(), 1);
+  EXPECT_EQ(m.read("b").as_str(), "x");
+}
+
+TEST(RegisterFile, IndexedNames) {
+  EXPECT_EQ(reg("V", 0), "V[0]");
+  EXPECT_EQ(reg("V", 12), "V[12]");
+  EXPECT_EQ(reg2("cons", 1, 3), "cons[1][3]");
+  EXPECT_EQ(reg3("x", 1, 2, 3), "x[1][2][3]");
+}
+
+TEST(RegisterFile, ContentHashIsOrderIndependent) {
+  RegisterFile a;
+  a.write("x", Value(1));
+  a.write("y", Value(2));
+  RegisterFile b;
+  b.write("y", Value(2));
+  b.write("x", Value(1));
+  EXPECT_EQ(a.content_hash(), b.content_hash());
+}
+
+TEST(RegisterFile, ContentHashSeesValues) {
+  RegisterFile a;
+  a.write("x", Value(1));
+  RegisterFile b;
+  b.write("x", Value(2));
+  EXPECT_NE(a.content_hash(), b.content_hash());
+}
+
+TEST(RegisterFile, ContentHashSeesAddresses) {
+  RegisterFile a;
+  a.write("x", Value(1));
+  RegisterFile b;
+  b.write("y", Value(1));
+  EXPECT_NE(a.content_hash(), b.content_hash());
+}
+
+}  // namespace
+}  // namespace efd

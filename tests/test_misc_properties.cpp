@@ -1,0 +1,193 @@
+// Cross-cutting property sweeps that don't belong to a single module:
+// determinism of the whole pipeline, scheduler/stride interactions, DAG
+// causal-order properties, k-codes poll mode, and environment coverage.
+#include <gtest/gtest.h>
+
+#include "algo/k_codes_sim.hpp"
+#include "algo/leader_consensus.hpp"
+#include "fd/dag.hpp"
+#include "fd/detectors.hpp"
+#include "sim/schedule.hpp"
+
+namespace efd {
+namespace {
+
+// --- determinism: identical (bodies, pattern, history, schedule) => runs
+// are bit-identical, the property every replay-based analysis rests on ---
+
+ValueVec run_consensus(std::uint64_t sched_seed) {
+  const int n = 3;
+  FailurePattern f(n);
+  f.crash(1, 7);
+  OmegaFd omega(20);
+  World w(f, omega.history(f, 5));
+  const LeaderConsensusConfig cfg{"cons", n};
+  for (int i = 0; i < n; ++i) w.spawn_c(i, make_consensus_client(cfg, Value(i)));
+  for (int i = 0; i < n; ++i) w.spawn_s(i, make_consensus_server(cfg));
+  RandomScheduler rs(sched_seed);
+  drive(w, rs, 300000);
+  return w.output_vector();
+}
+
+TEST(Determinism, IdenticalSeedsIdenticalRuns) {
+  for (std::uint64_t seed : {1u, 9u, 33u}) {
+    EXPECT_EQ(Value(run_consensus(seed)), Value(run_consensus(seed)));
+  }
+}
+
+TEST(Determinism, TraceReplayReproducesRun) {
+  // Record a traced run, replay its schedule explicitly: identical outputs.
+  const int n = 2;
+  FailurePattern f(n);
+  OmegaFd omega(10);
+  const LeaderConsensusConfig cfg{"cons", n};
+  auto build = [&](World& w) {
+    for (int i = 0; i < n; ++i) w.spawn_c(i, make_consensus_client(cfg, Value(5 + i)));
+    for (int i = 0; i < n; ++i) w.spawn_s(i, make_consensus_server(cfg));
+  };
+  World a(f, omega.history(f, 2));
+  build(a);
+  a.enable_trace();
+  RandomScheduler rs(77);
+  drive(a, rs, 300000);
+  std::vector<Pid> sched;
+  for (const auto& s : a.trace()) sched.push_back(s.pid);
+
+  World b(f, omega.history(f, 2));
+  build(b);
+  ExplicitSchedule es(std::move(sched));
+  drive(b, es, 400000);
+  EXPECT_EQ(Value(a.output_vector()), Value(b.output_vector()));
+}
+
+// --- scheduler stride interactions ---
+
+TEST(KConcurrency, LargerStrideGivesMoreSSteps) {
+  auto s_steps = [](int stride) {
+    const int n = 2;
+    FailurePattern f(n);
+    OmegaFd omega(5);
+    World w(f, omega.history(f, 1));
+    const LeaderConsensusConfig cfg{"cons", n};
+    for (int i = 0; i < n; ++i) w.spawn_c(i, make_consensus_client(cfg, Value(i)));
+    for (int i = 0; i < n; ++i) w.spawn_s(i, make_consensus_server(cfg));
+    KConcurrencyScheduler ks(1, {0, 1}, stride);
+    drive(w, ks, 5000);
+    return w.steps_taken(spid(0)) + w.steps_taken(spid(1));
+  };
+  EXPECT_LT(s_steps(1), s_steps(4));
+}
+
+// --- DAG causal order: transitivity and sampling monotonicity ---
+
+TEST(FdDagProperties, PrecedesIsTransitiveAcrossBuilders) {
+  const int n = 3;
+  FailurePattern f(n);
+  OmegaFd omega(10);
+  World w(f, omega.history(f, 3));
+  for (int i = 0; i < n; ++i) w.spawn_s(i, make_dag_builder("g", n));
+  RoundRobinScheduler rr;
+  drive(w, rr, 600);
+  const FdDag dag = read_dag(w, "g", n);
+  for (int a = 0; a < n; ++a) {
+    for (int sa = 0; sa < std::min(dag.count(a), 4); ++sa) {
+      for (int b = 0; b < n; ++b) {
+        for (int sb = 0; sb < std::min(dag.count(b), 4); ++sb) {
+          if (!dag.precedes(a, sa, b, sb)) continue;
+          for (int c = 0; c < n; ++c) {
+            for (int sc = 0; sc < std::min(dag.count(c), 4); ++sc) {
+              if (dag.precedes(b, sb, c, sc)) {
+                EXPECT_TRUE(dag.precedes(a, sa, c, sc))
+                    << "q" << a << "#" << sa << " -> q" << b << "#" << sb << " -> q" << c << "#"
+                    << sc;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(FdDagProperties, OwnVerticesAreChained) {
+  const int n = 2;
+  FailurePattern f(n);
+  OmegaFd omega(5);
+  World w(f, omega.history(f, 1));
+  for (int i = 0; i < n; ++i) w.spawn_s(i, make_dag_builder("g", n));
+  RoundRobinScheduler rr;
+  drive(w, rr, 300);
+  const FdDag dag = read_dag(w, "g", n);
+  for (int p = 0; p < n; ++p) {
+    for (int s = 1; s < dag.count(p); ++s) {
+      EXPECT_TRUE(dag.precedes(p, s - 1, p, s));
+    }
+  }
+}
+
+// --- k-codes poll mode: a simulator departs on its own register ---
+
+struct OneShot final : SimProgram {
+  Value init(int idx, const Value&) const override { return vec(Value(idx), Value(0)); }
+  SimAction action(const Value& st) const override {
+    if (st.at(1).int_or(0) == 0) return {SimAction::Kind::kRead, "once", {}};
+    return {};
+  }
+  Value transition(const Value& st, const Value&) const override {
+    return vec(st.at(0), Value(1));
+  }
+};
+
+TEST(KCodesPollMode, SimulatorDecidesFromPolledRegister) {
+  const int n = 2, k = 1;
+  FailurePattern f(n);
+  VectorOmegaK vo(k, 5);
+  World w(f, vo.history(f, 2));
+  KCodesConfig cfg;
+  cfg.ns = "kc";
+  cfg.n = n;
+  cfg.k = k;
+  cfg.code = std::make_shared<OneShot>();
+  cfg.inputs.assign(1, Value(0));
+  cfg.poll_base = "mydec";
+  for (int i = 0; i < n; ++i) w.spawn_c(i, make_kcodes_simulator(cfg, {}));
+  for (int i = 0; i < n; ++i) w.spawn_s(i, make_kcodes_server(cfg));
+  // Nobody decides until the polled registers are written externally.
+  RoundRobinScheduler rr;
+  drive(w, rr, 3000);
+  EXPECT_FALSE(w.all_c_decided());
+  w.memory().write(reg("mydec", 0), Value(41));
+  w.memory().write(reg("mydec", 1), Value(42));
+  const auto r = drive(w, rr, 50000);
+  EXPECT_TRUE(r.all_c_decided);
+  EXPECT_EQ(w.decision(cpid(0)).as_int(), 41);
+  EXPECT_EQ(w.decision(cpid(1)).as_int(), 42);
+}
+
+// --- environment sweeps: detectors behave across the whole of E_t ---
+
+TEST(EnvironmentCoverage, OmegaAcrossAllWaitFreePatterns) {
+  const int n = 4;
+  for (const auto& f : wait_free_env(n).enumerate(12)) {
+    OmegaFd omega(20);
+    const auto h = omega.history(f, 3);
+    EXPECT_TRUE(OmegaFd::check(f, *h, 300)) << f.to_string();
+  }
+}
+
+TEST(EnvironmentCoverage, ConsensusAcrossAllSingleFaultPatterns) {
+  const int n = 3;
+  for (const auto& f : Environment(n, 1).enumerate(8)) {
+    OmegaFd omega(25);
+    World w(f, omega.history(f, 4));
+    const LeaderConsensusConfig cfg{"cons", n};
+    for (int i = 0; i < n; ++i) w.spawn_c(i, make_consensus_client(cfg, Value(i)));
+    for (int i = 0; i < n; ++i) w.spawn_s(i, make_consensus_server(cfg));
+    RoundRobinScheduler rr;
+    const auto r = drive(w, rr, 300000);
+    EXPECT_TRUE(r.all_c_decided) << f.to_string();
+  }
+}
+
+}  // namespace
+}  // namespace efd

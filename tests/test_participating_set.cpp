@@ -1,0 +1,111 @@
+// Tests for the participating-set task and its immediate-snapshot solver:
+// the wait-free (class n) member of the hierarchy menu.
+#include <gtest/gtest.h>
+
+#include "algo/participating_set.hpp"
+#include "core/solvability.hpp"
+#include "sim/schedule.hpp"
+#include "tasks/participating_set.hpp"
+
+namespace efd {
+namespace {
+
+TEST(PsTask, AcceptsImmediateSnapshotShapedOutputs) {
+  ParticipatingSetTask t(3);
+  ValueVec in{Value(1), Value(2), Value(3)};
+  // p1 saw {0}, p2 saw {0,1}, p3 saw {0,1,2}: a chain.
+  ValueVec out{ParticipatingSetTask::encode_view({0}), ParticipatingSetTask::encode_view({0, 1}),
+               ParticipatingSetTask::encode_view({0, 1, 2})};
+  EXPECT_TRUE(t.relation(in, out));
+}
+
+TEST(PsTask, RejectsMissingSelf) {
+  ParticipatingSetTask t(2);
+  ValueVec in{Value(1), Value(2)};
+  ValueVec out{ParticipatingSetTask::encode_view({1}), kNil};
+  EXPECT_FALSE(t.relation(in, out));
+}
+
+TEST(PsTask, RejectsIncomparableViews) {
+  ParticipatingSetTask t(3);
+  ValueVec in{Value(1), Value(2), Value(3)};
+  ValueVec out{ParticipatingSetTask::encode_view({0, 1}),
+               ParticipatingSetTask::encode_view({1, 2}), kNil};
+  EXPECT_FALSE(t.relation(in, out));
+}
+
+TEST(PsTask, RejectsImmediacyViolation) {
+  ParticipatingSetTask t(3);
+  ValueVec in{Value(1), Value(2), Value(3)};
+  // p1's view contains p2, yet p2's view is strictly larger than p1's:
+  // comparable, but immediacy (j ∈ O[i] ⇒ O[j] ⊆ O[i]) is broken.
+  ValueVec bad{ParticipatingSetTask::encode_view({0, 1}),
+               ParticipatingSetTask::encode_view({0, 1, 2}), kNil};
+  EXPECT_FALSE(t.relation(in, bad));
+  // The legal shape with the same sets: the smaller view belongs to the
+  // process the larger one saw last.
+  ValueVec ok{ParticipatingSetTask::encode_view({0}),
+              ParticipatingSetTask::encode_view({0, 1}), kNil};
+  EXPECT_TRUE(t.relation(in, ok));
+}
+
+TEST(PsTask, RejectsNonParticipantInView) {
+  ParticipatingSetTask t(3);
+  ValueVec in{Value(1), kNil, Value(3)};
+  ValueVec out{ParticipatingSetTask::encode_view({0, 1}), kNil, kNil};  // 1 not participating
+  EXPECT_FALSE(t.relation(in, out));
+}
+
+TEST(PsSolver, SolvesUnderRandomSchedules) {
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    const int n = 4;
+    auto task = std::make_shared<ParticipatingSetTask>(n);
+    const ValueVec in = task->sample_input(seed);
+    World w = World::failure_free(1);
+    const ParticipatingSetConfig cfg{"ps", n};
+    for (int i = 0; i < n; ++i) {
+      w.spawn_c(i, make_participating_set_solver(cfg, in[static_cast<std::size_t>(i)]));
+    }
+    RandomScheduler rs(seed);
+    const auto r = drive(w, rs, 200000);
+    ASSERT_TRUE(r.all_c_decided) << "seed " << seed;
+    EXPECT_TRUE(task->relation(in, w.output_vector())) << "seed " << seed;
+  }
+}
+
+TEST(PsSolver, ExhaustivelyCleanAtFullConcurrency) {
+  // The constructive class-n witness: EVERY n-concurrent schedule of the
+  // immediate-snapshot solver satisfies the task (small n, exhaustive).
+  const int n = 3;
+  auto task = std::make_shared<ParticipatingSetTask>(n);
+  const ValueVec in = task->sample_input(2);
+  const ParticipatingSetConfig cfg{"ps", n};
+  auto body = [cfg](int, Value input) { return make_participating_set_solver(cfg, input); };
+  ExploreConfig ecfg;
+  ecfg.k = n;
+  ecfg.arrival = {0, 1, 2};
+  ecfg.max_states = 400000;
+  ecfg.max_depth = 400;
+  const auto o = explore_k_concurrent(task, body, in, ecfg);
+  EXPECT_TRUE(o.ok) << o.violation;
+}
+
+TEST(PsTask, PickOutputBuildsLegalChains) {
+  // The generic sequential extension produces valid (1-concurrent) outputs.
+  const int n = 4;
+  ParticipatingSetTask t(n);
+  const ValueVec in = t.sample_input(1);
+  ValueVec out(static_cast<std::size_t>(n));
+  for (int i : Task::participants(in)) {
+    out[static_cast<std::size_t>(i)] = t.pick_output(in, out, i);
+    EXPECT_TRUE(t.relation(in, out)) << "after p" << (i + 1);
+  }
+}
+
+TEST(PsTask, EncodeDecodeRoundTrip) {
+  const auto v = ParticipatingSetTask::encode_view({3, 1, 1, 2});
+  EXPECT_EQ(ParticipatingSetTask::decode_view(v), (std::vector<int>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace efd

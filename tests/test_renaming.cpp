@@ -1,0 +1,136 @@
+// Tests for the Fig. 4 renaming algorithm and the Fig. 3 1-resilient
+// wrapper: name bounds, uniqueness, and the wrapper's 2-concurrency.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "algo/renaming.hpp"
+#include "algo/renaming_1resilient.hpp"
+#include "algo/sim_program.hpp"
+#include "sim/schedule.hpp"
+#include "tasks/renaming.hpp"
+
+namespace efd {
+namespace {
+
+struct RenCase {
+  int n, j, kconc;
+  std::uint64_t seed;
+};
+
+class RenamingSweep : public ::testing::TestWithParam<RenCase> {};
+
+// Thm. 15: under k-concurrent schedules Fig. 4 decides unique names <= j+k-1.
+TEST_P(RenamingSweep, NamesUniqueAndBounded) {
+  const auto p = GetParam();
+  const RenamingTask task(p.n, p.j, p.j + p.kconc - 1);
+  const ValueVec in = task.sample_input(p.seed);
+  const auto arrival = Task::participants(in);
+
+  World w = World::failure_free(1);
+  w.enable_trace();
+  const RenamingConfig cfg{"ren", p.n};
+  for (int i : arrival) {
+    w.spawn_c(i, make_renaming_kconc(cfg, in[static_cast<std::size_t>(i)]));
+  }
+  KConcurrencyScheduler ks(p.kconc, arrival, 0);
+  const auto r = drive(w, ks, 500000);
+  ASSERT_TRUE(r.all_c_decided);
+  EXPECT_LE(max_concurrency(w.trace()), p.kconc);
+
+  std::set<std::int64_t> names;
+  for (int i : arrival) {
+    const auto name = w.decision(cpid(i)).as_int();
+    EXPECT_GE(name, 1);
+    EXPECT_LE(name, p.j + p.kconc - 1) << "name exceeds j+k-1";
+    names.insert(name);
+  }
+  EXPECT_EQ(static_cast<int>(names.size()), static_cast<int>(arrival.size()));
+
+  ValueVec out(static_cast<std::size_t>(p.n));
+  for (int i : arrival) out[static_cast<std::size_t>(i)] = w.decision(cpid(i));
+  EXPECT_TRUE(task.relation(in, out));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RenamingSweep,
+                         ::testing::Values(RenCase{3, 2, 1, 0}, RenCase{3, 2, 2, 1},
+                                           RenCase{4, 3, 2, 2}, RenCase{5, 3, 2, 3},
+                                           RenCase{5, 4, 2, 4}, RenCase{5, 4, 3, 5},
+                                           RenCase{6, 4, 2, 6}, RenCase{6, 5, 3, 7},
+                                           RenCase{7, 5, 4, 8}, RenCase{6, 3, 3, 9}));
+
+TEST(Renaming, SoloRunGetsNameOne) {
+  World w = World::failure_free(1);
+  const RenamingConfig cfg{"ren", 3};
+  w.spawn_c(0, make_renaming_kconc(cfg, Value(500)));
+  RoundRobinScheduler rr;
+  drive(w, rr, 1000);
+  EXPECT_EQ(w.decision(cpid(0)).as_int(), 1);
+}
+
+TEST(Renaming, SequentialRunsPackNames) {
+  // 1-concurrent runs of j processes use exactly names 1..j (strong).
+  const int n = 4, j = 3;
+  World w = World::failure_free(1);
+  const RenamingConfig cfg{"ren", n};
+  std::vector<int> arrival = {2, 0, 1};
+  for (int i : arrival) w.spawn_c(i, make_renaming_kconc(cfg, Value(100 + i)));
+  KConcurrencyScheduler ks(1, arrival, 0);
+  drive(w, ks, 10000);
+  std::set<std::int64_t> names;
+  for (int i : arrival) names.insert(w.decision(cpid(i)).as_int());
+  EXPECT_EQ(names, (std::set<std::int64_t>{1, 2, 3}));
+  (void)j;
+}
+
+// ---- Fig. 3 wrapper ----
+
+SimProgramPtr fig4_program(const RenamingConfig& cfg) {
+  return std::make_shared<ReplayProgram>([cfg](int, const Value& input, Context& ctx) {
+    return make_renaming_kconc(cfg, input)(ctx);
+  });
+}
+
+TEST(OneResilientWrapper, InducesTwoConcurrentRunAndDecides) {
+  // j participants, no crash: everyone decides a unique name <= j+1 (the
+  // wrapped Fig. 4 run is 2-concurrent).
+  const int n = 5, j = 4;
+  World w = World::failure_free(1);
+  const OneResilientConfig cfg{"wrap", n, j};
+  const RenamingConfig inner_cfg{"wren", n};
+  for (int i = 0; i < j; ++i) {
+    w.spawn_c(i, make_one_resilient_wrapper(cfg, fig4_program(inner_cfg), Value(100 + i)));
+  }
+  RoundRobinScheduler rr;
+  const auto r = drive(w, rr, 2000000);
+  ASSERT_TRUE(r.all_c_decided);
+  std::set<std::int64_t> names;
+  for (int i = 0; i < j; ++i) {
+    const auto name = w.decision(cpid(i)).as_int();
+    EXPECT_GE(name, 1);
+    EXPECT_LE(name, j + 1);  // 2-concurrent Fig. 4 bound
+    names.insert(name);
+  }
+  EXPECT_EQ(static_cast<int>(names.size()), j);
+}
+
+TEST(OneResilientWrapper, ToleratesOneStalledProcess) {
+  // j-1 participants run; the j-th never shows up (the "1-resilient" case:
+  // |S| = j-1, only the minimum undecided id advances A, strictly serially).
+  const int n = 5, j = 3;
+  World w = World::failure_free(1);
+  const OneResilientConfig cfg{"wrap", n, j};
+  const RenamingConfig inner_cfg{"wren", n};
+  for (int i = 0; i < j - 1; ++i) {
+    w.spawn_c(i, make_one_resilient_wrapper(cfg, fig4_program(inner_cfg), Value(100 + i)));
+  }
+  RoundRobinScheduler rr;
+  const auto r = drive(w, rr, 2000000);
+  ASSERT_TRUE(r.all_c_decided);
+  std::set<std::int64_t> names;
+  for (int i = 0; i < j - 1; ++i) names.insert(w.decision(cpid(i)).as_int());
+  EXPECT_EQ(static_cast<int>(names.size()), j - 1);
+}
+
+}  // namespace
+}  // namespace efd

@@ -1,0 +1,118 @@
+// Tests for safe agreement (algo/safe_agreement.hpp): agreement, validity,
+// and the propose-window blocking behaviour BG-simulation relies on.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "algo/safe_agreement.hpp"
+#include "sim/schedule.hpp"
+#include "sim/world.hpp"
+
+namespace efd {
+namespace {
+
+Proc party(Context& ctx, SafeAgreementInstance inst, int me, Value v) {
+  co_await sa_propose(ctx, inst, me, v);
+  const Value d = co_await sa_resolve(ctx, inst);
+  co_await ctx.decide(d);
+}
+
+TEST(SafeAgreement, SoloProposerGetsOwnValue) {
+  World w = World::failure_free(1);
+  w.spawn_c(0, [](Context& ctx) {
+    return party(ctx, SafeAgreementInstance{"sa", 3}, 0, Value(5));
+  });
+  RoundRobinScheduler rr;
+  drive(w, rr, 1000);
+  EXPECT_EQ(w.decision(cpid(0)).as_int(), 5);
+}
+
+TEST(SafeAgreement, AgreementAcrossSchedules) {
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    World w = World::failure_free(1);
+    for (int i = 0; i < 3; ++i) {
+      w.spawn_c(i, [i](Context& ctx) {
+        return party(ctx, SafeAgreementInstance{"sa", 3}, i, Value(10 + i));
+      });
+    }
+    RandomScheduler rs(seed);
+    const auto r = drive(w, rs, 50000);
+    ASSERT_TRUE(r.all_c_decided) << "seed " << seed;
+    std::set<std::int64_t> vals;
+    for (int i = 0; i < 3; ++i) vals.insert(w.decision(cpid(i)).as_int());
+    EXPECT_EQ(vals.size(), 1u) << "seed " << seed;
+    EXPECT_GE(*vals.begin(), 10);
+    EXPECT_LE(*vals.begin(), 12);
+  }
+}
+
+TEST(SafeAgreement, ResolveBlocksDuringProposeWindow) {
+  // p2 writes level 1 and then stalls; p1's resolve must report "blocked".
+  World w = World::failure_free(1);
+  w.memory().write(reg("sa/L", 1), vec(Value(7), Value(1)));  // p2 mid-propose
+  w.spawn_c(0, [](Context& ctx) -> Proc {
+    const SafeAgreementInstance inst{"sa", 2};
+    co_await sa_propose(ctx, inst, 0, Value(3));
+    const Value r = co_await sa_try_resolve(ctx, inst);
+    co_await ctx.decide(r);
+  });
+  RoundRobinScheduler rr;
+  drive(w, rr, 1000);
+  EXPECT_EQ(w.decision(cpid(0)).at(0).as_int(), 0);  // blocked
+}
+
+TEST(SafeAgreement, LateProposerBacksOff) {
+  // p1 completes its protocol alone; p2 proposing afterwards must see the
+  // committed value and abstain, keeping agreement on p1's value.
+  World w = World::failure_free(1);
+  w.spawn_c(0, [](Context& ctx) {
+    return party(ctx, SafeAgreementInstance{"sa", 2}, 0, Value(1));
+  });
+  RoundRobinScheduler rr1;
+  drive(w, rr1, 1000);
+  ASSERT_EQ(w.decision(cpid(0)).as_int(), 1);
+  w.spawn_c(1, [](Context& ctx) {
+    return party(ctx, SafeAgreementInstance{"sa", 2}, 1, Value(2));
+  });
+  RoundRobinScheduler rr2;
+  drive(w, rr2, 1000);
+  EXPECT_EQ(w.decision(cpid(1)).as_int(), 1);  // adopts, does not overwrite
+}
+
+TEST(SafeAgreement, MinIdCommittedWins) {
+  // Both commit (possible in safe agreement); everyone resolves to the value
+  // of the smallest-id committed party.
+  World w = World::failure_free(1);
+  w.memory().write(reg("sa/L", 0), vec(Value(50), Value(2)));
+  w.memory().write(reg("sa/L", 1), vec(Value(60), Value(2)));
+  w.spawn_c(2, [](Context& ctx) -> Proc {
+    const SafeAgreementInstance inst{"sa", 3};
+    co_await sa_propose(ctx, inst, 2, Value(70));
+    const Value d = co_await sa_resolve(ctx, inst);
+    co_await ctx.decide(d);
+  });
+  RoundRobinScheduler rr;
+  drive(w, rr, 1000);
+  EXPECT_EQ(w.decision(cpid(2)).as_int(), 50);
+}
+
+TEST(SafeAgreement, ValidityDecidedWasProposed) {
+  for (std::uint64_t seed = 50; seed < 60; ++seed) {
+    World w = World::failure_free(1);
+    for (int i = 0; i < 4; ++i) {
+      w.spawn_c(i, [i](Context& ctx) {
+        return party(ctx, SafeAgreementInstance{"sa", 4}, i, Value(100 + i));
+      });
+    }
+    RandomScheduler rs(seed);
+    drive(w, rs, 100000);
+    for (int i = 0; i < 4; ++i) {
+      const auto d = w.decision(cpid(i)).as_int();
+      EXPECT_GE(d, 100);
+      EXPECT_LE(d, 103);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace efd

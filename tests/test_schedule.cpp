@@ -1,0 +1,168 @@
+// Tests for the schedulers (sim/schedule.hpp): fairness of round-robin,
+// determinism of the random scheduler, and the k-concurrency window.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "fd/detectors.hpp"
+#include "sim/schedule.hpp"
+
+namespace efd {
+namespace {
+
+Proc count_steps(Context& ctx) {
+  for (int i = 0; i < 100; ++i) co_await ctx.yield();
+}
+
+Proc decide_after(Context& ctx, int steps) {
+  for (int i = 0; i < steps; ++i) co_await ctx.yield();
+  co_await ctx.decide(Value(steps));
+}
+
+TEST(RoundRobin, SchedulesEveryEligibleProcess) {
+  World w = World::failure_free(2);
+  w.spawn_c(0, count_steps);
+  w.spawn_c(1, count_steps);
+  w.spawn_s(0, count_steps);
+  RoundRobinScheduler rr;
+  for (int i = 0; i < 30; ++i) {
+    const auto pid = rr.next(w);
+    ASSERT_TRUE(pid.has_value());
+    w.step(*pid);
+  }
+  EXPECT_EQ(w.steps_taken(cpid(0)), 10);
+  EXPECT_EQ(w.steps_taken(cpid(1)), 10);
+  EXPECT_EQ(w.steps_taken(spid(0)), 10);
+}
+
+TEST(RoundRobin, SkipsCrashedSProcesses) {
+  FailurePattern f(2);
+  f.crash(0, 0);
+  World w(f, TrivialFd{}.history(f, 0));
+  w.spawn_s(0, count_steps);
+  w.spawn_s(1, count_steps);
+  RoundRobinScheduler rr;
+  for (int i = 0; i < 10; ++i) {
+    const auto pid = rr.next(w);
+    ASSERT_TRUE(pid.has_value());
+    EXPECT_EQ(*pid, spid(1));
+    w.step(*pid);
+  }
+}
+
+TEST(RoundRobin, ExhaustsWhenAllTerminated) {
+  World w = World::failure_free(1);
+  w.spawn_c(0, [](Context& ctx) -> Proc { co_await ctx.decide(Value(1)); });
+  RoundRobinScheduler rr;
+  w.step(*rr.next(w));
+  EXPECT_FALSE(rr.next(w).has_value());
+}
+
+TEST(RandomScheduler, DeterministicGivenSeed) {
+  auto run = [](std::uint64_t seed) {
+    World w = World::failure_free(1);
+    w.spawn_c(0, count_steps);
+    w.spawn_c(1, count_steps);
+    w.spawn_c(2, count_steps);
+    RandomScheduler rs(seed);
+    std::vector<int> order;
+    for (int i = 0; i < 20; ++i) {
+      const auto pid = rs.next(w);
+      order.push_back(pid->index);
+      w.step(*pid);
+    }
+    return order;
+  };
+  EXPECT_EQ(run(5), run(5));
+  EXPECT_NE(run(5), run(6));
+}
+
+TEST(RandomScheduler, EventuallySchedulesEveryone) {
+  World w = World::failure_free(1);
+  for (int i = 0; i < 4; ++i) w.spawn_c(i, count_steps);
+  RandomScheduler rs(1);
+  for (int i = 0; i < 200; ++i) w.step(*rs.next(w));
+  for (int i = 0; i < 4; ++i) EXPECT_GT(w.steps_taken(cpid(i)), 0) << "process " << i;
+}
+
+TEST(ExplicitSchedule, ReplaysExactly) {
+  World w = World::failure_free(1);
+  w.spawn_c(0, count_steps);
+  w.spawn_c(1, count_steps);
+  ExplicitSchedule es({cpid(0), cpid(0), cpid(1)});
+  int steps = 0;
+  while (const auto pid = es.next(w)) {
+    w.step(*pid);
+    ++steps;
+  }
+  EXPECT_EQ(steps, 3);
+  EXPECT_EQ(w.steps_taken(cpid(0)), 2);
+  EXPECT_EQ(w.steps_taken(cpid(1)), 1);
+}
+
+TEST(KConcurrency, WindowNeverExceedsK) {
+  World w = World::failure_free(1);
+  w.enable_trace();
+  std::vector<int> arrival;
+  for (int i = 0; i < 5; ++i) {
+    arrival.push_back(i);
+    w.spawn_c(i, [](Context& ctx) { return decide_after(ctx, 6); });
+  }
+  KConcurrencyScheduler ks(2, arrival, 0);
+  const auto r = drive(w, ks, 10000);
+  EXPECT_TRUE(r.all_c_decided);
+  EXPECT_LE(max_concurrency(w.trace()), 2);
+}
+
+TEST(KConcurrency, AdmitsInArrivalOrder) {
+  World w = World::failure_free(1);
+  w.enable_trace();
+  const std::vector<int> arrival = {2, 0, 1};
+  for (int i = 0; i < 3; ++i) {
+    w.spawn_c(i, [](Context& ctx) { return decide_after(ctx, 2); });
+  }
+  KConcurrencyScheduler ks(1, arrival, 0);  // 1-concurrent: strictly sequential
+  drive(w, ks, 1000);
+  // First non-null step of each process appears in arrival order.
+  std::vector<int> first_seen;
+  for (const auto& s : w.trace()) {
+    if (s.pid.is_c() && std::find(first_seen.begin(), first_seen.end(), s.pid.index) ==
+                            first_seen.end()) {
+      first_seen.push_back(s.pid.index);
+    }
+  }
+  EXPECT_EQ(first_seen, arrival);
+}
+
+TEST(KConcurrency, InterleavesSProcesses) {
+  World w = World::failure_free(2);
+  w.spawn_c(0, [](Context& ctx) { return decide_after(ctx, 50); });
+  w.spawn_s(0, count_steps);
+  w.spawn_s(1, count_steps);
+  KConcurrencyScheduler ks(1, {0}, 1);
+  drive(w, ks, 300);
+  EXPECT_GT(w.steps_taken(spid(0)), 5);
+  EXPECT_GT(w.steps_taken(spid(1)), 5);
+}
+
+TEST(Drive, StopsWhenAllCDecided) {
+  World w = World::failure_free(1);
+  w.spawn_c(0, [](Context& ctx) { return decide_after(ctx, 3); });
+  w.spawn_s(0, count_steps);  // would run 100 steps if allowed
+  RoundRobinScheduler rr;
+  const auto r = drive(w, rr, 10000);
+  EXPECT_TRUE(r.all_c_decided);
+  EXPECT_LT(r.steps, 20);
+}
+
+TEST(Drive, RespectsStepBound) {
+  World w = World::failure_free(1);
+  w.spawn_c(0, count_steps);  // never decides
+  RoundRobinScheduler rr;
+  const auto r = drive(w, rr, 50);
+  EXPECT_FALSE(r.all_c_decided);
+  EXPECT_EQ(r.steps, 50);
+}
+
+}  // namespace
+}  // namespace efd

@@ -1,0 +1,108 @@
+// Tests for the task-level reductions of §5 (core/reduction.hpp):
+// consensus ⇒ strong renaming (slot claiming) and the Lemma 11 construction
+// strong renaming ⇒ consensus.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/reduction.hpp"
+#include "fd/detectors.hpp"
+#include "sim/schedule.hpp"
+#include "tasks/renaming.hpp"
+
+namespace efd {
+namespace {
+
+struct SlotCase {
+  int n, j, participants, faults;
+  std::uint64_t seed;
+};
+
+class SlotRenamingSweep : public ::testing::TestWithParam<SlotCase> {};
+
+TEST_P(SlotRenamingSweep, StrongRenamingFromConsensus) {
+  const auto p = GetParam();
+  const FailurePattern f = Environment(p.n, p.n - 1).sample(p.seed, p.faults, 15);
+  OmegaFd omega(40);
+  World w(f, omega.history(f, p.seed));
+  const SlotRenamingConfig cfg{"slots", p.n, p.j};
+  for (int i = 0; i < p.participants; ++i) {
+    w.spawn_c(i, make_slot_renaming_client(cfg, Value(100 + i)));
+  }
+  for (int i = 0; i < p.n; ++i) w.spawn_s(i, make_slot_renaming_server(cfg));
+  RandomScheduler rs(p.seed * 3 + 1);
+  const auto r = drive(w, rs, 1000000);
+  ASSERT_TRUE(r.all_c_decided) << f.to_string();
+
+  std::set<std::int64_t> names;
+  for (int i = 0; i < p.participants; ++i) {
+    const auto name = w.decision(cpid(i)).as_int();
+    EXPECT_GE(name, 1);
+    EXPECT_LE(name, p.j) << "strong renaming: name must be within {1..j}";
+    names.insert(name);
+  }
+  EXPECT_EQ(static_cast<int>(names.size()), p.participants);  // distinct
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SlotRenamingSweep,
+                         ::testing::Values(SlotCase{3, 2, 2, 1, 1}, SlotCase{3, 2, 1, 2, 2},
+                                           SlotCase{4, 3, 3, 2, 3}, SlotCase{4, 3, 2, 1, 4},
+                                           SlotCase{5, 4, 4, 3, 5}, SlotCase{5, 2, 2, 4, 6}));
+
+// ---- Lemma 11: consensus from strong 2-renaming ----
+
+SimProgramPtr strong2_renaming_program(int n, std::uint64_t /*unused*/) {
+  // The renaming box: the consensus-powered slot-claiming algorithm's client,
+  // wrapped as an automaton (the S-side runs live in the same world).
+  const SlotRenamingConfig cfg{"l11slots", n, 2};
+  return std::make_shared<ReplayProgram>([cfg](int index, const Value& input, Context& ctx) {
+    return make_slot_renaming_client(cfg, input)(ctx);
+    (void)index;
+  });
+}
+
+class Lemma11Sweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Lemma11Sweep, ConsensusFromStrongRenaming) {
+  const std::uint64_t seed = GetParam();
+  const int n = 2;
+  const FailurePattern f = Environment(n, n - 1).sample(seed, static_cast<int>(seed % 2), 10);
+  OmegaFd omega(30);
+  World w(f, omega.history(f, seed));
+  const auto box = strong2_renaming_program(n, seed);
+  for (int me = 0; me < 2; ++me) {
+    w.spawn_c(me, make_consensus_from_renaming("l11", me, Value(500 + me), box));
+  }
+  const SlotRenamingConfig scfg{"l11slots", n, 2};
+  for (int i = 0; i < n; ++i) w.spawn_s(i, make_slot_renaming_server(scfg));
+  RandomScheduler rs(seed + 77);
+  const auto r = drive(w, rs, 1000000);
+  ASSERT_TRUE(r.all_c_decided);
+  // Agreement + validity.
+  const auto d0 = w.decision(cpid(0)).as_int();
+  const auto d1 = w.decision(cpid(1)).as_int();
+  EXPECT_EQ(d0, d1);
+  EXPECT_TRUE(d0 == 500 || d0 == 501);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Lemma11Sweep, ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(Lemma11, SoloWinnerDecidesOwnValue) {
+  // Only p1 runs: it must obtain name 1 in its solo renaming run and decide
+  // its own proposal (the property the Lemma 11 proof hinges on).
+  const int n = 2;
+  FailurePattern f(n);
+  OmegaFd omega(10);
+  World w(f, omega.history(f, 3));
+  const auto box = strong2_renaming_program(n, 3);
+  w.spawn_c(0, make_consensus_from_renaming("l11", 0, Value(42), box));
+  const SlotRenamingConfig scfg{"l11slots", n, 2};
+  for (int i = 0; i < n; ++i) w.spawn_s(i, make_slot_renaming_server(scfg));
+  RoundRobinScheduler rr;
+  const auto r = drive(w, rr, 500000);
+  ASSERT_TRUE(r.all_c_decided);
+  EXPECT_EQ(w.decision(cpid(0)).as_int(), 42);
+}
+
+}  // namespace
+}  // namespace efd

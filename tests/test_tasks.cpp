@@ -1,0 +1,225 @@
+// Tests for the task formalism and the menu tasks (tasks/*): relation
+// semantics, prefix closure, and the pick_output sequential-extension axiom.
+#include <gtest/gtest.h>
+
+#include "tasks/consensus.hpp"
+#include "tasks/identity.hpp"
+#include "tasks/renaming.hpp"
+#include "tasks/set_agreement.hpp"
+#include "tasks/symmetry_breaking.hpp"
+
+namespace efd {
+namespace {
+
+ValueVec v3(Value a, Value b, Value c) { return ValueVec{std::move(a), std::move(b), std::move(c)}; }
+
+// ---------- set agreement ----------
+
+TEST(SetAgreement, AcceptsValidOutputs) {
+  SetAgreementTask t(3, 2);
+  EXPECT_TRUE(t.relation(v3(1, 2, 3), v3(1, 1, 3)));
+  EXPECT_TRUE(t.relation(v3(1, 2, 3), v3(2, 2, 2)));
+}
+
+TEST(SetAgreement, RejectsTooManyDistinct) {
+  SetAgreementTask t(3, 2);
+  EXPECT_FALSE(t.relation(v3(1, 2, 3), v3(1, 2, 3)));
+}
+
+TEST(SetAgreement, RejectsInventedValues) {
+  SetAgreementTask t(3, 2);
+  EXPECT_FALSE(t.relation(v3(1, 2, 3), v3(9, kNil, kNil)));
+}
+
+TEST(SetAgreement, RejectsOutputWithoutInput) {
+  SetAgreementTask t(3, 2);
+  EXPECT_FALSE(t.relation(v3(1, kNil, 3), v3(1, 1, kNil)));
+}
+
+TEST(SetAgreement, PartialOutputsAccepted) {
+  SetAgreementTask t(3, 1);
+  EXPECT_TRUE(t.relation(v3(1, 2, 3), v3(kNil, kNil, kNil)));
+  EXPECT_TRUE(t.relation(v3(1, 2, 3), v3(kNil, 2, kNil)));
+}
+
+TEST(SetAgreement, ScopeRestrictsParticipation) {
+  SetAgreementTask t(3, 1, {0, 1});
+  EXPECT_TRUE(t.input_ok(v3(1, 2, kNil)));
+  EXPECT_FALSE(t.input_ok(v3(1, 2, 3)));  // p3 out of scope
+}
+
+TEST(SetAgreement, IsColorless) { EXPECT_TRUE(SetAgreementTask(3, 2).colorless()); }
+
+TEST(Consensus, IsOneSetAgreement) {
+  ConsensusTask t(3);
+  EXPECT_TRUE(t.relation(v3(1, 2, 3), v3(2, 2, 2)));
+  EXPECT_FALSE(t.relation(v3(1, 2, 3), v3(1, 2, kNil)));
+}
+
+// ---------- renaming ----------
+
+TEST(Renaming, AcceptsDistinctNamesInRange) {
+  RenamingTask t(4, 3, 4);
+  ValueVec in{Value(100), Value(200), Value(300), kNil};
+  ValueVec out{Value(1), Value(4), Value(2), kNil};
+  EXPECT_TRUE(t.relation(in, out));
+}
+
+TEST(Renaming, RejectsDuplicateNames) {
+  RenamingTask t(4, 3, 4);
+  ValueVec in{Value(100), Value(200), Value(300), kNil};
+  EXPECT_FALSE(t.relation(in, {Value(1), Value(1), kNil, kNil}));
+}
+
+TEST(Renaming, RejectsNameOutOfRange) {
+  RenamingTask t(4, 2, 2);
+  ValueVec in{Value(100), Value(200), kNil, kNil};
+  EXPECT_FALSE(t.relation(in, {Value(3), kNil, kNil, kNil}));
+  EXPECT_FALSE(t.relation(in, {Value(0), kNil, kNil, kNil}));
+}
+
+TEST(Renaming, RejectsTooManyParticipants) {
+  RenamingTask t(4, 2, 3);
+  ValueVec in{Value(1), Value(2), Value(3), kNil};  // 3 > j=2
+  EXPECT_FALSE(t.input_ok(in));
+}
+
+TEST(Renaming, RejectsDuplicateOriginalNames) {
+  RenamingTask t(4, 3, 4);
+  EXPECT_FALSE(t.input_ok({Value(5), Value(5), kNil, kNil}));
+}
+
+TEST(Renaming, StrongFactory) {
+  const auto t = RenamingTask::strong(5, 3);
+  EXPECT_EQ(t.max_participants(), 3);
+  EXPECT_EQ(t.namespace_size(), 3);
+}
+
+TEST(Renaming, IsColored) { EXPECT_FALSE(RenamingTask(4, 2, 3).colorless()); }
+
+TEST(Renaming, ConstructorValidation) {
+  EXPECT_THROW(RenamingTask(3, 3, 3), std::invalid_argument);  // j < n required
+  EXPECT_THROW(RenamingTask(4, 3, 2), std::invalid_argument);  // l >= j required
+}
+
+// ---------- weak symmetry breaking ----------
+
+TEST(Wsb, RejectsUniformFullOutput) {
+  WeakSymmetryBreakingTask t(3);
+  ValueVec in{Value(7), Value(8), Value(9)};
+  EXPECT_FALSE(t.relation(in, {Value(0), Value(0), Value(0)}));
+  EXPECT_FALSE(t.relation(in, {Value(1), Value(1), Value(1)}));
+  EXPECT_TRUE(t.relation(in, {Value(0), Value(1), Value(0)}));
+}
+
+TEST(Wsb, PartialUniformAllowed) {
+  WeakSymmetryBreakingTask t(3);
+  ValueVec in{Value(7), Value(8), Value(9)};
+  EXPECT_TRUE(t.relation(in, {Value(0), Value(0), kNil}));
+}
+
+TEST(Wsb, RejectsNonBinaryOutput) {
+  WeakSymmetryBreakingTask t(2);
+  EXPECT_FALSE(t.relation({Value(1), Value(2)}, {Value(2), kNil}));
+}
+
+// ---------- identity ----------
+
+TEST(Identity, OnlyOwnInputAccepted) {
+  IdentityTask t(2);
+  EXPECT_TRUE(t.relation({Value(1), Value(2)}, {Value(1), kNil}));
+  EXPECT_FALSE(t.relation({Value(1), Value(2)}, {Value(2), kNil}));
+}
+
+// ---------- helpers ----------
+
+TEST(TaskHelpers, Participants) {
+  EXPECT_EQ(Task::participants(v3(1, kNil, 3)), (std::vector<int>{0, 2}));
+}
+
+TEST(TaskHelpers, DistinctValues) {
+  const auto d = Task::distinct_values(v3(2, 2, 1));
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_EQ(d[0].as_int(), 1);
+  EXPECT_EQ(d[1].as_int(), 2);
+}
+
+TEST(TaskHelpers, RestrictTo) {
+  const auto r = restrict_to(v3(1, 2, 3), {0, 2});
+  EXPECT_EQ(r[0].as_int(), 1);
+  EXPECT_TRUE(r[1].is_nil());
+  EXPECT_EQ(r[2].as_int(), 3);
+}
+
+// ---------- property sweeps ----------
+
+struct TaskCase {
+  TaskPtr task;
+  std::uint64_t seed;
+};
+
+class TaskAxioms : public ::testing::TestWithParam<int> {
+ protected:
+  static std::vector<TaskCase> cases() {
+    std::vector<TaskCase> out;
+    for (std::uint64_t s : {1u, 5u, 9u}) {
+      out.push_back({std::make_shared<SetAgreementTask>(4, 2), s});
+      out.push_back({std::make_shared<ConsensusTask>(3), s});
+      out.push_back({std::make_shared<RenamingTask>(5, 3, 4), s});
+      out.push_back({std::make_shared<WeakSymmetryBreakingTask>(3), s});
+      out.push_back({std::make_shared<IdentityTask>(3), s});
+    }
+    return out;
+  }
+};
+
+// Axiom: sample inputs are legal; the empty output relates to every legal
+// input (prefix closure down to the all-⊥ vector).
+TEST_P(TaskAxioms, SampleInputsLegalAndEmptyOutputRelates) {
+  const auto c = cases()[static_cast<std::size_t>(GetParam())];
+  const ValueVec in = c.task->sample_input(c.seed);
+  EXPECT_TRUE(c.task->input_ok(in)) << c.task->name();
+  const ValueVec empty(static_cast<std::size_t>(c.task->n_procs()));
+  EXPECT_TRUE(c.task->relation(in, empty)) << c.task->name();
+}
+
+// Axiom (paper condition (2)+(3)): pick_output extends any reachable partial
+// output and the extension still relates; iterating it completes the vector.
+TEST_P(TaskAxioms, PickOutputSequentialCompletion) {
+  const auto c = cases()[static_cast<std::size_t>(GetParam())];
+  const ValueVec in = c.task->sample_input(c.seed);
+  ValueVec out(static_cast<std::size_t>(c.task->n_procs()));
+  for (int i : Task::participants(in)) {
+    const Value v = c.task->pick_output(in, out, i);
+    out[static_cast<std::size_t>(i)] = v;
+    EXPECT_TRUE(c.task->relation(in, out))
+        << c.task->name() << " broke after assigning p" << (i + 1) << " := " << v.to_string();
+  }
+  // Complete output: every participant decided.
+  for (int i : Task::participants(in)) {
+    EXPECT_FALSE(out[static_cast<std::size_t>(i)].is_nil());
+  }
+}
+
+// Axiom: erasing any single decided position preserves the relation (prefix
+// closure of outputs).
+TEST_P(TaskAxioms, OutputPrefixClosure) {
+  const auto c = cases()[static_cast<std::size_t>(GetParam())];
+  const ValueVec in = c.task->sample_input(c.seed);
+  ValueVec out(static_cast<std::size_t>(c.task->n_procs()));
+  for (int i : Task::participants(in)) {
+    out[static_cast<std::size_t>(i)] = c.task->pick_output(in, out, i);
+  }
+  // WSB's "not all equal" obligation binds only the COMPLETE vector, so
+  // erasing below it is what prefix closure must keep legal.
+  for (int i : Task::participants(in)) {
+    ValueVec partial = out;
+    partial[static_cast<std::size_t>(i)] = kNil;
+    EXPECT_TRUE(c.task->relation(in, partial)) << c.task->name() << " erased p" << (i + 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTasks, TaskAxioms, ::testing::Range(0, 15));
+
+}  // namespace
+}  // namespace efd

@@ -1,0 +1,105 @@
+// Tests for run traces and the k-concurrency checker (sim/trace.hpp).
+#include <gtest/gtest.h>
+
+#include "sim/schedule.hpp"
+#include "sim/world.hpp"
+
+namespace efd {
+namespace {
+
+Proc two_then_decide(Context& ctx) {
+  co_await ctx.yield();
+  co_await ctx.yield();
+  co_await ctx.decide(Value(1));
+}
+
+TEST(Trace, RecordsStepsInOrder) {
+  World w = World::failure_free(1);
+  w.enable_trace();
+  w.spawn_c(0, [](Context& ctx) -> Proc {
+    co_await ctx.write("a", 1);
+    const Value v = co_await ctx.read("a");
+    co_await ctx.decide(v);
+  });
+  for (int i = 0; i < 3; ++i) w.step(cpid(0));
+  const Trace& t = w.trace();
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[0].op, OpKind::kWrite);
+  EXPECT_EQ(t[0].addr, "a");
+  EXPECT_EQ(t[1].op, OpKind::kRead);
+  EXPECT_EQ(t[1].result.as_int(), 1);
+  EXPECT_EQ(t[2].op, OpKind::kDecide);
+  EXPECT_EQ(t[2].value.as_int(), 1);
+}
+
+TEST(Trace, NullStepsAreMarked) {
+  World w = World::failure_free(1);
+  w.enable_trace();
+  w.spawn_c(0, [](Context& ctx) -> Proc { co_await ctx.decide(Value(0)); });
+  w.step(cpid(0));
+  w.step(cpid(0));  // null
+  ASSERT_EQ(w.trace().size(), 2u);
+  EXPECT_FALSE(w.trace()[0].null_step);
+  EXPECT_TRUE(w.trace()[1].null_step);
+}
+
+TEST(Trace, MaxConcurrencySequential) {
+  World w = World::failure_free(1);
+  w.enable_trace();
+  w.spawn_c(0, two_then_decide);
+  w.spawn_c(1, two_then_decide);
+  // p1 runs to completion, then p2: 1-concurrent.
+  for (int i = 0; i < 3; ++i) w.step(cpid(0));
+  for (int i = 0; i < 3; ++i) w.step(cpid(1));
+  EXPECT_EQ(max_concurrency(w.trace()), 1);
+  EXPECT_TRUE(is_k_concurrent(w.trace(), 1));
+}
+
+TEST(Trace, MaxConcurrencyInterleaved) {
+  World w = World::failure_free(1);
+  w.enable_trace();
+  w.spawn_c(0, two_then_decide);
+  w.spawn_c(1, two_then_decide);
+  w.step(cpid(0));
+  w.step(cpid(1));  // both participating & undecided now
+  for (int i = 0; i < 2; ++i) w.step(cpid(0));
+  for (int i = 0; i < 2; ++i) w.step(cpid(1));
+  EXPECT_EQ(max_concurrency(w.trace()), 2);
+  EXPECT_FALSE(is_k_concurrent(w.trace(), 1));
+}
+
+TEST(Trace, SStepsDoNotCountTowardConcurrency) {
+  World w = World::failure_free(2);
+  w.enable_trace();
+  w.spawn_c(0, two_then_decide);
+  w.spawn_s(0, two_then_decide);
+  w.spawn_s(1, two_then_decide);
+  for (int i = 0; i < 2; ++i) {
+    w.step(cpid(0));
+    w.step(spid(0));
+    w.step(spid(1));
+  }
+  w.step(cpid(0));
+  EXPECT_EQ(max_concurrency(w.trace()), 1);
+}
+
+TEST(Trace, StepsOfCountsNonNullOnly) {
+  World w = World::failure_free(1);
+  w.enable_trace();
+  w.spawn_c(0, [](Context& ctx) -> Proc { co_await ctx.decide(Value(0)); });
+  w.step(cpid(0));
+  w.step(cpid(0));
+  EXPECT_EQ(steps_of(w.trace(), cpid(0)), 1);
+}
+
+TEST(Trace, FormatTraceTruncates) {
+  World w = World::failure_free(1);
+  w.enable_trace();
+  w.spawn_c(0, two_then_decide);
+  for (int i = 0; i < 3; ++i) w.step(cpid(0));
+  const std::string s = format_trace(w.trace(), 2);
+  EXPECT_NE(s.find("more steps"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace efd

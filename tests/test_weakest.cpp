@@ -1,0 +1,62 @@
+// Tests for the Thm. 10 round trip (core/weakest.hpp): one detector both
+// solves the level-k task and yields ¬Ωk back.
+#include <gtest/gtest.h>
+
+#include "core/weakest.hpp"
+#include "fd/emulations.hpp"
+
+namespace efd {
+namespace {
+
+RoundTripConfig base_cfg(int n, int k, std::uint64_t seed) {
+  RoundTripConfig cfg;
+  cfg.n = n;
+  cfg.k = k;
+  cfg.seed = seed;
+  cfg.pattern = FailurePattern(n);
+  cfg.pattern.crash(n - 1, 25);
+  cfg.extraction.explore_every = 2;
+  cfg.extraction.budget0 = 4000;
+  cfg.extraction.budget_step = 4000;
+  cfg.extraction.max_budget = 24000;
+  return cfg;
+}
+
+TEST(WeakestRoundTrip, VectorOmegaSolvesAndYieldsAntiOmega) {
+  const auto cfg = base_cfg(4, 2, 7);
+  const auto d = std::make_shared<VectorOmegaK>(2, 60);
+  const auto r = weakest_fd_round_trip(d, cfg);
+  EXPECT_TRUE(r.solved);
+  EXPECT_LE(static_cast<int>(r.distinct), 2);
+  EXPECT_TRUE(r.anti_omega_ok);
+}
+
+TEST(WeakestRoundTrip, WorksWithKEqualOne) {
+  const auto cfg = base_cfg(3, 1, 9);
+  const auto d = std::make_shared<VectorOmegaK>(1, 50);
+  const auto r = weakest_fd_round_trip(d, cfg);
+  EXPECT_TRUE(r.solved);
+  EXPECT_EQ(r.distinct, 1u);
+  EXPECT_TRUE(r.anti_omega_ok);
+}
+
+TEST(WeakestRoundTrip, DerivedDetectorChainAlsoRoundTrips) {
+  // A strictly stronger detector (Ω lifted to →Ω2 samples) solves the task
+  // and still yields ¬Ω2 — "any detector that solves T is at least ¬Ωk".
+  const auto cfg = base_cfg(4, 2, 11);
+  const auto d = vec_omega_from_omega(std::make_shared<OmegaFd>(50), 4, 2);
+  const auto r = weakest_fd_round_trip(d, cfg);
+  EXPECT_TRUE(r.solved);
+  EXPECT_TRUE(r.anti_omega_ok);
+}
+
+TEST(WeakestRoundTrip, ReportsSolveCost) {
+  const auto cfg = base_cfg(4, 2, 7);
+  const auto d = std::make_shared<VectorOmegaK>(2, 60);
+  const auto r = weakest_fd_round_trip(d, cfg);
+  EXPECT_GT(r.solve_steps, 0);
+  EXPECT_GT(r.horizon, 0);
+}
+
+}  // namespace
+}  // namespace efd
