@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_one_resilient.dir/bench_e11_one_resilient.cpp.o"
+  "CMakeFiles/bench_e11_one_resilient.dir/bench_e11_one_resilient.cpp.o.d"
+  "bench_e11_one_resilient"
+  "bench_e11_one_resilient.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_one_resilient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_one_concurrent.dir/bench_e1_one_concurrent.cpp.o"
+  "CMakeFiles/bench_e1_one_concurrent.dir/bench_e1_one_concurrent.cpp.o.d"
+  "bench_e1_one_concurrent"
+  "bench_e1_one_concurrent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_one_concurrent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_nsa_no_fd.dir/bench_e2_nsa_no_fd.cpp.o"
+  "CMakeFiles/bench_e2_nsa_no_fd.dir/bench_e2_nsa_no_fd.cpp.o.d"
+  "bench_e2_nsa_no_fd"
+  "bench_e2_nsa_no_fd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_nsa_no_fd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

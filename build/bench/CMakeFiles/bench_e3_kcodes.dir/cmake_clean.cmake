@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_kcodes.dir/bench_e3_kcodes.cpp.o"
+  "CMakeFiles/bench_e3_kcodes.dir/bench_e3_kcodes.cpp.o.d"
+  "bench_e3_kcodes"
+  "bench_e3_kcodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_kcodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_ksa_antiomega.dir/bench_e4_ksa_antiomega.cpp.o"
+  "CMakeFiles/bench_e4_ksa_antiomega.dir/bench_e4_ksa_antiomega.cpp.o.d"
+  "bench_e4_ksa_antiomega"
+  "bench_e4_ksa_antiomega.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_ksa_antiomega.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_puzzle.dir/bench_e5_puzzle.cpp.o"
+  "CMakeFiles/bench_e5_puzzle.dir/bench_e5_puzzle.cpp.o.d"
+  "bench_e5_puzzle"
+  "bench_e5_puzzle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_puzzle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

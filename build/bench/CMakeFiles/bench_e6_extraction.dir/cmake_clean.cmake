@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_extraction.dir/bench_e6_extraction.cpp.o"
+  "CMakeFiles/bench_e6_extraction.dir/bench_e6_extraction.cpp.o.d"
+  "bench_e6_extraction"
+  "bench_e6_extraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_extraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_renaming.dir/bench_e7_renaming.cpp.o"
+  "CMakeFiles/bench_e7_renaming.dir/bench_e7_renaming.cpp.o.d"
+  "bench_e7_renaming"
+  "bench_e7_renaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_renaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

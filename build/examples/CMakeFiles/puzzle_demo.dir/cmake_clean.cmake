@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/puzzle_demo.dir/puzzle_demo.cpp.o"
+  "CMakeFiles/puzzle_demo.dir/puzzle_demo.cpp.o.d"
+  "puzzle_demo"
+  "puzzle_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/puzzle_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

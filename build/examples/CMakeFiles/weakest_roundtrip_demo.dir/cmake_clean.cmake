@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weakest_roundtrip_demo.dir/weakest_roundtrip_demo.cpp.o"
+  "CMakeFiles/weakest_roundtrip_demo.dir/weakest_roundtrip_demo.cpp.o.d"
+  "weakest_roundtrip_demo"
+  "weakest_roundtrip_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weakest_roundtrip_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

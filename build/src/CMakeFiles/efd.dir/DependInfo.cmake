@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algo/adopt_commit.cpp" "src/CMakeFiles/efd.dir/algo/adopt_commit.cpp.o" "gcc" "src/CMakeFiles/efd.dir/algo/adopt_commit.cpp.o.d"
+  "/root/repo/src/algo/bg_simulation.cpp" "src/CMakeFiles/efd.dir/algo/bg_simulation.cpp.o" "gcc" "src/CMakeFiles/efd.dir/algo/bg_simulation.cpp.o.d"
+  "/root/repo/src/algo/booster.cpp" "src/CMakeFiles/efd.dir/algo/booster.cpp.o" "gcc" "src/CMakeFiles/efd.dir/algo/booster.cpp.o.d"
+  "/root/repo/src/algo/double_sim.cpp" "src/CMakeFiles/efd.dir/algo/double_sim.cpp.o" "gcc" "src/CMakeFiles/efd.dir/algo/double_sim.cpp.o.d"
+  "/root/repo/src/algo/extraction.cpp" "src/CMakeFiles/efd.dir/algo/extraction.cpp.o" "gcc" "src/CMakeFiles/efd.dir/algo/extraction.cpp.o.d"
+  "/root/repo/src/algo/k_codes_sim.cpp" "src/CMakeFiles/efd.dir/algo/k_codes_sim.cpp.o" "gcc" "src/CMakeFiles/efd.dir/algo/k_codes_sim.cpp.o.d"
+  "/root/repo/src/algo/leader_consensus.cpp" "src/CMakeFiles/efd.dir/algo/leader_consensus.cpp.o" "gcc" "src/CMakeFiles/efd.dir/algo/leader_consensus.cpp.o.d"
+  "/root/repo/src/algo/one_concurrent.cpp" "src/CMakeFiles/efd.dir/algo/one_concurrent.cpp.o" "gcc" "src/CMakeFiles/efd.dir/algo/one_concurrent.cpp.o.d"
+  "/root/repo/src/algo/participating_set.cpp" "src/CMakeFiles/efd.dir/algo/participating_set.cpp.o" "gcc" "src/CMakeFiles/efd.dir/algo/participating_set.cpp.o.d"
+  "/root/repo/src/algo/paxos.cpp" "src/CMakeFiles/efd.dir/algo/paxos.cpp.o" "gcc" "src/CMakeFiles/efd.dir/algo/paxos.cpp.o.d"
+  "/root/repo/src/algo/renaming.cpp" "src/CMakeFiles/efd.dir/algo/renaming.cpp.o" "gcc" "src/CMakeFiles/efd.dir/algo/renaming.cpp.o.d"
+  "/root/repo/src/algo/renaming_1resilient.cpp" "src/CMakeFiles/efd.dir/algo/renaming_1resilient.cpp.o" "gcc" "src/CMakeFiles/efd.dir/algo/renaming_1resilient.cpp.o.d"
+  "/root/repo/src/algo/safe_agreement.cpp" "src/CMakeFiles/efd.dir/algo/safe_agreement.cpp.o" "gcc" "src/CMakeFiles/efd.dir/algo/safe_agreement.cpp.o.d"
+  "/root/repo/src/algo/set_agreement_antiomega.cpp" "src/CMakeFiles/efd.dir/algo/set_agreement_antiomega.cpp.o" "gcc" "src/CMakeFiles/efd.dir/algo/set_agreement_antiomega.cpp.o.d"
+  "/root/repo/src/algo/sim_program.cpp" "src/CMakeFiles/efd.dir/algo/sim_program.cpp.o" "gcc" "src/CMakeFiles/efd.dir/algo/sim_program.cpp.o.d"
+  "/root/repo/src/core/bivalence.cpp" "src/CMakeFiles/efd.dir/core/bivalence.cpp.o" "gcc" "src/CMakeFiles/efd.dir/core/bivalence.cpp.o.d"
+  "/root/repo/src/core/efd_system.cpp" "src/CMakeFiles/efd.dir/core/efd_system.cpp.o" "gcc" "src/CMakeFiles/efd.dir/core/efd_system.cpp.o.d"
+  "/root/repo/src/core/hierarchy.cpp" "src/CMakeFiles/efd.dir/core/hierarchy.cpp.o" "gcc" "src/CMakeFiles/efd.dir/core/hierarchy.cpp.o.d"
+  "/root/repo/src/core/reduction.cpp" "src/CMakeFiles/efd.dir/core/reduction.cpp.o" "gcc" "src/CMakeFiles/efd.dir/core/reduction.cpp.o.d"
+  "/root/repo/src/core/solvability.cpp" "src/CMakeFiles/efd.dir/core/solvability.cpp.o" "gcc" "src/CMakeFiles/efd.dir/core/solvability.cpp.o.d"
+  "/root/repo/src/core/weakest.cpp" "src/CMakeFiles/efd.dir/core/weakest.cpp.o" "gcc" "src/CMakeFiles/efd.dir/core/weakest.cpp.o.d"
+  "/root/repo/src/fd/dag.cpp" "src/CMakeFiles/efd.dir/fd/dag.cpp.o" "gcc" "src/CMakeFiles/efd.dir/fd/dag.cpp.o.d"
+  "/root/repo/src/fd/detectors.cpp" "src/CMakeFiles/efd.dir/fd/detectors.cpp.o" "gcc" "src/CMakeFiles/efd.dir/fd/detectors.cpp.o.d"
+  "/root/repo/src/fd/emulations.cpp" "src/CMakeFiles/efd.dir/fd/emulations.cpp.o" "gcc" "src/CMakeFiles/efd.dir/fd/emulations.cpp.o.d"
+  "/root/repo/src/fd/failure_pattern.cpp" "src/CMakeFiles/efd.dir/fd/failure_pattern.cpp.o" "gcc" "src/CMakeFiles/efd.dir/fd/failure_pattern.cpp.o.d"
+  "/root/repo/src/fd/reduction.cpp" "src/CMakeFiles/efd.dir/fd/reduction.cpp.o" "gcc" "src/CMakeFiles/efd.dir/fd/reduction.cpp.o.d"
+  "/root/repo/src/sim/memory.cpp" "src/CMakeFiles/efd.dir/sim/memory.cpp.o" "gcc" "src/CMakeFiles/efd.dir/sim/memory.cpp.o.d"
+  "/root/repo/src/sim/proc.cpp" "src/CMakeFiles/efd.dir/sim/proc.cpp.o" "gcc" "src/CMakeFiles/efd.dir/sim/proc.cpp.o.d"
+  "/root/repo/src/sim/schedule.cpp" "src/CMakeFiles/efd.dir/sim/schedule.cpp.o" "gcc" "src/CMakeFiles/efd.dir/sim/schedule.cpp.o.d"
+  "/root/repo/src/sim/snapshot.cpp" "src/CMakeFiles/efd.dir/sim/snapshot.cpp.o" "gcc" "src/CMakeFiles/efd.dir/sim/snapshot.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/efd.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/efd.dir/sim/trace.cpp.o.d"
+  "/root/repo/src/sim/value.cpp" "src/CMakeFiles/efd.dir/sim/value.cpp.o" "gcc" "src/CMakeFiles/efd.dir/sim/value.cpp.o.d"
+  "/root/repo/src/sim/world.cpp" "src/CMakeFiles/efd.dir/sim/world.cpp.o" "gcc" "src/CMakeFiles/efd.dir/sim/world.cpp.o.d"
+  "/root/repo/src/tasks/consensus.cpp" "src/CMakeFiles/efd.dir/tasks/consensus.cpp.o" "gcc" "src/CMakeFiles/efd.dir/tasks/consensus.cpp.o.d"
+  "/root/repo/src/tasks/participating_set.cpp" "src/CMakeFiles/efd.dir/tasks/participating_set.cpp.o" "gcc" "src/CMakeFiles/efd.dir/tasks/participating_set.cpp.o.d"
+  "/root/repo/src/tasks/renaming.cpp" "src/CMakeFiles/efd.dir/tasks/renaming.cpp.o" "gcc" "src/CMakeFiles/efd.dir/tasks/renaming.cpp.o.d"
+  "/root/repo/src/tasks/set_agreement.cpp" "src/CMakeFiles/efd.dir/tasks/set_agreement.cpp.o" "gcc" "src/CMakeFiles/efd.dir/tasks/set_agreement.cpp.o.d"
+  "/root/repo/src/tasks/symmetry_breaking.cpp" "src/CMakeFiles/efd.dir/tasks/symmetry_breaking.cpp.o" "gcc" "src/CMakeFiles/efd.dir/tasks/symmetry_breaking.cpp.o.d"
+  "/root/repo/src/tasks/task.cpp" "src/CMakeFiles/efd.dir/tasks/task.cpp.o" "gcc" "src/CMakeFiles/efd.dir/tasks/task.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for efd.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_adopt_commit.dir/test_adopt_commit.cpp.o"
+  "CMakeFiles/test_adopt_commit.dir/test_adopt_commit.cpp.o.d"
+  "test_adopt_commit"
+  "test_adopt_commit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_adopt_commit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bg.dir/test_bg.cpp.o"
+  "CMakeFiles/test_bg.dir/test_bg.cpp.o.d"
+  "test_bg"
+  "test_bg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

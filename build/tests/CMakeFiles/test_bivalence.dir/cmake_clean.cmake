@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bivalence.dir/test_bivalence.cpp.o"
+  "CMakeFiles/test_bivalence.dir/test_bivalence.cpp.o.d"
+  "test_bivalence"
+  "test_bivalence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bivalence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_bivalence.
+# This may be replaced when dependencies are built.

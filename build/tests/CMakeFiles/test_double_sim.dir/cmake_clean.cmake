@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_double_sim.dir/test_double_sim.cpp.o"
+  "CMakeFiles/test_double_sim.dir/test_double_sim.cpp.o.d"
+  "test_double_sim"
+  "test_double_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_double_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_efd_system.dir/test_efd_system.cpp.o"
+  "CMakeFiles/test_efd_system.dir/test_efd_system.cpp.o.d"
+  "test_efd_system"
+  "test_efd_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_efd_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_emulations.dir/test_emulations.cpp.o"
+  "CMakeFiles/test_emulations.dir/test_emulations.cpp.o.d"
+  "test_emulations"
+  "test_emulations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_emulations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

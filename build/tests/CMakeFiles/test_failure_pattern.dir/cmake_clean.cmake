@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_failure_pattern.dir/test_failure_pattern.cpp.o"
+  "CMakeFiles/test_failure_pattern.dir/test_failure_pattern.cpp.o.d"
+  "test_failure_pattern"
+  "test_failure_pattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_failure_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

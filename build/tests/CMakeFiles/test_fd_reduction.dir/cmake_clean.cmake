@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fd_reduction.dir/test_fd_reduction.cpp.o"
+  "CMakeFiles/test_fd_reduction.dir/test_fd_reduction.cpp.o.d"
+  "test_fd_reduction"
+  "test_fd_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fd_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

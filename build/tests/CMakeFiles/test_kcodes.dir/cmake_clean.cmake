@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kcodes.dir/test_kcodes.cpp.o"
+  "CMakeFiles/test_kcodes.dir/test_kcodes.cpp.o.d"
+  "test_kcodes"
+  "test_kcodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kcodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ksa.dir/test_ksa.cpp.o"
+  "CMakeFiles/test_ksa.dir/test_ksa.cpp.o.d"
+  "test_ksa"
+  "test_ksa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ksa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_misc_properties.dir/test_misc_properties.cpp.o"
+  "CMakeFiles/test_misc_properties.dir/test_misc_properties.cpp.o.d"
+  "test_misc_properties"
+  "test_misc_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_misc_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

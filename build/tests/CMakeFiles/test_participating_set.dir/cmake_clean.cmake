@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_participating_set.dir/test_participating_set.cpp.o"
+  "CMakeFiles/test_participating_set.dir/test_participating_set.cpp.o.d"
+  "test_participating_set"
+  "test_participating_set.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_participating_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_proc_world.dir/test_proc_world.cpp.o"
+  "CMakeFiles/test_proc_world.dir/test_proc_world.cpp.o.d"
+  "test_proc_world"
+  "test_proc_world.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_proc_world.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

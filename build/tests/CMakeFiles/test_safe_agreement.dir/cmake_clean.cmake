@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_safe_agreement.dir/test_safe_agreement.cpp.o"
+  "CMakeFiles/test_safe_agreement.dir/test_safe_agreement.cpp.o.d"
+  "test_safe_agreement"
+  "test_safe_agreement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_safe_agreement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_program.dir/test_sim_program.cpp.o"
+  "CMakeFiles/test_sim_program.dir/test_sim_program.cpp.o.d"
+  "test_sim_program"
+  "test_sim_program.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

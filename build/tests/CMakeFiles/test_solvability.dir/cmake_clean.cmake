@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_solvability.dir/test_solvability.cpp.o"
+  "CMakeFiles/test_solvability.dir/test_solvability.cpp.o.d"
+  "test_solvability"
+  "test_solvability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_solvability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_task_reduction.dir/test_task_reduction.cpp.o"
+  "CMakeFiles/test_task_reduction.dir/test_task_reduction.cpp.o.d"
+  "test_task_reduction"
+  "test_task_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_task_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_weakest.dir/test_weakest.cpp.o"
+  "CMakeFiles/test_weakest.dir/test_weakest.cpp.o.d"
+  "test_weakest"
+  "test_weakest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_weakest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
