@@ -11,6 +11,7 @@
 #include <mutex>
 #include <cstdarg>
 #include <set>
+#include <string>
 
 #include "efd/efd.hpp"
 
@@ -24,16 +25,36 @@ inline void table_header(const char* title, const char* columns) {
 
 /// Prints one table row, suppressing exact duplicates (google-benchmark
 /// re-invokes benchmark functions while calibrating iteration counts).
+/// Sized by a measuring vsnprintf pass, so long rows are never silently
+/// truncated (a truncated row would also defeat the duplicate suppression).
 inline void row(const char* fmt, ...) {
   static std::set<std::string> seen;
   static std::mutex mu;
-  char buf[512];
   va_list ap;
   va_start(ap, fmt);
-  std::vsnprintf(buf, sizeof buf, fmt, ap);
+  va_list ap2;
+  va_copy(ap2, ap);
+  const int need = std::vsnprintf(nullptr, 0, fmt, ap);
   va_end(ap);
+  if (need < 0) {
+    va_end(ap2);
+    return;
+  }
+  std::string buf(static_cast<std::size_t>(need), '\0');
+  std::vsnprintf(buf.data(), buf.size() + 1, fmt, ap2);
+  va_end(ap2);
   const std::lock_guard<std::mutex> guard(mu);
-  if (seen.insert(buf).second) std::fputs(buf, stdout);
+  if (seen.insert(buf).second) std::fputs(buf.c_str(), stdout);
+}
+
+/// Attaches the standard perf counters of a simulation bench: model steps
+/// per wall-second (rate over the whole timing loop), plus the final run's
+/// register footprint and total write count.
+inline void perf_counters(benchmark::State& state, double total_steps,
+                          std::size_t footprint, std::size_t writes) {
+  state.counters["steps_per_s"] = benchmark::Counter(total_steps, benchmark::Counter::kIsRate);
+  state.counters["footprint"] = static_cast<double>(footprint);
+  state.counters["writes"] = static_cast<double>(writes);
 }
 
 /// Distinct non-⊥ decisions of the world's C-processes.

@@ -5,7 +5,13 @@
 namespace efd {
 namespace {
 
-std::int64_t run_one_concurrent(const TaskPtr& task, std::uint64_t seed) {
+struct RunStats {
+  std::int64_t steps = 0;
+  std::size_t footprint = 0;
+  std::size_t writes = 0;
+};
+
+RunStats run_one_concurrent(const TaskPtr& task, std::uint64_t seed) {
   const int n = task->n_procs();
   const ValueVec in = task->sample_input(seed);
   const auto arrival = Task::participants(in);
@@ -20,7 +26,7 @@ std::int64_t run_one_concurrent(const TaskPtr& task, std::uint64_t seed) {
   if (!r.all_c_decided || !task->relation(in, out)) {
     throw std::runtime_error("E1: 1-concurrent run failed for " + task->name());
   }
-  return r.steps;
+  return {r.steps, w.memory().footprint(), w.memory().write_count()};
 }
 
 TaskPtr menu_task(int which, int n) {
@@ -42,16 +48,20 @@ void E1_OneConcurrent(benchmark::State& state) {
   const int which = static_cast<int>(state.range(0));
   const int n = static_cast<int>(state.range(1));
   const TaskPtr task = menu_task(which, n);
-  std::int64_t steps = 0;
+  RunStats rs;
+  double total_steps = 0;
   for (auto _ : state) {
-    steps = run_one_concurrent(task, 1);
+    rs = run_one_concurrent(task, 1);
+    total_steps += static_cast<double>(rs.steps);
   }
-  state.counters["steps"] = static_cast<double>(steps);
+  state.counters["steps"] = static_cast<double>(rs.steps);
   state.counters["n"] = n;
+  bench::perf_counters(state, total_steps, rs.footprint, rs.writes);
 
   bench::table_header("E1 (Prop. 1): every task is 1-concurrently solvable",
                       "task                                   n   steps-to-all-decided");
-  efd::bench::row("%-38s %-3d %lld\n", task->name().c_str(), n, static_cast<long long>(steps));
+  efd::bench::row("%-38s %-3d %lld\n", task->name().c_str(), n,
+                  static_cast<long long>(rs.steps));
 }
 
 }  // namespace

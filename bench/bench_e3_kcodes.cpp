@@ -27,6 +27,9 @@ void E3_KCodes(benchmark::State& state) {
   const int faults = static_cast<int>(state.range(2));
   std::int64_t steps = 0;
   std::int64_t prog_total = 0;
+  double total_steps = 0;
+  std::size_t footprint = 0;
+  std::size_t writes = 0;
   for (auto _ : state) {
     const FailurePattern f = Environment(n, n - 1).sample(23, faults, 10);
     VectorOmegaK vo(k, 50);
@@ -49,11 +52,15 @@ void E3_KCodes(benchmark::State& state) {
     const auto r = drive(w, rs, 5000000);
     if (!r.all_c_decided) throw std::runtime_error("E3: simulation made no progress");
     steps = r.steps;
+    total_steps += static_cast<double>(r.steps);
+    footprint = w.memory().footprint();
+    writes = w.memory().write_count();
     prog_total = 0;
     for (int j = 0; j < k; ++j) prog_total += kcodes_progress(w, cfg, j);
   }
   state.counters["steps"] = static_cast<double>(steps);
   state.counters["agreed_reads"] = static_cast<double>(prog_total);
+  bench::perf_counters(state, total_steps, footprint, writes);
 
   bench::table_header("E3 (Fig. 2 / Thm. 14): k-codes simulation with vec-Omega-k",
                       "n   k   faults  steps-to-first-completion  total-agreed-reads");

@@ -11,6 +11,9 @@ void E5_Booster(benchmark::State& state) {
   const int k = static_cast<int>(state.range(1));
   std::int64_t steps = 0;
   std::size_t distinct = 0;
+  double total_steps = 0;
+  std::size_t footprint = 0;
+  std::size_t writes = 0;
   for (auto _ : state) {
     const FailurePattern f = Environment(n, n - 1).sample(11, 1, 10);
     VectorOmegaK vo(k, 40);
@@ -22,11 +25,15 @@ void E5_Booster(benchmark::State& state) {
     const auto r = drive(w, rs, 20000000);
     if (!r.all_c_decided) throw std::runtime_error("E5: booster run did not decide");
     steps = r.steps;
+    total_steps += static_cast<double>(r.steps);
+    footprint = w.memory().footprint();
+    writes = w.memory().write_count();
     distinct = bench::distinct_decisions(w, n).size();
     if (static_cast<int>(distinct) > k) throw std::runtime_error("E5: k bound broken");
   }
   state.counters["steps"] = static_cast<double>(steps);
   state.counters["distinct"] = static_cast<double>(distinct);
+  bench::perf_counters(state, total_steps, footprint, writes);
 
   bench::table_header(
       "E5 (Thm. 7): boosting (U,k)-agreement (|U| = k+1) to all n processes",

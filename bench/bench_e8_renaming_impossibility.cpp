@@ -48,13 +48,17 @@ struct NaiveRenaming final : SimProgram {
 
 void E8a_LassoSearch(benchmark::State& state) {
   LassoResult r;
+  double total_states = 0;
   for (auto _ : state) {
     LassoConfig cfg;
     cfg.participants = {0, 1};
     r = find_nontermination(std::make_shared<NaiveRenaming>(), {Value(0), Value(1)}, cfg);
+    total_states += static_cast<double>(r.states);
   }
   state.counters["found"] = r.found ? 1 : 0;
   state.counters["states"] = static_cast<double>(r.states);
+  state.counters["states_per_s"] =
+      benchmark::Counter(total_states, benchmark::Counter::kIsRate);
 
   bench::table_header("E8a (Thm. 12): non-deciding 2-concurrent run of a candidate",
                       "candidate          lasso-found  states-explored  cycle-length");
@@ -93,6 +97,9 @@ void E8c_Lemma11Construction(benchmark::State& state) {
   const std::uint64_t seed = static_cast<std::uint64_t>(state.range(0));
   std::int64_t steps = 0;
   bool agreement = false;
+  double total_steps = 0;
+  std::size_t footprint = 0;
+  std::size_t writes = 0;
   for (auto _ : state) {
     const int n = 2;
     const FailurePattern f = Environment(n, n - 1).sample(seed, static_cast<int>(seed % 2), 10);
@@ -111,10 +118,14 @@ void E8c_Lemma11Construction(benchmark::State& state) {
     const auto r = drive(w, rs, 2000000);
     if (!r.all_c_decided) throw std::runtime_error("E8c: Lemma 11 run did not decide");
     steps = r.steps;
+    total_steps += static_cast<double>(r.steps);
+    footprint = w.memory().footprint();
+    writes = w.memory().write_count();
     agreement = w.decision(cpid(0)) == w.decision(cpid(1));
   }
   state.counters["steps"] = static_cast<double>(steps);
   state.counters["agreement"] = agreement ? 1 : 0;
+  bench::perf_counters(state, total_steps, footprint, writes);
 
   bench::table_header("E8c (Lemma 11): consensus from a strong 2-renaming box",
                       "seed  agreement  steps");

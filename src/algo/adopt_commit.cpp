@@ -6,11 +6,11 @@ namespace efd {
 
 Co<Value> adopt_commit(Context& ctx, AdoptCommitInstance inst, int me, Value v) {
   // Phase A: publish the proposal, look for disagreement.
-  co_await ctx.write(reg(inst.ns + "/A", me), v);
+  co_await ctx.write(reg(inst.a, me), v);
   Value seen;
   bool conflict = false;
   for (int p = 0; p < inst.num_parties; ++p) {
-    const Value a = co_await ctx.read(reg(inst.ns + "/A", p));
+    const Value a = co_await ctx.read(reg(inst.a, p));
     if (a.is_nil()) continue;
     if (seen.is_nil()) {
       seen = a;
@@ -21,13 +21,13 @@ Co<Value> adopt_commit(Context& ctx, AdoptCommitInstance inst, int me, Value v) 
   const Value mine = conflict ? seen : v;  // on conflict, push the first value seen
 
   // Phase B: publish (value, clean-bit); commit only on a unanimous clean view.
-  co_await ctx.write(reg(inst.ns + "/B", me), vec(mine, Value(conflict ? 0 : 1)));
+  co_await ctx.write(reg(inst.b, me), vec(mine, Value(conflict ? 0 : 1)));
   bool all_clean = true;
   bool any_clean = false;
   Value clean_value;
   Value any_value;
   for (int p = 0; p < inst.num_parties; ++p) {
-    const Value b = co_await ctx.read(reg(inst.ns + "/B", p));
+    const Value b = co_await ctx.read(reg(inst.b, p));
     if (b.is_nil()) continue;
     any_value = b.at(0);
     if (b.at(1).int_or(0) == 1) {

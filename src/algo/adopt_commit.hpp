@@ -16,8 +16,14 @@
 
 namespace efd {
 
+/// Interns the instance's register bases once at construction.
 struct AdoptCommitInstance {
-  std::string ns;
+  AdoptCommitInstance() = default;
+  AdoptCommitInstance(const std::string& ns, int num_parties)
+      : a(sym(ns + "/A")), b(sym(ns + "/B")), num_parties(num_parties) {}
+
+  Sym a;  ///< ns/A[p] = proposal
+  Sym b;  ///< ns/B[p] = [value, committed-bit]
   int num_parties = 0;
 };
 

@@ -15,16 +15,26 @@ struct CodeState {
   bool halted = false;
   Value state;
   int reads_agreed = 0;
+  SafeAgreementInstance read_sa;  // cached instance for read index read_sa_idx
+  int read_sa_idx = -1;
 };
 
 Proc bg_simulator(Context& ctx, BgConfig cfg, Value my_input, BgHarvest harvest) {
   const int me = ctx.pid().index;
   std::vector<CodeState> codes(static_cast<std::size_t>(cfg.num_codes));
-  std::unordered_set<std::string> proposed;  // SA instances we already proposed in
+  std::unordered_set<Sym> proposed;  // SA instances (by level base) we already proposed in
+  const Sym dec_base = sym(cfg.ns + "/dec");
+  const Sym input_base = cfg.input_base.empty() ? Sym{} : sym(cfg.input_base);
 
   auto sa_of = [&cfg](const std::string& tag) {
     return SafeAgreementInstance{cfg.ns + "/sa/" + tag, cfg.num_simulators};
   };
+  // Per-code input-agreement instances (colorless mode), interned once.
+  std::vector<SafeAgreementInstance> in_sa;
+  if (!input_base.valid()) {
+    in_sa.reserve(static_cast<std::size_t>(cfg.num_codes));
+    for (int c = 0; c < cfg.num_codes; ++c) in_sa.push_back(sa_of("in/" + std::to_string(c)));
+  }
 
   for (;;) {
     for (int c = 0; c < cfg.num_codes; ++c) {
@@ -32,15 +42,15 @@ Proc bg_simulator(Context& ctx, BgConfig cfg, Value my_input, BgHarvest harvest)
       if (cs.halted) continue;
 
       if (!cs.started) {
-        if (!cfg.input_base.empty()) {
+        if (input_base.valid()) {
           // Thm. 9 mode: the code's input is the real process's published input.
-          const Value in = co_await ctx.read(reg(cfg.input_base, c));
+          const Value in = co_await ctx.read(reg(input_base, c));
           if (in.is_nil()) continue;  // not participating (yet)
           cs.state = cfg.code->init(c, in);
         } else {
           // Colorless mode: agree on an input, each simulator proposing its own.
-          const auto inst = sa_of("in/" + std::to_string(c));
-          if (proposed.insert(inst.ns).second) {
+          const auto& inst = in_sa[static_cast<std::size_t>(c)];
+          if (proposed.insert(inst.level).second) {
             co_await sa_propose(ctx, inst, me, my_input);
           }
           const Value r = co_await sa_try_resolve(ctx, inst);
@@ -66,9 +76,12 @@ Proc bg_simulator(Context& ctx, BgConfig cfg, Value my_input, BgHarvest harvest)
             progressed = true;
             break;
           case SimAction::Kind::kRead: {
-            const auto inst =
-                sa_of(std::to_string(c) + "/r" + std::to_string(cs.reads_agreed));
-            if (proposed.insert(inst.ns).second) {
+            if (cs.read_sa_idx != cs.reads_agreed) {
+              cs.read_sa = sa_of(std::to_string(c) + "/r" + std::to_string(cs.reads_agreed));
+              cs.read_sa_idx = cs.reads_agreed;
+            }
+            const auto& inst = cs.read_sa;
+            if (proposed.insert(inst.level).second) {
               const Value seen = co_await ctx.read(act.addr);
               co_await sa_propose(ctx, inst, me, seen);
             }
@@ -83,7 +96,7 @@ Proc bg_simulator(Context& ctx, BgConfig cfg, Value my_input, BgHarvest harvest)
             break;
           }
           case SimAction::Kind::kDecide:
-            co_await ctx.write(reg(cfg.ns + "/dec", c), act.value);
+            co_await ctx.write(reg(dec_base, c), act.value);
             cs.state = cfg.code->transition(cs.state, Value{});
             progressed = true;
             break;
@@ -99,7 +112,7 @@ Proc bg_simulator(Context& ctx, BgConfig cfg, Value my_input, BgHarvest harvest)
       if (cfg.smallest_id_first && progressed) break;
     }
 
-    const Value decisions = co_await collect(ctx, cfg.ns + "/dec", cfg.num_codes);
+    const Value decisions = co_await collect(ctx, dec_base, cfg.num_codes);
     const Value mine = harvest(decisions.as_vec());
     if (!mine.is_nil()) {
       co_await ctx.decide(mine);

@@ -142,6 +142,9 @@ namespace {
 // object after World::spawn, so factories only bind and call).
 Proc extraction_sproc(Context& ctx, ExtractionConfig cfg) {
   const int me = ctx.pid().index;
+  const Sym dag_base = sym(cfg.ns + "/dag");
+  const RegAddr my_dag = reg(dag_base, me);
+  const RegAddr my_out = reg(sym(cfg.ns + "/out"), me);
   FdDag local(cfg.n);
   int round = 0;
   int budget = cfg.budget0;
@@ -150,19 +153,19 @@ Proc extraction_sproc(Context& ctx, ExtractionConfig cfg) {
     const Value sample = co_await ctx.query();
     for (int j = 0; j < cfg.n; ++j) {
       if (j == me) continue;
-      const Value pub = co_await ctx.read(reg(cfg.ns + "/dag", j));
+      const Value pub = co_await ctx.read(reg(dag_base, j));
       if (!pub.is_nil()) local.merge(FdDag::decode(pub));
     }
     std::vector<int> preds(static_cast<std::size_t>(cfg.n));
     for (int j = 0; j < cfg.n; ++j) preds[static_cast<std::size_t>(j)] = local.count(j) - 1;
     local.append(me, sample, std::move(preds));
-    co_await ctx.write(reg(cfg.ns + "/dag", me), local.encode());
+    co_await ctx.write(my_dag, local.encode());
 
     // --- Periodic hunt: pure local computation, then publish the sample ---
     if (++round % cfg.explore_every == 0) {
       const ExtractionResult r = extract_once(local, cfg, budget);
       budget = std::min(budget + cfg.budget_step, cfg.max_budget);
-      co_await ctx.write(reg(cfg.ns + "/out", me), encode_set(r.output));
+      co_await ctx.write(my_out, encode_set(r.output));
     }
   }
 }

@@ -1,7 +1,6 @@
 #include "algo/k_codes_sim.hpp"
 
 #include <stdexcept>
-#include <unordered_map>
 #include <vector>
 
 #include "algo/paxos.hpp"
@@ -14,16 +13,26 @@ std::string cons_ns(const KCodesConfig& cfg, int j, int ell) {
   return cfg.ns + "/c/" + std::to_string(j) + "/" + std::to_string(ell);
 }
 
-std::string est_reg(const KCodesConfig& cfg, int j, int ell, int i) {
-  return cfg.ns + "/est/" + std::to_string(j) + "/" + std::to_string(ell) + "/" +
-         std::to_string(i);
-}
+/// Interned bases of a k-codes run; built once per coroutine.
+struct KCodesRegs {
+  explicit KCodesRegs(const KCodesConfig& cfg)
+      : r(sym(cfg.ns + "/R")),
+        dec(sym(cfg.ns + "/dec")),
+        steps(sym(cfg.ns + "/steps")),
+        vom(sym(cfg.ns + "/vOm")),
+        est(sym(cfg.ns + "/est")) {}
+  Sym r;      ///< ns/R[i] = participation bit
+  Sym dec;    ///< ns/dec[j] = code j's decision
+  Sym steps;  ///< ns/steps[j] = agreed reads of code j
+  Sym vom;    ///< ns/vOm[j] = leader advice for slot j
+  Sym est;    ///< ns/est[j][ell][i] = simulator i's estimate for read ell
+};
 
 /// Active simulators (R[i] == 1), ascending.
-Co<Value> read_pars(Context& ctx, const KCodesConfig& cfg) {
+Co<Value> read_pars(Context& ctx, Sym r_base, int n) {
   ValueVec pars;
-  for (int i = 0; i < cfg.n; ++i) {
-    const Value r = co_await ctx.read(reg(cfg.ns + "/R", i));
+  for (int i = 0; i < n; ++i) {
+    const Value r = co_await ctx.read(reg(r_base, i));
     if (r.int_or(0) == 1) pars.emplace_back(i);
   }
   co_return Value(std::move(pars));
@@ -33,11 +42,17 @@ struct CodeState {
   Value state;
   int ell = 0;  // agreed reads so far
   bool halted = false;
+  PaxosInstance cons;  // cached consensus instance for read index cons_ell
+  int cons_ell = -1;
+  int cons_round = 0;  // my next paxos round in `cons`
 };
 
 Proc kcodes_simulator(Context& ctx, KCodesConfig cfg, KCodesHarvest harvest) {
   const int me = ctx.pid().index;
-  co_await ctx.write(reg(cfg.ns + "/R", me), Value(1));
+  const KCodesRegs rs(cfg);
+  const RegAddr poll =
+      cfg.poll_base.empty() ? RegAddr{} : reg(sym(cfg.poll_base), me);
+  co_await ctx.write(reg(rs.r, me), Value(1));
 
   std::vector<CodeState> codes(static_cast<std::size_t>(cfg.k));
   for (int j = 0; j < cfg.k; ++j) {
@@ -45,10 +60,8 @@ Proc kcodes_simulator(Context& ctx, KCodesConfig cfg, KCodesHarvest harvest) {
         cfg.code->init(j, j < static_cast<int>(cfg.inputs.size()) ? cfg.inputs[static_cast<std::size_t>(j)]
                                                                   : Value{});
   }
-  std::unordered_map<std::string, int> rounds;  // paxos round per instance
-
   for (;;) {
-    const Value pars = co_await read_pars(ctx, cfg);
+    const Value pars = co_await read_pars(ctx, rs.r, cfg.n);
     const int m = static_cast<int>(pars.size());
 
     for (int j = 0; j < std::min(m, cfg.k); ++j) {
@@ -65,7 +78,7 @@ Proc kcodes_simulator(Context& ctx, KCodesConfig cfg, KCodesHarvest harvest) {
           cs.state = cfg.code->transition(cs.state, Value{});
           break;
         case SimAction::Kind::kDecide:
-          co_await ctx.write(reg(cfg.ns + "/dec", j), act.value);
+          co_await ctx.write(reg(rs.dec, j), act.value);
           cs.state = cfg.code->transition(cs.state, Value{});
           break;
         case SimAction::Kind::kHalt:
@@ -74,29 +87,34 @@ Proc kcodes_simulator(Context& ctx, KCodesConfig cfg, KCodesHarvest harvest) {
         case SimAction::Kind::kQuery:
           throw std::logic_error("kcodes_simulator: simulated code queried a failure detector");
         case SimAction::Kind::kRead: {
-          const PaxosInstance inst{cons_ns(cfg, j, cs.ell), 2 * cfg.n};
+          if (cs.cons_ell != cs.ell) {  // intern this read's instance once
+            cs.cons = PaxosInstance{cons_ns(cfg, j, cs.ell), 2 * cfg.n};
+            cs.cons_ell = cs.ell;
+            cs.cons_round = 0;
+          }
+          const PaxosInstance& inst = cs.cons;
           const Value dec = co_await paxos_decision(ctx, inst);
           if (!dec.is_nil()) {  // next step of p'_j is decided: adopt it
             cs.state = cfg.code->transition(cs.state, dec.at(0));
             ++cs.ell;
-            co_await ctx.write(reg(cfg.ns + "/steps", j), Value(cs.ell));
+            co_await ctx.write(reg(rs.steps, j), Value(cs.ell));
             break;
           }
           // Publish my estimate (the value I currently read), then drive the
           // instance if I am its leader.
           const Value seen = co_await ctx.read(act.addr);
-          co_await ctx.write(est_reg(cfg, j, cs.ell, me), vec(seen));
+          co_await ctx.write(reg3(rs.est, j, cs.ell, me), vec(seen));
           bool i_lead = false;
           if (m <= cfg.k) {
             i_lead = pars.at(static_cast<std::size_t>(j)).int_or(-1) == me;
           } else {
-            const Value lead = co_await ctx.read(reg(cfg.ns + "/vOm", j));
+            const Value lead = co_await ctx.read(reg(rs.vom, j));
             // Slot j names an S-process; as a C-actor I never lead here.
             i_lead = false;
             (void)lead;
           }
           if (i_lead) {
-            co_await paxos_attempt(ctx, inst, me, rounds[inst.ns]++, vec(seen));
+            co_await paxos_attempt(ctx, inst, me, cs.cons_round++, vec(seen));
           }
           break;
         }
@@ -104,14 +122,14 @@ Proc kcodes_simulator(Context& ctx, KCodesConfig cfg, KCodesHarvest harvest) {
     }
 
     Value mine;
-    if (!cfg.poll_base.empty()) {
-      mine = co_await ctx.read(reg(cfg.poll_base, me));
+    if (poll.valid()) {
+      mine = co_await ctx.read(poll);
     } else {
-      const Value decisions = co_await collect(ctx, cfg.ns + "/dec", cfg.k);
+      const Value decisions = co_await collect(ctx, rs.dec, cfg.k);
       mine = harvest(decisions.as_vec());
     }
     if (!mine.is_nil()) {
-      co_await ctx.write(reg(cfg.ns + "/R", me), Value(0));  // depart
+      co_await ctx.write(reg(rs.r, me), Value(0));  // depart
       co_await ctx.decide(mine);
       co_return;
     }
@@ -121,30 +139,45 @@ Proc kcodes_simulator(Context& ctx, KCodesConfig cfg, KCodesHarvest harvest) {
 
 Proc kcodes_server(Context& ctx, KCodesConfig cfg) {
   const int me = ctx.pid().index;
-  std::unordered_map<std::string, int> rounds;
+  const KCodesRegs rs(cfg);
+  // Cached consensus instance + my round counter per slot (re-interned only
+  // when the slot's agreed-read index moves).
+  struct SlotCons {
+    PaxosInstance cons;
+    int ell = -1;
+    int round = 0;
+  };
+  std::vector<SlotCons> slots(static_cast<std::size_t>(cfg.k));
   for (;;) {
     const Value advice = co_await ctx.query();  // →Ωk sample: k-vector of S-ids
     for (int j = 0; j < cfg.k; ++j) {
-      co_await ctx.write(reg(cfg.ns + "/vOm", j), advice.at(static_cast<std::size_t>(j)));
+      co_await ctx.write(reg(rs.vom, j), advice.at(static_cast<std::size_t>(j)));
     }
-    const Value pars = co_await read_pars(ctx, cfg);
+    const Value pars = co_await read_pars(ctx, rs.r, cfg.n);
     if (static_cast<int>(pars.size()) <= cfg.k) {
       co_await ctx.yield();  // ranked C-simulators lead; nothing for me to do
       continue;
     }
     for (int j = 0; j < cfg.k; ++j) {
       if (advice.at(static_cast<std::size_t>(j)).int_or(-1) != me) continue;
-      const std::int64_t ell = (co_await ctx.read(reg(cfg.ns + "/steps", j))).int_or(0);
-      const PaxosInstance inst{cons_ns(cfg, j, static_cast<int>(ell)), 2 * cfg.n};
+      const int ell =
+          static_cast<int>((co_await ctx.read(reg(rs.steps, j))).int_or(0));
+      SlotCons& sc = slots[static_cast<std::size_t>(j)];
+      if (sc.ell != ell) {
+        sc.cons = PaxosInstance{cons_ns(cfg, j, ell), 2 * cfg.n};
+        sc.ell = ell;
+        sc.round = 0;
+      }
+      const PaxosInstance& inst = sc.cons;
       const Value dec = co_await paxos_decision(ctx, inst);
       if (!dec.is_nil()) continue;
       // Echo a published estimate, as the paper's leader answers queries.
       Value est;
       for (int i = 0; i < cfg.n && est.is_nil(); ++i) {
-        est = co_await ctx.read(est_reg(cfg, j, static_cast<int>(ell), i));
+        est = co_await ctx.read(reg3(rs.est, j, ell, i));
       }
       if (est.is_nil()) continue;  // no simulator asked yet
-      co_await paxos_attempt(ctx, inst, cfg.n + me, rounds[inst.ns]++, est);
+      co_await paxos_attempt(ctx, inst, cfg.n + me, sc.round++, est);
     }
   }
 }

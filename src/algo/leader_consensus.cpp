@@ -8,14 +8,15 @@ namespace {
 
 Proc consensus_client(Context& ctx, LeaderConsensusConfig cfg, Value input) {
   const int i = ctx.pid().index;
-  co_await ctx.write(reg(cfg.ns + "/In", i), input);
-  const Value d = co_await await_nonnil(ctx, cfg.ns + "/DEC");
+  co_await ctx.write(reg(sym(cfg.ns + "/In"), i), input);
+  const Value d = co_await await_nonnil(ctx, reg(sym(cfg.ns + "/DEC")));
   co_await ctx.decide(d);
 }
 
 Proc consensus_server(Context& ctx, LeaderConsensusConfig cfg) {
   const int me = ctx.pid().index;
   const PaxosInstance inst{cfg.ns, cfg.n};
+  const Sym in = sym(cfg.ns + "/In");
   int round = 0;
   for (;;) {
     const Value leader = co_await ctx.query();
@@ -26,7 +27,7 @@ Proc consensus_server(Context& ctx, LeaderConsensusConfig cfg) {
     // Leader: pick the first published proposal and push a ballot.
     Value proposal;
     for (int j = 0; j < cfg.n && proposal.is_nil(); ++j) {
-      proposal = co_await ctx.read(reg(cfg.ns + "/In", j));
+      proposal = co_await ctx.read(reg(in, j));
     }
     if (proposal.is_nil()) {
       co_await ctx.yield();  // nobody participates yet
@@ -38,8 +39,10 @@ Proc consensus_server(Context& ctx, LeaderConsensusConfig cfg) {
 
 Proc consensus_server_ac(Context& ctx, LeaderConsensusConfig cfg) {
   const int me = ctx.pid().index;
-  // Round registers: cfg.ns/r<r>/... adopt-commit instances over the n
-  // S-actors; cfg.ns/round publishes the highest round anyone entered.
+  const Sym in = sym(cfg.ns + "/In");
+  const RegAddr dec = reg(sym(cfg.ns + "/DEC"));
+  // Round registers: cfg.ns/ac<r>/... adopt-commit instances over the n
+  // S-actors.
   Value est;
   int round = 0;
   for (;;) {
@@ -50,7 +53,7 @@ Proc consensus_server_ac(Context& ctx, LeaderConsensusConfig cfg) {
     }
     if (est.is_nil()) {
       for (int j = 0; j < cfg.n && est.is_nil(); ++j) {
-        est = co_await ctx.read(reg(cfg.ns + "/In", j));
+        est = co_await ctx.read(reg(in, j));
       }
       if (est.is_nil()) {
         co_await ctx.yield();  // nobody participates yet
@@ -65,7 +68,7 @@ Proc consensus_server_ac(Context& ctx, LeaderConsensusConfig cfg) {
     const Value r = co_await adopt_commit(ctx, inst, me, est);
     est = r.at(1);  // carry the adopted value into the next round
     if (r.at(0).int_or(0) == 1) {
-      co_await ctx.write(cfg.ns + "/DEC", est);
+      co_await ctx.write(dec, est);
     }
     ++round;
   }

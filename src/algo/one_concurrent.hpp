@@ -18,9 +18,10 @@ namespace efd {
 /// Register bases used by the solver (shared with the extraction harness,
 /// which simulates this algorithm): inputs at ns/In[i], outputs at ns/Out[i].
 struct OneConcurrentRegs {
-  std::string in_base;
-  std::string out_base;
-  explicit OneConcurrentRegs(const std::string& ns) : in_base(ns + "/In"), out_base(ns + "/Out") {}
+  Sym in_base;
+  Sym out_base;
+  explicit OneConcurrentRegs(const std::string& ns)
+      : in_base(sym(ns + "/In")), out_base(sym(ns + "/Out")) {}
 };
 
 /// Body of C-process p_{i+1} solving `task` with input `input`.

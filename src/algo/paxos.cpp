@@ -8,15 +8,15 @@ Co<Value> paxos_attempt(Context& ctx, PaxosInstance inst, int me, int round, Val
   const std::int64_t ballot =
       static_cast<std::int64_t>(round) * inst.num_actors + me + 1;  // ballots >= 1, unique per actor
 
-  co_await ctx.write(inst.ns + "/RB[" + std::to_string(me) + "]", Value(ballot));
+  co_await ctx.write(reg(inst.rb, me), Value(ballot));
 
   // Phase 1: abort if a higher ballot started; adopt the highest accepted value.
   std::int64_t best_ballot = 0;
   Value best_value;
   for (int a = 0; a < inst.num_actors; ++a) {
-    const Value rb = co_await ctx.read(inst.ns + "/RB[" + std::to_string(a) + "]");
+    const Value rb = co_await ctx.read(reg(inst.rb, a));
     if (rb.int_or(0) > ballot) co_return Value{};
-    const Value acc = co_await ctx.read(inst.ns + "/ACC[" + std::to_string(a) + "]");
+    const Value acc = co_await ctx.read(reg(inst.acc, a));
     if (acc.is_vec() && acc.at(0).int_or(0) > best_ballot) {
       best_ballot = acc.at(0).int_or(0);
       best_value = acc.at(1);
@@ -24,19 +24,19 @@ Co<Value> paxos_attempt(Context& ctx, PaxosInstance inst, int me, int round, Val
   }
   if (best_ballot > 0) v = best_value;
 
-  co_await ctx.write(inst.ns + "/ACC[" + std::to_string(me) + "]", vec(Value(ballot), v));
+  co_await ctx.write(reg(inst.acc, me), vec(Value(ballot), v));
 
   // Phase 2: re-validate the ballot, then publish the decision.
   for (int a = 0; a < inst.num_actors; ++a) {
-    const Value rb = co_await ctx.read(inst.ns + "/RB[" + std::to_string(a) + "]");
+    const Value rb = co_await ctx.read(reg(inst.rb, a));
     if (rb.int_or(0) > ballot) co_return Value{};
   }
-  co_await ctx.write(inst.ns + "/DEC", v);
+  co_await ctx.write(inst.dec, v);
   co_return v;
 }
 
 Co<Value> paxos_decision(Context& ctx, PaxosInstance inst) {
-  co_return co_await ctx.read(inst.ns + "/DEC");
+  co_return co_await ctx.read(inst.dec);
 }
 
 }  // namespace efd

@@ -21,8 +21,17 @@
 
 namespace efd {
 
+/// A Paxos instance handle: interns the instance's register bases once at
+/// construction so ballot attempts touch no strings.
 struct PaxosInstance {
-  std::string ns;
+  PaxosInstance() = default;
+  PaxosInstance(const std::string& ns, int num_actors)
+      : rb(sym(ns + "/RB")), acc(sym(ns + "/ACC")), dec(reg(sym(ns + "/DEC"))),
+        num_actors(num_actors) {}
+
+  Sym rb;       ///< ns/RB[a]: highest ballot actor a entered
+  Sym acc;      ///< ns/ACC[a]: [ballot, value] last accepted by actor a
+  RegAddr dec;  ///< ns/DEC: decided value
   int num_actors = 0;
 };
 

@@ -10,11 +10,13 @@ namespace {
 
 Proc renaming_kconc(Context& ctx, RenamingConfig cfg, Value input) {
   const int i = ctx.pid().index;
+  const Sym r_base = sym(cfg.ns + "/R");
+  const RegAddr mine = reg(r_base, i);
   std::int64_t s = 1;  // current name suggestion
 
   for (;;) {
-    co_await ctx.write(reg(cfg.ns + "/R", i), vec(Value(i), Value(s), Value(1), input));
-    const Value view = co_await collect(ctx, cfg.ns + "/R", cfg.n);
+    co_await ctx.write(mine, vec(Value(i), Value(s), Value(1), input));
+    const Value view = co_await collect(ctx, r_base, cfg.n);
 
     bool conflict = false;
     std::vector<int> contenders;                 // {ℓ | R_ℓ = (ℓ, s_ℓ, true)}
@@ -32,7 +34,7 @@ Proc renaming_kconc(Context& ctx, RenamingConfig cfg, Value input) {
     }
 
     if (!conflict) {
-      co_await ctx.write(reg(cfg.ns + "/R", i), vec(Value(i), Value(s), Value(0), input));
+      co_await ctx.write(mine, vec(Value(i), Value(s), Value(0), input));
       co_await ctx.decide(Value(s));
       co_return;
     }

@@ -12,13 +12,15 @@ namespace {
 Proc one_resilient_wrapper(Context& ctx, OneResilientConfig cfg, SimProgramPtr inner,
                            Value input) {
   const int i = ctx.pid().index;
-  co_await ctx.write(reg(cfg.ns + "/W", i), Value(1));  // register participation
+  const Sym w_base = sym(cfg.ns + "/W");
+  const RegAddr my_w = reg(w_base, i);
+  co_await ctx.write(my_w, Value(1));  // register participation
 
   Value st = inner->init(i, input);
   std::optional<Value> name;
 
   while (!name) {
-    const Value wv = co_await collect(ctx, cfg.ns + "/W", cfg.n);
+    const Value wv = co_await collect(ctx, w_base, cfg.n);
     std::vector<int> participants;  // S  = {ℓ | R_ℓ ≠ ⊥}
     std::vector<int> undecided;     // S' = {ℓ | R_ℓ = 1}
     for (int l = 0; l < cfg.n; ++l) {
@@ -64,7 +66,7 @@ Proc one_resilient_wrapper(Context& ctx, OneResilientConfig cfg, SimProgramPtr i
     st = inner->transition(st, result);
   }
 
-  co_await ctx.write(reg(cfg.ns + "/W", i), Value(0));  // declare decided, depart
+  co_await ctx.write(my_w, Value(0));  // declare decided, depart
   co_await ctx.decide(*name);
 }
 

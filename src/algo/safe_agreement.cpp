@@ -3,24 +3,19 @@
 #include "sim/memory.hpp"
 
 namespace efd {
-namespace {
-
-std::string level_base(const SafeAgreementInstance& inst) { return inst.ns + "/L"; }
-
-}  // namespace
 
 Co<void> sa_propose(Context& ctx, SafeAgreementInstance inst, int me, Value v) {
-  co_await ctx.write(reg(level_base(inst), me), vec(v, Value(1)));
-  const Value snap = co_await double_collect(ctx, level_base(inst), inst.num_parties);
+  co_await ctx.write(reg(inst.level, me), vec(v, Value(1)));
+  const Value snap = co_await double_collect(ctx, inst.level, inst.num_parties);
   bool saw_committed = false;
   for (int p = 0; p < inst.num_parties; ++p) {
     if (snap.at(static_cast<std::size_t>(p)).at(1).int_or(0) == 2) saw_committed = true;
   }
-  co_await ctx.write(reg(level_base(inst), me), vec(v, Value(saw_committed ? 0 : 2)));
+  co_await ctx.write(reg(inst.level, me), vec(v, Value(saw_committed ? 0 : 2)));
 }
 
 Co<Value> sa_try_resolve(Context& ctx, SafeAgreementInstance inst) {
-  const Value snap = co_await double_collect(ctx, level_base(inst), inst.num_parties);
+  const Value snap = co_await double_collect(ctx, inst.level, inst.num_parties);
   bool found = false;  // Nil is a legal agreed value, so track the winner explicitly
   Value winner;
   for (int p = 0; p < inst.num_parties; ++p) {

@@ -20,8 +20,14 @@
 
 namespace efd {
 
+/// Interns the instance's level-register base once at construction so the
+/// propose/resolve loops touch no strings.
 struct SafeAgreementInstance {
-  std::string ns;
+  SafeAgreementInstance() = default;
+  SafeAgreementInstance(const std::string& ns, int num_parties)
+      : level(sym(ns + "/L")), num_parties(num_parties) {}
+
+  Sym level;  ///< ns/L[p] = [value, level]
   int num_parties = 0;
 };
 

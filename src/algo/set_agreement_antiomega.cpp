@@ -11,10 +11,13 @@ std::string inst_ns(const KsaConfig& cfg, int j) { return cfg.ns + "/inst" + std
 
 Proc ksa_client(Context& ctx, KsaConfig cfg, Value input) {
   const int i = ctx.pid().index;
-  co_await ctx.write(reg(cfg.ns + "/In", i), input);
+  co_await ctx.write(reg(sym(cfg.ns + "/In"), i), input);
+  std::vector<RegAddr> dec;  // per-instance decision registers, interned once
+  dec.reserve(static_cast<std::size_t>(cfg.k));
+  for (int j = 0; j < cfg.k; ++j) dec.push_back(reg(sym(inst_ns(cfg, j) + "/DEC")));
   for (;;) {
     for (int j = 0; j < cfg.k; ++j) {
-      const Value d = co_await ctx.read(inst_ns(cfg, j) + "/DEC");
+      const Value d = co_await ctx.read(dec[static_cast<std::size_t>(j)]);
       if (!d.is_nil()) {
         co_await ctx.decide(d);
         co_return;
@@ -28,6 +31,10 @@ Proc ksa_client(Context& ctx, KsaConfig cfg, Value input) {
 Proc ksa_server_core(Context& ctx, KsaConfig cfg, bool use_query, AdviceSource advice_src) {
   const int me = ctx.pid().index;
   std::vector<int> round(static_cast<std::size_t>(cfg.k), 0);
+  const Sym in = sym(cfg.ns + "/In");
+  std::vector<PaxosInstance> insts;  // per-slot consensus instances, interned once
+  insts.reserve(static_cast<std::size_t>(cfg.k));
+  for (int j = 0; j < cfg.k; ++j) insts.emplace_back(inst_ns(cfg, j), cfg.n);
   for (;;) {
     Value advice;
     if (use_query) {
@@ -44,10 +51,10 @@ Proc ksa_server_core(Context& ctx, KsaConfig cfg, bool use_query, AdviceSource a
       if (advice.at(static_cast<std::size_t>(j)).int_or(-1) != me) continue;
       Value proposal;
       for (int c = 0; c < cfg.n && proposal.is_nil(); ++c) {
-        proposal = co_await ctx.read(reg(cfg.ns + "/In", c));
+        proposal = co_await ctx.read(reg(in, c));
       }
       if (proposal.is_nil()) continue;
-      const PaxosInstance inst{inst_ns(cfg, j), cfg.n};
+      const PaxosInstance& inst = insts[static_cast<std::size_t>(j)];
       co_await paxos_attempt(ctx, inst, me, round[static_cast<std::size_t>(j)]++, proposal);
       led_any = true;
     }
@@ -61,10 +68,11 @@ Proc ksa_server(Context& ctx, KsaConfig cfg) {
 
 Proc nsa_client(Context& ctx, KsaConfig cfg, Value input) {
   const int i = ctx.pid().index;
-  co_await ctx.write(reg(cfg.ns + "/In", i), input);
+  const Sym v_base = sym(cfg.ns + "/V");
+  co_await ctx.write(reg(sym(cfg.ns + "/In"), i), input);
   for (;;) {
     for (int j = 0; j < cfg.n; ++j) {
-      const Value v = co_await ctx.read(reg(cfg.ns + "/V", j));
+      const Value v = co_await ctx.read(reg(v_base, j));
       if (!v.is_nil()) {
         co_await ctx.decide(v);
         co_return;
@@ -75,12 +83,13 @@ Proc nsa_client(Context& ctx, KsaConfig cfg, Value input) {
 
 Proc nsa_server(Context& ctx, KsaConfig cfg) {
   const int me = ctx.pid().index;
+  const Sym in = sym(cfg.ns + "/In");
   // Wait until at least one C-process wrote its input, then relay it once.
   for (;;) {
     for (int c = 0; c < cfg.n; ++c) {
-      const Value v = co_await ctx.read(reg(cfg.ns + "/In", c));
+      const Value v = co_await ctx.read(reg(in, c));
       if (!v.is_nil()) {
-        co_await ctx.write(reg(cfg.ns + "/V", me), v);
+        co_await ctx.write(reg(sym(cfg.ns + "/V"), me), v);
         co_return;
       }
     }

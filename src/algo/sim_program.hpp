@@ -27,8 +27,8 @@ namespace efd {
 struct SimAction {
   enum class Kind : std::uint8_t { kRead, kWrite, kQuery, kYield, kDecide, kHalt };
   Kind kind = Kind::kHalt;
-  std::string addr;  ///< register for kRead/kWrite
-  Value value;       ///< written / decided value
+  RegAddr addr;  ///< interned register handle for kRead/kWrite
+  Value value;   ///< written / decided value
 };
 
 /// A deterministic process automaton with explicit, copyable state.

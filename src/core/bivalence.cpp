@@ -8,10 +8,10 @@ namespace {
 
 /// One configuration of the simulated restricted system.
 struct Config {
-  std::vector<Value> state;          ///< per-participant automaton state
+  std::vector<Value> state;      ///< per-participant automaton state
   std::vector<bool> decided;
   std::vector<bool> halted;
-  std::map<std::string, Value> mem;  ///< ordered: deterministic signatures
+  std::map<RegId, Value> mem;    ///< ordered by RegId: deterministic signatures
 
   [[nodiscard]] std::uint64_t sig() const {
     std::uint64_t h = 1469598103934665603ULL;
@@ -19,7 +19,9 @@ struct Config {
     for (bool d : decided) h = h * 1099511628211ULL + (d ? 2u : 1u);
     for (bool d : halted) h = h * 1099511628211ULL + (d ? 5u : 3u);
     for (const auto& [k, v] : mem) {
-      h = h * 1099511628211ULL + std::hash<std::string>{}(k);
+      // Keyed by the canonical-name hash, not the raw RegId, so signatures
+      // do not depend on process-global interning order.
+      h = h * 1099511628211ULL + reg_name_hash(k);
       h = h * 1099511628211ULL + v.hash();
     }
     return h;
@@ -58,12 +60,12 @@ class LassoSearcher {
     Value result;
     switch (act.kind) {
       case SimAction::Kind::kRead: {
-        const auto it = c.mem.find(act.addr);
+        const auto it = c.mem.find(act.addr.id());
         if (it != c.mem.end()) result = it->second;
         break;
       }
       case SimAction::Kind::kWrite:
-        c.mem[act.addr] = act.value;
+        c.mem[act.addr.id()] = act.value;
         break;
       case SimAction::Kind::kYield:
         break;

@@ -1,6 +1,7 @@
 #include "core/reduction.hpp"
 
 #include <unordered_map>
+#include <vector>
 
 #include "algo/paxos.hpp"
 #include "sim/memory.hpp"
@@ -14,10 +15,13 @@ std::string slot_ns(const SlotRenamingConfig& cfg, int t) {
 
 Proc slot_renaming_client(Context& ctx, SlotRenamingConfig cfg, Value input) {
   const int me = ctx.pid().index;
-  co_await ctx.write(reg(cfg.ns + "/Part", me), input);  // register with original name
+  co_await ctx.write(reg(sym(cfg.ns + "/Part"), me), input);  // register with original name
+  std::vector<RegAddr> slot_dec;  // slot t's decision register, interned once
+  slot_dec.reserve(static_cast<std::size_t>(cfg.j));
+  for (int t = 1; t <= cfg.j; ++t) slot_dec.push_back(reg(sym(slot_ns(cfg, t) + "/DEC")));
   for (;;) {
     for (int t = 1; t <= cfg.j; ++t) {
-      const Value winner = co_await ctx.read(slot_ns(cfg, t) + "/DEC");
+      const Value winner = co_await ctx.read(slot_dec[static_cast<std::size_t>(t - 1)]);
       if (winner.is_nil()) break;  // slots fill in order; later ones are empty too
       if (winner.int_or(-1) == me) {
         co_await ctx.decide(Value(t));
@@ -30,6 +34,10 @@ Proc slot_renaming_client(Context& ctx, SlotRenamingConfig cfg, Value input) {
 
 Proc slot_renaming_server(Context& ctx, SlotRenamingConfig cfg) {
   const int me = ctx.pid().index;
+  const Sym part = sym(cfg.ns + "/Part");
+  std::vector<PaxosInstance> insts;  // slot t's consensus instance, interned once
+  insts.reserve(static_cast<std::size_t>(cfg.j));
+  for (int t = 1; t <= cfg.j; ++t) insts.emplace_back(slot_ns(cfg, t), cfg.n);
   std::unordered_map<int, int> rounds;
   for (;;) {
     const Value leader = co_await ctx.query();  // Ω
@@ -41,7 +49,7 @@ Proc slot_renaming_server(Context& ctx, SlotRenamingConfig cfg) {
     int slot = 0;
     std::vector<bool> named(static_cast<std::size_t>(cfg.n), false);
     for (int t = 1; t <= cfg.j && slot == 0; ++t) {
-      const Value winner = co_await ctx.read(slot_ns(cfg, t) + "/DEC");
+      const Value winner = co_await ctx.read(insts[static_cast<std::size_t>(t - 1)].dec);
       if (winner.is_nil()) {
         slot = t;
       } else if (winner.int_or(-1) >= 0 && winner.int_or(-1) < cfg.n) {
@@ -56,28 +64,29 @@ Proc slot_renaming_server(Context& ctx, SlotRenamingConfig cfg) {
     int cand = -1;
     for (int i = 0; i < cfg.n && cand < 0; ++i) {
       if (named[static_cast<std::size_t>(i)]) continue;
-      const Value part = co_await ctx.read(reg(cfg.ns + "/Part", i));
-      if (!part.is_nil()) cand = i;
+      const Value p = co_await ctx.read(reg(part, i));
+      if (!p.is_nil()) cand = i;
     }
     if (cand < 0) {
       co_await ctx.yield();  // nobody is waiting for a name
       continue;
     }
-    const PaxosInstance inst{slot_ns(cfg, slot), cfg.n};
+    const PaxosInstance& inst = insts[static_cast<std::size_t>(slot - 1)];
     co_await paxos_attempt(ctx, inst, me, rounds[slot]++, Value(cand));
   }
 }
 
 Proc consensus_from_renaming(Context& ctx, std::string ns, int me, Value input,
                              SimProgramPtr renaming) {
-  co_await ctx.write(reg(ns + "/V", me), input);      // publish proposal
+  const Sym v_base = sym(ns + "/V");
+  co_await ctx.write(reg(v_base, me), input);  // publish proposal
   const Value name = co_await run_until_decision(ctx, renaming, me, Value(me + 1));
   if (name.int_or(0) == 1) {
     co_await ctx.decide(input);                       // I won: my proposal
   } else {
     // Name 2 proves the other process wrote its proposal before my renaming
     // finished, so this read busy-waits only finitely.
-    const Value other = co_await await_nonnil(ctx, reg(ns + "/V", 1 - me));
+    const Value other = co_await await_nonnil(ctx, reg(v_base, 1 - me));
     co_await ctx.decide(other);
   }
 }

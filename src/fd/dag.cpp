@@ -90,19 +90,21 @@ namespace {
 // the lambda object after World::spawn).
 Proc dag_builder(Context& ctx, std::string ns, int n) {
   const int me = ctx.pid().index;
+  const Sym dag_base = sym(ns + "/dag");
+  const RegAddr my_dag = reg(dag_base, me);
   FdDag local(n);
   for (;;) {
     const Value sample = co_await ctx.query();
     // Merge everyone's publication to compute causal predecessors.
     for (int j = 0; j < n; ++j) {
       if (j == me) continue;
-      const Value pub = co_await ctx.read(reg(ns + "/dag", j));
+      const Value pub = co_await ctx.read(reg(dag_base, j));
       if (!pub.is_nil()) local.merge(FdDag::decode(pub));
     }
     std::vector<int> preds(static_cast<std::size_t>(n));
     for (int j = 0; j < n; ++j) preds[static_cast<std::size_t>(j)] = local.count(j) - 1;
     local.append(me, sample, std::move(preds));
-    co_await ctx.write(reg(ns + "/dag", me), local.encode());
+    co_await ctx.write(my_dag, local.encode());
   }
 }
 

@@ -28,9 +28,10 @@ HistoryPtr history_from_out_registers(const Trace& trace, const std::string& out
                                       Value initial) {
   auto pubs = std::make_shared<std::vector<std::vector<std::pair<Time, Value>>>>(
       static_cast<std::size_t>(n));
+  const Sym out_sym = sym(out_base);
   for (const auto& s : trace) {
     if (s.op != OpKind::kWrite || !s.pid.is_s()) continue;
-    if (s.pid.index >= 0 && s.pid.index < n && s.addr == reg(out_base, s.pid.index)) {
+    if (s.pid.index >= 0 && s.pid.index < n && s.addr == reg(out_sym, s.pid.index)) {
       (*pubs)[static_cast<std::size_t>(s.pid.index)].emplace_back(s.time, s.value);
     }
   }
@@ -55,6 +56,7 @@ namespace {
 
 Proc vec_to_anti_converter(Context& ctx, std::string out_base, int n, int k) {
   const int me = ctx.pid().index;
+  const RegAddr my_out = reg(sym(out_base), me);
   for (;;) {
     const Value sample = co_await ctx.query();  // k-vector of S-ids
     std::vector<bool> named(static_cast<std::size_t>(n), false);
@@ -68,12 +70,13 @@ Proc vec_to_anti_converter(Context& ctx, std::string out_base, int n, int k) {
     for (int i = 0; i < n && static_cast<int>(out.size()) < n - k; ++i) {
       if (!named[static_cast<std::size_t>(i)]) out.emplace_back(i);
     }
-    co_await ctx.write(reg(out_base, me), Value(std::move(out)));
+    co_await ctx.write(my_out, Value(std::move(out)));
   }
 }
 
 Proc omega_to_vec_converter(Context& ctx, std::string out_base, int n, int k) {
   const int me = ctx.pid().index;
+  const RegAddr my_out = reg(sym(out_base), me);
   std::int64_t tick = 0;
   for (;;) {
     const Value leader = co_await ctx.query();  // Ω: one S-id
@@ -83,7 +86,7 @@ Proc omega_to_vec_converter(Context& ctx, std::string out_base, int n, int k) {
       out.emplace_back(static_cast<std::int64_t>((tick + j + me) % n));
     }
     ++tick;
-    co_await ctx.write(reg(out_base, me), Value(std::move(out)));
+    co_await ctx.write(my_out, Value(std::move(out)));
   }
 }
 

@@ -1,44 +1,41 @@
 #include "sim/memory.hpp"
 
-#include <algorithm>
-#include <vector>
+#include <stdexcept>
 
 namespace efd {
 
-std::string reg(const std::string& base, int i) { return base + "[" + std::to_string(i) + "]"; }
-
-std::string reg2(const std::string& base, int i, int j) {
-  return base + "[" + std::to_string(i) + "][" + std::to_string(j) + "]";
-}
-
-std::string reg3(const std::string& base, int i, int j, int k) {
-  return base + "[" + std::to_string(i) + "][" + std::to_string(j) + "][" + std::to_string(k) + "]";
-}
-
-Value RegisterFile::read(const std::string& addr) const {
-  const auto it = cells_.find(addr);
-  return it == cells_.end() ? Value{} : it->second;
-}
-
-void RegisterFile::write(const std::string& addr, Value v) {
-  cells_[addr] = std::move(v);
+void RegisterFile::write(RegAddr addr, Value v) {
+  if (!addr.valid()) throw std::logic_error("RegisterFile::write: invalid register address");
+  const RegId id = addr.id();
+  if (static_cast<std::size_t>(id) >= cells_.size()) {
+    // Grow to the process-wide interned id: ids are dense, so this bounds
+    // the store by the number of distinct registers the process ever named.
+    const std::size_t need = static_cast<std::size_t>(id) + 1;
+    cells_.resize(need);
+    written_.resize(need, 0);
+    cell_hash_.resize(need, 0);
+  }
+  const std::uint64_t h = cell_content_hash(reg_name_hash(id), v.hash());
+  if (written_[id] != 0) {
+    hash_acc_ -= cell_hash_[id];
+  } else {
+    written_[id] = 1;
+    ++footprint_;
+  }
+  hash_acc_ += h;
+  cell_hash_[id] = h;
+  cells_[id] = std::move(v);
   ++writes_;
 }
 
-std::uint64_t RegisterFile::content_hash() const {
-  // Order-independent: combine per-cell hashes with a commutative fold over
-  // sorted keys so the hash is stable across unordered_map iteration orders.
-  std::vector<const std::pair<const std::string, Value>*> items;
-  items.reserve(cells_.size());
-  for (const auto& kv : cells_) items.push_back(&kv);
-  std::sort(items.begin(), items.end(),
-            [](const auto* a, const auto* b) { return a->first < b->first; });
-  std::uint64_t h = 1469598103934665603ULL;
-  for (const auto* kv : items) {
-    h = h * 1099511628211ULL + std::hash<std::string>{}(kv->first);
-    h = h * 1099511628211ULL + kv->second.hash();
+std::uint64_t RegisterFile::content_hash_slow() const noexcept {
+  std::uint64_t acc = 0;
+  for (std::size_t id = 0; id < cells_.size(); ++id) {
+    if (written_[id] != 0) {
+      acc += cell_content_hash(reg_name_hash(static_cast<RegId>(id)), cells_[id].hash());
+    }
   }
-  return h;
+  return cell_content_hash(0x9AE16A3B2F90404FULL, acc);
 }
 
 }  // namespace efd

@@ -1,48 +1,87 @@
 // Shared memory: an unbounded array of atomic read/write registers.
 //
-// Registers are addressed by string names; `reg("V", i)` builds the indexed
-// name "V[i]". A register never written reads as Nil (⊥), matching the
-// paper's convention for initial register values. All accesses are single
-// model steps performed by the World executor — the RegisterFile itself is a
-// plain sequential store; atomicity comes from the one-step-at-a-time
-// interleaving semantics of the simulator.
+// Registers are addressed by interned RegAddr handles (see regid.hpp);
+// reg(sym("V"), 2) names the canonical register "V[2]". A register never
+// written reads as Nil (⊥), matching the paper's convention for initial
+// register values. All accesses are single model steps performed by the
+// World executor — the RegisterFile itself is a plain sequential store;
+// atomicity comes from the one-step-at-a-time interleaving semantics of the
+// simulator.
+//
+// The store is a RegId-indexed flat vector, so a read/write never
+// constructs or hashes a std::string. content_hash() is maintained
+// incrementally: each written cell contributes
+//     cell_hash = mix(name_hash(RegId), value.hash())
+// and the store keeps the commutative (mod 2^64) sum of cell hashes,
+// updated by delta on every write. Keying by the canonical-name hash (not
+// the RegId) makes the hash independent of interning order, and the
+// commutative fold makes it independent of write interleaving — the two
+// properties replay-based exploration dedup (corridor DFS, bivalence
+// search) relies on. The string-accepting overloads intern by full name and
+// exist for tests and debug probes.
 #pragma once
 
 #include <cstddef>
 #include <string>
-#include <unordered_map>
+#include <vector>
 
+#include "sim/regid.hpp"
 #include "sim/value.hpp"
 
 namespace efd {
 
-/// Builds the canonical name of an indexed register, e.g. reg("V", 2) == "V[2]".
-[[nodiscard]] std::string reg(const std::string& base, int i);
-/// Doubly-indexed register name, e.g. reg2("cons", 1, 3) == "cons[1][3]".
-[[nodiscard]] std::string reg2(const std::string& base, int i, int j);
-/// Triply-indexed register name.
-[[nodiscard]] std::string reg3(const std::string& base, int i, int j, int k);
+/// Contribution of one written cell to the commutative content hash.
+/// Binds the (stable) name hash to the value hash so that swapping the
+/// values of two registers changes the total.
+[[nodiscard]] constexpr std::uint64_t cell_content_hash(std::uint64_t name_hash,
+                                                        std::uint64_t value_hash) noexcept {
+  std::uint64_t x = name_hash ^ (value_hash * 0x9E3779B97F4A7C15ULL);
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
 
 /// The shared store. One instance per World.
 class RegisterFile {
  public:
   /// Current value of `addr`; Nil if never written.
-  [[nodiscard]] Value read(const std::string& addr) const;
+  [[nodiscard]] Value read(RegAddr addr) const noexcept {
+    const RegId id = addr.id();
+    return (id < cells_.size() && written_[id] != 0) ? cells_[id] : Value{};
+  }
 
-  /// Overwrites `addr` with `v`.
-  void write(const std::string& addr, Value v);
+  /// Overwrites `addr` with `v` (an explicitly written Nil still counts as
+  /// written: the cell then contributes to footprint and content hash,
+  /// exactly as the string-keyed store did).
+  void write(RegAddr addr, Value v);
 
   /// Number of distinct registers ever written.
-  [[nodiscard]] std::size_t footprint() const noexcept { return cells_.size(); }
+  [[nodiscard]] std::size_t footprint() const noexcept { return footprint_; }
 
   /// Total number of write operations applied (for bench reporting).
   [[nodiscard]] std::size_t write_count() const noexcept { return writes_; }
 
-  /// Deterministic hash of the full memory contents (for exploration dedup).
-  [[nodiscard]] std::uint64_t content_hash() const;
+  /// Deterministic hash of the full memory contents (for exploration
+  /// dedup). O(1): maintained incrementally by write().
+  [[nodiscard]] std::uint64_t content_hash() const noexcept {
+    // A final mix so an empty store doesn't hash to a trivial constant
+    // relative to single-cell stores.
+    return cell_content_hash(0x9AE16A3B2F90404FULL, hash_acc_);
+  }
+
+  /// From-scratch recompute of content_hash() over the written cells.
+  /// O(footprint); for tests and debugging only.
+  [[nodiscard]] std::uint64_t content_hash_slow() const noexcept;
 
  private:
-  std::unordered_map<std::string, Value> cells_;
+  std::vector<Value> cells_;          ///< RegId-indexed; holes read as Nil
+  std::vector<std::uint8_t> written_; ///< 1 iff the cell was ever written
+  std::vector<std::uint64_t> cell_hash_;  ///< last cell_content_hash per id
+  std::uint64_t hash_acc_ = 0;        ///< commutative sum of cell hashes
+  std::size_t footprint_ = 0;
   std::size_t writes_ = 0;
 };
 

@@ -4,7 +4,7 @@
 
 namespace efd {
 
-Co<Value> collect(Context& ctx, std::string base, int n) {
+Co<Value> collect(Context& ctx, Sym base, int n) {
   ValueVec out;
   out.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
@@ -13,7 +13,7 @@ Co<Value> collect(Context& ctx, std::string base, int n) {
   co_return Value(std::move(out));
 }
 
-Co<Value> double_collect(Context& ctx, std::string base, int n) {
+Co<Value> double_collect(Context& ctx, Sym base, int n) {
   Value prev = co_await collect(ctx, base, n);
   for (;;) {
     Value cur = co_await collect(ctx, base, n);
@@ -22,7 +22,7 @@ Co<Value> double_collect(Context& ctx, std::string base, int n) {
   }
 }
 
-Co<Value> await_nonnil(Context& ctx, std::string addr) {
+Co<Value> await_nonnil(Context& ctx, RegAddr addr) {
   for (;;) {
     Value v = co_await ctx.read(addr);
     if (!v.is_nil()) co_return v;

@@ -38,6 +38,7 @@
 #include <utility>
 
 #include "sim/ids.hpp"
+#include "sim/regid.hpp"
 #include "sim/value.hpp"
 
 namespace efd {
@@ -53,8 +54,8 @@ enum class OpKind : std::uint8_t {
 
 struct PendingOp {
   OpKind kind{OpKind::kYield};
-  std::string addr;  ///< register name for kRead/kWrite
-  Value value;       ///< value for kWrite/kDecide
+  RegAddr addr;  ///< interned register handle for kRead/kWrite
+  Value value;   ///< value for kWrite/kDecide
 };
 
 template <class T>
@@ -230,11 +231,11 @@ class Context {
     Value await_resume() noexcept { return std::move(ctx->result_); }
   };
 
-  [[nodiscard]] StepAwaiter read(std::string addr) noexcept {
-    return {this, {OpKind::kRead, std::move(addr), Value{}}};
+  [[nodiscard]] StepAwaiter read(RegAddr addr) noexcept {
+    return {this, {OpKind::kRead, addr, Value{}}};
   }
-  [[nodiscard]] StepAwaiter write(std::string addr, Value v) noexcept {
-    return {this, {OpKind::kWrite, std::move(addr), std::move(v)}};
+  [[nodiscard]] StepAwaiter write(RegAddr addr, Value v) noexcept {
+    return {this, {OpKind::kWrite, addr, std::move(v)}};
   }
   [[nodiscard]] StepAwaiter query() noexcept { return {this, {OpKind::kQuery, {}, Value{}}}; }
   [[nodiscard]] StepAwaiter yield() noexcept { return {this, {OpKind::kYield, {}, Value{}}}; }
@@ -277,16 +278,24 @@ class Context {
 // ---- common multi-step helpers (each register access is one step) ----
 
 /// Reads base[0..n-1] one register at a time; returns the n collected values.
-Co<Value> collect(Context& ctx, std::string base, int n);
+Co<Value> collect(Context& ctx, Sym base, int n);
 
 /// Repeated double collect of base[0..n-1] until two identical collects.
 /// Returns the stable view. May take unboundedly many steps under contention
 /// (standard for register-based snapshots); our algorithms only use it where
 /// the paper's constructions tolerate that.
-Co<Value> double_collect(Context& ctx, std::string base, int n);
+Co<Value> double_collect(Context& ctx, Sym base, int n);
 
 /// Busy-waits (one read step per iteration) until `addr` is non-Nil; returns
 /// the first non-Nil value observed.
-Co<Value> await_nonnil(Context& ctx, std::string addr);
+Co<Value> await_nonnil(Context& ctx, RegAddr addr);
+
+/// String conveniences (intern per call; hot paths hoist the Sym).
+inline Co<Value> collect(Context& ctx, const std::string& base, int n) {
+  return collect(ctx, sym(base), n);
+}
+inline Co<Value> double_collect(Context& ctx, const std::string& base, int n) {
+  return double_collect(ctx, sym(base), n);
+}
 
 }  // namespace efd

@@ -1,0 +1,196 @@
+#include "sim/regid.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace efd {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+std::uint64_t fnv1a(std::string_view s) noexcept {
+  std::uint64_t h = kFnvOffset;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// Transparent string hashing for map lookups without temporary strings.
+struct StrHash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view s) const noexcept {
+    return static_cast<std::size_t>(fnv1a(s));
+  }
+};
+
+struct AddrKey {
+  std::uint32_t sym;
+  std::int32_t i, j, k;  // unused trailing indices are -1
+  friend bool operator==(const AddrKey& a, const AddrKey& b) noexcept {
+    return a.sym == b.sym && a.i == b.i && a.j == b.j && a.k == b.k;
+  }
+};
+
+struct AddrKeyHash {
+  std::size_t operator()(const AddrKey& a) const noexcept {
+    // splitmix64-style integer mix over the packed fields.
+    std::uint64_t x = (static_cast<std::uint64_t>(a.sym) << 32) ^
+                      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a.i)));
+    x ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(a.j)) * 0x9E3779B97F4A7C15ULL;
+    x ^= static_cast<std::uint64_t>(static_cast<std::uint32_t>(a.k)) * 0xBF58476D1CE4E5B9ULL;
+    x ^= x >> 30;
+    x *= 0xBF58476D1CE4E5B9ULL;
+    x ^= x >> 27;
+    x *= 0x94D049BB133111EBULL;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x);
+  }
+};
+
+/// Fast-path size of the per-symbol dense child cache for reg(base, i):
+/// indices below this resolve by plain array lookup.
+constexpr std::size_t kDenseChildren = 1024;
+
+class Interner {
+ public:
+  static Interner& instance() {
+    static Interner it;
+    return it;
+  }
+
+  std::uint32_t sym_id(std::string_view name) {
+    const auto hit = sym_ids_.find(name);
+    if (hit != sym_ids_.end()) return hit->second;
+    const auto id = static_cast<std::uint32_t>(syms_.size());
+    syms_.push_back(SymEntry{std::string(name), kInvalidRegId, {}});
+    sym_ids_.emplace(syms_.back().name, id);
+    return id;
+  }
+
+  const std::string& sym_name(std::uint32_t id) const { return syms_.at(id).name; }
+
+  RegId resolve0(std::uint32_t s) {
+    SymEntry& e = syms_.at(s);
+    if (e.self == kInvalidRegId) e.self = intern_name(e.name);
+    return e.self;
+  }
+
+  RegId resolve1(std::uint32_t s, int i) {
+    SymEntry& e = syms_.at(s);
+    if (i >= 0 && static_cast<std::size_t>(i) < kDenseChildren) {
+      if (static_cast<std::size_t>(i) >= e.children.size()) {
+        e.children.resize(static_cast<std::size_t>(i) + 1, kInvalidRegId);
+      }
+      RegId& slot = e.children[static_cast<std::size_t>(i)];
+      if (slot == kInvalidRegId) slot = intern_name(render(s, i, nullptr, nullptr));
+      return slot;
+    }
+    return resolve_slow(AddrKey{s, i, -1, -1});
+  }
+
+  RegId resolve2(std::uint32_t s, int i, int j) { return resolve_slow(AddrKey{s, i, j, -1}); }
+
+  RegId resolve3(std::uint32_t s, int i, int j, int k) {
+    return resolve_slow(AddrKey{s, i, j, k});
+  }
+
+  RegId intern_name(std::string_view name) {
+    const auto hit = by_name_.find(name);
+    if (hit != by_name_.end()) return hit->second;
+    const auto id = static_cast<RegId>(regs_.size());
+    if (id == kInvalidRegId) throw std::length_error("register interner exhausted");
+    regs_.push_back(RegEntry{std::string(name), fnv1a(name)});
+    by_name_.emplace(regs_.back().name, id);
+    return id;
+  }
+
+  const std::string& reg_name(RegId id) const { return regs_.at(id).name; }
+  std::uint64_t reg_name_hash(RegId id) const { return regs_.at(id).name_hash; }
+  std::size_t count() const noexcept { return regs_.size(); }
+
+ private:
+  struct SymEntry {
+    std::string name;
+    RegId self;                   ///< arity-0 RegId, lazily interned
+    std::vector<RegId> children;  ///< reg(base, i) fast path for small i
+  };
+  struct RegEntry {
+    std::string name;        ///< canonical register name
+    std::uint64_t name_hash; ///< FNV-1a of `name`; stable across processes
+  };
+
+  RegId resolve_slow(const AddrKey& key) {
+    const auto hit = by_addr_.find(key);
+    if (hit != by_addr_.end()) return hit->second;
+    const RegId id = intern_name(
+        render(key.sym, key.i, key.j >= 0 ? &key.j : nullptr, key.k >= 0 ? &key.k : nullptr));
+    by_addr_.emplace(key, id);
+    return id;
+  }
+
+  std::string render(std::uint32_t s, int i, const std::int32_t* j, const std::int32_t* k) {
+    std::string out = syms_.at(s).name;
+    out += '[';
+    out += std::to_string(i);
+    out += ']';
+    if (j != nullptr) {
+      out += '[';
+      out += std::to_string(*j);
+      out += ']';
+    }
+    if (k != nullptr) {
+      out += '[';
+      out += std::to_string(*k);
+      out += ']';
+    }
+    return out;
+  }
+
+  // Map keys are owned copies; transparent hashing lets lookups run on
+  // string_views without building a temporary std::string.
+  std::unordered_map<std::string, std::uint32_t, StrHash, std::equal_to<>> sym_ids_;
+  std::vector<SymEntry> syms_;
+  std::unordered_map<std::string, RegId, StrHash, std::equal_to<>> by_name_;
+  std::unordered_map<AddrKey, RegId, AddrKeyHash> by_addr_;
+  std::vector<RegEntry> regs_;
+};
+
+}  // namespace
+
+Sym sym(std::string_view name) { return Sym{Interner::instance().sym_id(name)}; }
+
+const std::string& Sym::name() const { return Interner::instance().sym_name(id_); }
+
+RegAddr::RegAddr(const std::string& name)
+    : id_(Interner::instance().intern_name(name)) {}
+RegAddr::RegAddr(const char* name) : id_(Interner::instance().intern_name(name)) {}
+RegAddr::RegAddr(std::string_view name) : id_(Interner::instance().intern_name(name)) {}
+
+const std::string& RegAddr::name() const { return Interner::instance().reg_name(id_); }
+std::uint64_t RegAddr::name_hash() const { return Interner::instance().reg_name_hash(id_); }
+
+RegAddr reg(Sym base) { return RegAddr::from_id(Interner::instance().resolve0(base.id())); }
+RegAddr reg(Sym base, int i) {
+  return RegAddr::from_id(Interner::instance().resolve1(base.id(), i));
+}
+RegAddr reg2(Sym base, int i, int j) {
+  return RegAddr::from_id(Interner::instance().resolve2(base.id(), i, j));
+}
+RegAddr reg3(Sym base, int i, int j, int k) {
+  return RegAddr::from_id(Interner::instance().resolve3(base.id(), i, j, k));
+}
+
+RegAddr reg(const std::string& base, int i) { return reg(sym(base), i); }
+RegAddr reg2(const std::string& base, int i, int j) { return reg2(sym(base), i, j); }
+RegAddr reg3(const std::string& base, int i, int j, int k) { return reg3(sym(base), i, j, k); }
+
+std::size_t interned_register_count() { return Interner::instance().count(); }
+const std::string& reg_name(RegId id) { return Interner::instance().reg_name(id); }
+std::uint64_t reg_name_hash(RegId id) { return Interner::instance().reg_name_hash(id); }
+
+}  // namespace efd

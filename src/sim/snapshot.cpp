@@ -4,13 +4,13 @@
 
 namespace efd {
 
-Co<void> versioned_write(Context& ctx, std::string base, int me, Value v) {
+Co<void> versioned_write(Context& ctx, Sym base, int me, Value v) {
   const Value cur = co_await ctx.read(reg(base, me));
   const std::int64_t seq = cur.is_vec() ? cur.at(0).int_or(0) : 0;
   co_await ctx.write(reg(base, me), vec(Value(seq + 1), std::move(v)));
 }
 
-Co<Value> atomic_snapshot(Context& ctx, std::string base, int n) {
+Co<Value> atomic_snapshot(Context& ctx, Sym base, int n) {
   const Value stable = co_await double_collect(ctx, base, n);
   ValueVec out(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
@@ -20,14 +20,14 @@ Co<Value> atomic_snapshot(Context& ctx, std::string base, int n) {
   co_return Value(std::move(out));
 }
 
-Co<Value> immediate_snapshot(Context& ctx, std::string ns, int me, int n, Value v) {
+Co<Value> immediate_snapshot(Context& ctx, Sym ns_r, int me, int n, Value v) {
   // R[p] = [level, value]; a process descends one level per iteration until
   // the processes at its level or below fill it.
   int level = n + 1;
   for (;;) {
     --level;
-    co_await ctx.write(reg(ns + "/R", me), vec(Value(level), v));
-    const Value snap = co_await double_collect(ctx, ns + "/R", n);
+    co_await ctx.write(reg(ns_r, me), vec(Value(level), v));
+    const Value snap = co_await double_collect(ctx, ns_r, n);
     ValueVec view(static_cast<std::size_t>(n));
     int at_or_below = 0;
     for (int q = 0; q < n; ++q) {

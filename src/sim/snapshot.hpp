@@ -21,16 +21,28 @@ namespace efd {
 
 /// Writes [next-seq, v] to reg(base, me). One register write per call plus
 /// one read to learn the current sequence number (2 steps).
-Co<void> versioned_write(Context& ctx, std::string base, int me, Value v);
+Co<void> versioned_write(Context& ctx, Sym base, int me, Value v);
 
 /// Linearizable snapshot of the n versioned registers at `base`; returns the
 /// n current values (Nil where never written), stripped of seq numbers.
-Co<Value> atomic_snapshot(Context& ctx, std::string base, int n);
+Co<Value> atomic_snapshot(Context& ctx, Sym base, int n);
 
 /// One-shot immediate snapshot for participant `me` of n, contributing `v`.
-/// Returns an n-vector with the contribution of every process in the view
-/// (Nil outside the view). Classic descending-level algorithm: O(n^2) steps.
-Co<Value> immediate_snapshot(Context& ctx, std::string ns, int me, int n, Value v);
+/// Uses the level registers reg(sym(ns + "/R"), p). Returns an n-vector with
+/// the contribution of every process in the view (Nil outside the view).
+/// Classic descending-level algorithm: O(n^2) steps.
+Co<Value> immediate_snapshot(Context& ctx, Sym ns_r, int me, int n, Value v);
+
+/// String conveniences (intern per call; hot paths hoist the Sym).
+inline Co<void> versioned_write(Context& ctx, const std::string& base, int me, Value v) {
+  return versioned_write(ctx, sym(base), me, std::move(v));
+}
+inline Co<Value> atomic_snapshot(Context& ctx, const std::string& base, int n) {
+  return atomic_snapshot(ctx, sym(base), n);
+}
+inline Co<Value> immediate_snapshot(Context& ctx, const std::string& ns, int me, int n, Value v) {
+  return immediate_snapshot(ctx, sym(ns + "/R"), me, n, std::move(v));
+}
 
 /// View-shape checkers used by the property tests and the participating-set
 /// task: all on n-vectors with Nil outside the view.

@@ -24,11 +24,16 @@ const char* op_name(OpKind k) {
 
 }  // namespace
 
+const std::string& StepRecord::addr_name() const {
+  static const std::string empty;
+  return addr.valid() ? addr.name() : empty;
+}
+
 std::string StepRecord::to_string() const {
   std::ostringstream os;
   os << "t=" << time << " " << pid.to_string() << " " << op_name(op);
-  if (op == OpKind::kRead) os << " " << addr << " -> " << result.to_string();
-  if (op == OpKind::kWrite) os << " " << addr << " := " << value.to_string();
+  if (op == OpKind::kRead) os << " " << addr_name() << " -> " << result.to_string();
+  if (op == OpKind::kWrite) os << " " << addr_name() << " := " << value.to_string();
   if (op == OpKind::kQuery) os << " -> " << result.to_string();
   if (op == OpKind::kDecide) os << " " << value.to_string();
   if (null_step) os << " (null)";

@@ -22,11 +22,13 @@ struct StepRecord {
   Time time{};
   Pid pid{};
   OpKind op{OpKind::kYield};
-  std::string addr;   ///< register for read/write
+  RegAddr addr;       ///< interned register handle for read/write
   Value value;        ///< written / decided value
   Value result;       ///< read result / FD sample
   bool null_step{false};  ///< process already terminated; step had no effect
 
+  /// Canonical register name of `addr` ("" when the op has no register).
+  [[nodiscard]] const std::string& addr_name() const;
   [[nodiscard]] std::string to_string() const;
 };
 

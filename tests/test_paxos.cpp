@@ -20,7 +20,7 @@ Proc proposer(Context& ctx, PaxosInstance inst, int me, Value v, int attempts) {
     }
   }
   // Give up proposing; adopt whatever gets decided.
-  const Value d = co_await await_nonnil(ctx, inst.ns + "/DEC");
+  const Value d = co_await await_nonnil(ctx, inst.dec);
   co_await ctx.decide(d);
 }
 
@@ -31,7 +31,7 @@ TEST(Paxos, SoloProposerDecidesOwnValue) {
   RoundRobinScheduler rr;
   drive(w, rr, 1000);
   EXPECT_EQ(w.decision(cpid(0)).as_int(), 42);
-  EXPECT_EQ(w.memory().read(inst.ns + "/DEC").as_int(), 42);
+  EXPECT_EQ(w.memory().read(inst.dec).as_int(), 42);
 }
 
 TEST(Paxos, AgreementUnderContention) {
