@@ -1,0 +1,94 @@
+// E14 (exploration engine): full-replay vs incremental vs parallel frontier.
+//
+// The seed's explorer re-executed the whole schedule prefix from a fresh
+// World at every DFS node — O(depth²) coroutine steps per root-to-leaf path.
+// The incremental engine keeps one persistent World, advances it a single
+// step per DFS edge, and backtracks through an exact undo log (memory cells,
+// signatures, decision flags, admission window), respawning only processes
+// that are actually rescheduled after a rewind. The parallel engine shards
+// the DFS frontier of the same tree over a work-stealing pool with a shared
+// sharded signature set; clean-sweep outcomes are thread-count-invariant.
+//
+// Workload: (5,2)-set-agreement under the generic 1-concurrent solver at
+// level 2 — a clean sweep of ~190k states whose runs go 61-65 steps deep
+// (the sweep fails a max_depth=60 bound and is clean at 65), the regime
+// where full-prefix replay hurts most. The table reports states/second per engine and
+// the parallel scaling curve; all engines must agree on (states, terminal
+// runs) for the sweep to count.
+#include "bench_common.hpp"
+
+#include <memory>
+#include <string>
+
+namespace efd {
+namespace {
+
+TaskPtr e14_task() { return std::make_shared<SetAgreementTask>(5, 2); }
+
+ValueVec e14_inputs() {
+  ValueVec in(5);
+  for (int i = 0; i < 5; ++i) in[static_cast<std::size_t>(i)] = Value(i);
+  return in;
+}
+
+std::function<ProcBody(int, Value)> e14_body(const TaskPtr& task) {
+  return [task](int, Value input) { return make_one_concurrent(task, input, "e14"); };
+}
+
+ExploreConfig e14_cfg(ExploreEngine engine, int threads) {
+  ExploreConfig cfg;
+  cfg.k = 2;
+  cfg.arrival = {0, 1, 2, 3, 4};
+  cfg.max_states = 400000;
+  cfg.engine = engine;
+  cfg.threads = threads;
+  return cfg;
+}
+
+void run_one(benchmark::State& state, ExploreEngine engine, int threads, const char* label) {
+  const TaskPtr task = e14_task();
+  const ValueVec in = e14_inputs();
+  const auto body = e14_body(task);
+  std::int64_t states_total = 0;
+  std::int64_t last_states = 0;
+  std::int64_t last_terminal = 0;
+  bool ok = true;
+  for (auto _ : state) {
+    const ExploreOutcome o = explore_k_concurrent(task, body, in, e14_cfg(engine, threads));
+    states_total += o.states;
+    last_states = o.states;
+    last_terminal = o.terminal_runs;
+    ok = ok && o.ok && !o.budget_exhausted;
+  }
+  state.counters["states"] = static_cast<double>(last_states);
+  state.counters["states/s"] =
+      benchmark::Counter(static_cast<double>(states_total), benchmark::Counter::kIsRate);
+  state.counters["clean"] = ok ? 1 : 0;
+  bench::row("%-22s | %8lld states | %7lld terminal | clean=%d", label,
+             static_cast<long long>(last_states), static_cast<long long>(last_terminal),
+             ok ? 1 : 0);
+}
+
+void E14_FullReplay(benchmark::State& state) {
+  bench::table_header("E14: schedule exploration engines, (5,2)-set-agreement level 2",
+                      "engine                 |   states explored |  terminal runs | clean sweep");
+  run_one(state, ExploreEngine::kFullReplay, 1, "full replay");
+}
+
+void E14_Incremental(benchmark::State& state) {
+  run_one(state, ExploreEngine::kIncremental, 1, "incremental");
+}
+
+void E14_Parallel(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+  const std::string label = "parallel x" + std::to_string(threads);
+  run_one(state, ExploreEngine::kIncremental, threads, label.c_str());
+}
+
+}  // namespace
+}  // namespace efd
+
+BENCHMARK(efd::E14_FullReplay)->Unit(benchmark::kMillisecond);
+BENCHMARK(efd::E14_Incremental)->Unit(benchmark::kMillisecond);
+BENCHMARK(efd::E14_Parallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()->UseRealTime();

@@ -3,6 +3,9 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "core/workpool.hpp"
+#include "sim/memory.hpp"
+
 namespace efd {
 namespace {
 
@@ -11,20 +14,10 @@ struct Config {
   std::vector<Value> state;      ///< per-participant automaton state
   std::vector<bool> decided;
   std::vector<bool> halted;
-  std::map<RegId, Value> mem;    ///< ordered by RegId: deterministic signatures
+  std::map<RegId, Value> mem;
 
   [[nodiscard]] std::uint64_t sig() const {
-    std::uint64_t h = 1469598103934665603ULL;
-    for (const auto& s : state) h = h * 1099511628211ULL + s.hash();
-    for (bool d : decided) h = h * 1099511628211ULL + (d ? 2u : 1u);
-    for (bool d : halted) h = h * 1099511628211ULL + (d ? 5u : 3u);
-    for (const auto& [k, v] : mem) {
-      // Keyed by the canonical-name hash, not the raw RegId, so signatures
-      // do not depend on process-global interning order.
-      h = h * 1099511628211ULL + reg_name_hash(k);
-      h = h * 1099511628211ULL + v.hash();
-    }
-    return h;
+    return lasso_config_sig(state, decided, halted, mem);
   }
 };
 
@@ -49,6 +42,26 @@ class LassoSearcher {
     dfs(c, sched);
     return out_;
   }
+
+  /// One shard of the parallel search: the subtree below first move `first`.
+  /// The root configuration is seeded on the stack (and as visited, and is
+  /// NOT charged — the merge accounts for it once), so cycles closing at the
+  /// root are still detected and prefix positions match the sequential
+  /// search. The shard has private visited/on-stack state and its own
+  /// max_states budget, making its result independent of every other shard.
+  LassoResult run_shard(int first) {
+    Config c = init_;
+    const std::uint64_t root_sig = c.sig();
+    visited_.insert(root_sig);
+    on_stack_[root_sig] = 0;
+    std::vector<int> sched;
+    step(c, first);
+    sched.push_back(first);
+    dfs(c, sched);
+    return out_;
+  }
+
+  [[nodiscard]] std::vector<int> initial_eligible() const { return eligible(init_); }
 
  private:
   /// Performs one step of participant slot `a`; returns false if it cannot
@@ -156,7 +169,59 @@ class LassoSearcher {
 
 LassoResult find_nontermination(const SimProgramPtr& prog, const ValueVec& inputs,
                                 const LassoConfig& cfg) {
-  return LassoSearcher(prog, inputs, cfg).run();
+  if (cfg.threads <= 1) return LassoSearcher(prog, inputs, cfg).run();
+
+  const std::vector<int> first_moves = LassoSearcher(prog, inputs, cfg).initial_eligible();
+  if (first_moves.size() <= 1) return LassoSearcher(prog, inputs, cfg).run();
+
+  // Shard per top-level subtree; shards are fully independent (private
+  // visited/on-stack, private budget), so each one is deterministic on its
+  // own and the merge below is thread-count-invariant.
+  std::vector<LassoResult> parts(first_moves.size());
+  std::vector<std::function<void()>> jobs;
+  jobs.reserve(first_moves.size());
+  for (std::size_t i = 0; i < first_moves.size(); ++i) {
+    jobs.push_back([&, i] {
+      parts[i] = LassoSearcher(prog, inputs, cfg).run_shard(first_moves[i]);
+    });
+  }
+  WorkStealingPool::run(std::move(jobs), cfg.threads);
+
+  LassoResult out;
+  out.states = 1;  // the shared root, charged once
+  for (const LassoResult& p : parts) {
+    out.states += p.states;
+    out.budget_exhausted = out.budget_exhausted || p.budget_exhausted;
+  }
+  // Deterministic merge: the shard with the smallest first move wins.
+  for (const LassoResult& p : parts) {
+    if (p.found) {
+      out.found = true;
+      out.prefix = p.prefix;
+      out.cycle = p.cycle;
+      break;
+    }
+  }
+  return out;
+}
+
+std::uint64_t lasso_config_sig(const std::vector<Value>& state, const std::vector<bool>& decided,
+                               const std::vector<bool>& halted,
+                               const std::map<RegId, Value>& mem) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const auto& s : state) h = h * 1099511628211ULL + s.hash();
+  for (bool d : decided) h = h * 1099511628211ULL + (d ? 2u : 1u);
+  for (bool d : halted) h = h * 1099511628211ULL + (d ? 5u : 3u);
+  // Memory cells fold COMMUTATIVELY (a sum of per-cell hashes keyed by the
+  // canonical register name, as in RegisterFile::content_hash): map order is
+  // RegId order, i.e. process-global interning order, and a position-
+  // dependent chain over it would change signatures whenever unrelated code
+  // interned registers first — breaking dedup/cycle-detection determinism.
+  std::uint64_t acc = 0;
+  for (const auto& [k, v] : mem) {
+    acc += cell_content_hash(reg_name_hash(k), v.hash());
+  }
+  return h * 1099511628211ULL + cell_content_hash(0x9AE16A3B2F90404FULL, acc);
 }
 
 }  // namespace efd

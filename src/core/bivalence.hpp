@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "algo/sim_program.hpp"
+#include "sim/regid.hpp"
 #include "sim/value.hpp"
 
 namespace efd {
@@ -31,6 +32,13 @@ struct LassoConfig {
   int max_depth = 400;
   std::int64_t max_states = 200000;
   int validate_iterations = 8;      ///< cycle repetitions for re-validation
+  /// >1: search the top-level subtrees concurrently, each with a private
+  /// visited/on-stack structure and its own max_states budget (cycle
+  /// detection is path-dependent, so shards cannot share a visited set
+  /// without missing lassos). The merge is deterministic — the shard with
+  /// the smallest first move wins — so results do not depend on the thread
+  /// count; `states` sums the (independently deterministic) shard counts.
+  int threads = 1;
 };
 
 struct LassoResult {
@@ -45,5 +53,16 @@ struct LassoResult {
 /// algorithm `prog` (every participant runs it, seeded with inputs[i]).
 LassoResult find_nontermination(const SimProgramPtr& prog, const ValueVec& inputs,
                                 const LassoConfig& cfg);
+
+/// Signature of one searcher configuration. Exposed for tests, which pin the
+/// property that the memory fold is COMMUTATIVE in the register cells: RegId
+/// order is process-global interning order, so folding cells in map order
+/// with a position-dependent chain would make signatures (and therefore
+/// dedup/cycle detection) depend on which registers other code interned
+/// first. Cells are folded by canonical-name hash, order-independently,
+/// exactly like RegisterFile::content_hash.
+std::uint64_t lasso_config_sig(const std::vector<Value>& state, const std::vector<bool>& decided,
+                               const std::vector<bool>& halted,
+                               const std::map<RegId, Value>& mem);
 
 }  // namespace efd

@@ -46,21 +46,27 @@ HierarchyRow classify(const TaskPtr& task, const std::function<ProcBody(int, Val
       row.violation = o.violation;
       break;
     }
-    row.observed_level = k;
     if (o.budget_exhausted) {
-      row.note = "exploration budget hit; level is certified only up to sampling";
+      // The sweep did NOT cover level k, so a clean partial sweep certifies
+      // nothing: keep the last fully-covered level and mark the row as a
+      // lower bound instead of silently counting a sampled level.
+      row.level_exhausted = true;
+      row.note = "budget hit at level " + std::to_string(k) +
+                 "; observed level is a certified lower bound";
       break;
     }
+    row.observed_level = k;
   }
   const int n = task->n_procs();
   row.weakest_fd = fd_class_name(row.observed_level, n);
   return row;
 }
 
-std::vector<HierarchyRow> classify_standard_menu(int n, std::int64_t max_states) {
+std::vector<HierarchyRow> classify_standard_menu(int n, std::int64_t max_states, int threads) {
   std::vector<HierarchyRow> rows;
   ExploreConfig cfg;
   cfg.max_states = max_states;
+  cfg.threads = threads;
 
   auto one_conc_body = [](const TaskPtr& task, const std::string& ns) {
     return [task, ns](int, Value input) { return make_one_concurrent(task, input, ns); };
@@ -137,7 +143,8 @@ std::string format_hierarchy(const std::vector<HierarchyRow>& rows) {
     name.resize(36, ' ');
     std::string fd = r.weakest_fd;
     fd.resize(21, ' ');
-    os << name << " |   " << r.observed_level << "   | " << fd << " | "
+    os << name << " |   " << r.observed_level << (r.level_exhausted ? "+ " : "  ") << " | " << fd
+       << " | "
        << (r.violation.empty() ? std::string("-") : r.violation);
     if (!r.note.empty()) os << "  [" << r.note << "]";
     os << "\n";

@@ -19,7 +19,9 @@ namespace efd {
 
 struct HierarchyRow {
   std::string task;
-  int observed_level = 0;      ///< max clean level of the library's solver
+  int observed_level = 0;      ///< max FULLY-certified clean level of the solver
+  bool level_exhausted = false;  ///< the sweep above observed_level ran out of
+                                 ///< budget: the level is a lower bound only
   bool violation_above = false;  ///< a concrete violating run exists at level+1
   std::string violation;       ///< what went wrong at level+1
   std::string weakest_fd;      ///< Thm. 10 class for the observed level
@@ -36,8 +38,10 @@ HierarchyRow classify(const TaskPtr& task, const std::function<ProcBody(int, Val
 
 /// The standard menu of the E9 table: identity, consensus, k-set agreement,
 /// strong renaming, (j, j+k-1)-renaming, weak symmetry breaking — all at
-/// system size n (kept small: exploration is exhaustive).
-std::vector<HierarchyRow> classify_standard_menu(int n, std::int64_t max_states = 60000);
+/// system size n (kept small: exploration is exhaustive). `threads` > 1
+/// parallelizes each level sweep's DFS frontier (outcomes are unchanged).
+std::vector<HierarchyRow> classify_standard_menu(int n, std::int64_t max_states = 60000,
+                                                 int threads = 1);
 
 /// Renders the table (one row per line, aligned) for benches and examples.
 std::string format_hierarchy(const std::vector<HierarchyRow>& rows);

@@ -1,33 +1,374 @@
 #include "core/solvability.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <deque>
 #include <unordered_set>
+#include <utility>
 
-#include "fd/detectors.hpp"
+#include "core/workpool.hpp"
+#include "sim/schedule.hpp"
 
 namespace efd {
 namespace {
 
-/// Everything the DFS needs to know about a replayed prefix.
-struct ReplayInfo {
-  std::vector<int> eligible;   ///< admitted, undecided C-indices (the window)
-  bool terminal = false;       ///< everyone arrived and decided
-  bool relation_ok = true;
-  std::uint64_t sig = 0;       ///< full-configuration signature
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+constexpr std::uint64_t kDecidedSalt = 7919u;
+
+/// splitmix64 finalizer: avalanches a per-process step chain before it
+/// enters the cross-process fold. Without it the node signature is linear
+/// in the per-process chains over the SAME prime as the per-step fold, so
+/// it degenerates to a hash of the concatenated traces: the process
+/// boundary contributes only kFnvOffset * prime^(steps_i + procs - i),
+/// and that multiset collides whenever two schedules swap step counts
+/// between processes whose step contributions are identical (e.g. writes,
+/// which fold Nil + op regardless of address or value). Observed in the
+/// wild: schedules 0,1,1,1,1 and 1,1,0,0,0 of the set-agreement solver
+/// produced equal signatures for genuinely different configurations,
+/// silently merging their subtrees. Mixing makes the outer fold see
+/// avalanche-distinct summaries, destroying the structural cancellation.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
+
+// ---------------------------------------------------------------------------
+// Budget + dedup context: the one piece of exploration state that is shared
+// when the frontier is sharded over threads. The sequential variant keeps the
+// hot path free of atomics; the parallel variant is the only cross-thread
+// state the workers touch (see DESIGN.md for why the clean-sweep outcome is
+// nevertheless thread-count-invariant).
+// ---------------------------------------------------------------------------
+
+class ExploreContext {
+ public:
+  virtual ~ExploreContext() = default;
+  /// Counts one state against the budget; false once the budget is exceeded
+  /// (the over-budget state is still counted, matching the legacy engine).
+  virtual bool charge() = 0;
+  /// Dedup insert; true iff `sig` was unseen. First insert wins.
+  virtual bool visit(std::uint64_t sig) = 0;
+  virtual bool stopped() const = 0;
+  virtual void stop() = 0;
+  virtual std::int64_t states() const = 0;
+  virtual bool exhausted() const = 0;
 };
 
-class Explorer {
+class SequentialContext final : public ExploreContext {
  public:
-  Explorer(const TaskPtr& task, const std::function<ProcBody(int, Value)>& body,
-           const ValueVec& inputs, const ExploreConfig& cfg)
-      : task_(task), body_(body), inputs_(inputs), cfg_(cfg) {}
-
-  ExploreOutcome run() {
-    std::vector<int> sched;
-    dfs(sched);
-    return out_;
+  explicit SequentialContext(std::int64_t max_states) : max_states_(max_states) {}
+  bool charge() override {
+    if (++states_ > max_states_) {
+      exhausted_ = true;
+      return false;
+    }
+    return true;
   }
+  bool visit(std::uint64_t sig) override { return visited_.insert(sig).second; }
+  bool stopped() const override { return stop_; }
+  void stop() override { stop_ = true; }
+  std::int64_t states() const override { return states_; }
+  bool exhausted() const override { return exhausted_; }
 
  private:
+  std::int64_t max_states_;
+  std::int64_t states_ = 0;
+  bool stop_ = false;
+  bool exhausted_ = false;
+  std::unordered_set<std::uint64_t> visited_;
+};
+
+class ParallelContext final : public ExploreContext {
+ public:
+  explicit ParallelContext(std::int64_t max_states) : max_states_(max_states) {}
+  bool charge() override {
+    if (states_.fetch_add(1, std::memory_order_relaxed) + 1 > max_states_) {
+      exhausted_.store(true, std::memory_order_relaxed);
+      return false;
+    }
+    return true;
+  }
+  bool visit(std::uint64_t sig) override { return visited_.insert(sig); }
+  bool stopped() const override { return stop_.load(std::memory_order_acquire); }
+  void stop() override { stop_.store(true, std::memory_order_release); }
+  std::int64_t states() const override { return states_.load(std::memory_order_relaxed); }
+  bool exhausted() const override { return exhausted_.load(std::memory_order_relaxed); }
+
+ private:
+  std::int64_t max_states_;
+  std::atomic<std::int64_t> states_{0};
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> exhausted_{false};
+  ShardedSigSet visited_;
+};
+
+// ---------------------------------------------------------------------------
+// Incremental engine: one persistent World, one real step per DFS edge, an
+// exact undo log per edge for backtracking.
+//
+// Everything copyable is undone exactly: the touched memory cell (value +
+// written flag, via RegisterFile::undo_write), the per-process signature
+// chain, decision/termination flags, the output vector, and the admission
+// window. The one thing that cannot be undone is the coroutine frame itself
+// — frames only run forward — so popping an edge merely marks its process
+// DIRTY (coroutine one step ahead of the logical position). The next time a
+// dirty process is scheduled it is respawned and fast-forwarded by
+// redelivering its logged step results; deterministic replay guarantees the
+// rebuilt frame is indistinguishable from one that never ran ahead. A
+// process that is never scheduled again is never rebuilt, which is what
+// makes the amortized cost per edge O(1): sibling subtrees of process c
+// rebuild only c.
+//
+// World time (`now_`) keeps advancing across backtracks. That is sound here
+// because explored algorithms are RESTRICTED and the world failure-free:
+// C-processes never query the failure detector, so no observable value
+// depends on model time.
+// ---------------------------------------------------------------------------
+
+class IncrementalExplorer {
+ public:
+  IncrementalExplorer(const TaskPtr& task, const std::function<ProcBody(int, Value)>& body,
+                      const ValueVec& inputs, const ExploreConfig& cfg, ExploreContext& ctx)
+      : task_(task),
+        body_(body),
+        inputs_(inputs),
+        cfg_(cfg),
+        ctx_(ctx),
+        w_(World::failure_free(1)),
+        window_(cfg.k, cfg.arrival) {
+    const std::size_t n = static_cast<std::size_t>(task_->n_procs());
+    proc_sig_.assign(n, kFnvOffset);
+    decided_.assign(n, 0);
+    terminated_.assign(n, 0);
+    exists_.assign(n, 0);
+    outs_.resize(n);
+    proc_log_.resize(n);
+    cor_pos_.assign(n, 0);
+    for (int i : cfg_.arrival) {
+      w_.spawn_c(i, body_(i, inputs_[static_cast<std::size_t>(i)]));
+      exists_[static_cast<std::size_t>(i)] = 1;
+    }
+    window_.refresh([this](int c) { return finished(c); });
+  }
+
+  /// Full DFS from the current configuration (entry bookkeeping included).
+  void dfs() {
+    if (enter_node() != Node::kExpand) return;
+    const std::vector<int> elig = window_.active();  // copy: window_ mutates below
+    for (int c : elig) {
+      if (ctx_.stopped()) return;
+      push_step(c);
+      dfs();
+      pop_step();
+    }
+  }
+
+  /// Advances to `prefix` WITHOUT entry bookkeeping (used by parallel
+  /// workers: the frontier expansion already accounted for the ancestors).
+  void seek(const std::vector<int>& prefix) {
+    for (int c : prefix) push_step(c);
+  }
+
+  /// Repositions the world at `prefix`, backtracking only past the common
+  /// ancestor (frontier expansion visits prefixes in near-sibling order).
+  void move_to(const std::vector<int>& prefix) {
+    std::size_t common = 0;
+    while (common < prefix.size() && common < sched_.size() &&
+           sched_[common] == prefix[common]) {
+      ++common;
+    }
+    while (sched_.size() > common) pop_step();
+    for (std::size_t i = common; i < prefix.size(); ++i) push_step(prefix[i]);
+  }
+
+  enum class Node { kPruned, kExpand };
+
+  /// Entry bookkeeping for the current configuration, in the same order as
+  /// the reference engine: budget → relation → terminal → depth → dedup.
+  Node enter_node() {
+    if (!ctx_.charge()) {
+      out_.budget_exhausted = true;
+      ctx_.stop();
+      return Node::kPruned;
+    }
+    if (!task_->relation(inputs_, outs_)) {
+      fail("task relation violated");
+      return Node::kPruned;
+    }
+    if (window_.exhausted()) {
+      ++out_.terminal_runs;
+      return Node::kPruned;
+    }
+    if (static_cast<int>(sched_.size()) >= cfg_.max_depth) {
+      fail("no decision within step bound (possible non-termination)");
+      return Node::kPruned;
+    }
+    if (cfg_.dedup && !ctx_.visit(sig())) return Node::kPruned;
+    return Node::kExpand;
+  }
+
+  [[nodiscard]] const std::vector<int>& active() const noexcept { return window_.active(); }
+  [[nodiscard]] const std::vector<int>& sched() const noexcept { return sched_; }
+  ExploreOutcome take_outcome() { return std::move(out_); }
+
+ private:
+  /// One DFS edge of the undo log.
+  struct PathStep {
+    int c = 0;
+    OpKind op = OpKind::kYield;
+    RegAddr addr;                ///< write target (op == kWrite only)
+    Value prev_value;            ///< cell content before the write
+    bool prev_written = false;
+    std::uint64_t prev_proc_sig = 0;
+    bool became_decided = false;
+    bool became_terminated = false;
+    AdmissionWindow prev_window;
+  };
+
+  [[nodiscard]] bool finished(int c) const {
+    const auto i = static_cast<std::size_t>(c);
+    return decided_[i] != 0 || terminated_[i] != 0;
+  }
+
+  /// Rebuilds c's coroutine at the logical position if it ran ahead.
+  void ensure_fresh(int c) {
+    const auto i = static_cast<std::size_t>(c);
+    if (cor_pos_[i] == proc_log_[i].size()) return;
+    w_.respawn(cpid(c), body_(c, inputs_[i]));
+    for (const Value& result : proc_log_[i]) w_.redeliver(cpid(c), result);
+    cor_pos_[i] = proc_log_[i].size();
+  }
+
+  void push_step(int c) {
+    const auto i = static_cast<std::size_t>(c);
+    ensure_fresh(c);
+    const PendingOp* op = w_.pending_op(cpid(c));
+    if (op == nullptr) {
+      throw std::logic_error("IncrementalExplorer: scheduled a finished process");
+    }
+    PathStep ps;
+    ps.c = c;
+    ps.op = op->kind;
+    ps.prev_proc_sig = proc_sig_[i];
+    ps.prev_window = window_;
+    Value result;  // what the step delivers back (mirrors World::step)
+    if (op->kind == OpKind::kRead) {
+      result = w_.memory().read(op->addr);
+    } else if (op->kind == OpKind::kWrite) {
+      ps.addr = op->addr;
+      ps.prev_written = w_.memory().written(op->addr);
+      if (ps.prev_written) ps.prev_value = w_.memory().read(op->addr);
+    }
+    w_.step(cpid(c));  // executes exactly `op`
+    ++cor_pos_[i];
+    proc_log_[i].push_back(result);
+    proc_sig_[i] = proc_sig_[i] * kFnvPrime + result.hash() + static_cast<std::uint64_t>(ps.op);
+    if (decided_[i] == 0 && w_.decided(cpid(c))) {
+      ps.became_decided = true;
+      decided_[i] = 1;
+      outs_[i] = w_.decision(cpid(c));
+    }
+    if (terminated_[i] == 0 && w_.terminated(cpid(c))) {
+      ps.became_terminated = true;
+      terminated_[i] = 1;
+    }
+    window_.refresh([this](int cc) { return finished(cc); });
+    sched_.push_back(c);
+    path_.push_back(std::move(ps));
+  }
+
+  void pop_step() {
+    PathStep ps = std::move(path_.back());
+    path_.pop_back();
+    sched_.pop_back();
+    const auto i = static_cast<std::size_t>(ps.c);
+    window_ = std::move(ps.prev_window);
+    proc_sig_[i] = ps.prev_proc_sig;
+    if (ps.became_decided) {
+      decided_[i] = 0;
+      outs_[i] = Value{};
+    }
+    if (ps.became_terminated) terminated_[i] = 0;
+    if (ps.op == OpKind::kWrite) {
+      w_.memory().undo_write(ps.addr, ps.prev_value, ps.prev_written);
+    }
+    proc_log_[i].pop_back();  // coroutine now ahead: dirty until respawned
+  }
+
+  /// Full-configuration signature; identical formula to the reference
+  /// engine's (memory content hash, per-process step-result chains,
+  /// decided salts, admission progress).
+  [[nodiscard]] std::uint64_t sig() const {
+    std::uint64_t s = w_.memory().content_hash();
+    for (std::size_t i = 0; i < proc_sig_.size(); ++i) {
+      s = s * kFnvPrime + mix64(proc_sig_[i]) +
+          (exists_[i] != 0 && decided_[i] != 0 ? kDecidedSalt : 0u);
+    }
+    s = s * kFnvPrime + static_cast<std::uint64_t>(window_.next_arrival());
+    return s;
+  }
+
+  void fail(const char* msg) {
+    out_.ok = false;
+    out_.violation = msg;
+    out_.bad_schedule = sched_;
+    ctx_.stop();
+  }
+
+  TaskPtr task_;
+  const std::function<ProcBody(int, Value)>& body_;
+  ValueVec inputs_;
+  ExploreConfig cfg_;
+  ExploreContext& ctx_;
+  ExploreOutcome out_;
+
+  World w_;
+  AdmissionWindow window_;
+  std::vector<int> sched_;
+  std::vector<PathStep> path_;
+
+  // Logical (undo-tracked) per-process state; w_'s own flags lag behind for
+  // dirty processes, so the engine never consults them outside push_step.
+  std::vector<std::uint64_t> proc_sig_;
+  std::vector<std::uint8_t> decided_;
+  std::vector<std::uint8_t> terminated_;
+  std::vector<std::uint8_t> exists_;
+  ValueVec outs_;
+  std::vector<std::vector<Value>> proc_log_;  ///< delivered results, per process
+  std::vector<std::size_t> cor_pos_;          ///< results applied to the live frame
+};
+
+// ---------------------------------------------------------------------------
+// Reference engine: fresh world + full prefix replay per node. Kept as the
+// semantic baseline the incremental engine is tested against.
+// ---------------------------------------------------------------------------
+
+class FullReplayExplorer {
+ public:
+  FullReplayExplorer(const TaskPtr& task, const std::function<ProcBody(int, Value)>& body,
+                     const ValueVec& inputs, const ExploreConfig& cfg, ExploreContext& ctx)
+      : task_(task), body_(body), inputs_(inputs), cfg_(cfg), ctx_(ctx) {}
+
+  void dfs() {
+    std::vector<int> sched;
+    dfs(sched);
+  }
+
+  ExploreOutcome take_outcome() { return std::move(out_); }
+
+ private:
+  struct ReplayInfo {
+    std::vector<int> eligible;  ///< the admission window after the prefix
+    bool terminal = false;      ///< everyone arrived and finished
+    bool relation_ok = true;
+    std::uint64_t sig = 0;      ///< full-configuration signature
+  };
+
   /// Deterministically replays `sched` (a sequence of C-index choices) and
   /// summarizes the resulting configuration.
   ReplayInfo replay(const std::vector<int>& sched) {
@@ -35,55 +376,44 @@ class Explorer {
     for (int i : cfg_.arrival) {
       w.spawn_c(i, body_(i, inputs_[static_cast<std::size_t>(i)]));
     }
-
-    // Admission bookkeeping mirrors KConcurrencyScheduler.
-    std::size_t next_arrival = 0;
-    std::vector<int> active;
-    auto refresh = [&] {
-      active.erase(std::remove_if(active.begin(), active.end(),
-                                  [&w](int i) { return w.decided(cpid(i)); }),
-                   active.end());
-      while (next_arrival < cfg_.arrival.size() && static_cast<int>(active.size()) < cfg_.k) {
-        active.push_back(cfg_.arrival[next_arrival++]);
-      }
-    };
-    refresh();
+    AdmissionWindow win(cfg_.k, cfg_.arrival);
+    win.refresh(w);
 
     // Per-process signature: fold the result of every delivered step.
-    std::vector<std::uint64_t> proc_sig(static_cast<std::size_t>(task_->n_procs()),
-                                        1469598103934665603ULL);
+    std::vector<std::uint64_t> proc_sig(static_cast<std::size_t>(task_->n_procs()), kFnvOffset);
     w.enable_trace();
     for (int c : sched) {
       w.step(cpid(c));
-      refresh();
+      win.refresh(w);
     }
     for (const auto& s : w.trace()) {
       auto& h = proc_sig[static_cast<std::size_t>(s.pid.index)];
-      h = h * 1099511628211ULL + s.result.hash() + static_cast<std::uint64_t>(s.op);
+      h = h * kFnvPrime + s.result.hash() + static_cast<std::uint64_t>(s.op);
     }
 
     ReplayInfo info;
-    info.eligible = active;
-    info.terminal = next_arrival == cfg_.arrival.size() && active.empty();
+    info.eligible = win.active();
+    info.terminal = win.exhausted();
     ValueVec outs = w.output_vector();
     outs.resize(static_cast<std::size_t>(task_->n_procs()));
     info.relation_ok = task_->relation(inputs_, outs);
     std::uint64_t sig = w.memory().content_hash();
     for (std::size_t i = 0; i < proc_sig.size(); ++i) {
-      sig = sig * 1099511628211ULL + proc_sig[i] + (w.exists(cpid(static_cast<int>(i))) &&
-                                                    w.decided(cpid(static_cast<int>(i)))
-                                                        ? 7919u
-                                                        : 0u);
+      sig = sig * kFnvPrime + mix64(proc_sig[i]) +
+            (w.exists(cpid(static_cast<int>(i))) && w.decided(cpid(static_cast<int>(i)))
+                 ? kDecidedSalt
+                 : 0u);
     }
-    sig = sig * 1099511628211ULL + static_cast<std::uint64_t>(next_arrival);
+    sig = sig * kFnvPrime + static_cast<std::uint64_t>(win.next_arrival());
     info.sig = sig;
     return info;
   }
 
   void dfs(std::vector<int>& sched) {
-    if (!out_.ok || out_.budget_exhausted) return;
-    if (++out_.states > cfg_.max_states) {
+    if (ctx_.stopped()) return;
+    if (!ctx_.charge()) {
       out_.budget_exhausted = true;
+      ctx_.stop();
       return;
     }
     const ReplayInfo info = replay(sched);
@@ -91,6 +421,7 @@ class Explorer {
       out_.ok = false;
       out_.violation = "task relation violated";
       out_.bad_schedule = sched;
+      ctx_.stop();
       return;
     }
     if (info.terminal) {
@@ -101,14 +432,15 @@ class Explorer {
       out_.ok = false;
       out_.violation = "no decision within step bound (possible non-termination)";
       out_.bad_schedule = sched;
+      ctx_.stop();
       return;
     }
-    if (cfg_.dedup && !visited_.insert(info.sig).second) return;
+    if (cfg_.dedup && !ctx_.visit(info.sig)) return;
     for (int c : info.eligible) {
       sched.push_back(c);
       dfs(sched);
       sched.pop_back();
-      if (!out_.ok || out_.budget_exhausted) return;
+      if (ctx_.stopped()) return;
     }
   }
 
@@ -116,33 +448,160 @@ class Explorer {
   const std::function<ProcBody(int, Value)>& body_;
   ValueVec inputs_;
   ExploreConfig cfg_;
+  ExploreContext& ctx_;
   ExploreOutcome out_;
-  std::unordered_set<std::uint64_t> visited_;
 };
+
+// ---------------------------------------------------------------------------
+// Drivers.
+// ---------------------------------------------------------------------------
+
+ExploreOutcome explore_sequential(const TaskPtr& task,
+                                  const std::function<ProcBody(int, Value)>& body,
+                                  const ValueVec& inputs, const ExploreConfig& cfg) {
+  SequentialContext ctx(cfg.max_states);
+  ExploreOutcome out;
+  if (cfg.engine == ExploreEngine::kFullReplay) {
+    FullReplayExplorer e(task, body, inputs, cfg, ctx);
+    e.dfs();
+    out = e.take_outcome();
+  } else {
+    IncrementalExplorer e(task, body, inputs, cfg, ctx);
+    e.dfs();
+    out = e.take_outcome();
+  }
+  out.states = ctx.states();
+  if (ctx.exhausted()) out.budget_exhausted = true;
+  return out;
+}
+
+/// Parallel frontier: a short deterministic sequential expansion splits the
+/// tree into >= 4*threads un-entered subtree roots, which a work-stealing
+/// pool then explores against a shared budget and a shared first-insert-wins
+/// signature set. A CLEAN sweep's outcome is thread-count-invariant (the
+/// expanded-signature closure does not depend on insertion races — DESIGN.md
+/// gives the argument); any violation or budget exhaustion makes the
+/// parallel numbers schedule-dependent, so those cases rerun the sequential
+/// engine and return its canonical outcome — this doubles as the
+/// "lexicographically smallest bad_schedule wins" merge rule, since
+/// sequential DFS finds exactly that schedule first.
+ExploreOutcome explore_parallel(const TaskPtr& task,
+                                const std::function<ProcBody(int, Value)>& body,
+                                const ValueVec& inputs, const ExploreConfig& cfg) {
+  ParallelContext ctx(cfg.max_states);
+  const std::size_t target = static_cast<std::size_t>(cfg.threads) * 4;
+
+  ExploreOutcome expansion_out;
+  std::vector<std::vector<int>> roots;
+  {
+    IncrementalExplorer probe(task, body, inputs, cfg, ctx);
+    std::deque<std::vector<int>> queue;
+    queue.emplace_back();
+    while (!queue.empty() && queue.size() < target && !ctx.stopped()) {
+      std::vector<int> prefix = std::move(queue.front());
+      queue.pop_front();
+      probe.move_to(prefix);
+      if (probe.enter_node() == IncrementalExplorer::Node::kExpand) {
+        for (int c : probe.active()) {
+          std::vector<int> child = prefix;
+          child.push_back(c);
+          queue.push_back(std::move(child));
+        }
+      }
+    }
+    expansion_out = probe.take_outcome();
+    roots.assign(queue.begin(), queue.end());
+  }
+
+  std::vector<ExploreOutcome> parts(roots.size());
+  if (!ctx.stopped() && !roots.empty()) {
+    std::vector<std::function<void()>> jobs;
+    jobs.reserve(roots.size());
+    for (std::size_t i = 0; i < roots.size(); ++i) {
+      jobs.push_back([&, i] {
+        if (ctx.stopped()) return;
+        IncrementalExplorer e(task, body, inputs, cfg, ctx);
+        e.seek(roots[i]);
+        e.dfs();
+        parts[i] = e.take_outcome();
+      });
+    }
+    WorkStealingPool::run(std::move(jobs), cfg.threads);
+  }
+
+  bool clean = expansion_out.ok;
+  for (const ExploreOutcome& p : parts) clean = clean && p.ok;
+  if (!clean || ctx.exhausted()) {
+    // Canonical deterministic outcome (identical to threads == 1).
+    ExploreConfig seq = cfg;
+    seq.threads = 1;
+    return explore_sequential(task, body, inputs, seq);
+  }
+
+  ExploreOutcome out;
+  out.terminal_runs = expansion_out.terminal_runs;
+  for (const ExploreOutcome& p : parts) out.terminal_runs += p.terminal_runs;
+  out.states = ctx.states();
+  return out;
+}
 
 }  // namespace
 
 ExploreOutcome explore_k_concurrent(const TaskPtr& task,
                                     const std::function<ProcBody(int, Value)>& body,
                                     const ValueVec& inputs, const ExploreConfig& cfg) {
-  return Explorer(task, body, inputs, cfg).run();
+  if (cfg.threads > 1 && cfg.engine == ExploreEngine::kIncremental) {
+    return explore_parallel(task, body, inputs, cfg);
+  }
+  return explore_sequential(task, body, inputs, cfg);
 }
 
-int max_clean_level(const TaskPtr& task, const std::function<ProcBody(int, Value)>& body,
-                    const ValueVec& inputs, int k_max, ExploreConfig base_cfg) {
+CleanLevelResult max_clean_level(const TaskPtr& task,
+                                 const std::function<ProcBody(int, Value)>& body,
+                                 const ValueVec& inputs, int k_max, ExploreConfig base_cfg) {
   if (base_cfg.arrival.empty()) {
     base_cfg.arrival = Task::participants(inputs);
   }
-  int best = 0;
-  for (int k = 1; k <= k_max; ++k) {
-    ExploreConfig cfg = base_cfg;
-    cfg.k = k;
-    const ExploreOutcome o = explore_k_concurrent(task, body, inputs, cfg);
-    if (!o.ok) break;
-    best = k;
-    if (o.budget_exhausted) break;  // cannot certify higher levels
+  std::vector<ExploreOutcome> levels(static_cast<std::size_t>(std::max(k_max, 0)) + 1);
+  std::vector<std::uint8_t> swept(levels.size(), 0);
+  if (base_cfg.threads > 1 && k_max > 1) {
+    // Levels are independent sweeps: run them concurrently, one per pool
+    // task (each sweep itself sequential), then merge scanning upward.
+    std::vector<std::function<void()>> jobs;
+    for (int k = 1; k <= k_max; ++k) {
+      jobs.push_back([&, k] {
+        ExploreConfig cfg = base_cfg;
+        cfg.k = k;
+        cfg.threads = 1;
+        levels[static_cast<std::size_t>(k)] = explore_k_concurrent(task, body, inputs, cfg);
+        swept[static_cast<std::size_t>(k)] = 1;
+      });
+    }
+    WorkStealingPool::run(std::move(jobs), base_cfg.threads);
+  } else {
+    for (int k = 1; k <= k_max; ++k) {
+      ExploreConfig cfg = base_cfg;
+      cfg.k = k;
+      const std::size_t ki = static_cast<std::size_t>(k);
+      levels[ki] = explore_k_concurrent(task, body, inputs, cfg);
+      swept[ki] = 1;
+      if (!levels[ki].ok || levels[ki].budget_exhausted) break;
+    }
   }
-  return best;
+
+  CleanLevelResult r;
+  for (int k = 1; k <= k_max; ++k) {
+    const std::size_t ki = static_cast<std::size_t>(k);
+    if (swept[ki] == 0) break;  // sequential mode stopped below this level
+    r.states += levels[ki].states;
+    if (!levels[ki].ok) break;
+    if (levels[ki].budget_exhausted) {
+      r.budget_exhausted = true;  // level k only sampled: r.level is a lower bound
+      break;
+    }
+    r.level = k;
+  }
+  return r;
 }
 
 }  // namespace efd

@@ -4,10 +4,26 @@
 // fully determined by the sequence of C-process choices, so the space of
 // k-concurrent runs over a fixed input vector and arrival order is a tree:
 // at every point the scheduler picks one of the (at most k) admitted,
-// undecided participants; a new participant is admitted whenever the window
-// has room. The explorer walks this tree exhaustively (with state-signature
-// deduplication — different interleavings converge), replaying prefixes
-// deterministically, and checks the task relation at every node.
+// unfinished participants; a new participant is admitted whenever the window
+// has room (admission bookkeeping lives in sim/schedule's AdmissionWindow,
+// shared with KConcurrencyScheduler). The explorer walks this tree
+// exhaustively (with state-signature deduplication — different interleavings
+// converge) and checks the task relation at every node.
+//
+// Two engines produce identical outcomes:
+//  * kFullReplay — the reference engine: re-executes the whole prefix from a
+//    fresh World at every node (O(depth²) work per root-to-leaf path);
+//  * kIncremental — the production engine: one persistent World advanced a
+//    single step per DFS edge, with an exact undo log (memory cells,
+//    signatures, decision flags, admission window) for backtracking.
+//    Coroutine frames cannot run backwards, so a backtracked process is
+//    lazily respawned and fast-forwarded by redelivering its logged step
+//    results — deterministic replay makes that equivalent to never having
+//    rewound it. O(1) amortized work per edge.
+// With threads > 1 the incremental engine shards the DFS frontier over a
+// work-stealing pool with a sharded concurrent signature set; outcomes are
+// reproducible regardless of thread count (see DESIGN.md, "Exploration
+// engine", for the determinism argument).
 //
 // This is the constructive face of the paper's solvability definitions:
 //  * a clean sweep at level k is machine-checked evidence that the algorithm
@@ -26,12 +42,19 @@
 
 namespace efd {
 
+enum class ExploreEngine {
+  kIncremental,  ///< persistent world + undo log (default)
+  kFullReplay,   ///< reference: fresh world + full prefix replay per node
+};
+
 struct ExploreConfig {
   int k = 1;                       ///< concurrency window
   std::vector<int> arrival;        ///< participating C-indices in arrival order
   int max_depth = 300;             ///< per-run step bound ("never decides" proxy)
   std::int64_t max_states = 100000;  ///< exploration budget
   bool dedup = true;               ///< merge states with equal signatures
+  ExploreEngine engine = ExploreEngine::kIncremental;
+  int threads = 1;                 ///< >1: parallel frontier (incremental engine only)
 };
 
 struct ExploreOutcome {
@@ -45,14 +68,29 @@ struct ExploreOutcome {
 
 /// Explores every k-concurrent schedule of the restricted algorithm `body`
 /// over `inputs`. `body(i, input)` builds C-process i's coroutine.
+/// Deterministic: the outcome is byte-identical across engines and thread
+/// counts (non-clean parallel sweeps fall back to a canonical sequential
+/// pass, so even bad_schedule is reproducible).
 ExploreOutcome explore_k_concurrent(const TaskPtr& task,
                                     const std::function<ProcBody(int, Value)>& body,
                                     const ValueVec& inputs, const ExploreConfig& cfg);
 
-/// The largest level 1..k_max at which exploration stays clean on the given
-/// inputs (0 if even level 1 fails). The empirical "concurrency level" used
-/// by the hierarchy table.
-int max_clean_level(const TaskPtr& task, const std::function<ProcBody(int, Value)>& body,
-                    const ValueVec& inputs, int k_max, ExploreConfig base_cfg = {});
+struct CleanLevelResult {
+  int level = 0;                 ///< highest level whose sweep was FULLY covered clean
+  bool budget_exhausted = false;  ///< the sweep above `level` ran out of budget:
+                                  ///< `level` is a certified lower bound only
+  std::int64_t states = 0;       ///< total states across all level sweeps
+};
+
+/// The largest level 1..k_max at which exploration stays clean AND fully
+/// covered on the given inputs (level 0 if even level 1 fails). A sweep that
+/// exhausts its budget certifies nothing — it no longer bumps the level; the
+/// exhaustion is surfaced so callers (core/hierarchy) can render the level
+/// as a lower bound. With base_cfg.threads > 1, levels are certified
+/// concurrently on a work-stealing pool.
+CleanLevelResult max_clean_level(const TaskPtr& task,
+                                 const std::function<ProcBody(int, Value)>& body,
+                                 const ValueVec& inputs, int k_max,
+                                 ExploreConfig base_cfg = {});
 
 }  // namespace efd

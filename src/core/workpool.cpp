@@ -1,0 +1,81 @@
+#include "core/workpool.hpp"
+
+#include <atomic>
+#include <deque>
+#include <exception>
+#include <thread>
+
+namespace efd {
+namespace {
+
+struct Deque {
+  std::mutex mu;
+  std::deque<std::function<void()>> q;
+};
+
+bool pop_own(Deque& d, std::function<void()>& out) {
+  std::lock_guard<std::mutex> lk(d.mu);
+  if (d.q.empty()) return false;
+  out = std::move(d.q.back());
+  d.q.pop_back();
+  return true;
+}
+
+bool steal(Deque& d, std::function<void()>& out) {
+  std::lock_guard<std::mutex> lk(d.mu);
+  if (d.q.empty()) return false;
+  out = std::move(d.q.front());
+  d.q.pop_front();
+  return true;
+}
+
+}  // namespace
+
+void WorkStealingPool::run(std::vector<std::function<void()>>&& tasks, int threads) {
+  if (threads <= 1 || tasks.size() <= 1) {
+    for (auto& t : tasks) t();
+    return;
+  }
+  const std::size_t n = static_cast<std::size_t>(threads);
+  std::vector<Deque> deques(n);
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    deques[i % n].q.push_back(std::move(tasks[i]));
+  }
+
+  std::atomic<std::size_t> remaining{tasks.size()};
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+
+  auto worker = [&](std::size_t me) {
+    std::function<void()> task;
+    while (remaining.load(std::memory_order_acquire) > 0) {
+      bool got = pop_own(deques[me], task);
+      for (std::size_t off = 1; !got && off < n; ++off) {
+        got = steal(deques[(me + off) % n], task);
+      }
+      if (!got) {
+        // All deques empty: tasks never respawn, so any still-counted task
+        // is executing on another worker. Nothing left for us.
+        break;
+      }
+      try {
+        task();
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(err_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+      task = nullptr;
+      remaining.fetch_sub(1, std::memory_order_acq_rel);
+    }
+  };
+
+  std::vector<std::thread> crew;
+  crew.reserve(n - 1);
+  for (std::size_t i = 1; i < n; ++i) crew.emplace_back(worker, i);
+  worker(0);
+  for (auto& t : crew) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace efd

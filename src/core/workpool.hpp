@@ -1,0 +1,66 @@
+// Small concurrency utilities for the parallel exploration frontier
+// (core/solvability, core/bivalence):
+//
+//  * WorkStealingPool — batch executor: a fixed set of tasks is dealt
+//    round-robin onto per-worker deques; each worker drains its own deque
+//    LIFO and steals FIFO from the others when empty. No dynamic task
+//    spawning — the explorers shard a DFS frontier up front, so a worker
+//    may exit as soon as every deque is empty.
+//
+//  * ShardedSigSet — concurrent signature (de-dup) set: 64 mutex-striped
+//    hash sets keyed by a mixed shard index. insert() is first-insert-wins,
+//    which is what makes the parallel explorers' clean-sweep state counts
+//    thread-count-invariant (see DESIGN.md, "Exploration engine").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <unordered_set>
+#include <vector>
+
+namespace efd {
+
+class WorkStealingPool {
+ public:
+  /// Runs every task to completion on `threads` workers (the calling thread
+  /// is worker 0; `threads - 1` std::threads are spawned). Exceptions thrown
+  /// by tasks are rethrown on the calling thread after all workers join
+  /// (first one wins). threads <= 1 degenerates to a sequential loop.
+  static void run(std::vector<std::function<void()>>&& tasks, int threads);
+};
+
+class ShardedSigSet {
+ public:
+  /// True iff `sig` was not present (first insert wins). Thread-safe.
+  bool insert(std::uint64_t sig) {
+    Shard& s = shards_[shard_of(sig)];
+    std::lock_guard<std::mutex> lk(s.mu);
+    return s.set.insert(sig).second;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::size_t n = 0;
+    for (const Shard& s : shards_) {
+      std::lock_guard<std::mutex> lk(s.mu);
+      n += s.set.size();
+    }
+    return n;
+  }
+
+ private:
+  static constexpr std::size_t kShards = 64;
+
+  static std::size_t shard_of(std::uint64_t sig) noexcept {
+    // Fibonacci mix so consecutive sigs don't pile onto one stripe.
+    return static_cast<std::size_t>((sig * 0x9E3779B97F4A7C15ULL) >> 58) % kShards;
+  }
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_set<std::uint64_t> set;
+  };
+  Shard shards_[kShards];
+};
+
+}  // namespace efd

@@ -4,6 +4,12 @@
 
 namespace efd {
 
+std::uint64_t RegisterFile::cached_name_hash(RegId id) noexcept {
+  std::uint64_t& slot = name_hash_[id];
+  if (slot == 0) slot = reg_name_hash(id);
+  return slot;
+}
+
 void RegisterFile::write(RegAddr addr, Value v) {
   if (!addr.valid()) throw std::logic_error("RegisterFile::write: invalid register address");
   const RegId id = addr.id();
@@ -14,8 +20,9 @@ void RegisterFile::write(RegAddr addr, Value v) {
     cells_.resize(need);
     written_.resize(need, 0);
     cell_hash_.resize(need, 0);
+    name_hash_.resize(need, 0);
   }
-  const std::uint64_t h = cell_content_hash(reg_name_hash(id), v.hash());
+  const std::uint64_t h = cell_content_hash(cached_name_hash(id), v.hash());
   if (written_[id] != 0) {
     hash_acc_ -= cell_hash_[id];
   } else {
@@ -26,6 +33,26 @@ void RegisterFile::write(RegAddr addr, Value v) {
   cell_hash_[id] = h;
   cells_[id] = std::move(v);
   ++writes_;
+}
+
+void RegisterFile::undo_write(RegAddr addr, const Value& prev, bool was_written) {
+  const RegId id = addr.id();
+  if (static_cast<std::size_t>(id) >= cells_.size() || written_[id] == 0) {
+    throw std::logic_error("RegisterFile::undo_write: cell was not written");
+  }
+  hash_acc_ -= cell_hash_[id];
+  if (was_written) {
+    const std::uint64_t h = cell_content_hash(cached_name_hash(id), prev.hash());
+    hash_acc_ += h;
+    cell_hash_[id] = h;
+    cells_[id] = prev;
+  } else {
+    written_[id] = 0;
+    cell_hash_[id] = 0;
+    cells_[id] = Value{};
+    --footprint_;
+  }
+  --writes_;
 }
 
 std::uint64_t RegisterFile::content_hash_slow() const noexcept {

@@ -53,10 +53,23 @@ class RegisterFile {
     return (id < cells_.size() && written_[id] != 0) ? cells_[id] : Value{};
   }
 
+  /// True iff `addr` was ever written (an explicitly written Nil counts).
+  [[nodiscard]] bool written(RegAddr addr) const noexcept {
+    const RegId id = addr.id();
+    return id < cells_.size() && written_[id] != 0;
+  }
+
   /// Overwrites `addr` with `v` (an explicitly written Nil still counts as
   /// written: the cell then contributes to footprint and content hash,
   /// exactly as the string-keyed store did).
   void write(RegAddr addr, Value v);
+
+  /// Exact inverse of the most recent write(addr, ...): restores the cell to
+  /// `prev` / never-written (`was_written == false`), rewinding footprint,
+  /// write count, and the incremental content hash. Used by the incremental
+  /// explorer's undo log; `(prev, was_written)` must be the pair observed via
+  /// read()/written() immediately before that write.
+  void undo_write(RegAddr addr, const Value& prev, bool was_written);
 
   /// Number of distinct registers ever written.
   [[nodiscard]] std::size_t footprint() const noexcept { return footprint_; }
@@ -77,9 +90,16 @@ class RegisterFile {
   [[nodiscard]] std::uint64_t content_hash_slow() const noexcept;
 
  private:
+  [[nodiscard]] std::uint64_t cached_name_hash(RegId id) noexcept;
+
   std::vector<Value> cells_;          ///< RegId-indexed; holes read as Nil
   std::vector<std::uint8_t> written_; ///< 1 iff the cell was ever written
   std::vector<std::uint64_t> cell_hash_;  ///< last cell_content_hash per id
+  // Per-store cache of the interner's name hashes (the interner is now
+  // lock-guarded for thread safety; caching keeps hot write loops off the
+  // process-global shared lock). 0 marks "not fetched yet": FNV-1a of a
+  // register name is never 0 in practice, and a false miss only re-fetches.
+  std::vector<std::uint64_t> name_hash_;
   std::uint64_t hash_acc_ = 0;        ///< commutative sum of cell hashes
   std::size_t footprint_ = 0;
   std::size_t writes_ = 0;

@@ -1,6 +1,9 @@
 #include "sim/regid.hpp"
 
 #include <cassert>
+#include <deque>
+#include <mutex>
+#include <shared_mutex>
 #include <stdexcept>
 #include <unordered_map>
 #include <vector>
@@ -56,6 +59,13 @@ struct AddrKeyHash {
 /// indices below this resolve by plain array lookup.
 constexpr std::size_t kDenseChildren = 1024;
 
+/// Process-global append-only interner. Thread-safe: the parallel frontier
+/// explorer runs many Worlds concurrently, all resolving register addresses
+/// through this table. Reads (the overwhelmingly common case once a program
+/// is warmed up) take a shared lock; the first resolution of a new name
+/// upgrades to an exclusive lock, re-checks, and appends. Entry storage uses
+/// std::deque so references returned to callers (reg_name) stay valid across
+/// concurrent appends; ids are handed out densely and never change.
 class Interner {
  public:
   static Interner& instance() {
@@ -64,6 +74,12 @@ class Interner {
   }
 
   std::uint32_t sym_id(std::string_view name) {
+    {
+      std::shared_lock lk(mu_);
+      const auto hit = sym_ids_.find(name);
+      if (hit != sym_ids_.end()) return hit->second;
+    }
+    std::unique_lock lk(mu_);
     const auto hit = sym_ids_.find(name);
     if (hit != sym_ids_.end()) return hit->second;
     const auto id = static_cast<std::uint32_t>(syms_.size());
@@ -72,22 +88,40 @@ class Interner {
     return id;
   }
 
-  const std::string& sym_name(std::uint32_t id) const { return syms_.at(id).name; }
+  const std::string& sym_name(std::uint32_t id) const {
+    std::shared_lock lk(mu_);
+    return syms_.at(id).name;
+  }
 
   RegId resolve0(std::uint32_t s) {
+    {
+      std::shared_lock lk(mu_);
+      const RegId id = syms_.at(s).self;
+      if (id != kInvalidRegId) return id;
+    }
+    std::unique_lock lk(mu_);
     SymEntry& e = syms_.at(s);
-    if (e.self == kInvalidRegId) e.self = intern_name(e.name);
+    if (e.self == kInvalidRegId) e.self = intern_name_locked(e.name);
     return e.self;
   }
 
   RegId resolve1(std::uint32_t s, int i) {
-    SymEntry& e = syms_.at(s);
     if (i >= 0 && static_cast<std::size_t>(i) < kDenseChildren) {
+      {
+        std::shared_lock lk(mu_);
+        const SymEntry& e = syms_.at(s);
+        if (static_cast<std::size_t>(i) < e.children.size()) {
+          const RegId id = e.children[static_cast<std::size_t>(i)];
+          if (id != kInvalidRegId) return id;
+        }
+      }
+      std::unique_lock lk(mu_);
+      SymEntry& e = syms_.at(s);
       if (static_cast<std::size_t>(i) >= e.children.size()) {
         e.children.resize(static_cast<std::size_t>(i) + 1, kInvalidRegId);
       }
       RegId& slot = e.children[static_cast<std::size_t>(i)];
-      if (slot == kInvalidRegId) slot = intern_name(render(s, i, nullptr, nullptr));
+      if (slot == kInvalidRegId) slot = intern_name_locked(render_locked(s, i, nullptr, nullptr));
       return slot;
     }
     return resolve_slow(AddrKey{s, i, -1, -1});
@@ -100,18 +134,27 @@ class Interner {
   }
 
   RegId intern_name(std::string_view name) {
-    const auto hit = by_name_.find(name);
-    if (hit != by_name_.end()) return hit->second;
-    const auto id = static_cast<RegId>(regs_.size());
-    if (id == kInvalidRegId) throw std::length_error("register interner exhausted");
-    regs_.push_back(RegEntry{std::string(name), fnv1a(name)});
-    by_name_.emplace(regs_.back().name, id);
-    return id;
+    {
+      std::shared_lock lk(mu_);
+      const auto hit = by_name_.find(name);
+      if (hit != by_name_.end()) return hit->second;
+    }
+    std::unique_lock lk(mu_);
+    return intern_name_locked(name);
   }
 
-  const std::string& reg_name(RegId id) const { return regs_.at(id).name; }
-  std::uint64_t reg_name_hash(RegId id) const { return regs_.at(id).name_hash; }
-  std::size_t count() const noexcept { return regs_.size(); }
+  const std::string& reg_name(RegId id) const {
+    std::shared_lock lk(mu_);
+    return regs_.at(id).name;
+  }
+  std::uint64_t reg_name_hash(RegId id) const {
+    std::shared_lock lk(mu_);
+    return regs_.at(id).name_hash;
+  }
+  std::size_t count() const noexcept {
+    std::shared_lock lk(mu_);
+    return regs_.size();
+  }
 
  private:
   struct SymEntry {
@@ -124,16 +167,35 @@ class Interner {
     std::uint64_t name_hash; ///< FNV-1a of `name`; stable across processes
   };
 
+  /// Precondition: exclusive lock held.
+  RegId intern_name_locked(std::string_view name) {
+    const auto hit = by_name_.find(name);
+    if (hit != by_name_.end()) return hit->second;
+    const auto id = static_cast<RegId>(regs_.size());
+    if (id == kInvalidRegId) throw std::length_error("register interner exhausted");
+    regs_.push_back(RegEntry{std::string(name), fnv1a(name)});
+    by_name_.emplace(regs_.back().name, id);
+    return id;
+  }
+
   RegId resolve_slow(const AddrKey& key) {
+    {
+      std::shared_lock lk(mu_);
+      const auto hit = by_addr_.find(key);
+      if (hit != by_addr_.end()) return hit->second;
+    }
+    std::unique_lock lk(mu_);
     const auto hit = by_addr_.find(key);
     if (hit != by_addr_.end()) return hit->second;
-    const RegId id = intern_name(
-        render(key.sym, key.i, key.j >= 0 ? &key.j : nullptr, key.k >= 0 ? &key.k : nullptr));
+    const RegId id = intern_name_locked(render_locked(
+        key.sym, key.i, key.j >= 0 ? &key.j : nullptr, key.k >= 0 ? &key.k : nullptr));
     by_addr_.emplace(key, id);
     return id;
   }
 
-  std::string render(std::uint32_t s, int i, const std::int32_t* j, const std::int32_t* k) {
+  /// Precondition: a lock (shared suffices) is held.
+  std::string render_locked(std::uint32_t s, int i, const std::int32_t* j,
+                            const std::int32_t* k) {
     std::string out = syms_.at(s).name;
     out += '[';
     out += std::to_string(i);
@@ -152,12 +214,14 @@ class Interner {
   }
 
   // Map keys are owned copies; transparent hashing lets lookups run on
-  // string_views without building a temporary std::string.
+  // string_views without building a temporary std::string. Entry storage is
+  // a deque so concurrent readers can keep references across later appends.
+  mutable std::shared_mutex mu_;
   std::unordered_map<std::string, std::uint32_t, StrHash, std::equal_to<>> sym_ids_;
-  std::vector<SymEntry> syms_;
+  std::deque<SymEntry> syms_;
   std::unordered_map<std::string, RegId, StrHash, std::equal_to<>> by_name_;
   std::unordered_map<AddrKey, RegId, AddrKeyHash> by_addr_;
-  std::vector<RegEntry> regs_;
+  std::deque<RegEntry> regs_;
 };
 
 }  // namespace

@@ -22,9 +22,13 @@
 // incremental content hash is keyed by, so exploration dedup hashes do not
 // depend on interning order (see memory.hpp).
 //
-// The interner is process-global and append-only. It is NOT thread-safe:
-// the whole simulator is single-threaded by design (one World stepping one
-// coroutine at a time), matching the model's one-step-at-a-time semantics.
+// The interner is process-global, append-only, and thread-safe: a single
+// World still steps one coroutine at a time, but the parallel frontier
+// explorer (core/solvability.hpp) runs many independent Worlds concurrently,
+// all resolving addresses through this table. Lookups of already-interned
+// names take a shared (read) lock; the first resolution of a new name takes
+// an exclusive lock, re-checks, and appends. Ids are dense and immutable
+// once handed out, and name references stay valid across appends.
 #pragma once
 
 #include <cstdint>

@@ -43,14 +43,10 @@ std::optional<Pid> RandomScheduler::next(const World& w) {
 }
 
 std::optional<Pid> KConcurrencyScheduler::next(const World& w) {
-  // Retire decided/terminated C-processes from the active window.
-  active_.erase(std::remove_if(active_.begin(), active_.end(),
-                               [&w](int i) { return w.decided(cpid(i)) || w.terminated(cpid(i)); }),
-                active_.end());
-  // Admit arrivals while the window has room.
-  while (next_arrival_ < arrival_.size() && static_cast<int>(active_.size()) < k_) {
-    active_.push_back(arrival_[next_arrival_++]);
-  }
+  // Retire finished C-processes, admit arrivals (shared AdmissionWindow
+  // semantics — identical to the exhaustive explorers').
+  window_.refresh(w);
+  const std::vector<int>& active_ = window_.active();
 
   // Interleave: s_stride_ S-steps, then one C-step, round-robin on each side.
   const int ns = w.num_s();

@@ -16,8 +16,10 @@
 // scheduler is exhausted, or a step bound is hit.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
+#include <type_traits>
 #include <vector>
 
 #include "sim/ids.hpp"
@@ -67,6 +69,60 @@ class RandomScheduler final : public Scheduler {
   std::uint64_t state_;
 };
 
+/// The admission window of a k-concurrent run (paper §2.2): C-processes are
+/// admitted in `arrival` order, at most k concurrently; a slot frees when
+/// its process finishes. "Finished" means decided OR terminated: a process
+/// whose coroutine ran to completion without deciding can never decide, only
+/// take null steps, so keeping it admitted would starve the window forever.
+/// (Its slot freeing admits runs the strict paper window would block — a
+/// superset of the k-concurrent runs, which is the safe direction for
+/// exploration-based certification.)
+///
+/// This is the single source of truth for admission bookkeeping: both the
+/// KConcurrencyScheduler and the exhaustive explorers (core/solvability)
+/// refresh through it — they historically hand-mirrored each other and
+/// disagreed on exactly the terminated-but-undecided case. Copyable, so
+/// explorers can store per-node snapshots for backtracking.
+class AdmissionWindow {
+ public:
+  AdmissionWindow() = default;
+  AdmissionWindow(int k, std::vector<int> arrival) : k_(k), arrival_(std::move(arrival)) {}
+
+  /// Retires finished processes and admits arrivals while the window has
+  /// room. `finished(c)` reports whether C-index c is decided or terminated.
+  /// (Constrained so a non-const World& still picks the overload below.)
+  template <class FinishedFn,
+            class = std::enable_if_t<std::is_invocable_r_v<bool, FinishedFn&, int>>>
+  void refresh(FinishedFn&& finished) {
+    active_.erase(std::remove_if(active_.begin(), active_.end(),
+                                 [&](int c) { return finished(c); }),
+                  active_.end());
+    while (next_arrival_ < arrival_.size() && static_cast<int>(active_.size()) < k_) {
+      active_.push_back(arrival_[next_arrival_++]);
+    }
+  }
+
+  /// Convenience refresh against a live World.
+  void refresh(const World& w) {
+    refresh([&w](int c) { return w.decided(cpid(c)) || w.terminated(cpid(c)); });
+  }
+
+  /// Admitted, unfinished C-indices, in admission order (stable across
+  /// retirements: survivors keep their relative order).
+  [[nodiscard]] const std::vector<int>& active() const noexcept { return active_; }
+  /// Arrival-order position of the next not-yet-admitted process.
+  [[nodiscard]] std::size_t next_arrival() const noexcept { return next_arrival_; }
+  [[nodiscard]] bool all_arrived() const noexcept { return next_arrival_ == arrival_.size(); }
+  /// Everyone arrived and every admitted process finished.
+  [[nodiscard]] bool exhausted() const noexcept { return all_arrived() && active_.empty(); }
+
+ private:
+  int k_ = 1;
+  std::vector<int> arrival_;    ///< C-process indices in arrival order
+  std::size_t next_arrival_ = 0;
+  std::vector<int> active_;     ///< admitted, unfinished C indices
+};
+
 /// k-concurrent scheduler (paper §2.2): C-processes arrive in `arrival`
 /// order; a new one is admitted only while fewer than k admitted C-processes
 /// are undecided. Alive S-processes are interleaved round-robin, `s_stride`
@@ -74,16 +130,13 @@ class RandomScheduler final : public Scheduler {
 class KConcurrencyScheduler final : public Scheduler {
  public:
   KConcurrencyScheduler(int k, std::vector<int> arrival, int s_stride = 1)
-      : k_(k), arrival_(std::move(arrival)), s_stride_(s_stride) {}
+      : window_(k, std::move(arrival)), s_stride_(s_stride) {}
 
   [[nodiscard]] std::optional<Pid> next(const World& w) override;
 
  private:
-  int k_;
-  std::vector<int> arrival_;  ///< C-process indices in arrival order
+  AdmissionWindow window_;
   int s_stride_;
-  std::size_t next_arrival_ = 0;
-  std::vector<int> active_;  ///< admitted, undecided C indices
   std::size_t c_cursor_ = 0;
   std::size_t s_cursor_ = 0;
   int s_budget_ = 0;

@@ -25,6 +25,39 @@ void World::spawn(Pid pid, ProcBody body) {
   }
 }
 
+void World::respawn(Pid pid, ProcBody body) {
+  Slot& s = slot(pid);  // throws if pid was never spawned
+  Slot fresh;
+  fresh.ctx = std::make_unique<Context>(pid);
+  fresh.proc = body(*fresh.ctx);
+  if (!fresh.proc.valid()) {
+    throw std::invalid_argument("World::respawn: body produced no coroutine");
+  }
+  s = std::move(fresh);
+}
+
+const PendingOp* World::pending_op(Pid pid) {
+  Slot& s = slot(pid);
+  prime(s);
+  if (s.proc.done() || !s.ctx->has_pending()) return nullptr;
+  return &s.ctx->pending();
+}
+
+void World::redeliver(Pid pid, Value result) {
+  if (!pid.is_c()) throw std::logic_error("World::redeliver: C-processes only");
+  Slot& s = slot(pid);
+  prime(s);
+  if (s.proc.done() || !s.ctx->has_pending()) {
+    throw std::logic_error("World::redeliver: " + pid.to_string() + " has no pending op");
+  }
+  if (s.ctx->pending().kind == OpKind::kDecide) {
+    s.ctx->record_decision(s.ctx->pending().value);
+  }
+  s.ctx->deliver(std::move(result));
+  if (auto err = s.proc.handle().promise().error) std::rethrow_exception(err);
+  ++s.steps;
+}
+
 std::vector<Pid> World::pids() const {
   std::vector<Pid> out;
   out.reserve(slots_.size());

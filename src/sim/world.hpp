@@ -56,6 +56,12 @@ class World {
   void spawn_s(int i, ProcBody body) { spawn(spid(i), std::move(body)); }
   void spawn(Pid pid, ProcBody body);
 
+  /// Replaces pid's coroutine with a fresh instance of `body` (fresh
+  /// Context: undecided, zero steps). Used by the incremental explorer to
+  /// rewind a single process: coroutine frames cannot run backwards, so a
+  /// backtracked process is respawned and fast-forwarded with redeliver().
+  void respawn(Pid pid, ProcBody body);
+
   [[nodiscard]] bool exists(Pid pid) const { return slots_.count(pid) != 0; }
   [[nodiscard]] std::vector<Pid> pids() const;
   [[nodiscard]] int num_c() const noexcept { return num_c_; }
@@ -67,6 +73,20 @@ class World {
   /// not advance time) if `pid` is a crashed S-process; otherwise advances
   /// time by one tick. Steps of terminated processes are null steps.
   bool step(Pid pid);
+
+  /// The operation pid's coroutine is suspended on, or nullptr if pid has
+  /// terminated. Inspecting it does not perform the step; step(pid) will
+  /// execute exactly this operation. (Primes the coroutine if needed.)
+  [[nodiscard]] const PendingOp* pending_op(Pid pid);
+
+  /// Replays one step of pid from a recorded run WITHOUT touching memory,
+  /// the FD history, the trace, or model time: delivers `result` (the value
+  /// the original step produced) straight to the coroutine, recording a
+  /// decision if the pending op is a decide. Deterministic replay makes this
+  /// equivalent to the original step from the coroutine's point of view —
+  /// the caller is responsible for the shared-memory side (the incremental
+  /// explorer restores memory via its undo log). C-processes only.
+  void redeliver(Pid pid, Value result);
 
   [[nodiscard]] Time now() const noexcept { return now_; }
 

@@ -1,0 +1,472 @@
+// Tests for the exploration-engine rework (core/solvability, core/bivalence,
+// sim/schedule's AdmissionWindow):
+//  * regression coverage for the three soundness fixes — terminated-but-
+//    undecided retirement, budget-exhausted level certification, and the
+//    commutative lasso memory fold;
+//  * determinism properties — outcomes byte-identical across engines
+//    (incremental vs full-replay), thread counts, and interning orders;
+//  * incremental-vs-full-replay equivalence on seeded random process trees.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "algo/one_concurrent.hpp"
+#include "core/bivalence.hpp"
+#include "core/solvability.hpp"
+#include "core/workpool.hpp"
+#include "sim/memory.hpp"
+#include "sim/schedule.hpp"
+#include "tasks/consensus.hpp"
+#include "tasks/set_agreement.hpp"
+#include "tasks/task.hpp"
+
+namespace efd {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Fixtures.
+// ---------------------------------------------------------------------------
+
+/// A task whose relation accepts everything: isolates scheduling/termination
+/// behavior from task semantics.
+class FreeTask final : public Task {
+ public:
+  explicit FreeTask(int n) : n_(n) {}
+  [[nodiscard]] std::string name() const override { return "free"; }
+  [[nodiscard]] int n_procs() const override { return n_; }
+  [[nodiscard]] bool input_ok(const ValueVec&) const override { return true; }
+  [[nodiscard]] bool relation(const ValueVec&, const ValueVec&) const override { return true; }
+  [[nodiscard]] Value pick_output(const ValueVec&, const ValueVec&, int) const override {
+    return Value(0);
+  }
+  [[nodiscard]] ValueVec sample_input(std::uint64_t seed) const override {
+    ValueVec in(static_cast<std::size_t>(n_));
+    for (int i = 0; i < n_; ++i) {
+      in[static_cast<std::size_t>(i)] = Value(static_cast<std::int64_t>(seed) + i);
+    }
+    return in;
+  }
+
+ private:
+  int n_;
+};
+
+/// Odd-indexed processes write once and terminate WITHOUT deciding; even
+/// ones write and decide.
+Proc quitter_proc(Context& ctx, int self, std::string ns) {
+  co_await ctx.write(reg(ns + "/Q", self), Value(self));
+  if (self % 2 == 0) co_await ctx.decide(Value(self));
+}
+
+std::function<ProcBody(int, Value)> quitter_body(const std::string& ns) {
+  return [ns](int i, Value) {
+    return ProcBody([i, ns](Context& ctx) { return quitter_proc(ctx, i, ns); });
+  };
+}
+
+/// Seed-parameterized pseudo-random process: a fixed-length mix of reads,
+/// writes, yields, and read-then-copy chains over a small register bank,
+/// then a decide. Deterministic in (seed, self), so both engines explore
+/// the identical choice tree.
+Proc fuzz_proc(Context& ctx, int self, std::uint64_t seed, int len, std::string ns) {
+  std::uint64_t s = seed ^ (0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(self + 1));
+  for (int i = 0; i < len; ++i) {
+    s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+    const std::uint64_t roll = (s >> 33) % 4;
+    const int cell = static_cast<int>((s >> 20) % 4);
+    if (roll == 0) {
+      co_await ctx.write(reg(ns + "/F", cell), Value(static_cast<std::int64_t>((s >> 7) % 5)));
+    } else if (roll == 1) {
+      co_await ctx.read(reg(ns + "/F", cell));
+    } else if (roll == 2) {
+      co_await ctx.yield();
+    } else {
+      const Value v = co_await ctx.read(reg(ns + "/F", cell));
+      co_await ctx.write(reg(ns + "/F", (cell + 1) % 4), v);
+    }
+  }
+  co_await ctx.decide(Value(static_cast<std::int64_t>(self)));
+}
+
+std::function<ProcBody(int, Value)> fuzz_body(std::uint64_t seed, int len,
+                                              const std::string& ns) {
+  return [seed, len, ns](int i, Value) {
+    return ProcBody([i, seed, len, ns](Context& ctx) { return fuzz_proc(ctx, i, seed, len, ns); });
+  };
+}
+
+std::function<ProcBody(int, Value)> one_conc(const TaskPtr& task, const std::string& ns) {
+  return [task, ns](int, Value input) { return make_one_concurrent(task, input, ns); };
+}
+
+void expect_outcome_eq(const ExploreOutcome& a, const ExploreOutcome& b,
+                       const std::string& what) {
+  EXPECT_EQ(a.ok, b.ok) << what;
+  EXPECT_EQ(a.budget_exhausted, b.budget_exhausted) << what;
+  EXPECT_EQ(a.terminal_runs, b.terminal_runs) << what;
+  EXPECT_EQ(a.states, b.states) << what;
+  EXPECT_EQ(a.violation, b.violation) << what;
+  EXPECT_EQ(a.bad_schedule, b.bad_schedule) << what;
+}
+
+// ---------------------------------------------------------------------------
+// AdmissionWindow: the shared admission-bookkeeping helper.
+// ---------------------------------------------------------------------------
+
+TEST(AdmissionWindow, AdmitsInArrivalOrderUpToK) {
+  AdmissionWindow win(2, {3, 1, 0, 2});
+  win.refresh([](int) { return false; });
+  EXPECT_EQ(win.active(), (std::vector<int>{3, 1}));
+  EXPECT_EQ(win.next_arrival(), 2u);
+  EXPECT_FALSE(win.exhausted());
+}
+
+TEST(AdmissionWindow, RetiresTerminatedUndecidedProcesses) {
+  // Regression (soundness fix): a process whose coroutine terminated without
+  // deciding can never decide, so keeping it admitted would starve the
+  // window forever. "Finished" must mean decided OR terminated.
+  AdmissionWindow win(1, {0, 1, 2});
+  std::vector<bool> finished(3, false);
+  auto fin = [&finished](int c) { return finished[static_cast<std::size_t>(c)]; };
+  win.refresh(fin);
+  EXPECT_EQ(win.active(), (std::vector<int>{0}));
+  finished[0] = true;  // terminated, never decided
+  win.refresh(fin);
+  EXPECT_EQ(win.active(), (std::vector<int>{1})) << "dead process must free its slot";
+  finished[1] = true;
+  finished[2] = true;
+  win.refresh(fin);
+  win.refresh(fin);
+  EXPECT_TRUE(win.exhausted());
+}
+
+TEST(AdmissionWindow, SchedulerDoesNotSpinOnDeadProcesses) {
+  // The KConcurrencyScheduler shares the window: a quitter must not trap the
+  // k=1 window in an infinite null-step loop.
+  World w = World::failure_free(1);
+  w.spawn_c(0, quitter_body("awq")(0, Value{}));
+  w.spawn_c(1, quitter_body("awq")(1, Value{}));
+  KConcurrencyScheduler sched(1, {1, 0});  // the quitter (odd) arrives first
+  const DriveResult r = drive(w, sched, 1000);
+  EXPECT_LT(r.steps, 1000) << "scheduler kept stepping a terminated process";
+  EXPECT_TRUE(w.decided(cpid(0))) << "process 0 was starved by the dead window slot";
+}
+
+// ---------------------------------------------------------------------------
+// Terminated-but-undecided retirement in the explorers.
+// ---------------------------------------------------------------------------
+
+TEST(ExploreEngine, QuitterRunsExploreCleanlyInsteadOfFakingNontermination) {
+  // Regression: the old explorer retired only DECIDED processes, so a
+  // process that terminated undecided pinned the window and every run
+  // "ran out of depth" — reported as possible non-termination.
+  auto task = std::make_shared<FreeTask>(2);
+  ExploreConfig cfg;
+  cfg.k = 1;
+  cfg.arrival = {1, 0};  // the quitter first: its slot must free for p0
+  cfg.max_depth = 50;
+  for (const ExploreEngine engine : {ExploreEngine::kIncremental, ExploreEngine::kFullReplay}) {
+    cfg.engine = engine;
+    const auto o = explore_k_concurrent(task, quitter_body("quit"), task->sample_input(1), cfg);
+    EXPECT_TRUE(o.ok) << o.violation;
+    EXPECT_GT(o.terminal_runs, 0);
+    EXPECT_FALSE(o.budget_exhausted);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Incremental vs full-replay equivalence.
+// ---------------------------------------------------------------------------
+
+ExploreOutcome run_menu(const TaskPtr& task, const std::function<ProcBody(int, Value)>& body,
+                        const ValueVec& in, int k, ExploreEngine engine, int threads = 1,
+                        bool dedup = true) {
+  ExploreConfig cfg;
+  cfg.k = k;
+  cfg.arrival = Task::participants(in);
+  cfg.max_states = 400000;
+  cfg.engine = engine;
+  cfg.threads = threads;
+  cfg.dedup = dedup;
+  return explore_k_concurrent(task, body, in, cfg);
+}
+
+TEST(ExploreEngine, EnginesAgreeOnCleanSweep) {
+  auto task = std::make_shared<SetAgreementTask>(3, 2);
+  ValueVec in{Value(0), Value(1), Value(2)};
+  const auto inc = run_menu(task, one_conc(task, "eq1"), in, 2, ExploreEngine::kIncremental);
+  const auto full = run_menu(task, one_conc(task, "eq1"), in, 2, ExploreEngine::kFullReplay);
+  EXPECT_TRUE(inc.ok) << inc.violation;
+  EXPECT_GT(inc.terminal_runs, 0);
+  expect_outcome_eq(inc, full, "ksa(3,2) level 2");
+}
+
+TEST(ExploreEngine, EnginesAgreeOnViolation) {
+  auto task = std::make_shared<ConsensusTask>(3);
+  ValueVec in{Value(0), Value(1), Value(2)};
+  const auto inc = run_menu(task, one_conc(task, "eq2"), in, 2, ExploreEngine::kIncremental);
+  const auto full = run_menu(task, one_conc(task, "eq2"), in, 2, ExploreEngine::kFullReplay);
+  EXPECT_FALSE(inc.ok);
+  EXPECT_FALSE(inc.bad_schedule.empty());
+  expect_outcome_eq(inc, full, "consensus(3) level 2 violation");
+}
+
+TEST(ExploreEngine, EnginesAgreeWithoutDedup) {
+  auto task = std::make_shared<SetAgreementTask>(3, 2);
+  ValueVec in{Value(0), Value(1), Value(2)};
+  const auto inc =
+      run_menu(task, one_conc(task, "eq3"), in, 2, ExploreEngine::kIncremental, 1, false);
+  const auto full =
+      run_menu(task, one_conc(task, "eq3"), in, 2, ExploreEngine::kFullReplay, 1, false);
+  expect_outcome_eq(inc, full, "ksa(3,2) level 2, dedup off");
+}
+
+TEST(ExploreEngine, EnginesAgreeOnSeededRandomTrees) {
+  // The sharp equivalence check: arbitrary read/write/yield interleavings,
+  // including write-over-write undo and processes of different lengths.
+  auto task = std::make_shared<FreeTask>(3);
+  const ValueVec in = task->sample_input(0);
+  for (const std::uint64_t seed : {1ULL, 2ULL, 3ULL, 4ULL, 5ULL}) {
+    const std::string ns = "fz" + std::to_string(seed);
+    const auto body = fuzz_body(seed, 4 + static_cast<int>(seed % 3), ns);
+    const auto inc = run_menu(task, body, in, 2, ExploreEngine::kIncremental);
+    const auto full = run_menu(task, body, in, 2, ExploreEngine::kFullReplay);
+    EXPECT_TRUE(inc.ok);
+    expect_outcome_eq(inc, full, "fuzz seed " + std::to_string(seed));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Thread-count invariance.
+// ---------------------------------------------------------------------------
+
+TEST(ExploreEngine, OutcomeIsThreadCountInvariantOnCleanSweep) {
+  auto task = std::make_shared<SetAgreementTask>(4, 2);
+  ValueVec in{Value(0), Value(1), Value(2), Value(3)};
+  const auto t1 = run_menu(task, one_conc(task, "par1"), in, 2, ExploreEngine::kIncremental, 1);
+  const auto t2 = run_menu(task, one_conc(task, "par1"), in, 2, ExploreEngine::kIncremental, 2);
+  const auto t8 = run_menu(task, one_conc(task, "par1"), in, 2, ExploreEngine::kIncremental, 8);
+  EXPECT_TRUE(t1.ok) << t1.violation;
+  expect_outcome_eq(t1, t2, "ksa(4,2) threads 1 vs 2");
+  expect_outcome_eq(t1, t8, "ksa(4,2) threads 1 vs 8");
+}
+
+TEST(ExploreEngine, OutcomeIsThreadCountInvariantOnViolation) {
+  // Violating sweeps fall back to the canonical sequential pass, so even
+  // bad_schedule is byte-identical.
+  auto task = std::make_shared<ConsensusTask>(3);
+  ValueVec in{Value(0), Value(1), Value(2)};
+  const auto t1 = run_menu(task, one_conc(task, "par2"), in, 2, ExploreEngine::kIncremental, 1);
+  const auto t2 = run_menu(task, one_conc(task, "par2"), in, 2, ExploreEngine::kIncremental, 2);
+  const auto t8 = run_menu(task, one_conc(task, "par2"), in, 2, ExploreEngine::kIncremental, 8);
+  EXPECT_FALSE(t1.ok);
+  expect_outcome_eq(t1, t2, "consensus(3) threads 1 vs 2");
+  expect_outcome_eq(t1, t8, "consensus(3) threads 1 vs 8");
+}
+
+TEST(ExploreEngine, ParallelCleanLevelMatchesSequential) {
+  auto task = std::make_shared<SetAgreementTask>(3, 2);
+  ValueVec in{Value(0), Value(1), Value(2)};
+  ExploreConfig cfg;
+  cfg.max_states = 400000;
+  const CleanLevelResult seq = max_clean_level(task, one_conc(task, "mcl"), in, 3, cfg);
+  cfg.threads = 4;
+  const CleanLevelResult par = max_clean_level(task, one_conc(task, "mcl"), in, 3, cfg);
+  EXPECT_EQ(seq.level, 2);
+  EXPECT_EQ(par.level, seq.level);
+  EXPECT_EQ(par.budget_exhausted, seq.budget_exhausted);
+}
+
+// ---------------------------------------------------------------------------
+// Interning-order independence.
+// ---------------------------------------------------------------------------
+
+TEST(ExploreEngine, OutcomeInvariantUnderInterningOrder) {
+  // Same workload under two register namespaces, with decoy registers (and
+  // the second namespace's own registers, in reverse) interned in between:
+  // RegIds and interning order differ completely, outcomes must not.
+  auto task = std::make_shared<FreeTask>(3);
+  const ValueVec in = task->sample_input(0);
+  auto run = [&](const std::string& ns) {
+    return run_menu(task, fuzz_body(7, 5, ns), in, 2, ExploreEngine::kIncremental);
+  };
+  const auto a = run("ordA");
+  for (int i = 31; i >= 0; --i) {
+    (void)reg("ordDecoy/D", i);
+    (void)sym("ordDecoy/S" + std::to_string(i));
+  }
+  for (int i = 3; i >= 0; --i) (void)reg("ordB/F", i);  // reversed id order
+  const auto b = run("ordB");
+  expect_outcome_eq(a, b, "interning-order invariance");
+}
+
+TEST(LassoSig, MemoryFoldIsCommutative) {
+  // Regression (soundness fix): the searcher signature used to fold memory
+  // cells with a position-dependent FNV chain in std::map<RegId, ...> order
+  // — and RegId order is process-global interning order, so signatures (and
+  // with them dedup and cycle detection) depended on which registers
+  // unrelated code had interned first. Pin the fixed formula: a commutative
+  // per-cell sum keyed by the canonical-name hash, recomputed here from
+  // first principles in REVERSE cell order.
+  std::map<RegId, Value> mem;
+  mem[reg("lsig/A", 0).id()] = Value(11);
+  mem[reg("lsig/A", 1).id()] = Value(22);
+  mem[reg("lsig/B", 7).id()] = Value(33);
+  const std::vector<Value> state{Value(1), Value(2)};
+  const std::vector<bool> decided{false, true};
+  const std::vector<bool> halted{true, false};
+
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const auto& s : state) h = h * 1099511628211ULL + s.hash();
+  for (bool d : decided) h = h * 1099511628211ULL + (d ? 2u : 1u);
+  for (bool d : halted) h = h * 1099511628211ULL + (d ? 5u : 3u);
+  std::uint64_t acc = 0;
+  for (auto it = mem.rbegin(); it != mem.rend(); ++it) {
+    acc += cell_content_hash(reg_name_hash(it->first), it->second.hash());
+  }
+  const std::uint64_t expected = h * 1099511628211ULL + cell_content_hash(0x9AE16A3B2F90404FULL, acc);
+
+  EXPECT_EQ(lasso_config_sig(state, decided, halted, mem), expected)
+      << "memory fold is order-dependent again";
+}
+
+// ---------------------------------------------------------------------------
+// Parallel lasso search.
+// ---------------------------------------------------------------------------
+
+/// Namespaced variant of test_bivalence's naive strong 2-renaming candidate:
+/// symmetric lockstep flips names forever, so a lasso exists.
+struct NsRenaming final : SimProgram {
+  std::string ns;
+  explicit NsRenaming(std::string n) : ns(std::move(n)) {}
+  Value init(int index, const Value&) const override {
+    return vec(Value(index), Value(1), Value(0), Value(0));
+  }
+  SimAction action(const Value& st) const override {
+    const int me = static_cast<int>(st.at(0).int_or(0));
+    const auto phase = st.at(3).int_or(0);
+    if (phase == 0) return {SimAction::Kind::kWrite, reg(ns + "/R", me), st.at(1)};
+    if (phase == 1) return {SimAction::Kind::kRead, reg(ns + "/R", 1 - me), {}};
+    if (phase == 2) return {SimAction::Kind::kDecide, "", st.at(1)};
+    return {};
+  }
+  Value transition(const Value& st, const Value& result) const override {
+    const auto phase = st.at(3).int_or(0);
+    std::int64_t name = st.at(1).int_or(1);
+    std::int64_t stable = st.at(2).int_or(0);
+    std::int64_t next = phase + 1;
+    if (phase == 1) {
+      if (result.is_nil() || result.int_or(0) != name) {
+        next = ++stable >= 2 ? 2 : 0;
+      } else {
+        stable = 0;
+        name = 3 - name;
+        next = 0;
+      }
+    }
+    return vec(st.at(0), Value(name), Value(stable), Value(next));
+  }
+};
+
+TEST(LassoParallel, FindsTheLassoAndIsThreadCountInvariant) {
+  LassoConfig cfg;
+  cfg.participants = {0, 1};
+  cfg.max_depth = 200;
+  const ValueVec in{Value(0), Value(1)};
+  const auto prog = std::make_shared<NsRenaming>("lpar");
+
+  const auto seq = find_nontermination(prog, in, cfg);
+  cfg.threads = 2;
+  const auto t2 = find_nontermination(prog, in, cfg);
+  cfg.threads = 8;
+  const auto t8 = find_nontermination(prog, in, cfg);
+
+  EXPECT_TRUE(seq.found);
+  EXPECT_TRUE(t2.found);
+  EXPECT_FALSE(t2.cycle.empty());
+  EXPECT_EQ(t2.found, t8.found);
+  EXPECT_EQ(t2.prefix, t8.prefix);
+  EXPECT_EQ(t2.cycle, t8.cycle);
+  EXPECT_EQ(t2.states, t8.states);
+  EXPECT_EQ(t2.budget_exhausted, t8.budget_exhausted);
+}
+
+// ---------------------------------------------------------------------------
+// Supporting machinery: undo log, pool, interner.
+// ---------------------------------------------------------------------------
+
+TEST(ExploreEngine, UndoWriteRestoresExactMemoryState) {
+  RegisterFile m;
+  const RegAddr a = reg("undo/X", 0);
+  const RegAddr b = reg("undo/X", 1);
+  const std::uint64_t h_empty = m.content_hash();
+
+  m.write(a, Value(1));
+  const std::uint64_t h_a1 = m.content_hash();
+
+  // Overwrite and undo: back to a=1.
+  m.write(a, Value(3));
+  m.undo_write(a, Value(1), true);
+  EXPECT_EQ(m.content_hash(), h_a1);
+  EXPECT_EQ(m.read(a).as_int(), 1);
+
+  // First write to b and undo: cell reads as never-written again.
+  m.write(b, Value(2));
+  m.undo_write(b, Value{}, false);
+  EXPECT_EQ(m.content_hash(), h_a1);
+  EXPECT_FALSE(m.written(b));
+  EXPECT_EQ(m.footprint(), 1u);
+
+  m.undo_write(a, Value{}, false);
+  EXPECT_EQ(m.content_hash(), h_empty);
+  EXPECT_EQ(m.content_hash(), m.content_hash_slow());
+  EXPECT_EQ(m.footprint(), 0u);
+}
+
+TEST(ExploreEngine, WorkStealingPoolRunsEveryTaskOnce) {
+  std::atomic<int> hits{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 100; ++i) {
+    tasks.push_back([&hits] { hits.fetch_add(1, std::memory_order_relaxed); });
+  }
+  WorkStealingPool::run(std::move(tasks), 4);
+  EXPECT_EQ(hits.load(), 100);
+}
+
+TEST(ExploreEngine, ShardedSigSetFirstInsertWins) {
+  ShardedSigSet set;
+  EXPECT_TRUE(set.insert(42));
+  EXPECT_FALSE(set.insert(42));
+  EXPECT_TRUE(set.insert(43));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(ExploreEngine, InternerIsThreadSafe) {
+  // Hammer the process-global interner from 8 threads: shared names must
+  // unify to one id, and per-thread names must all intern. (Meaningful
+  // under -DEFD_SANITIZE=thread, where any lock hole shows up as a race.)
+  std::vector<std::thread> crew;
+  std::atomic<bool> go{false};
+  std::vector<RegId> shared_ids(8, kInvalidRegId);
+  for (int t = 0; t < 8; ++t) {
+    crew.emplace_back([t, &go, &shared_ids] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      for (int i = 0; i < 200; ++i) {
+        (void)reg("mt/t" + std::to_string(t), i);
+        (void)reg_name_hash(reg("mt/shared", i % 16).id());
+      }
+      shared_ids[static_cast<std::size_t>(t)] = reg("mt/shared", 3).id();
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (auto& th : crew) th.join();
+  for (const RegId id : shared_ids) EXPECT_EQ(id, shared_ids[0]);
+  EXPECT_EQ(reg_name(reg("mt/shared", 3).id()), "mt/shared[3]");
+}
+
+}  // namespace
+}  // namespace efd

@@ -74,14 +74,33 @@ TEST(Explorer, ConsensusLevelIsExactlyOne) {
   const int n = 3;
   auto task = std::make_shared<ConsensusTask>(n);
   ValueVec in{Value(0), Value(1), Value(2)};
-  EXPECT_EQ(max_clean_level(task, one_conc(task, "c"), in, n), 1);
+  const CleanLevelResult r = max_clean_level(task, one_conc(task, "c"), in, n);
+  EXPECT_EQ(r.level, 1);
+  EXPECT_FALSE(r.budget_exhausted) << "level 1 must be fully certified, not sampled";
 }
 
 TEST(Explorer, IdentityIsWaitFree) {
   const int n = 3;
   auto task = std::make_shared<IdentityTask>(n);
   const ValueVec in = task->sample_input(5);
-  EXPECT_EQ(max_clean_level(task, one_conc(task, "id"), in, n), n);
+  const CleanLevelResult r = max_clean_level(task, one_conc(task, "id"), in, n);
+  EXPECT_EQ(r.level, n);
+  EXPECT_FALSE(r.budget_exhausted);
+}
+
+TEST(Explorer, CleanLevelNotCertifiedOnExhaustedBudget) {
+  // Regression: a sweep that ran out of budget used to bump the level even
+  // though it had not covered level k — certifying solvability on a sample.
+  // A starved sweep must leave the level at the last covered one and
+  // surface the exhaustion.
+  const int n = 3;
+  auto task = std::make_shared<IdentityTask>(n);
+  const ValueVec in = task->sample_input(5);
+  ExploreConfig cfg;
+  cfg.max_states = 2;  // even the level-1 sweep cannot finish
+  const CleanLevelResult r = max_clean_level(task, one_conc(task, "idb"), in, n, cfg);
+  EXPECT_EQ(r.level, 0);
+  EXPECT_TRUE(r.budget_exhausted);
 }
 
 TEST(Explorer, Fig4RenamingCleanAtK) {
