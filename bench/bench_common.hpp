@@ -1,26 +1,47 @@
-// Shared helpers for the experiment benches (E1..E12, see EXPERIMENTS.md).
+// Shared helpers for the experiment benches (E1..E14, see EXPERIMENTS.md).
 //
-// Every bench binary regenerates one experiment table on stdout (printed
-// once, before the google-benchmark timing output) and exposes the same
-// quantities as benchmark counters so runs are machine-comparable.
+// Every bench binary regenerates one experiment's tables on stdout (printed
+// once, before the google-benchmark timing output), exposes the same
+// quantities as benchmark counters so runs are machine-comparable, and — via
+// the telemetry::BenchEmitter behind these helpers — writes the whole run
+// (counters + tables + git describe) to BENCH_E<n>.json at exit. Validate or
+// diff the JSON files with tools/bench_diff.py.
 #pragma once
 
 #include <benchmark/benchmark.h>
 
-#include <cstdio>
-#include <mutex>
 #include <cstdarg>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <initializer_list>
+#include <mutex>
 #include <set>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "efd/efd.hpp"
 
 namespace efd::bench {
 
-/// Prints a table header exactly once per process.
+inline telemetry::BenchEmitter& emitter() { return telemetry::BenchEmitter::instance(); }
+
+/// Names the experiment and registers the atexit JSON write. Each bench
+/// binary calls this once via the EFD_BENCH_JSON macro below.
+inline void init_json(const char* experiment) {
+  emitter().set_experiment(experiment);
+  std::atexit([] { (void)emitter().write_file(); });
+}
+
+/// Prints a table header exactly once per distinct TITLE (keyed by title so a
+/// binary printing several tables gets every header; the old process-global
+/// once_flag suppressed all but the first), and makes that table current for
+/// the rows that follow.
 inline void table_header(const char* title, const char* columns) {
-  static std::once_flag flag;
-  std::call_once(flag, [&] { std::printf("\n=== %s ===\n%s\n", title, columns); });
+  if (emitter().table_header_once(title, columns)) {
+    std::printf("\n=== %s ===\n%s\n", title, columns);
+  }
 }
 
 /// Prints one table row, suppressing exact duplicates (google-benchmark
@@ -44,7 +65,10 @@ inline void row(const char* fmt, ...) {
   std::vsnprintf(buf.data(), buf.size() + 1, fmt, ap2);
   va_end(ap2);
   const std::lock_guard<std::mutex> guard(mu);
-  if (seen.insert(buf).second) std::fputs(buf.c_str(), stdout);
+  if (seen.insert(buf).second) {
+    std::fputs(buf.c_str(), stdout);
+    emitter().add_row(buf);
+  }
 }
 
 /// Attaches the standard perf counters of a simulation bench: model steps
@@ -66,4 +90,36 @@ inline std::set<Value> distinct_decisions(const World& w, int n) {
   return vals;
 }
 
+/// Records the finished state's counters into the JSON emitter. `name` is the
+/// benchmark function name (the installed google-benchmark has no
+/// State::name(), so it is passed explicitly); `args` render as "/arg"
+/// suffixes to match the stdout report. Counters are stored as their raw
+/// accumulated values; rate counters additionally appear normalized
+/// per-iteration so two runs with different calibrated iteration counts stay
+/// comparable in tools/bench_diff.py.
+inline void json_run(const benchmark::State& state, std::string name,
+                     std::initializer_list<std::int64_t> args = {}) {
+  for (const std::int64_t a : args) name += "/" + std::to_string(a);
+  const auto iters = static_cast<double>(state.iterations());
+  std::vector<std::pair<std::string, double>> counters;
+  counters.reserve(state.counters.size() * 2);
+  for (const auto& [key, c] : state.counters) {
+    counters.emplace_back(key, c.value);
+    if ((c.flags & benchmark::Counter::kIsRate) != 0 && iters > 0) {
+      counters.emplace_back(key + "_per_iter", c.value / iters);
+    }
+  }
+  emitter().record_benchmark(name, std::move(counters), state.iterations());
+}
+
 }  // namespace efd::bench
+
+/// Place once at file scope in each bench binary: names the experiment and
+/// arms the atexit BENCH_<exp>.json write.
+#define EFD_BENCH_JSON(exp)                                     \
+  namespace {                                                   \
+  const bool efd_bench_json_registered = [] {                   \
+    ::efd::bench::init_json(exp);                               \
+    return true;                                                \
+  }();                                                          \
+  }

@@ -7,6 +7,8 @@
 
 #include "core/efd_system.hpp"
 
+EFD_BENCH_JSON("E10")
+
 namespace efd {
 namespace {
 
@@ -47,6 +49,9 @@ void E10_EfdVsClassical(benchmark::State& state) {
   }
   state.counters["fair_decided"] = static_cast<double>(n);
   state.counters["personified_decided"] = static_cast<double>(personified_decided);
+  state.counters["fair_steps"] = static_cast<double>(fair.stats.steps);
+  state.counters["fair_null_steps"] = static_cast<double>(fair.stats.null_steps);
+  bench::json_run(state, "E10_EfdVsClassical", {n, k, faults});
 
   bench::table_header(
       "E10 (Prop. 3/5): EFD runs vs personified (classical) runs, KSA algorithm",

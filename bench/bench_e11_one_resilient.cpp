@@ -6,6 +6,8 @@
 
 #include "algo/renaming_1resilient.hpp"
 
+EFD_BENCH_JSON("E11")
+
 namespace efd {
 namespace {
 
@@ -42,6 +44,7 @@ void E11_OneResilientWrapper(benchmark::State& state) {
   }
   state.counters["steps"] = static_cast<double>(steps);
   state.counters["max_name"] = static_cast<double>(max_name);
+  bench::json_run(state, "E11_OneResilientWrapper", {j, participants});
 
   bench::table_header("E11 (Fig. 3): 1-resilient wrapper around Fig. 4 renaming",
                       "j   participants  max-name  2-conc-bound(j+1)  unique  steps");

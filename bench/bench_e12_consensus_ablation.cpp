@@ -3,6 +3,8 @@
 // leadership delays decisions, never breaking safety) and vs system size.
 #include "bench_common.hpp"
 
+EFD_BENCH_JSON("E12")
+
 namespace efd {
 namespace {
 
@@ -32,6 +34,7 @@ void E12_LatencyVsGst(benchmark::State& state) {
     steps = consensus_latency(n, gst, 5, ac);
   }
   state.counters["steps"] = static_cast<double>(steps);
+  bench::json_run(state, "E12_LatencyVsGst", {n, gst, ac ? 1 : 0});
 
   bench::table_header("E12 (ablation): leader-driven consensus, latency vs GST",
                       "server        n   GST    steps-to-all-decided");
@@ -65,6 +68,7 @@ void E12_SafetyUnderChaos(benchmark::State& state) {
   }
   state.counters["decided_runs"] = static_cast<double>(decided_runs);
   state.counters["safe_runs"] = static_cast<double>(safe_runs);
+  bench::json_run(state, "E12_SafetyUnderChaos", {n});
 
   bench::table_header("E12b (ablation): safety with a never-stabilizing leader oracle",
                       "n   runs  decided-anyway  agreement-held");

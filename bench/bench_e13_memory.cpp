@@ -14,10 +14,23 @@
 #include <string>
 #include <unordered_map>
 
+EFD_BENCH_JSON("E13")
+
 namespace efd {
 namespace {
 
 constexpr int kRegs = 256;  // footprint per store, matching mid-size runs
+
+/// Counter + JSON epilogue shared by every E13 variant: `ops` mirrors
+/// items-processed as an explicit counter so the emitted JSON is
+/// self-contained (SetItemsProcessed only feeds the stdout report).
+void e13_finish(benchmark::State& state, const char* name, std::int64_t items_per_iter) {
+  const auto ops = static_cast<double>(state.iterations() * items_per_iter);
+  state.SetItemsProcessed(state.iterations() * items_per_iter);
+  state.counters["ops"] = ops;
+  state.counters["ops_per_s"] = benchmark::Counter(ops, benchmark::Counter::kIsRate);
+  bench::json_run(state, name);
+}
 
 /// The seed's string-keyed register file, verbatim semantics: name built and
 /// hashed on every access, content hash recomputed over the whole footprint.
@@ -52,7 +65,7 @@ void E13_WriteLegacy(benchmark::State& state) {
     m.write(legacy_reg(base, i), Value(i));
     i = (i + 1) % kRegs;
   }
-  state.SetItemsProcessed(state.iterations());
+  e13_finish(state, "E13_WriteLegacy", 1);
 }
 
 void E13_WriteInterned(benchmark::State& state) {
@@ -63,7 +76,7 @@ void E13_WriteInterned(benchmark::State& state) {
     m.write(reg(base, i), Value(i));
     i = (i + 1) % kRegs;
   }
-  state.SetItemsProcessed(state.iterations());
+  e13_finish(state, "E13_WriteInterned", 1);
 }
 
 void E13_ReadLegacy(benchmark::State& state) {
@@ -77,7 +90,7 @@ void E13_ReadLegacy(benchmark::State& state) {
     i = (i + 1) % kRegs;
   }
   benchmark::DoNotOptimize(sink);
-  state.SetItemsProcessed(state.iterations());
+  e13_finish(state, "E13_ReadLegacy", 1);
 }
 
 void E13_ReadInterned(benchmark::State& state) {
@@ -91,7 +104,7 @@ void E13_ReadInterned(benchmark::State& state) {
     i = (i + 1) % kRegs;
   }
   benchmark::DoNotOptimize(sink);
-  state.SetItemsProcessed(state.iterations());
+  e13_finish(state, "E13_ReadInterned", 1);
 }
 
 // A collect()-style sweep: read base[0..n-1] in one pass, as every snapshot
@@ -105,7 +118,7 @@ void E13_SnapshotLegacy(benchmark::State& state) {
     for (int i = 0; i < kRegs; ++i) sink += m.read(legacy_reg(base, i)).int_or(0);
   }
   benchmark::DoNotOptimize(sink);
-  state.SetItemsProcessed(state.iterations() * kRegs);
+  e13_finish(state, "E13_SnapshotLegacy", kRegs);
 }
 
 void E13_SnapshotInterned(benchmark::State& state) {
@@ -117,7 +130,7 @@ void E13_SnapshotInterned(benchmark::State& state) {
     for (int i = 0; i < kRegs; ++i) sink += m.read(reg(base, i)).int_or(0);
   }
   benchmark::DoNotOptimize(sink);
-  state.SetItemsProcessed(state.iterations() * kRegs);
+  e13_finish(state, "E13_SnapshotInterned", kRegs);
 }
 
 // Exploration dedup pattern (corridor DFS): one write, then a signature of
@@ -135,7 +148,7 @@ void E13_ContentHashLegacy(benchmark::State& state) {
     i = (i + 1) % kRegs;
   }
   benchmark::DoNotOptimize(sink);
-  state.SetItemsProcessed(state.iterations());
+  e13_finish(state, "E13_ContentHashLegacy", 1);
 }
 
 void E13_ContentHashInterned(benchmark::State& state) {
@@ -150,7 +163,7 @@ void E13_ContentHashInterned(benchmark::State& state) {
     i = (i + 1) % kRegs;
   }
   benchmark::DoNotOptimize(sink);
-  state.SetItemsProcessed(state.iterations());
+  e13_finish(state, "E13_ContentHashInterned", 1);
 }
 
 }  // namespace

@@ -20,6 +20,8 @@
 #include <memory>
 #include <string>
 
+EFD_BENCH_JSON("E14")
+
 namespace efd {
 namespace {
 
@@ -45,25 +47,33 @@ ExploreConfig e14_cfg(ExploreEngine engine, int threads) {
   return cfg;
 }
 
-void run_one(benchmark::State& state, ExploreEngine engine, int threads, const char* label) {
+void run_one(benchmark::State& state, ExploreEngine engine, int threads, const char* label,
+             const char* json_name, std::initializer_list<std::int64_t> json_args = {}) {
   const TaskPtr task = e14_task();
   const ValueVec in = e14_inputs();
   const auto body = e14_body(task);
   std::int64_t states_total = 0;
   std::int64_t last_states = 0;
   std::int64_t last_terminal = 0;
+  ExploreStats last_stats;
   bool ok = true;
   for (auto _ : state) {
     const ExploreOutcome o = explore_k_concurrent(task, body, in, e14_cfg(engine, threads));
     states_total += o.states;
     last_states = o.states;
     last_terminal = o.terminal_runs;
+    last_stats = o.stats;
     ok = ok && o.ok && !o.budget_exhausted;
   }
   state.counters["states"] = static_cast<double>(last_states);
   state.counters["states/s"] =
       benchmark::Counter(static_cast<double>(states_total), benchmark::Counter::kIsRate);
   state.counters["clean"] = ok ? 1 : 0;
+  state.counters["dedup_queries"] = static_cast<double>(last_stats.dedup_queries);
+  state.counters["dedup_hits"] = static_cast<double>(last_stats.dedup_hits);
+  state.counters["respawns"] = static_cast<double>(last_stats.respawns);
+  state.counters["pool_steals"] = static_cast<double>(last_stats.pool_steals);
+  bench::json_run(state, json_name, json_args);
   bench::row("%-22s | %8lld states | %7lld terminal | clean=%d", label,
              static_cast<long long>(last_states), static_cast<long long>(last_terminal),
              ok ? 1 : 0);
@@ -72,17 +82,17 @@ void run_one(benchmark::State& state, ExploreEngine engine, int threads, const c
 void E14_FullReplay(benchmark::State& state) {
   bench::table_header("E14: schedule exploration engines, (5,2)-set-agreement level 2",
                       "engine                 |   states explored |  terminal runs | clean sweep");
-  run_one(state, ExploreEngine::kFullReplay, 1, "full replay");
+  run_one(state, ExploreEngine::kFullReplay, 1, "full replay", "E14_FullReplay");
 }
 
 void E14_Incremental(benchmark::State& state) {
-  run_one(state, ExploreEngine::kIncremental, 1, "incremental");
+  run_one(state, ExploreEngine::kIncremental, 1, "incremental", "E14_Incremental");
 }
 
 void E14_Parallel(benchmark::State& state) {
   const int threads = static_cast<int>(state.range(0));
   const std::string label = "parallel x" + std::to_string(threads);
-  run_one(state, ExploreEngine::kIncremental, threads, label.c_str());
+  run_one(state, ExploreEngine::kIncremental, threads, label.c_str(), "E14_Parallel", {threads});
 }
 
 }  // namespace

@@ -2,16 +2,20 @@
 // table: steps-to-decide per task and system size under 1-concurrency.
 #include "bench_common.hpp"
 
+EFD_BENCH_JSON("E1")
+
 namespace efd {
 namespace {
 
-struct RunStats {
-  std::int64_t steps = 0;
+// The world's own telemetry (RunStats, sim/stats.hpp) plus the two memory
+// figures perf_counters wants — no ad-hoc counter struct.
+struct E1Run {
+  RunStats stats;
   std::size_t footprint = 0;
   std::size_t writes = 0;
 };
 
-RunStats run_one_concurrent(const TaskPtr& task, std::uint64_t seed) {
+E1Run run_one_concurrent(const TaskPtr& task, std::uint64_t seed) {
   const int n = task->n_procs();
   const ValueVec in = task->sample_input(seed);
   const auto arrival = Task::participants(in);
@@ -26,7 +30,7 @@ RunStats run_one_concurrent(const TaskPtr& task, std::uint64_t seed) {
   if (!r.all_c_decided || !task->relation(in, out)) {
     throw std::runtime_error("E1: 1-concurrent run failed for " + task->name());
   }
-  return {r.steps, w.memory().footprint(), w.memory().write_count()};
+  return {w.run_stats(), w.memory().footprint(), w.memory().write_count()};
 }
 
 TaskPtr menu_task(int which, int n) {
@@ -48,20 +52,23 @@ void E1_OneConcurrent(benchmark::State& state) {
   const int which = static_cast<int>(state.range(0));
   const int n = static_cast<int>(state.range(1));
   const TaskPtr task = menu_task(which, n);
-  RunStats rs;
+  E1Run rs;
   double total_steps = 0;
   for (auto _ : state) {
     rs = run_one_concurrent(task, 1);
-    total_steps += static_cast<double>(rs.steps);
+    total_steps += static_cast<double>(rs.stats.steps);
   }
-  state.counters["steps"] = static_cast<double>(rs.steps);
+  state.counters["steps"] = static_cast<double>(rs.stats.steps);
+  state.counters["decides"] = static_cast<double>(rs.stats.decides);
+  state.counters["null_steps"] = static_cast<double>(rs.stats.null_steps);
   state.counters["n"] = n;
   bench::perf_counters(state, total_steps, rs.footprint, rs.writes);
+  bench::json_run(state, "E1_OneConcurrent", {which, n});
 
   bench::table_header("E1 (Prop. 1): every task is 1-concurrently solvable",
                       "task                                   n   steps-to-all-decided");
   efd::bench::row("%-38s %-3d %lld\n", task->name().c_str(), n,
-                  static_cast<long long>(rs.steps));
+                  static_cast<long long>(rs.stats.steps));
 }
 
 }  // namespace

@@ -3,6 +3,8 @@
 // (must be <= live relayers) and steps, across fault loads.
 #include "bench_common.hpp"
 
+EFD_BENCH_JSON("E2")
+
 namespace efd {
 namespace {
 
@@ -26,6 +28,7 @@ void E2_NoAdviceSetAgreement(benchmark::State& state) {
   }
   state.counters["steps"] = static_cast<double>(steps);
   state.counters["distinct"] = static_cast<double>(distinct);
+  bench::json_run(state, "E2_NoAdviceSetAgreement", {n, faults});
 
   bench::table_header("E2 (sec. 2.2): (Pi,n)-set agreement with NO detector",
                       "n   faults  distinct-decided  bound(n)  steps");

@@ -2,6 +2,8 @@
 // first code completes and per-code progress, across (n, k) and fault loads.
 #include "bench_common.hpp"
 
+EFD_BENCH_JSON("E3")
+
 namespace efd {
 namespace {
 
@@ -61,6 +63,7 @@ void E3_KCodes(benchmark::State& state) {
   state.counters["steps"] = static_cast<double>(steps);
   state.counters["agreed_reads"] = static_cast<double>(prog_total);
   bench::perf_counters(state, total_steps, footprint, writes);
+  bench::json_run(state, "E3_KCodes", {n, k, faults});
 
   bench::table_header("E3 (Fig. 2 / Thm. 14): k-codes simulation with vec-Omega-k",
                       "n   k   faults  steps-to-first-completion  total-agreed-reads");

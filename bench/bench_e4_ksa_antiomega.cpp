@@ -3,6 +3,8 @@
 // full Thm. 9 double simulation (k-codes of BG-simulators) at small scale.
 #include "bench_common.hpp"
 
+EFD_BENCH_JSON("E4")
+
 namespace efd {
 namespace {
 
@@ -28,6 +30,7 @@ void E4_KsaWithAdvice(benchmark::State& state) {
   }
   state.counters["steps"] = static_cast<double>(steps);
   state.counters["distinct"] = static_cast<double>(distinct);
+  bench::json_run(state, "E4_KsaWithAdvice", {n, k, gst});
 
   bench::table_header("E4 (Thm. 9): k-set agreement with vec-Omega-k advice",
                       "n   k   GST   distinct(<=k)  steps-to-all-decided");
@@ -63,6 +66,7 @@ void E4b_Theorem9DoubleSimulation(benchmark::State& state) {
   }
   state.counters["steps"] = static_cast<double>(steps);
   state.counters["distinct"] = static_cast<double>(distinct);
+  bench::json_run(state, "E4b_Theorem9DoubleSimulation", {n, k});
 
   bench::table_header(
       "E4b (Thm. 9): full double simulation (k-codes of BG-simulators of the task)",

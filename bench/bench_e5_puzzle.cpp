@@ -3,6 +3,8 @@
 // distinct decisions (<= k) and simulation cost vs (n, k).
 #include "bench_common.hpp"
 
+EFD_BENCH_JSON("E5")
+
 namespace efd {
 namespace {
 
@@ -34,6 +36,7 @@ void E5_Booster(benchmark::State& state) {
   state.counters["steps"] = static_cast<double>(steps);
   state.counters["distinct"] = static_cast<double>(distinct);
   bench::perf_counters(state, total_steps, footprint, writes);
+  bench::json_run(state, "E5_Booster", {n, k});
 
   bench::table_header(
       "E5 (Thm. 7): boosting (U,k)-agreement (|U| = k+1) to all n processes",

@@ -3,6 +3,8 @@
 // does it stabilize, and how much local simulation the hunt spends.
 #include "bench_common.hpp"
 
+EFD_BENCH_JSON("E6")
+
 namespace efd {
 namespace {
 
@@ -65,6 +67,7 @@ void E6_Extraction(benchmark::State& state) {
   }
   state.counters["anti_ok"] = res.anti_ok ? 1 : 0;
   state.counters["stable_from"] = static_cast<double>(res.stable_from);
+  bench::json_run(state, "E6_Extraction", {n, k, faults});
 
   bench::table_header(
       "E6 (Thm. 8 / Fig. 1): emulating anti-Omega-k from a KSA-solving detector",

@@ -3,6 +3,8 @@
 // namespace/concurrency trade-off.
 #include "bench_common.hpp"
 
+EFD_BENCH_JSON("E7")
+
 namespace efd {
 namespace {
 
@@ -38,6 +40,7 @@ void E7_Renaming(benchmark::State& state) {
   }
   state.counters["max_name"] = static_cast<double>(max_name);
   state.counters["steps"] = static_cast<double>(steps);
+  bench::json_run(state, "E7_Renaming", {j, k});
 
   bench::table_header("E7 (Thm. 15 / Fig. 4): (j, j+k-1)-renaming under k-concurrency",
                       "j   k   max-name  bound(j+k-1)  unique  steps");

@@ -12,6 +12,8 @@
 #include "core/reduction.hpp"
 #include "core/solvability.hpp"
 
+EFD_BENCH_JSON("E8")
+
 namespace efd {
 namespace {
 
@@ -59,6 +61,7 @@ void E8a_LassoSearch(benchmark::State& state) {
   state.counters["states"] = static_cast<double>(r.states);
   state.counters["states_per_s"] =
       benchmark::Counter(total_states, benchmark::Counter::kIsRate);
+  bench::json_run(state, "E8a_LassoSearch");
 
   bench::table_header("E8a (Thm. 12): non-deciding 2-concurrent run of a candidate",
                       "candidate          lasso-found  states-explored  cycle-length");
@@ -84,6 +87,8 @@ void E8b_Fig4BreaksAtTwo(benchmark::State& state) {
   }
   state.counters["lvl1_ok"] = lvl1.ok ? 1 : 0;
   state.counters["lvl2_ok"] = lvl2.ok ? 1 : 0;
+  state.counters["lvl2_dedup_hits"] = static_cast<double>(lvl2.stats.dedup_hits);
+  bench::json_run(state, "E8b_Fig4BreaksAtTwo");
 
   bench::table_header("E8b (Thm. 12): Fig. 4 on strong 2-renaming, by concurrency level",
                       "level  clean-sweep  violation");
@@ -126,6 +131,7 @@ void E8c_Lemma11Construction(benchmark::State& state) {
   state.counters["steps"] = static_cast<double>(steps);
   state.counters["agreement"] = agreement ? 1 : 0;
   bench::perf_counters(state, total_steps, footprint, writes);
+  bench::json_run(state, "E8c_Lemma11Construction", {static_cast<std::int64_t>(seed)});
 
   bench::table_header("E8c (Lemma 11): consensus from a strong 2-renaming box",
                       "seed  agreement  steps");

@@ -5,6 +5,8 @@
 
 #include "core/hierarchy.hpp"
 
+EFD_BENCH_JSON("E9")
+
 namespace efd {
 namespace {
 
@@ -15,13 +17,19 @@ void E9_Hierarchy(benchmark::State& state) {
     rows = classify_standard_menu(n, 250000);
   }
   std::int64_t states = 0;
-  for (const auto& r : rows) states += r.states_explored;
+  ExploreStats merged;
+  for (const auto& r : rows) {
+    states += r.states_explored;
+    merged.merge(r.stats);
+  }
   state.counters["tasks"] = static_cast<double>(rows.size());
   state.counters["states_explored"] = static_cast<double>(states);
+  state.counters["terminal_runs"] = static_cast<double>(merged.terminal_runs);
+  state.counters["dedup_hits"] = static_cast<double>(merged.dedup_hits);
+  bench::json_run(state, "E9_Hierarchy", {n});
 
   bench::table_header("E9 (Thm. 10): task hierarchy / weakest-FD classification", "");
-  static std::once_flag printed;
-  std::call_once(printed, [&] { std::printf("%s\n", format_hierarchy(rows).c_str()); });
+  bench::row("%s\n", format_hierarchy(rows).c_str());
 }
 
 }  // namespace

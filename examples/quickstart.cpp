@@ -36,6 +36,7 @@ int main() {
   std::printf("pattern        : %s\n", pattern.to_string().c_str());
   std::printf("run            : %lld steps, all decided = %s\n",
               static_cast<long long>(run.steps), run.all_c_decided ? "yes" : "no");
+  std::printf("%s", format_run_report(world).c_str());
   for (int i = 0; i < n; ++i) {
     std::printf("p%d decided     : %s\n", i + 1, world.decision(cpid(i)).to_string().c_str());
   }

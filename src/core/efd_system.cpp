@@ -28,6 +28,8 @@ EfdRunResult run_efd(const EfdSetup& setup, Scheduler& sched, std::int64_t max_s
 
   EfdRunResult out;
   out.steps = r.steps;
+  out.budget_exhausted = r.budget_exhausted;
+  out.stats = w.run_stats();
   out.all_decided = w.all_c_decided();
   out.outputs = w.output_vector();
   out.outputs.resize(static_cast<std::size_t>(n));  // ⊥-pad non-participants

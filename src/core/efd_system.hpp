@@ -34,9 +34,11 @@ struct EfdSetup {
 struct EfdRunResult {
   bool all_decided = false;     ///< every participating C-process decided
   bool satisfied = false;       ///< (I, O) ∈ Δ for the produced output vector
+  bool budget_exhausted = false;  ///< run stopped on max_steps, not decisions
   ValueVec outputs;             ///< O, ⊥ where undecided
   std::int64_t steps = 0;
   int max_concurrency = 0;      ///< peak undecided participants (traced runs)
+  RunStats stats;               ///< the world's step-mix counters
 };
 
 /// Executes one run under `sched` and verifies it against the task.

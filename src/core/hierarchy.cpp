@@ -41,6 +41,7 @@ HierarchyRow classify(const TaskPtr& task, const std::function<ProcBody(int, Val
     cfg.k = k;
     const ExploreOutcome o = explore_k_concurrent(task, body, inputs, cfg);
     row.states_explored += o.states;
+    row.stats.merge(o.stats);
     if (!o.ok) {
       row.violation_above = row.observed_level == k - 1 && row.observed_level > 0;
       row.violation = o.violation;

@@ -27,6 +27,7 @@ struct HierarchyRow {
   std::string weakest_fd;      ///< Thm. 10 class for the observed level
   std::string note;
   std::int64_t states_explored = 0;
+  ExploreStats stats;          ///< merged telemetry of every level sweep tried
 };
 
 /// Name of the ¬Ωk class as the paper writes it.

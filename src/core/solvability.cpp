@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <deque>
 #include <unordered_set>
 #include <utility>
@@ -57,6 +58,10 @@ class ExploreContext {
   virtual void stop() = 0;
   virtual std::int64_t states() const = 0;
   virtual bool exhausted() const = 0;
+  /// Dedup traffic so far: (lookups, first-inserts). For fully-covered clean
+  /// sweeps both are engine- and thread-count-invariant (unique signatures
+  /// are expanded exactly once, so lookup multiplicity is state-determined).
+  virtual std::pair<std::int64_t, std::int64_t> dedup_traffic() const = 0;
 };
 
 class SequentialContext final : public ExploreContext {
@@ -69,15 +74,25 @@ class SequentialContext final : public ExploreContext {
     }
     return true;
   }
-  bool visit(std::uint64_t sig) override { return visited_.insert(sig).second; }
+  bool visit(std::uint64_t sig) override {
+    ++queries_;
+    const bool fresh = visited_.insert(sig).second;
+    misses_ += fresh ? 1 : 0;
+    return fresh;
+  }
   bool stopped() const override { return stop_; }
   void stop() override { stop_ = true; }
   std::int64_t states() const override { return states_; }
   bool exhausted() const override { return exhausted_; }
+  std::pair<std::int64_t, std::int64_t> dedup_traffic() const override {
+    return {queries_, misses_};
+  }
 
  private:
   std::int64_t max_states_;
   std::int64_t states_ = 0;
+  std::int64_t queries_ = 0;
+  std::int64_t misses_ = 0;
   bool stop_ = false;
   bool exhausted_ = false;
   std::unordered_set<std::uint64_t> visited_;
@@ -93,19 +108,42 @@ class ParallelContext final : public ExploreContext {
     }
     return true;
   }
-  bool visit(std::uint64_t sig) override { return visited_.insert(sig); }
+  bool visit(std::uint64_t sig) override {
+    queries_.fetch_add(1, std::memory_order_relaxed);
+    const bool fresh = visited_.insert(sig);
+    if (fresh) misses_.fetch_add(1, std::memory_order_relaxed);
+    return fresh;
+  }
   bool stopped() const override { return stop_.load(std::memory_order_acquire); }
   void stop() override { stop_.store(true, std::memory_order_release); }
   std::int64_t states() const override { return states_.load(std::memory_order_relaxed); }
   bool exhausted() const override { return exhausted_.load(std::memory_order_relaxed); }
+  std::pair<std::int64_t, std::int64_t> dedup_traffic() const override {
+    return {queries_.load(std::memory_order_relaxed), misses_.load(std::memory_order_relaxed)};
+  }
 
  private:
   std::int64_t max_states_;
   std::atomic<std::int64_t> states_{0};
+  std::atomic<std::int64_t> queries_{0};
+  std::atomic<std::int64_t> misses_{0};
   std::atomic<bool> stop_{false};
   std::atomic<bool> exhausted_{false};
   ShardedSigSet visited_;
 };
+
+/// Fills the context-derived fields of `stats` at the end of a sweep.
+void harvest_context(ExploreStats& stats, const ExploreContext& ctx, int threads,
+                     double elapsed_s) {
+  stats.states = ctx.states();
+  const auto [queries, misses] = ctx.dedup_traffic();
+  stats.dedup_queries = queries;
+  stats.dedup_misses = misses;
+  stats.dedup_hits = queries - misses;
+  stats.threads = threads;
+  stats.elapsed_s = elapsed_s;
+  stats.states_per_s = elapsed_s > 0 ? static_cast<double>(stats.states) / elapsed_s : 0;
+}
 
 // ---------------------------------------------------------------------------
 // Incremental engine: one persistent World, one real step per DFS edge, an
@@ -240,7 +278,9 @@ class IncrementalExplorer {
     const auto i = static_cast<std::size_t>(c);
     if (cor_pos_[i] == proc_log_[i].size()) return;
     w_.respawn(cpid(c), body_(c, inputs_[i]));
+    ++out_.stats.respawns;
     for (const Value& result : proc_log_[i]) w_.redeliver(cpid(c), result);
+    out_.stats.redelivers += static_cast<std::int64_t>(proc_log_[i].size());
     cor_pos_[i] = proc_log_[i].size();
   }
 
@@ -280,6 +320,8 @@ class IncrementalExplorer {
     window_.refresh([this](int cc) { return finished(cc); });
     sched_.push_back(c);
     path_.push_back(std::move(ps));
+    out_.stats.max_undo_depth =
+        std::max(out_.stats.max_undo_depth, static_cast<std::int64_t>(path_.size()));
   }
 
   void pop_step() {
@@ -461,6 +503,7 @@ ExploreOutcome explore_sequential(const TaskPtr& task,
                                   const ValueVec& inputs, const ExploreConfig& cfg) {
   SequentialContext ctx(cfg.max_states);
   ExploreOutcome out;
+  const auto t0 = std::chrono::steady_clock::now();
   if (cfg.engine == ExploreEngine::kFullReplay) {
     FullReplayExplorer e(task, body, inputs, cfg, ctx);
     e.dfs();
@@ -470,8 +513,11 @@ ExploreOutcome explore_sequential(const TaskPtr& task,
     e.dfs();
     out = e.take_outcome();
   }
+  const std::chrono::duration<double> dt = std::chrono::steady_clock::now() - t0;
   out.states = ctx.states();
   if (ctx.exhausted()) out.budget_exhausted = true;
+  out.stats.terminal_runs = out.terminal_runs;
+  harvest_context(out.stats, ctx, /*threads=*/1, dt.count());
   return out;
 }
 
@@ -490,6 +536,7 @@ ExploreOutcome explore_parallel(const TaskPtr& task,
                                 const ValueVec& inputs, const ExploreConfig& cfg) {
   ParallelContext ctx(cfg.max_states);
   const std::size_t target = static_cast<std::size_t>(cfg.threads) * 4;
+  const auto t0 = std::chrono::steady_clock::now();
 
   ExploreOutcome expansion_out;
   std::vector<std::vector<int>> roots;
@@ -514,6 +561,7 @@ ExploreOutcome explore_parallel(const TaskPtr& task,
   }
 
   std::vector<ExploreOutcome> parts(roots.size());
+  PoolStats pool_stats;
   if (!ctx.stopped() && !roots.empty()) {
     std::vector<std::function<void()>> jobs;
     jobs.reserve(roots.size());
@@ -526,7 +574,7 @@ ExploreOutcome explore_parallel(const TaskPtr& task,
         parts[i] = e.take_outcome();
       });
     }
-    WorkStealingPool::run(std::move(jobs), cfg.threads);
+    WorkStealingPool::run(std::move(jobs), cfg.threads, &pool_stats);
   }
 
   bool clean = expansion_out.ok;
@@ -540,8 +588,18 @@ ExploreOutcome explore_parallel(const TaskPtr& task,
 
   ExploreOutcome out;
   out.terminal_runs = expansion_out.terminal_runs;
-  for (const ExploreOutcome& p : parts) out.terminal_runs += p.terminal_runs;
+  out.stats = expansion_out.stats;  // probe respawns/redelivers/undo depth
+  for (const ExploreOutcome& p : parts) {
+    out.terminal_runs += p.terminal_runs;
+    out.stats.max_undo_depth = std::max(out.stats.max_undo_depth, p.stats.max_undo_depth);
+    out.stats.respawns += p.stats.respawns;
+    out.stats.redelivers += p.stats.redelivers;
+  }
   out.states = ctx.states();
+  const std::chrono::duration<double> dt = std::chrono::steady_clock::now() - t0;
+  out.stats.terminal_runs = out.terminal_runs;
+  out.stats.pool_steals = pool_stats.steals;
+  harvest_context(out.stats, ctx, cfg.threads, dt.count());
   return out;
 }
 
@@ -594,6 +652,7 @@ CleanLevelResult max_clean_level(const TaskPtr& task,
     const std::size_t ki = static_cast<std::size_t>(k);
     if (swept[ki] == 0) break;  // sequential mode stopped below this level
     r.states += levels[ki].states;
+    r.stats.merge(levels[ki].stats);
     if (!levels[ki].ok) break;
     if (levels[ki].budget_exhausted) {
       r.budget_exhausted = true;  // level k only sampled: r.level is a lower bound

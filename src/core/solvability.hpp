@@ -37,6 +37,7 @@
 #include <string>
 #include <vector>
 
+#include "core/telemetry.hpp"
 #include "sim/world.hpp"
 #include "tasks/task.hpp"
 
@@ -64,6 +65,9 @@ struct ExploreOutcome {
   std::int64_t states = 0;
   std::string violation;           ///< "" when ok
   std::vector<int> bad_schedule;   ///< C-index choices reproducing the violation
+  ExploreStats stats;              ///< sweep telemetry (core/telemetry.hpp);
+                                   ///< the deterministic subset matches
+                                   ///< across engines and thread counts
 };
 
 /// Explores every k-concurrent schedule of the restricted algorithm `body`
@@ -80,6 +84,7 @@ struct CleanLevelResult {
   bool budget_exhausted = false;  ///< the sweep above `level` ran out of budget:
                                   ///< `level` is a certified lower bound only
   std::int64_t states = 0;       ///< total states across all level sweeps
+  ExploreStats stats;            ///< merged telemetry of the counted sweeps
 };
 
 /// The largest level 1..k_max at which exploration stays clean AND fully

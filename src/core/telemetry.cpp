@@ -1,0 +1,477 @@
+#include "core/telemetry.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace efd {
+
+void ExploreStats::merge(const ExploreStats& o) {
+  states += o.states;
+  terminal_runs += o.terminal_runs;
+  dedup_queries += o.dedup_queries;
+  dedup_misses += o.dedup_misses;
+  dedup_hits += o.dedup_hits;
+  max_undo_depth = std::max(max_undo_depth, o.max_undo_depth);
+  respawns += o.respawns;
+  redelivers += o.redelivers;
+  pool_steals += o.pool_steals;
+  threads = std::max(threads, o.threads);
+  elapsed_s += o.elapsed_s;
+  states_per_s = std::max(states_per_s, o.states_per_s);
+}
+
+namespace telemetry {
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_number(std::string& out, double v) {
+  if (!std::isfinite(v)) {  // JSON has no inf/nan; emit null
+    out += "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  Json document() {
+    Json v = value();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const char* what) const {
+    throw std::runtime_error("Json::parse: " + std::string(what) + " at offset " +
+                             std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_])) != 0) ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail("unexpected character");
+    ++pos_;
+  }
+
+  bool literal(const char* lit) {
+    const std::size_t n = std::char_traits<char>::length(lit);
+    if (s_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  std::string string_body() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= s_.size()) fail("unterminated string");
+      const char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) fail("unterminated escape");
+      const char e = s_[pos_++];
+      switch (e) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code += static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code += static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code += static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail("bad \\u escape");
+            }
+          }
+          // Our emitter only escapes control characters; decode BMP code
+          // points to UTF-8 so round-trips are lossless for them.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          fail("unknown escape");
+      }
+    }
+  }
+
+  Json number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    const std::string tok = s_.substr(start, pos_ - start);
+    if (tok.find_first_of(".eE") == std::string::npos) {
+      try {
+        return Json(static_cast<std::int64_t>(std::stoll(tok)));
+      } catch (const std::exception&) {
+        fail("bad integer");
+      }
+    }
+    try {
+      return Json(std::stod(tok));
+    } catch (const std::exception&) {
+      fail("bad number");
+    }
+  }
+
+  Json value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') {
+      ++pos_;
+      Json obj = Json::object();
+      skip_ws();
+      if (peek() == '}') {
+        ++pos_;
+        return obj;
+      }
+      for (;;) {
+        skip_ws();
+        std::string key = string_body();
+        skip_ws();
+        expect(':');
+        obj[key] = value();
+        skip_ws();
+        if (peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        expect('}');
+        return obj;
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      Json arr = Json::array();
+      skip_ws();
+      if (peek() == ']') {
+        ++pos_;
+        return arr;
+      }
+      for (;;) {
+        arr.push_back(value());
+        skip_ws();
+        if (peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        expect(']');
+        return arr;
+      }
+    }
+    if (c == '"') return Json(string_body());
+    if (literal("true")) return Json(true);
+    if (literal("false")) return Json(false);
+    if (literal("null")) return Json();
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c)) != 0) return number();
+    fail("unexpected character");
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+void Json::push_back(Json v) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kArray;
+  if (kind_ != Kind::kArray) throw std::logic_error("Json::push_back on non-array");
+  arr_.push_back(std::move(v));
+}
+
+Json& Json::operator[](const std::string& key) {
+  if (kind_ == Kind::kNull) kind_ = Kind::kObject;
+  if (kind_ != Kind::kObject) throw std::logic_error("Json::operator[] on non-object");
+  for (auto& [k, v] : obj_) {
+    if (k == key) return v;
+  }
+  obj_.emplace_back(key, Json{});
+  return obj_.back().second;
+}
+
+const Json* Json::find(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : obj_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  const auto newline = [&](int d) {
+    if (indent <= 0) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent * d), ' ');
+  };
+  switch (kind_) {
+    case Kind::kNull:
+      out += "null";
+      break;
+    case Kind::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Kind::kInt: {
+      char buf[24];
+      std::snprintf(buf, sizeof(buf), "%" PRId64, int_);
+      out += buf;
+      break;
+    }
+    case Kind::kDouble:
+      append_number(out, dbl_);
+      break;
+    case Kind::kString:
+      append_escaped(out, str_);
+      break;
+    case Kind::kArray: {
+      if (arr_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < arr_.size(); ++i) {
+        if (i > 0) out += ',';
+        newline(depth + 1);
+        arr_[i].dump_to(out, indent, depth + 1);
+      }
+      newline(depth);
+      out += ']';
+      break;
+    }
+    case Kind::kObject: {
+      if (obj_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      for (std::size_t i = 0; i < obj_.size(); ++i) {
+        if (i > 0) out += ',';
+        newline(depth + 1);
+        append_escaped(out, obj_[i].first);
+        out += indent > 0 ? ": " : ":";
+        obj_[i].second.dump_to(out, indent, depth + 1);
+      }
+      newline(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+Json Json::parse(const std::string& text) { return Parser(text).document(); }
+
+std::string git_describe() {
+#if defined(_WIN32)
+  return "unknown";
+#else
+  FILE* pipe = ::popen("git describe --always --dirty 2>/dev/null", "r");
+  if (pipe == nullptr) return "unknown";
+  char buf[128] = {0};
+  std::string out;
+  while (std::fgets(buf, sizeof(buf), pipe) != nullptr) out += buf;
+  ::pclose(pipe);
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) out.pop_back();
+  return out.empty() ? "unknown" : out;
+#endif
+}
+
+BenchEmitter& BenchEmitter::instance() {
+  static BenchEmitter e;
+  return e;
+}
+
+void BenchEmitter::set_experiment(std::string name) {
+  const std::lock_guard<std::mutex> lk(mu_);
+  experiment_ = std::move(name);
+}
+
+std::string BenchEmitter::experiment() const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  return experiment_;
+}
+
+bool BenchEmitter::table_header_once(const std::string& title, const std::string& columns) {
+  const std::lock_guard<std::mutex> lk(mu_);
+  for (std::size_t i = 0; i < tables_.size(); ++i) {
+    if (tables_[i].title == title) {
+      current_table_ = i;
+      return false;
+    }
+  }
+  tables_.push_back(Table{title, columns, {}});
+  current_table_ = tables_.size() - 1;
+  return true;
+}
+
+void BenchEmitter::add_row(const std::string& row) {
+  const std::lock_guard<std::mutex> lk(mu_);
+  if (current_table_ >= tables_.size()) return;
+  std::string r = row;
+  while (!r.empty() && r.back() == '\n') r.pop_back();
+  tables_[current_table_].rows.push_back(std::move(r));
+}
+
+void BenchEmitter::record_benchmark(const std::string& name,
+                                    std::vector<std::pair<std::string, double>> counters,
+                                    std::int64_t iterations) {
+  const std::lock_guard<std::mutex> lk(mu_);
+  for (Bench& b : benches_) {
+    if (b.name == name) {  // calibration rerun: the final invocation wins
+      b.iterations = iterations;
+      b.counters = std::move(counters);
+      return;
+    }
+  }
+  benches_.push_back(Bench{name, iterations, std::move(counters)});
+}
+
+Json BenchEmitter::to_json() const {
+  const std::lock_guard<std::mutex> lk(mu_);
+  Json doc = Json::object();
+  doc["schema"] = "efd-bench-v1";
+  doc["experiment"] = experiment_;
+  doc["git"] = git_describe();
+  Json benches = Json::array();
+  for (const Bench& b : benches_) {
+    Json jb = Json::object();
+    jb["name"] = b.name;
+    jb["iterations"] = b.iterations;
+    Json counters = Json::object();
+    for (const auto& [k, v] : b.counters) counters[k] = v;
+    jb["counters"] = std::move(counters);
+    benches.push_back(std::move(jb));
+  }
+  doc["benchmarks"] = std::move(benches);
+  Json tables = Json::array();
+  for (const Table& t : tables_) {
+    Json jt = Json::object();
+    jt["title"] = t.title;
+    jt["columns"] = t.columns;
+    Json rows = Json::array();
+    for (const std::string& r : t.rows) rows.push_back(r);
+    jt["rows"] = std::move(rows);
+    tables.push_back(std::move(jt));
+  }
+  doc["tables"] = std::move(tables);
+  return doc;
+}
+
+bool BenchEmitter::write_file(const std::string& dir) const {
+  std::string exp;
+  bool empty = true;
+  {
+    const std::lock_guard<std::mutex> lk(mu_);
+    exp = experiment_;
+    empty = benches_.empty() && tables_.empty();
+  }
+  if (exp.empty() || empty) return false;
+  std::string target = dir;
+  if (target.empty()) {
+    const char* env = std::getenv("EFD_BENCH_JSON_DIR");
+    target = (env != nullptr && env[0] != '\0') ? env : ".";
+  }
+  const std::string path = target + "/BENCH_" + exp + ".json";
+  std::ofstream os(path);
+  if (!os) return false;
+  os << to_json().dump(2) << "\n";
+  return static_cast<bool>(os);
+}
+
+}  // namespace telemetry
+}  // namespace efd

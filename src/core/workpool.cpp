@@ -31,9 +31,15 @@ bool steal(Deque& d, std::function<void()>& out) {
 
 }  // namespace
 
-void WorkStealingPool::run(std::vector<std::function<void()>>&& tasks, int threads) {
+void WorkStealingPool::run(std::vector<std::function<void()>>&& tasks, int threads,
+                           PoolStats* stats) {
   if (threads <= 1 || tasks.size() <= 1) {
     for (auto& t : tasks) t();
+    if (stats != nullptr) {
+      *stats = PoolStats{};
+      stats->tasks = static_cast<std::int64_t>(tasks.size());
+      stats->per_worker.assign(1, stats->tasks);
+    }
     return;
   }
   const std::size_t n = static_cast<std::size_t>(threads);
@@ -45,13 +51,17 @@ void WorkStealingPool::run(std::vector<std::function<void()>>&& tasks, int threa
   std::atomic<std::size_t> remaining{tasks.size()};
   std::mutex err_mu;
   std::exception_ptr first_error;
+  std::vector<std::int64_t> executed(n, 0);
+  std::vector<std::int64_t> stolen(n, 0);
 
   auto worker = [&](std::size_t me) {
     std::function<void()> task;
     while (remaining.load(std::memory_order_acquire) > 0) {
       bool got = pop_own(deques[me], task);
+      bool was_steal = false;
       for (std::size_t off = 1; !got && off < n; ++off) {
         got = steal(deques[(me + off) % n], task);
+        was_steal = got;
       }
       if (!got) {
         // All deques empty: tasks never respawn, so any still-counted task
@@ -65,6 +75,8 @@ void WorkStealingPool::run(std::vector<std::function<void()>>&& tasks, int threa
         if (!first_error) first_error = std::current_exception();
       }
       task = nullptr;
+      ++executed[me];
+      if (was_steal) ++stolen[me];
       remaining.fetch_sub(1, std::memory_order_acq_rel);
     }
   };
@@ -75,6 +87,14 @@ void WorkStealingPool::run(std::vector<std::function<void()>>&& tasks, int threa
   worker(0);
   for (auto& t : crew) t.join();
 
+  if (stats != nullptr) {
+    *stats = PoolStats{};
+    stats->per_worker = executed;
+    for (std::size_t i = 0; i < n; ++i) {
+      stats->tasks += executed[i];
+      stats->steals += stolen[i];
+    }
+  }
   if (first_error) std::rethrow_exception(first_error);
 }
 

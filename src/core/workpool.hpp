@@ -21,13 +21,25 @@
 
 namespace efd {
 
+/// Telemetry of one WorkStealingPool::run call. Steals count tasks a worker
+/// pulled from ANOTHER worker's deque — a measure of how unevenly the
+/// frontier shards were sized, not of correctness (clean-sweep outcomes are
+/// thread-count-invariant regardless).
+struct PoolStats {
+  std::int64_t tasks = 0;                 ///< tasks executed in total
+  std::int64_t steals = 0;                ///< tasks executed off a foreign deque
+  std::vector<std::int64_t> per_worker;   ///< tasks executed by each worker
+};
+
 class WorkStealingPool {
  public:
   /// Runs every task to completion on `threads` workers (the calling thread
   /// is worker 0; `threads - 1` std::threads are spawned). Exceptions thrown
   /// by tasks are rethrown on the calling thread after all workers join
   /// (first one wins). threads <= 1 degenerates to a sequential loop.
-  static void run(std::vector<std::function<void()>>&& tasks, int threads);
+  /// `stats`, when non-null, is overwritten with this run's telemetry.
+  static void run(std::vector<std::function<void()>>&& tasks, int threads,
+                  PoolStats* stats = nullptr);
 };
 
 class ShardedSigSet {

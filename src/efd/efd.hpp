@@ -35,6 +35,7 @@
 #include "core/efd_system.hpp"
 #include "core/hierarchy.hpp"
 #include "core/reduction.hpp"
+#include "core/telemetry.hpp"
 #include "core/weakest.hpp"
 #include "core/solvability.hpp"
 #include "fd/dag.hpp"
@@ -49,6 +50,7 @@
 #include "sim/snapshot.hpp"
 #include "sim/adversary.hpp"
 #include "sim/schedule.hpp"
+#include "sim/stats.hpp"
 #include "sim/trace.hpp"
 #include "sim/value.hpp"
 #include "sim/world.hpp"

@@ -24,14 +24,19 @@ void FdDag::append(int proc, Value sample, std::vector<int> preds) {
   v.sample = std::move(sample);
   v.preds = std::move(preds);
   list.push_back(std::move(v));
+  ++stats_.appends;
 }
 
 void FdDag::merge(const FdDag& other) {
   if (other.n() != n()) throw std::invalid_argument("FdDag::merge: size mismatch");
+  ++stats_.merges;
   for (int p = 0; p < n(); ++p) {
     auto& mine = per_proc_[static_cast<std::size_t>(p)];
     const auto& theirs = other.per_proc_[static_cast<std::size_t>(p)];
-    for (std::size_t s = mine.size(); s < theirs.size(); ++s) mine.push_back(theirs[s]);
+    for (std::size_t s = mine.size(); s < theirs.size(); ++s) {
+      mine.push_back(theirs[s]);
+      ++stats_.merged_vertices;
+    }
   }
 }
 

@@ -14,12 +14,22 @@
 // Value-encodable so S-processes can exchange it through registers.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "sim/proc.hpp"
 #include "sim/world.hpp"
 
 namespace efd {
+
+/// Construction telemetry of one FdDag instance. merged_vertices counts
+/// vertices adopted from other processes' publications — the causal-edge
+/// traffic the Appendix B extraction depends on.
+struct DagStats {
+  std::int64_t appends = 0;          ///< vertices this instance sampled itself
+  std::int64_t merged_vertices = 0;  ///< vertices adopted via merge()
+  std::int64_t merges = 0;           ///< merge() calls
+};
 
 struct DagVertex {
   int proc = 0;           ///< S-index of the sampler
@@ -55,8 +65,11 @@ class FdDag {
   [[nodiscard]] Value encode() const;
   [[nodiscard]] static FdDag decode(const Value& v);
 
+  [[nodiscard]] const DagStats& stats() const noexcept { return stats_; }
+
  private:
   std::vector<std::vector<DagVertex>> per_proc_;
+  DagStats stats_;
 };
 
 /// S-process body that builds the DAG forever: each round it queries the

@@ -18,9 +18,10 @@ ReductionRun run_reduction(const FailurePattern& pattern, const DetectorPtr& det
   }
   w.enable_trace();
   RoundRobinScheduler rr;
-  drive(w, rr, steps);
+  out.stop = drive(w, rr, steps);
   out.trace = w.trace();
   out.horizon = w.now();
+  out.stats = w.run_stats();
   return out;
 }
 

@@ -29,6 +29,11 @@ struct ReductionRun {
   Trace trace;
   FailurePattern pattern{0};
   Time horizon = 0;
+  DriveResult stop;  ///< why the run ended — S-only worlds stop on
+                     ///< budget_exhausted (the expected cause) or scheduler
+                     ///< exhaustion (every S-process crashed), never on the
+                     ///< vacuous all_c_decided the old drive() reported
+  RunStats stats;    ///< step mix incl. crashed_attempts (refused steps)
 };
 
 /// Runs S-process bodies (C-processes take null steps: this is a reduction

@@ -49,6 +49,7 @@ class RegisterFile {
  public:
   /// Current value of `addr`; Nil if never written.
   [[nodiscard]] Value read(RegAddr addr) const noexcept {
+    ++reads_;
     const RegId id = addr.id();
     return (id < cells_.size() && written_[id] != 0) ? cells_[id] : Value{};
   }
@@ -77,6 +78,10 @@ class RegisterFile {
   /// Total number of write operations applied (for bench reporting).
   [[nodiscard]] std::size_t write_count() const noexcept { return writes_; }
 
+  /// Total number of read operations served (telemetry; undo_write does not
+  /// count its internal lookups — it goes through the cells directly).
+  [[nodiscard]] std::size_t read_count() const noexcept { return reads_; }
+
   /// Deterministic hash of the full memory contents (for exploration
   /// dedup). O(1): maintained incrementally by write().
   [[nodiscard]] std::uint64_t content_hash() const noexcept {
@@ -103,6 +108,7 @@ class RegisterFile {
   std::uint64_t hash_acc_ = 0;        ///< commutative sum of cell hashes
   std::size_t footprint_ = 0;
   std::size_t writes_ = 0;
+  mutable std::size_t reads_ = 0;     ///< mutable: read() stays const/noexcept
 };
 
 }  // namespace efd

@@ -83,9 +83,13 @@ std::optional<Pid> KConcurrencyScheduler::next(const World& w) {
 
 DriveResult drive(World& w, Scheduler& sched, std::int64_t max_steps) {
   DriveResult r;
-  while (r.steps < max_steps) {
+  for (;;) {
     if (w.num_c() > 0 && w.all_c_decided()) {
       r.all_c_decided = true;
+      return r;
+    }
+    if (r.steps >= max_steps) {
+      r.budget_exhausted = true;
       return r;
     }
     const auto pid = sched.next(w);
@@ -96,8 +100,6 @@ DriveResult drive(World& w, Scheduler& sched, std::int64_t max_steps) {
     w.step(*pid);
     ++r.steps;
   }
-  r.all_c_decided = w.all_c_decided();
-  return r;
 }
 
 }  // namespace efd

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "sim/ids.hpp"
+#include "sim/stats.hpp"
 #include "sim/world.hpp"
 
 namespace efd {
@@ -94,12 +95,16 @@ class AdmissionWindow {
   template <class FinishedFn,
             class = std::enable_if_t<std::is_invocable_r_v<bool, FinishedFn&, int>>>
   void refresh(FinishedFn&& finished) {
+    const auto before = active_.size();
     active_.erase(std::remove_if(active_.begin(), active_.end(),
                                  [&](int c) { return finished(c); }),
                   active_.end());
+    stats_.retired += static_cast<std::int64_t>(before - active_.size());
     while (next_arrival_ < arrival_.size() && static_cast<int>(active_.size()) < k_) {
       active_.push_back(arrival_[next_arrival_++]);
+      ++stats_.admitted;
     }
+    stats_.peak_active = std::max(stats_.peak_active, static_cast<int>(active_.size()));
   }
 
   /// Convenience refresh against a live World.
@@ -116,11 +121,16 @@ class AdmissionWindow {
   /// Everyone arrived and every admitted process finished.
   [[nodiscard]] bool exhausted() const noexcept { return all_arrived() && active_.empty(); }
 
+  /// Admission totals since construction (copied with the window, so the
+  /// incremental explorer's undo log rewinds them along with the rest).
+  [[nodiscard]] const AdmissionStats& stats() const noexcept { return stats_; }
+
  private:
   int k_ = 1;
   std::vector<int> arrival_;    ///< C-process indices in arrival order
   std::size_t next_arrival_ = 0;
   std::vector<int> active_;     ///< admitted, unfinished C indices
+  AdmissionStats stats_;
 };
 
 /// k-concurrent scheduler (paper §2.2): C-processes arrive in `arrival`
@@ -134,6 +144,11 @@ class KConcurrencyScheduler final : public Scheduler {
 
   [[nodiscard]] std::optional<Pid> next(const World& w) override;
 
+  /// Admission totals of the run so far (telemetry).
+  [[nodiscard]] const AdmissionStats& admission_stats() const noexcept {
+    return window_.stats();
+  }
+
  private:
   AdmissionWindow window_;
   int s_stride_;
@@ -143,13 +158,17 @@ class KConcurrencyScheduler final : public Scheduler {
 };
 
 struct DriveResult {
-  std::int64_t steps = 0;       ///< scheduled (possibly null) steps executed
+  std::int64_t steps = 0;       ///< scheduled (possibly null) steps attempted
   bool all_c_decided = false;   ///< stop cause: every C-process decided
   bool exhausted = false;       ///< stop cause: scheduler returned nullopt
+  bool budget_exhausted = false;  ///< stop cause: max_steps hit first
 };
 
 /// Runs `w` under `sched` until all C-processes decide, the scheduler is
-/// exhausted, or `max_steps` steps were attempted.
+/// exhausted, or `max_steps` steps were attempted. Exactly one stop-cause
+/// flag is set, checked in that priority order — in particular a world with
+/// NO C-processes (reduction harnesses) reports budget_exhausted, never the
+/// vacuous all_c_decided the pre-telemetry drive returned.
 DriveResult drive(World& w, Scheduler& sched, std::int64_t max_steps);
 
 }  // namespace efd

@@ -1,0 +1,61 @@
+// Run-level telemetry: cheap, always-on counters of one World execution.
+//
+// RunStats is carried by every World and incremented inside step()/respawn()/
+// redeliver() — a handful of integer adds per model step, so it stays on even
+// in exploration hot loops. The block absorbs the ad-hoc per-bench counters
+// of earlier PRs (steps, footprint, writes) into one place with a checkable
+// invariant:
+//
+//     steps == reads + writes + queries + yields + decides + null_steps
+//     steps == trace.size()                     (when tracing is enabled)
+//
+// crashed_attempts counts step(pid) calls that returned false (crashed
+// S-process): no time passes and no trace record is produced, so they are
+// deliberately OUTSIDE the invariant above.
+//
+// AdmissionStats mirrors the bookkeeping of sim/schedule's AdmissionWindow
+// (admissions, retirements, peak active) — the quantities the paper's
+// k-concurrency bound is about. The struct lives here so World, schedulers
+// and the bench layer share one vocabulary.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace efd {
+
+class World;
+
+/// Counters of one World's execution. Steps are counted by the op kind the
+/// scheduled process executed; null steps (terminated processes) separately.
+struct RunStats {
+  std::int64_t steps = 0;             ///< successful step() calls (time advanced)
+  std::int64_t reads = 0;
+  std::int64_t writes = 0;
+  std::int64_t queries = 0;           ///< failure-detector queries (S-processes)
+  std::int64_t yields = 0;
+  std::int64_t decides = 0;
+  std::int64_t null_steps = 0;        ///< steps of already-terminated processes
+  std::int64_t crashed_attempts = 0;  ///< step() calls refused (crashed S-process)
+  std::int64_t respawns = 0;          ///< coroutine rebuilds (incremental explorer)
+  std::int64_t redelivers = 0;        ///< replayed step results into rebuilt frames
+
+  /// Sum of the per-op-kind counters; equals `steps` by construction and
+  /// trace.size() when the run was traced (the test_telemetry invariant).
+  [[nodiscard]] std::int64_t op_total() const noexcept {
+    return reads + writes + queries + yields + decides + null_steps;
+  }
+};
+
+/// Admission bookkeeping totals of an AdmissionWindow (k-concurrent runs).
+struct AdmissionStats {
+  std::int64_t admitted = 0;   ///< processes ever admitted into the window
+  std::int64_t retired = 0;    ///< processes retired (decided OR terminated)
+  int peak_active = 0;         ///< max simultaneously admitted, unfinished
+};
+
+/// Human-readable run report: step mix, decisions, register footprint and
+/// write/read volume of `w` — what examples/quickstart prints.
+[[nodiscard]] std::string format_run_report(const World& w);
+
+}  // namespace efd

@@ -37,6 +37,7 @@ std::string StepRecord::to_string() const {
   if (op == OpKind::kQuery) os << " -> " << result.to_string();
   if (op == OpKind::kDecide) os << " " << value.to_string();
   if (null_step) os << " (null)";
+  if (terminated) os << " (end)";
   return os.str();
 }
 
@@ -47,7 +48,12 @@ int max_concurrency(const Trace& trace) {
     if (!s.pid.is_c() || s.null_step) continue;
     undecided.insert(s.pid.index);
     peak = std::max(peak, static_cast<int>(undecided.size()));
-    if (s.op == OpKind::kDecide) undecided.erase(s.pid.index);
+    // Retire on decide OR termination: a coroutine that ran to completion
+    // without deciding can never decide later, so counting it as "undecided"
+    // forever would inflate the measured concurrency (the same
+    // terminated-undecided inconsistency AdmissionWindow::refresh fixes on
+    // the scheduling side).
+    if (s.op == OpKind::kDecide || s.terminated) undecided.erase(s.pid.index);
   }
   return peak;
 }

@@ -26,6 +26,7 @@ struct StepRecord {
   Value value;        ///< written / decided value
   Value result;       ///< read result / FD sample
   bool null_step{false};  ///< process already terminated; step had no effect
+  bool terminated{false};  ///< this step ran the coroutine to completion
 
   /// Canonical register name of `addr` ("" when the op has no register).
   [[nodiscard]] const std::string& addr_name() const;

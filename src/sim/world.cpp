@@ -34,6 +34,7 @@ void World::respawn(Pid pid, ProcBody body) {
     throw std::invalid_argument("World::respawn: body produced no coroutine");
   }
   s = std::move(fresh);
+  ++stats_.respawns;
 }
 
 const PendingOp* World::pending_op(Pid pid) {
@@ -56,6 +57,7 @@ void World::redeliver(Pid pid, Value result) {
   s.ctx->deliver(std::move(result));
   if (auto err = s.proc.handle().promise().error) std::rethrow_exception(err);
   ++s.steps;
+  ++stats_.redelivers;
 }
 
 std::vector<Pid> World::pids() const {
@@ -88,7 +90,10 @@ void World::prime(Slot& s) {
 
 bool World::step(Pid pid) {
   Slot& s = slot(pid);
-  if (pid.is_s() && !pattern_.alive(pid.index, now_)) return false;  // crashed: no step
+  if (pid.is_s() && !pattern_.alive(pid.index, now_)) {
+    ++stats_.crashed_attempts;  // no time advance, no trace record
+    return false;
+  }
   prime(s);
 
   StepRecord rec;
@@ -99,6 +104,7 @@ bool World::step(Pid pid) {
     // Terminated (typically after a decide): null steps forever.
     rec.null_step = true;
     rec.op = OpKind::kYield;
+    ++stats_.null_steps;
   } else {
     const PendingOp op = s.ctx->pending();  // copy: deliver() consumes it
     rec.op = op.kind;
@@ -108,26 +114,35 @@ bool World::step(Pid pid) {
     switch (op.kind) {
       case OpKind::kRead:
         result = mem_.read(op.addr);
+        ++stats_.reads;
         break;
       case OpKind::kWrite:
         mem_.write(op.addr, op.value);
+        ++stats_.writes;
         break;
       case OpKind::kQuery:
         if (!pid.is_s()) throw std::logic_error("FD query from C-process " + pid.to_string());
         result = history_->at(pid.index, now_);
+        ++stats_.queries;
         break;
       case OpKind::kYield:
+        ++stats_.yields;
         break;
       case OpKind::kDecide:
         s.ctx->record_decision(op.value);
+        ++stats_.decides;
         break;
     }
     rec.result = result;
     s.ctx->deliver(std::move(result));
     if (auto err = s.proc.handle().promise().error) std::rethrow_exception(err);
     ++s.steps;
+    // Mark the step that completes the coroutine: checkers retire the
+    // process here even when it never decided (quitters).
+    rec.terminated = s.proc.done();
   }
 
+  ++stats_.steps;
   if (tracing_) trace_.push_back(std::move(rec));
   ++now_;
   return true;

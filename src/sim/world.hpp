@@ -22,6 +22,7 @@
 #include "sim/ids.hpp"
 #include "sim/memory.hpp"
 #include "sim/proc.hpp"
+#include "sim/stats.hpp"
 #include "sim/trace.hpp"
 
 namespace efd {
@@ -116,10 +117,13 @@ class World {
     return pid.is_c() || pattern_.alive(pid.index, now_);
   }
 
-  // ---- tracing ----
+  // ---- tracing & telemetry ----
 
   void enable_trace(bool on = true) noexcept { tracing_ = on; }
   [[nodiscard]] const Trace& trace() const noexcept { return trace_; }
+
+  /// Always-on run counters (see sim/stats.hpp for the invariants).
+  [[nodiscard]] const RunStats& run_stats() const noexcept { return stats_; }
 
  private:
   struct Slot {
@@ -142,6 +146,7 @@ class World {
   int num_s_ = 0;
   bool tracing_ = false;
   Trace trace_;
+  RunStats stats_;
 };
 
 }  // namespace efd

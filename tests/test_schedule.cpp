@@ -164,5 +164,53 @@ TEST(Drive, RespectsStepBound) {
   EXPECT_EQ(r.steps, 50);
 }
 
+// Stop causes are explicit and mutually exclusive: exactly one of
+// all_c_decided / budget_exhausted / exhausted is set.
+TEST(Drive, BudgetExhaustionIsItsOwnStopCause) {
+  World w = World::failure_free(1);
+  w.spawn_c(0, count_steps);  // never decides
+  RoundRobinScheduler rr;
+  const auto r = drive(w, rr, 50);
+  EXPECT_TRUE(r.budget_exhausted);
+  EXPECT_FALSE(r.all_c_decided);
+  EXPECT_FALSE(r.exhausted);
+}
+
+TEST(Drive, SchedulerExhaustionIsNotBudgetExhaustion) {
+  World w = World::failure_free(1);
+  // Terminates without deciding: round-robin runs dry with budget left.
+  w.spawn_c(0, [](Context& ctx) -> Proc { co_await ctx.yield(); });
+  RoundRobinScheduler rr;
+  const auto r = drive(w, rr, 50);
+  EXPECT_TRUE(r.exhausted);
+  EXPECT_FALSE(r.budget_exhausted);
+  EXPECT_FALSE(r.all_c_decided);
+}
+
+TEST(Drive, DecidedRunSetsNoOtherCause) {
+  World w = World::failure_free(1);
+  w.spawn_c(0, [](Context& ctx) { return decide_after(ctx, 3); });
+  RoundRobinScheduler rr;
+  const auto r = drive(w, rr, 10000);
+  EXPECT_TRUE(r.all_c_decided);
+  EXPECT_FALSE(r.budget_exhausted);
+  EXPECT_FALSE(r.exhausted);
+}
+
+TEST(Drive, SOnlyWorldIsNeverVacuouslyDecided) {
+  // No C-processes at all: the old drive() reported all_c_decided == true on
+  // entry (vacuous truth over an empty set), hiding that the S-run merely hit
+  // its step budget. Reduction harness runs (fd/reduction) are exactly this
+  // shape.
+  World w = World::failure_free(2);
+  w.spawn_s(0, count_steps);
+  w.spawn_s(1, count_steps);
+  RoundRobinScheduler rr;
+  const auto r = drive(w, rr, 30);
+  EXPECT_FALSE(r.all_c_decided);
+  EXPECT_TRUE(r.budget_exhausted);
+  EXPECT_EQ(r.steps, 30);
+}
+
 }  // namespace
 }  // namespace efd

@@ -1,0 +1,309 @@
+// Tests for the telemetry layer: RunStats (sim/stats.hpp), AdmissionStats,
+// ExploreStats determinism across engines and thread counts, and the
+// telemetry::Json / BenchEmitter machinery behind BENCH_E<n>.json.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "algo/one_concurrent.hpp"
+#include "core/solvability.hpp"
+#include "core/telemetry.hpp"
+#include "fd/detectors.hpp"
+#include "sim/schedule.hpp"
+#include "sim/stats.hpp"
+#include "sim/world.hpp"
+#include "tasks/set_agreement.hpp"
+
+namespace efd {
+namespace {
+
+Proc count_steps(Context& ctx) {
+  for (int i = 0; i < 100; ++i) co_await ctx.yield();
+}
+
+Proc decide_after(Context& ctx, int steps) {
+  for (int i = 0; i < steps; ++i) co_await ctx.yield();
+  co_await ctx.decide(Value(steps));
+}
+
+Proc mixed_ops(Context& ctx) {
+  co_await ctx.write(reg("tel/R", ctx.pid().index), Value(1));
+  const Value v = co_await ctx.read(reg("tel/R", ctx.pid().index));
+  co_await ctx.decide(v);
+}
+
+// ---------------------------------------------------------------------------
+// RunStats
+// ---------------------------------------------------------------------------
+
+TEST(RunStats, OpCountersSumToTraceLength) {
+  World w = World::failure_free(1);
+  w.enable_trace();
+  w.spawn_c(0, mixed_ops);
+  w.spawn_c(1, [](Context& ctx) { return decide_after(ctx, 2); });
+  for (int i = 0; i < 3; ++i) w.step(cpid(0));
+  for (int i = 0; i < 3; ++i) w.step(cpid(1));
+  w.step(cpid(0));  // null step: already terminated
+  const RunStats& st = w.run_stats();
+  EXPECT_EQ(st.steps, static_cast<std::int64_t>(w.trace().size()));
+  EXPECT_EQ(st.op_total(), st.steps);
+  EXPECT_EQ(st.reads, 1);
+  EXPECT_EQ(st.writes, 1);
+  EXPECT_EQ(st.yields, 2);
+  EXPECT_EQ(st.decides, 2);
+  EXPECT_EQ(st.null_steps, 1);
+}
+
+TEST(RunStats, CrashedAttemptsStayOutsideTheInvariant) {
+  FailurePattern f(2);
+  f.crash(0, 0);
+  World w(f, TrivialFd{}.history(f, 0));
+  w.enable_trace();
+  w.spawn_s(0, count_steps);  // crashed from time 0
+  w.spawn_s(1, count_steps);
+  for (int i = 0; i < 4; ++i) w.step(spid(0));  // refused: no step, no record
+  for (int i = 0; i < 3; ++i) w.step(spid(1));
+  const RunStats& st = w.run_stats();
+  EXPECT_EQ(st.crashed_attempts, 4);
+  EXPECT_EQ(st.steps, 3);
+  EXPECT_EQ(st.steps, static_cast<std::int64_t>(w.trace().size()));
+  EXPECT_EQ(st.op_total(), st.steps);
+}
+
+TEST(RunStats, FormatRunReportMentionsTheMix) {
+  World w = World::failure_free(1);
+  w.enable_trace();
+  w.spawn_c(0, mixed_ops);
+  for (int i = 0; i < 3; ++i) w.step(cpid(0));
+  const std::string report = format_run_report(w);
+  EXPECT_NE(report.find("steps"), std::string::npos);
+  EXPECT_NE(report.find("decided"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// AdmissionStats
+// ---------------------------------------------------------------------------
+
+TEST(AdmissionStats, CountsAdmissionsAndRetirements) {
+  World w = World::failure_free(1);
+  std::vector<int> arrival;
+  for (int i = 0; i < 5; ++i) {
+    arrival.push_back(i);
+    w.spawn_c(i, [](Context& ctx) { return decide_after(ctx, 4); });
+  }
+  KConcurrencyScheduler ks(2, arrival, 0);
+  const auto r = drive(w, ks, 10000);
+  ASSERT_TRUE(r.all_c_decided);
+  const AdmissionStats& st = ks.admission_stats();
+  EXPECT_EQ(st.admitted, 5);
+  // Retirements are counted when the window refreshes; drive() stops as soon
+  // as the last process decides, before any further refresh, so up to
+  // `peak_active` just-finished processes are still counted as active.
+  EXPECT_GE(st.retired, st.admitted - st.peak_active);
+  EXPECT_LE(st.retired, st.admitted);
+  EXPECT_LE(st.peak_active, 2);
+  EXPECT_GE(st.peak_active, 1);
+}
+
+// ---------------------------------------------------------------------------
+// ExploreStats
+// ---------------------------------------------------------------------------
+
+ExploreOutcome sweep(ExploreEngine engine, int threads) {
+  auto task = std::make_shared<SetAgreementTask>(3, 2);
+  ValueVec in(3);
+  for (int i = 0; i < 3; ++i) in[static_cast<std::size_t>(i)] = Value(i);
+  auto body = [task](int, Value input) { return make_one_concurrent(task, input, "tel"); };
+  ExploreConfig cfg;
+  cfg.k = 2;
+  cfg.arrival = {0, 1, 2};
+  cfg.max_states = 200000;
+  cfg.engine = engine;
+  cfg.threads = threads;
+  return explore_k_concurrent(task, body, in, cfg);
+}
+
+void expect_deterministic_subset_eq(const ExploreStats& a, const ExploreStats& b,
+                                    const char* what) {
+  EXPECT_EQ(a.states, b.states) << what;
+  EXPECT_EQ(a.terminal_runs, b.terminal_runs) << what;
+  EXPECT_EQ(a.dedup_queries, b.dedup_queries) << what;
+  EXPECT_EQ(a.dedup_misses, b.dedup_misses) << what;
+}
+
+TEST(ExploreStats, MirrorsTheOutcome) {
+  const ExploreOutcome o = sweep(ExploreEngine::kIncremental, 1);
+  ASSERT_TRUE(o.ok);
+  ASSERT_FALSE(o.budget_exhausted);
+  EXPECT_EQ(o.stats.states, o.states);
+  EXPECT_EQ(o.stats.terminal_runs, o.terminal_runs);
+  EXPECT_GT(o.stats.dedup_queries, 0);
+  EXPECT_GT(o.stats.dedup_misses, 0);
+  EXPECT_LE(o.stats.dedup_misses, o.stats.dedup_queries);
+  EXPECT_EQ(o.stats.dedup_hits, o.stats.dedup_queries - o.stats.dedup_misses);
+  EXPECT_GT(o.stats.max_undo_depth, 0);
+  EXPECT_GT(o.stats.respawns, 0);  // k=2 backtracking must rebuild frames
+  EXPECT_EQ(o.stats.threads, 1);
+}
+
+TEST(ExploreStats, DeterministicSubsetMatchesAcrossEngines) {
+  const ExploreOutcome full = sweep(ExploreEngine::kFullReplay, 1);
+  const ExploreOutcome inc = sweep(ExploreEngine::kIncremental, 1);
+  ASSERT_TRUE(full.ok);
+  ASSERT_TRUE(inc.ok);
+  expect_deterministic_subset_eq(full.stats, inc.stats, "full-replay vs incremental");
+  // The reference engine has no undo log, so its run-shape fields stay zero.
+  EXPECT_EQ(full.stats.respawns, 0);
+  EXPECT_EQ(full.stats.max_undo_depth, 0);
+}
+
+TEST(ExploreStats, DeterministicSubsetMatchesAcrossThreadCounts) {
+  const ExploreOutcome one = sweep(ExploreEngine::kIncremental, 1);
+  ASSERT_TRUE(one.ok);
+  for (int threads : {2, 8}) {
+    const ExploreOutcome many = sweep(ExploreEngine::kIncremental, threads);
+    ASSERT_TRUE(many.ok) << threads;
+    expect_deterministic_subset_eq(one.stats, many.stats,
+                                   "1 thread vs parallel frontier");
+    EXPECT_EQ(many.stats.threads, threads);
+  }
+}
+
+TEST(ExploreStats, MergeSumsCountsAndMaxesDepth) {
+  ExploreStats a;
+  a.states = 10;
+  a.terminal_runs = 2;
+  a.dedup_queries = 7;
+  a.dedup_misses = 5;
+  a.dedup_hits = 2;
+  a.max_undo_depth = 4;
+  a.respawns = 1;
+  a.threads = 1;
+  ExploreStats b;
+  b.states = 3;
+  b.terminal_runs = 1;
+  b.dedup_queries = 2;
+  b.dedup_misses = 2;
+  b.max_undo_depth = 9;
+  b.threads = 4;
+  a.merge(b);
+  EXPECT_EQ(a.states, 13);
+  EXPECT_EQ(a.terminal_runs, 3);
+  EXPECT_EQ(a.dedup_queries, 9);
+  EXPECT_EQ(a.dedup_misses, 7);
+  EXPECT_EQ(a.dedup_hits, 2);
+  EXPECT_EQ(a.max_undo_depth, 9);
+  EXPECT_EQ(a.respawns, 1);
+  EXPECT_EQ(a.threads, 4);
+}
+
+// ---------------------------------------------------------------------------
+// telemetry::Json
+// ---------------------------------------------------------------------------
+
+TEST(TelemetryJson, RoundTripsThroughDumpAndParse) {
+  namespace tj = telemetry;
+  tj::Json doc = tj::Json::object();
+  doc["schema"] = tj::Json("efd-bench-v1");
+  doc["count"] = tj::Json(static_cast<std::int64_t>(42));
+  doc["rate"] = tj::Json(1.5);
+  doc["flag"] = tj::Json(true);
+  doc["escaped"] = tj::Json("tab\there \"quoted\" back\\slash\nnewline");
+  tj::Json arr = tj::Json::array();
+  arr.push_back(tj::Json(static_cast<std::int64_t>(1)));
+  arr.push_back(tj::Json("two"));
+  arr.push_back(tj::Json());
+  doc["items"] = std::move(arr);
+
+  const std::string text = doc.dump();
+  const tj::Json parsed = tj::Json::parse(text);
+  EXPECT_EQ(parsed.dump(), text);
+  EXPECT_EQ(parsed.find("count")->as_int(), 42);
+  EXPECT_DOUBLE_EQ(parsed.find("rate")->as_double(), 1.5);
+  EXPECT_TRUE(parsed.find("flag")->as_bool());
+  EXPECT_EQ(parsed.find("escaped")->as_string(),
+            "tab\there \"quoted\" back\\slash\nnewline");
+  ASSERT_EQ(parsed.find("items")->size(), 3u);
+  EXPECT_TRUE(parsed.find("items")->at(2).is_null());
+  // Compact dump parses too.
+  EXPECT_EQ(tj::Json::parse(doc.dump(0)).dump(), text);
+}
+
+TEST(TelemetryJson, ParseRejectsMalformedInput) {
+  using telemetry::Json;
+  EXPECT_THROW((void)Json::parse(""), std::runtime_error);
+  EXPECT_THROW((void)Json::parse("{"), std::runtime_error);
+  EXPECT_THROW((void)Json::parse("[1,]"), std::runtime_error);
+  EXPECT_THROW((void)Json::parse("{} trailing"), std::runtime_error);
+  EXPECT_THROW((void)Json::parse("'single'"), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// telemetry::BenchEmitter
+// ---------------------------------------------------------------------------
+
+// Regression: the bench layer's header suppression was one process-global
+// std::once_flag, so in a binary with several tables every header after the
+// first vanished (E4/E8). Suppression is per-TITLE now.
+TEST(BenchEmitter, HeaderPrintsOncePerDistinctTitle) {
+  telemetry::BenchEmitter em;
+  EXPECT_TRUE(em.table_header_once("table A", "col1 col2"));
+  EXPECT_FALSE(em.table_header_once("table A", "col1 col2"));
+  EXPECT_TRUE(em.table_header_once("table B", "col1"));
+  EXPECT_FALSE(em.table_header_once("table B", "col1"));
+  EXPECT_FALSE(em.table_header_once("table A", "col1 col2"));
+}
+
+TEST(BenchEmitter, BuildsTheSchemaDocument) {
+  telemetry::BenchEmitter em;
+  em.set_experiment("ETEST");
+  em.table_header_once("first", "a b");
+  em.add_row("1 2\n");
+  em.table_header_once("second", "c");
+  em.add_row("3\n");
+  em.record_benchmark("Bench/1", {{"steps", 12.0}, {"rate_per_s", 5.5}}, 3);
+  em.record_benchmark("Bench/1", {{"steps", 14.0}}, 7);  // re-record overwrites
+
+  const telemetry::Json doc = em.to_json();
+  EXPECT_EQ(doc.find("schema")->as_string(), "efd-bench-v1");
+  EXPECT_EQ(doc.find("experiment")->as_string(), "ETEST");
+  EXPECT_FALSE(doc.find("git")->as_string().empty());
+  ASSERT_EQ(doc.find("benchmarks")->size(), 1u);
+  const telemetry::Json& b = doc.find("benchmarks")->at(0);
+  EXPECT_EQ(b.find("name")->as_string(), "Bench/1");
+  EXPECT_EQ(b.find("iterations")->as_int(), 7);
+  EXPECT_DOUBLE_EQ(b.find("counters")->find("steps")->as_double(), 14.0);
+  ASSERT_EQ(doc.find("tables")->size(), 2u);
+  EXPECT_EQ(doc.find("tables")->at(0).find("title")->as_string(), "first");
+  EXPECT_EQ(doc.find("tables")->at(1).find("rows")->at(0).as_string(), "3");
+  // The document round-trips through the parser.
+  EXPECT_EQ(telemetry::Json::parse(doc.dump()).dump(), doc.dump());
+}
+
+TEST(BenchEmitter, WritesTheFileWhereAsked) {
+  telemetry::BenchEmitter em;
+  em.set_experiment("ETESTFILE");
+  em.record_benchmark("B", {{"x", 1.0}}, 1);
+  const std::string dir = ::testing::TempDir();
+  ASSERT_TRUE(em.write_file(dir));
+  const std::string path = dir + "/BENCH_ETESTFILE.json";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << path;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const telemetry::Json doc = telemetry::Json::parse(ss.str());
+  EXPECT_EQ(doc.find("experiment")->as_string(), "ETESTFILE");
+  std::remove(path.c_str());
+}
+
+TEST(BenchEmitter, EmptyEmitterWritesNothing) {
+  telemetry::BenchEmitter em;
+  em.set_experiment("ENOTHING");
+  EXPECT_FALSE(em.write_file(::testing::TempDir()));
+}
+
+}  // namespace
+}  // namespace efd

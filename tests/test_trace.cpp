@@ -13,6 +13,10 @@ Proc two_then_decide(Context& ctx) {
   co_await ctx.decide(Value(1));
 }
 
+Proc quit_without_deciding(Context& ctx) {
+  co_await ctx.yield();
+}
+
 TEST(Trace, RecordsStepsInOrder) {
   World w = World::failure_free(1);
   w.enable_trace();
@@ -81,6 +85,33 @@ TEST(Trace, SStepsDoNotCountTowardConcurrency) {
   }
   w.step(cpid(0));
   EXPECT_EQ(max_concurrency(w.trace()), 1);
+}
+
+// Regression: a C-process that terminates WITHOUT deciding used to stay in
+// the checker's undecided set forever, inflating max_concurrency for every
+// later step (only kDecide retired a process). The terminating step is now
+// recorded in the trace and retires the quitter like a decision does.
+TEST(Trace, TerminatedQuitterRetiresFromConcurrency) {
+  World w = World::failure_free(1);
+  w.enable_trace();
+  w.spawn_c(0, quit_without_deciding);
+  w.spawn_c(1, two_then_decide);
+  w.step(cpid(0));  // the quitter's frame completes here, no decision
+  for (int i = 0; i < 3; ++i) w.step(cpid(1));
+  ASSERT_EQ(w.trace().size(), 4u);
+  EXPECT_TRUE(w.trace()[0].terminated);
+  EXPECT_EQ(max_concurrency(w.trace()), 1);
+  EXPECT_TRUE(is_k_concurrent(w.trace(), 1));
+}
+
+TEST(Trace, DecidingStepIsAlsoTerminatingWhenFrameEnds) {
+  World w = World::failure_free(1);
+  w.enable_trace();
+  w.spawn_c(0, two_then_decide);  // decide is its last operation
+  for (int i = 0; i < 3; ++i) w.step(cpid(0));
+  EXPECT_FALSE(w.trace()[0].terminated);
+  EXPECT_FALSE(w.trace()[1].terminated);
+  EXPECT_TRUE(w.trace()[2].terminated);
 }
 
 TEST(Trace, StepsOfCountsNonNullOnly) {

@@ -1,0 +1,166 @@
+#!/usr/bin/env python3
+"""Validate and diff the BENCH_E<n>.json files the bench binaries emit.
+
+Schema (efd-bench-v1), produced by efd::telemetry::BenchEmitter:
+
+    {
+      "schema": "efd-bench-v1",
+      "experiment": "E14",
+      "git": "<git describe --always --dirty>",
+      "benchmarks": [
+        {"name": "E14_Parallel/4", "iterations": 3,
+         "counters": {"states": 188474.0, ...}},
+        ...
+      ],
+      "tables": [
+        {"title": "...", "columns": "...", "rows": ["...", ...]},
+        ...
+      ]
+    }
+
+Usage:
+    bench_diff.py --validate FILE...
+        Schema-check each file: exit 1 on the first invalid one.
+
+    bench_diff.py BASELINE_DIR CANDIDATE_DIR [--threshold PCT] [--rate-key SUBSTR]
+        Compare every BENCH_*.json present in both directories, counter by
+        counter. Counters whose name contains a rate marker ("per_s",
+        "per_iter", "/s") are treated as rates: a drop of more than
+        --threshold percent (default 10) against the baseline is a
+        regression and makes the exit status 1. Non-rate counters are
+        reported when they differ but never fail the diff (they are
+        workload-shape figures, not performance).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+SCHEMA = "efd-bench-v1"
+RATE_MARKERS = ("per_s", "per_iter", "/s")
+
+
+def fail(msg):
+    print(f"bench_diff: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+
+
+def validate_doc(path, doc):
+    def check(cond, msg):
+        if not cond:
+            fail(f"{path}: {msg}")
+
+    check(isinstance(doc, dict), "top level is not an object")
+    check(doc.get("schema") == SCHEMA, f"schema is {doc.get('schema')!r}, want {SCHEMA!r}")
+    check(isinstance(doc.get("experiment"), str) and doc["experiment"], "missing experiment name")
+    check(isinstance(doc.get("git"), str) and doc["git"], "missing git describe")
+    benches = doc.get("benchmarks")
+    check(isinstance(benches, list) and benches, "benchmarks must be a non-empty array")
+    seen = set()
+    for b in benches:
+        check(isinstance(b, dict), "benchmark entry is not an object")
+        name = b.get("name")
+        check(isinstance(name, str) and name, "benchmark without a name")
+        check(name not in seen, f"duplicate benchmark name {name!r}")
+        seen.add(name)
+        check(isinstance(b.get("iterations"), int) and b["iterations"] > 0,
+              f"{name}: iterations must be a positive integer")
+        counters = b.get("counters")
+        check(isinstance(counters, dict) and counters,
+              f"{name}: counters must be a non-empty object")
+        for k, v in counters.items():
+            check(isinstance(v, (int, float)), f"{name}: counter {k!r} is not numeric")
+    tables = doc.get("tables")
+    check(isinstance(tables, list), "tables must be an array")
+    for t in tables:
+        check(isinstance(t.get("title"), str) and t["title"], "table without a title")
+        rows = t.get("rows")
+        check(isinstance(rows, list), "table rows must be an array")
+        for r in rows:
+            check(isinstance(r, str), "table row is not a string")
+    titles = [t["title"] for t in tables]
+    check(len(titles) == len(set(titles)), "duplicate table titles")
+
+
+def is_rate(counter_name):
+    return any(m in counter_name for m in RATE_MARKERS)
+
+
+def diff_dirs(base_dir, cand_dir, threshold):
+    base_files = {f for f in os.listdir(base_dir)
+                  if f.startswith("BENCH_") and f.endswith(".json")}
+    cand_files = {f for f in os.listdir(cand_dir)
+                  if f.startswith("BENCH_") and f.endswith(".json")}
+    common = sorted(base_files & cand_files)
+    if not common:
+        fail(f"no BENCH_*.json files common to {base_dir} and {cand_dir}")
+    for only, where in ((base_files - cand_files, "baseline"),
+                        (cand_files - base_files, "candidate")):
+        for f in sorted(only):
+            print(f"note: {f} present only in {where}")
+
+    regressions = 0
+    for fname in common:
+        base = load(os.path.join(base_dir, fname))
+        cand = load(os.path.join(cand_dir, fname))
+        validate_doc(os.path.join(base_dir, fname), base)
+        validate_doc(os.path.join(cand_dir, fname), cand)
+        base_by_name = {b["name"]: b for b in base["benchmarks"]}
+        for b in cand["benchmarks"]:
+            ref = base_by_name.get(b["name"])
+            if ref is None:
+                print(f"note: {fname}: {b['name']} has no baseline")
+                continue
+            for key, val in sorted(b["counters"].items()):
+                if key not in ref["counters"]:
+                    continue
+                old = ref["counters"][key]
+                if old == val:
+                    continue
+                pct = (val - old) / abs(old) * 100 if old else float("inf")
+                tag = f"{fname}: {b['name']} {key}: {old:g} -> {val:g} ({pct:+.1f}%)"
+                if is_rate(key) and pct < -threshold:
+                    print(f"REGRESSION {tag}")
+                    regressions += 1
+                else:
+                    print(f"  {tag}")
+    if regressions:
+        print(f"bench_diff: {regressions} rate regression(s) beyond "
+              f"{threshold:g}%", file=sys.stderr)
+        return 1
+    print("bench_diff: no rate regressions")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--validate", action="store_true",
+                    help="schema-check the given files instead of diffing directories")
+    ap.add_argument("--threshold", type=float, default=10.0,
+                    help="rate-drop percentage that counts as a regression (default 10)")
+    ap.add_argument("paths", nargs="+",
+                    help="files (--validate) or BASELINE_DIR CANDIDATE_DIR")
+    args = ap.parse_args()
+
+    if args.validate:
+        for path in args.paths:
+            validate_doc(path, load(path))
+            print(f"{path}: OK")
+        return 0
+    if len(args.paths) != 2:
+        fail("diff mode takes exactly two directories (or use --validate)")
+    return diff_dirs(args.paths[0], args.paths[1], args.threshold)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

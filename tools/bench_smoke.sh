@@ -1,0 +1,30 @@
+#!/bin/sh
+# Smoke-run one bench binary and validate the JSON it emits.
+#
+# Usage: bench_smoke.sh BENCH_BINARY EXPERIMENT [BENCHMARK_ARGS...]
+#   BENCH_BINARY  path to a bench executable (bench/bench_e<k>_*)
+#   EXPERIMENT    the E<n> tag the binary writes (BENCH_E<n>.json)
+#
+# Runs the binary for a single tiny timing window into a scratch directory
+# (EFD_BENCH_JSON_DIR) and schema-checks the resulting file with
+# tools/bench_diff.py --validate. Used by the `telemetry`-labeled ctest
+# smoke tests (bench/CMakeLists.txt).
+set -eu
+
+bin=$1
+exp=$2
+shift 2
+
+script_dir=$(CDPATH= cd -- "$(dirname -- "$0")" && pwd)
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+EFD_BENCH_JSON_DIR="$tmpdir" "$bin" --benchmark_min_time=0.001 "$@" > "$tmpdir/stdout.txt"
+
+json="$tmpdir/BENCH_$exp.json"
+if [ ! -f "$json" ]; then
+    echo "bench_smoke: $bin did not write BENCH_$exp.json" >&2
+    exit 1
+fi
+python3 "$script_dir/bench_diff.py" --validate "$json"
