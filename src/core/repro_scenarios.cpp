@@ -1,0 +1,337 @@
+#include "core/repro_scenarios.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "algo/leader_consensus.hpp"
+#include "algo/paxos.hpp"
+#include "algo/renaming.hpp"
+#include "algo/set_agreement_antiomega.hpp"
+#include "fd/detectors.hpp"
+#include "sim/adversary.hpp"
+#include "sim/memory.hpp"
+
+namespace efd {
+namespace {
+
+// NOTE: every ProcBody below is a lambda that CALLS a standalone coroutine
+// with by-value parameters (sim/proc.hpp authoring rules).
+
+Proc spin_forever(Context& ctx) {
+  for (;;) co_await ctx.yield();
+}
+
+Proc write_then_decide(Context& ctx, RegAddr addr, Value v, Value dec) {
+  co_await ctx.write(addr, std::move(v));
+  co_await ctx.decide(std::move(dec));
+}
+
+Proc yield_n_then_decide(Context& ctx, int n, Value dec) {
+  for (int i = 0; i < n; ++i) co_await ctx.yield();
+  co_await ctx.decide(std::move(dec));
+}
+
+Proc yield_n_then_quit(Context& ctx, int n) {
+  for (int i = 0; i < n; ++i) co_await ctx.yield();
+  // Terminates WITHOUT deciding: the quitter the admission window must
+  // retire (the terminated-undecided case of AdmissionWindow::refresh).
+}
+
+Proc endless_proposer(Context& ctx, int me, Value v) {
+  const PaxosInstance inst{"px", 2};
+  for (int r = 0;; ++r) {
+    const Value d = co_await paxos_attempt(ctx, inst, me, r, v);
+    if (!d.is_nil()) {
+      co_await ctx.decide(d);
+      co_return;
+    }
+  }
+}
+
+/// Records `sched` driving `w` (which must be freshly spawned) with the
+/// given crash plan, and captures the tape with expect_* stamped.
+ScheduleTape record_run(const std::string& scenario_name, World& w, const FailurePattern& base,
+                        Scheduler& sched, std::int64_t max_steps,
+                        std::vector<CrashPoint> crashes) {
+  w.enable_trace();
+  RecordingScheduler rec(sched);
+  drive_with_crashes(w, rec, max_steps, crashes);
+  ScheduleTape t = ScheduleTape::capture(scenario_name, base, rec.steps(), std::move(crashes),
+                                         w.trace());
+  t.expect_violated = find_scenario(scenario_name)->violated(w);
+  return t;
+}
+
+// ---- synth_write_race ------------------------------------------------------
+// Synthetic known-bad scenario (the shrinker's reference workload): three
+// writers race on one register; "p1's write lost to p2's although p1 also
+// decided" is the injected bug. Minimal witness: p1 writes, p2 overwrites,
+// p1 decides — 3 steps out of a ~100-step random recording.
+
+const RegAddr kSynthX{"synth/X"};
+
+World make_synth_world(const FailurePattern& f, HistoryPtr h) {
+  World w(f, std::move(h));
+  w.spawn_c(0, [](Context& ctx) { return write_then_decide(ctx, kSynthX, Value(1), Value(1)); });
+  w.spawn_c(1, [](Context& ctx) { return write_then_decide(ctx, kSynthX, Value(2), Value(2)); });
+  w.spawn_c(2, [](Context& ctx) { return yield_n_then_decide(ctx, 30, Value(0)); });
+  for (int i = 0; i < f.n(); ++i) w.spawn_s(i, spin_forever);
+  return w;
+}
+
+bool synth_violated(const World& w) {
+  return w.memory().read(kSynthX) == Value(2) && w.decided(cpid(0));
+}
+
+ScheduleTape synth_record(std::uint64_t seed) {
+  const FailurePattern base(1);
+  World w = make_synth_world(base, TrivialFd{}.history(base, 0));
+  RandomScheduler rs(seed);
+  return record_run("synth_write_race", w, base, rs, 2000, {});
+}
+
+// ---- paxos_lockstep_livelock ----------------------------------------------
+// The Fig. 1 adversarial fact: strict lockstep rotation of two endless Paxos
+// proposers preempts every ballot. Violation = livelock witness (both
+// proposers keep working, nothing decides), so the EXPECTED outcome of this
+// scenario's tapes is `violated` — the counterexample is the artifact.
+
+World make_paxos_world(const FailurePattern& f, HistoryPtr h) {
+  World w(f, std::move(h));
+  for (int i = 0; i < 2; ++i) {
+    w.spawn_c(i, [i](Context& ctx) { return endless_proposer(ctx, i, Value(i)); });
+  }
+  return w;
+}
+
+bool paxos_violated(const World& w) {
+  return w.memory().read("px/DEC").is_nil() && w.steps_taken(cpid(0)) >= 8 &&
+         w.steps_taken(cpid(1)) >= 8;
+}
+
+ScheduleTape paxos_record(std::uint64_t) {
+  const FailurePattern base(0);
+  World w = make_paxos_world(base, TrivialFd{}.history(base, 0));
+  LockstepScheduler ls({cpid(0), cpid(1)});
+  return record_run("paxos_lockstep_livelock", w, base, ls, 400, {});
+}
+
+// ---- cons_leader_crash_commit ---------------------------------------------
+// Directed fault injection: leader-based consensus (Ω advice); the recording
+// locates the leader's first Paxos accept (the ns/ACC write that commits a
+// ballot) and kills that S-process at exactly the NEXT step index — the
+// crash lands mid-commit, after the accept but before the decision write.
+// Agreement and validity must survive (paxos safety needs no liveness).
+
+constexpr int kConsN = 3;
+
+World make_cons_world(const FailurePattern& f, HistoryPtr h) {
+  World w(f, std::move(h));
+  const LeaderConsensusConfig cfg{"cons", kConsN};
+  for (int i = 0; i < kConsN; ++i) w.spawn_c(i, make_consensus_client(cfg, Value(10 + i)));
+  for (int i = 0; i < kConsN; ++i) w.spawn_s(i, make_consensus_server(cfg));
+  return w;
+}
+
+bool cons_violated(const World& w) {
+  std::set<std::int64_t> vals;
+  for (int i = 0; i < kConsN; ++i) {
+    if (!w.decided(cpid(i))) continue;
+    const Value d = w.decision(cpid(i));
+    if (!d.is_int() || d.as_int() < 10 || d.as_int() >= 10 + kConsN) return true;  // validity
+    vals.insert(d.as_int());
+  }
+  return vals.size() > 1;  // agreement
+}
+
+ScheduleTape cons_record(std::uint64_t seed) {
+  const FailurePattern base(kConsN);
+  const OmegaFd omega(12);
+
+  // Phase 1: clean recording to locate the commit point. The base pattern is
+  // failure-free and nothing is injected, so no step is refused and trace
+  // position == schedule step index.
+  std::vector<CrashPoint> crashes;
+  {
+    World w = make_cons_world(base, omega.history(base, seed));
+    w.enable_trace();
+    RandomScheduler inner(seed ^ 0x5EED);
+    RecordingScheduler rec(inner);
+    drive_with_crashes(w, rec, 4000, {});
+    const Sym acc = sym("cons/ACC");
+    const auto& trace = w.trace();
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      const auto& s = trace[i];
+      if (s.pid.is_s() && s.op == OpKind::kWrite && s.addr == reg(acc, s.pid.index)) {
+        crashes.push_back(CrashPoint{static_cast<std::int64_t>(i) + 1, s.pid.index});
+        break;
+      }
+    }
+  }
+
+  // Phase 2: the actual recording, same seed, with the mid-commit kill. The
+  // dead leader means nobody ever decides, so bound the post-crash window
+  // explicitly — it is where the safety predicate gets exercised.
+  const std::int64_t budget = crashes.empty() ? 1500 : crashes.front().step_index + 400;
+  World w = make_cons_world(base, omega.history(base, seed));
+  RandomScheduler inner(seed ^ 0x5EED);
+  return record_run("cons_leader_crash_commit", w, base, inner, budget, std::move(crashes));
+}
+
+// ---- renaming_flip_lockstep ------------------------------------------------
+// Fig. 4 renaming under the flip-maximizing adversary: strict lockstep of
+// all j participants keeps every collect one step stale, so suggestions
+// flip-flop before settling. Safety: chosen names distinct and in
+// [1, 2j-1].
+
+constexpr int kRenJ = 3;
+
+World make_ren_world(const FailurePattern& f, HistoryPtr h) {
+  World w(f, std::move(h));
+  const RenamingConfig cfg{"ren", kRenJ};
+  for (int i = 0; i < kRenJ; ++i) {
+    w.spawn_c(i, make_renaming_kconc(cfg, Value(100 + i)));
+  }
+  for (int i = 0; i < f.n(); ++i) w.spawn_s(i, spin_forever);
+  return w;
+}
+
+bool ren_violated(const World& w) {
+  std::set<std::int64_t> names;
+  for (int i = 0; i < kRenJ; ++i) {
+    if (!w.decided(cpid(i))) continue;
+    const Value d = w.decision(cpid(i));
+    if (!d.is_int() || d.as_int() < 1 || d.as_int() > 2 * kRenJ - 1) return true;
+    if (!names.insert(d.as_int()).second) return true;  // duplicate name
+  }
+  return false;
+}
+
+ScheduleTape ren_record(std::uint64_t) {
+  const FailurePattern base(1);
+  World w = make_ren_world(base, TrivialFd{}.history(base, 0));
+  LockstepScheduler ls({cpid(0), cpid(1), cpid(2)});
+  return record_run("renaming_flip_lockstep", w, base, ls, 5000, {});
+}
+
+// ---- ksa_starved_leader ----------------------------------------------------
+// The ¬Ωk starvation adversary against KSA: →Ωk's stable slot names one
+// correct S-process, and the schedule suppresses exactly that process — the
+// advice permanently points at a server that never steps (the FD-level
+// starvation ¬Ωk's permanent-exclusion clause is about). Liveness may go,
+// safety (≤ k distinct decisions, validity) must not.
+
+constexpr int kKsaN = 4;
+constexpr int kKsaK = 2;
+
+World make_ksa_world(const FailurePattern& f, HistoryPtr h) {
+  World w(f, std::move(h));
+  const KsaConfig cfg{"ksa", kKsaN, kKsaK};
+  for (int i = 0; i < kKsaN; ++i) w.spawn_c(i, make_ksa_client(cfg, Value(i)));
+  for (int i = 0; i < kKsaN; ++i) w.spawn_s(i, make_ksa_server(cfg));
+  return w;
+}
+
+bool ksa_violated(const World& w) {
+  std::set<std::int64_t> vals;
+  for (int i = 0; i < kKsaN; ++i) {
+    if (!w.decided(cpid(i))) continue;
+    const Value d = w.decision(cpid(i));
+    if (!d.is_int() || d.as_int() < 0 || d.as_int() >= kKsaN) return true;  // validity
+    vals.insert(d.as_int());
+  }
+  return static_cast<int>(vals.size()) > kKsaK;
+}
+
+ScheduleTape ksa_record(std::uint64_t seed) {
+  const FailurePattern base(kKsaN);
+  const VectorOmegaK vo(kKsaK, 25);
+  const int starved = vo.stable_slot(base, seed);
+  World w = make_ksa_world(base, vo.history(base, seed));
+  RoundRobinScheduler inner;
+  SuppressScheduler sup(inner, [starved](Pid pid, const World&) {
+    return pid == spid(starved);
+  });
+  return record_run("ksa_starved_leader", w, base, sup, 6000, {});
+}
+
+// ---- quitter_window --------------------------------------------------------
+// The terminated-undecided window case: under a 1-concurrent admission
+// window, the middle arrival terminates WITHOUT deciding. The window must
+// retire it (a quitter can only take null steps) or the remaining arrivals
+// starve; concurrency must never exceed 1 either way.
+
+World make_quitter_world(const FailurePattern& f, HistoryPtr h) {
+  World w(f, std::move(h));
+  w.spawn_c(0, [](Context& ctx) { return yield_n_then_decide(ctx, 3, Value(0)); });
+  w.spawn_c(1, [](Context& ctx) { return yield_n_then_quit(ctx, 2); });
+  w.spawn_c(2, [](Context& ctx) { return yield_n_then_decide(ctx, 3, Value(2)); });
+  return w;
+}
+
+bool quitter_violated(const World& w) {
+  return !w.decided(cpid(0)) || !w.decided(cpid(2)) || max_concurrency(w.trace()) > 1;
+}
+
+ScheduleTape quitter_record(std::uint64_t) {
+  const FailurePattern base(0);
+  World w = make_quitter_world(base, TrivialFd{}.history(base, 0));
+  KConcurrencyScheduler ks(1, {0, 1, 2}, 0);
+  return record_run("quitter_window", w, base, ks, 200, {});
+}
+
+std::vector<Scenario> build_registry() {
+  return {
+      {"synth_write_race",
+       "synthetic writer race (shrinker reference; minimal witness = 3 steps)",
+       make_synth_world, synth_violated, synth_record},
+      {"paxos_lockstep_livelock",
+       "two endless Paxos proposers under strict lockstep never decide",
+       make_paxos_world, paxos_violated, paxos_record},
+      {"cons_leader_crash_commit",
+       "Omega-led consensus; leader killed mid-commit (first ACC write); safety holds",
+       make_cons_world, cons_violated, cons_record},
+      {"renaming_flip_lockstep",
+       "Fig. 4 renaming under flip-maximizing lockstep; names distinct in [1, 2j-1]",
+       make_ren_world, ren_violated, ren_record},
+      {"ksa_starved_leader",
+       "KSA with the stable →Ωk slot's server suppressed (¬Ωk starvation); ≤ k values",
+       make_ksa_world, ksa_violated, ksa_record},
+      {"quitter_window",
+       "1-concurrent window with a terminated-undecided quitter; window retires it",
+       make_quitter_world, quitter_violated, quitter_record},
+  };
+}
+
+}  // namespace
+
+const std::vector<Scenario>& scenarios() {
+  static const std::vector<Scenario> registry = build_registry();
+  return registry;
+}
+
+const Scenario* find_scenario(const std::string& name) {
+  for (const auto& s : scenarios()) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+ScenarioReplayOutcome replay_in_scenario(const Scenario& sc, const ScheduleTape& tape) {
+  World w = sc.make_world(tape.pattern(), tape.history());
+  ScenarioReplayOutcome out;
+  out.replay = replay_tape(w, tape);
+  out.violated = sc.violated(w);
+  out.stats = w.run_stats();
+  return out;
+}
+
+TapePredicate scenario_predicate(const Scenario& sc, bool expect_violated) {
+  return [&sc, expect_violated](const ScheduleTape& tape) {
+    World w = sc.make_world(tape.pattern(), tape.history());
+    replay_tape(w, tape);
+    return sc.violated(w) == expect_violated;
+  };
+}
+
+}  // namespace efd

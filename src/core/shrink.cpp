@@ -1,0 +1,99 @@
+#include "core/shrink.hpp"
+
+#include <algorithm>
+
+namespace efd {
+namespace {
+
+/// Removes steps [begin, end) and remaps crash-point indices: points past
+/// the removed range shift left, points inside it snap to `begin` (the crash
+/// still happens, at the seam — step removal never silently drops a fault).
+ScheduleTape without_steps(const ScheduleTape& t, std::size_t begin, std::size_t end) {
+  ScheduleTape out = t;
+  out.steps.erase(out.steps.begin() + static_cast<std::ptrdiff_t>(begin),
+                  out.steps.begin() + static_cast<std::ptrdiff_t>(end));
+  const auto removed = static_cast<std::int64_t>(end - begin);
+  for (auto& c : out.crashes) {
+    if (c.step_index >= static_cast<std::int64_t>(end)) {
+      c.step_index -= removed;
+    } else if (c.step_index > static_cast<std::int64_t>(begin)) {
+      c.step_index = static_cast<std::int64_t>(begin);
+    }
+  }
+  out.expect_hash.reset();  // certified the original schedule only
+  return out;
+}
+
+ScheduleTape without_crash(const ScheduleTape& t, std::size_t idx) {
+  ScheduleTape out = t;
+  out.crashes.erase(out.crashes.begin() + static_cast<std::ptrdiff_t>(idx));
+  out.expect_hash.reset();
+  return out;
+}
+
+}  // namespace
+
+ScheduleTape shrink_tape(ScheduleTape tape, const TapePredicate& still_fails,
+                         const ShrinkOptions& opts, ShrinkStats* stats) {
+  ShrinkStats local;
+  ShrinkStats& st = stats ? *stats : local;
+  st = ShrinkStats{};
+
+  ++st.candidates;
+  if (!still_fails(tape)) return tape;  // not a counterexample: nothing to do
+
+  auto try_adopt = [&](const ScheduleTape& cand) {
+    ++st.candidates;
+    if (!still_fails(cand)) return false;
+    st.removed_steps += static_cast<std::int64_t>(tape.steps.size() - cand.steps.size());
+    st.removed_crashes += static_cast<std::int64_t>(tape.crashes.size() - cand.crashes.size());
+    tape = cand;
+    return true;
+  };
+
+  for (st.rounds = 1; st.rounds <= opts.max_rounds; ++st.rounds) {
+    bool changed = false;
+
+    // 1. Trailing suffix: greedily halve the truncation length.
+    for (std::size_t cut = tape.steps.size() / 2; cut >= 1;) {
+      if (cut <= tape.steps.size() &&
+          try_adopt(without_steps(tape, tape.steps.size() - cut, tape.steps.size()))) {
+        changed = true;
+        cut = std::min(cut, tape.steps.size() / 2);
+        if (tape.steps.empty()) break;
+      } else {
+        cut /= 2;
+      }
+    }
+
+    // 2. ddmin over interior ranges, chunk size halving down to single steps.
+    for (std::size_t chunk = std::max<std::size_t>(tape.steps.size() / 2, 1); chunk >= 1;
+         chunk /= 2) {
+      for (std::size_t i = 0; i + chunk <= tape.steps.size();) {
+        if (try_adopt(without_steps(tape, i, i + chunk))) {
+          changed = true;  // removed: the next chunk slid into place at i
+        } else {
+          ++i;
+        }
+      }
+      if (chunk == 1) break;
+    }
+
+    // 3. Crash points, one at a time.
+    for (std::size_t i = 0; i < tape.crashes.size();) {
+      if (try_adopt(without_crash(tape, i))) {
+        changed = true;
+      } else {
+        ++i;
+      }
+    }
+
+    if (!changed) {
+      st.reached_fixpoint = true;
+      break;
+    }
+  }
+  return tape;
+}
+
+}  // namespace efd

@@ -1,0 +1,56 @@
+// ddmin-style tape shrinking: reduce a failing ScheduleTape to a locally
+// minimal counterexample.
+//
+// Given a tape whose replay violates some predicate (a task relation, a
+// safety check, any user lambda over the replayed world encoded as a
+// TapePredicate), the shrinker repeatedly removes parts of the tape —
+// trailing suffix, step ranges at halving granularities (delta debugging),
+// individual crash points — re-replaying after every candidate edit and
+// keeping only edits that still fail. The result is locally minimal: no
+// single step, contiguous chunk at the tried granularities, or crash point
+// can be removed without losing the failure.
+//
+// Removing steps shifts later step indices, so crash points are remapped
+// (points inside a removed range snap to its start — the fault itself is
+// never silently dropped by a step removal). FD deltas are keyed by model
+// TIME and left untouched: the tape's history() semantics (latest delta at
+// or before t) stays well-defined for any schedule the shrinker produces.
+// The recorded expect_hash is cleared as soon as the schedule changes — it
+// certified the ORIGINAL run; tools re-stamp it by replaying the minimized
+// tape once (tools/efd_repro shrink does).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/replay.hpp"
+
+namespace efd {
+
+/// True when the candidate tape still reproduces the failure of interest.
+/// The predicate owns world reconstruction: typically build from
+/// tape.pattern()/tape.history(), replay_tape, and evaluate the violated
+/// property (core/repro_scenarios.hpp provides this for named scenarios).
+using TapePredicate = std::function<bool(const ScheduleTape&)>;
+
+struct ShrinkOptions {
+  int max_rounds = 64;  ///< full granularity sweeps before giving up
+};
+
+struct ShrinkStats {
+  std::int64_t candidates = 0;  ///< predicate evaluations (replays)
+  std::int64_t removed_steps = 0;
+  std::int64_t removed_crashes = 0;
+  int rounds = 0;               ///< full passes until the fixed point
+  bool reached_fixpoint = false;
+};
+
+/// Shrinks `tape` while `still_fails` keeps returning true. If the input
+/// tape itself does not satisfy the predicate, it is returned unchanged
+/// (stats report zero candidates kept). Deterministic: same tape + same
+/// predicate => same minimized tape.
+[[nodiscard]] ScheduleTape shrink_tape(ScheduleTape tape, const TapePredicate& still_fails,
+                                       const ShrinkOptions& opts = {},
+                                       ShrinkStats* stats = nullptr);
+
+}  // namespace efd

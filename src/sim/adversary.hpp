@@ -43,8 +43,14 @@ class LockstepScheduler final : public Scheduler {
 };
 
 /// Filters an inner scheduler: pids for which `suppressed` returns true are
-/// never scheduled. The inner scheduler is polled until it yields an allowed
-/// pid (bounded retries to stay exhaustion-safe).
+/// never scheduled. The inner scheduler is polled (bounded retries) until it
+/// yields an allowed pid; if the polls run dry while the world still has a
+/// schedulable non-suppressed process, that process is scheduled directly.
+/// Without the fallback a fair inner scheduler over a mostly-suppressed pid
+/// set could spuriously return nullopt — reported upstream as schedule
+/// exhaustion even though eligible processes remained (e.g. an inner
+/// LockstepScheduler whose whole rotation is suppressed never proposes the
+/// eligible outsider at all).
 class SuppressScheduler final : public Scheduler {
  public:
   SuppressScheduler(Scheduler& inner, std::function<bool(Pid, const World&)> suppressed)
@@ -56,12 +62,21 @@ class SuppressScheduler final : public Scheduler {
       if (!pid) return std::nullopt;
       if (!suppressed_(*pid, w)) return pid;
     }
+    // The inner scheduler kept proposing suppressed pids. Consult the world
+    // directly (rotating for fairness) before declaring exhaustion.
+    const auto pids = w.pids();
+    for (std::size_t tries = 0; tries < pids.size(); ++tries) {
+      const Pid cand = pids[fallback_cursor_ % pids.size()];
+      ++fallback_cursor_;
+      if (w.alive(cand) && !w.terminated(cand) && !suppressed_(cand, w)) return cand;
+    }
     return std::nullopt;
   }
 
  private:
   Scheduler& inner_;
   std::function<bool(Pid, const World&)> suppressed_;
+  std::size_t fallback_cursor_ = 0;
 };
 
 }  // namespace efd

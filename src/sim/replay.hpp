@@ -1,0 +1,156 @@
+// Deterministic schedule record/replay (the `efd-tape-v1` pipeline).
+//
+// Every run of a World is fully determined by (process bodies, schedule,
+// failure pattern, FD history). A ScheduleTape captures the last three as a
+// compact, versioned text artifact, so any run — a fuzz counterexample, a
+// directed crash scenario, a hand-built regression — can be replayed
+// byte-identically, diffed, shrunk (core/shrink.hpp) and checked into
+// tests/corpus/ as a one-command reproduction:
+//
+//  * RecordingScheduler wraps ANY scheduler and records the pids it emits;
+//  * ScheduleTape::capture folds the recorded schedule, the base failure
+//    pattern, the injected crash points, and the FD samples observed in the
+//    trace (stored as per-process value deltas) into one artifact;
+//  * replay_tape rebuilds the identical run in a fresh world: the tape's
+//    history() answers FD queries from the recorded deltas, so no detector
+//    object is needed — the tape is self-contained;
+//  * crash-point injection (drive_with_crashes + World::inject_crash) crashes
+//    an S-process at an exact schedule STEP INDEX, not just at the
+//    pattern-sampled times — "kill the leader mid-commit" is a tape entry.
+//
+// Identity is checked against trace_hash (sim/trace.hpp) and the
+// deterministic RunStats subset (sim/stats.hpp); both are stable across
+// processes, interning orders and thread counts.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fd/failure_pattern.hpp"
+#include "fd/history.hpp"
+#include "sim/schedule.hpp"
+#include "sim/trace.hpp"
+
+namespace efd {
+
+/// Crash an S-process immediately before the schedule step with this index
+/// executes (index = position in the recorded step sequence, counting refused
+/// steps of already-crashed processes).
+struct CrashPoint {
+  std::int64_t step_index = 0;
+  int s_index = 0;
+
+  friend bool operator==(const CrashPoint&, const CrashPoint&) = default;
+};
+
+/// A recorded run: schedule, environment, and expectations. Text format
+/// `efd-tape-v1` (spec in EXPERIMENTS.md), one artifact per counterexample.
+class ScheduleTape {
+ public:
+  static constexpr const char* kFormat = "efd-tape-v1";
+
+  /// One FD history delta: q_{qi+1}'s module output changes to `value` at
+  /// `time` (holds until the next delta of the same process).
+  struct FdDelta {
+    int qi = 0;
+    Time time = 0;
+    Value value;
+  };
+
+  std::string scenario;  ///< registry key (core/repro_scenarios); "" = unbound
+  int num_s = 0;
+  std::vector<std::optional<Time>> base_crash;  ///< base pattern crash times
+  std::vector<CrashPoint> crashes;              ///< injected, sorted by step_index
+  std::vector<FdDelta> fd;                      ///< chronological per process
+  std::vector<Pid> steps;                       ///< the schedule, in order
+
+  // Optional expectations, stamped at capture / by tools:
+  std::optional<std::uint64_t> expect_hash;  ///< trace hash of the recorded run
+  std::optional<bool> expect_violated;       ///< scenario predicate outcome
+
+  /// The base failure pattern (injected crash points NOT applied).
+  [[nodiscard]] FailurePattern pattern() const;
+
+  /// Self-contained replay history: the value of q_{qi+1}'s module at time t
+  /// is its latest recorded delta at or before t, ⊥ before the first. At the
+  /// exact (process, time) points the recorded run queried, this reproduces
+  /// the original history's answers verbatim.
+  [[nodiscard]] HistoryPtr history() const;
+
+  /// Builds a tape from a recorded run. `base` is the pattern the world was
+  /// CONSTRUCTED with (before any injected crash), `steps` the pids emitted
+  /// by the RecordingScheduler, `crashes` the injections the driver applied,
+  /// and `trace` the recorded trace (FD deltas and expect_hash come from it).
+  [[nodiscard]] static ScheduleTape capture(std::string scenario, const FailurePattern& base,
+                                            std::vector<Pid> steps,
+                                            std::vector<CrashPoint> crashes, const Trace& trace);
+
+  /// Versioned text round-trip. parse throws std::runtime_error with a
+  /// line-numbered message on malformed input.
+  [[nodiscard]] std::string serialize() const;
+  [[nodiscard]] static ScheduleTape parse(const std::string& text);
+};
+
+/// File IO conveniences (throw std::runtime_error on IO/parse failure).
+[[nodiscard]] ScheduleTape load_tape(const std::string& path);
+void save_tape(const ScheduleTape& tape, const std::string& path);
+
+/// Wraps an inner scheduler and records every pid it emits. Transparent:
+/// forwards next() verbatim, so recording never perturbs the run.
+class RecordingScheduler final : public Scheduler {
+ public:
+  explicit RecordingScheduler(Scheduler& inner) : inner_(inner) {}
+
+  [[nodiscard]] std::optional<Pid> next(const World& w) override {
+    const auto pid = inner_.next(w);
+    if (pid) steps_.push_back(*pid);
+    return pid;
+  }
+
+  [[nodiscard]] const std::vector<Pid>& steps() const noexcept { return steps_; }
+
+ private:
+  Scheduler& inner_;
+  std::vector<Pid> steps_;
+};
+
+/// Replays a tape's step sequence (an ExplicitSchedule over tape.steps; the
+/// crash points are applied by drive_with_crashes / replay_tape, since a
+/// scheduler cannot mutate the world).
+class ReplayScheduler final : public Scheduler {
+ public:
+  explicit ReplayScheduler(const ScheduleTape& tape) : steps_(tape.steps) {}
+
+  [[nodiscard]] std::optional<Pid> next(const World&) override {
+    if (pos_ >= steps_.size()) return std::nullopt;
+    return steps_[pos_++];
+  }
+
+ private:
+  std::vector<Pid> steps_;
+  std::size_t pos_ = 0;
+};
+
+/// drive() with crash-point fault injection: immediately before attempting
+/// step index i (= DriveResult::steps so far), every CrashPoint with
+/// step_index == i is applied via World::inject_crash. Stop causes as in
+/// drive(). `crashes` need not be sorted.
+DriveResult drive_with_crashes(World& w, Scheduler& sched, std::int64_t max_steps,
+                               const std::vector<CrashPoint>& crashes);
+
+struct ReplayResult {
+  DriveResult drive;
+  std::uint64_t hash = 0;    ///< trace_hash of the replayed run
+  bool hash_match = true;    ///< hash == tape.expect_hash (true when unset)
+};
+
+/// Replays `tape` in `w` (which must have been freshly built from
+/// tape.pattern() / tape.history() plus the scenario's process bodies).
+/// Enables tracing, replays the schedule with the tape's crash points, and
+/// returns the trace hash. Replay stops early, exactly like the recording
+/// drive() did, once every C-process has decided.
+ReplayResult replay_tape(World& w, const ScheduleTape& tape);
+
+}  // namespace efd

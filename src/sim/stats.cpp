@@ -15,6 +15,9 @@ std::string format_run_report(const World& w) {
      << ", queries " << s.queries << ", yields " << s.yields << ", decides " << s.decides
      << ", null " << s.null_steps << ")\n";
   os << "  crashed steps  : " << s.crashed_attempts << " refused (no time advance)\n";
+  if (s.injected_crashes > 0) {
+    os << "  fault injection: " << s.injected_crashes << " crash points applied\n";
+  }
   os << "  registers      : " << m.footprint() << " written (" << m.write_count()
      << " writes, " << m.read_count() << " reads)\n";
   int decided = 0;

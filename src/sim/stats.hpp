@@ -37,6 +37,7 @@ struct RunStats {
   std::int64_t decides = 0;
   std::int64_t null_steps = 0;        ///< steps of already-terminated processes
   std::int64_t crashed_attempts = 0;  ///< step() calls refused (crashed S-process)
+  std::int64_t injected_crashes = 0;  ///< crash points applied (fault injection)
   std::int64_t respawns = 0;          ///< coroutine rebuilds (incremental explorer)
   std::int64_t redelivers = 0;        ///< replayed step results into rebuilt frames
 
@@ -46,6 +47,18 @@ struct RunStats {
     return reads + writes + queries + yields + decides + null_steps;
   }
 };
+
+/// True iff the deterministic subset of two runs' stats agrees: everything a
+/// schedule + environment fixes (step mix, refused steps, injected crashes).
+/// respawns/redelivers are engine-shape counters (how the incremental
+/// explorer got there), deliberately excluded — record/replay identity
+/// (sim/replay.hpp) is asserted on this subset plus the trace hash.
+[[nodiscard]] constexpr bool deterministic_equal(const RunStats& a, const RunStats& b) noexcept {
+  return a.steps == b.steps && a.reads == b.reads && a.writes == b.writes &&
+         a.queries == b.queries && a.yields == b.yields && a.decides == b.decides &&
+         a.null_steps == b.null_steps && a.crashed_attempts == b.crashed_attempts &&
+         a.injected_crashes == b.injected_crashes;
+}
 
 /// Admission bookkeeping totals of an AdmissionWindow (k-concurrent runs).
 struct AdmissionStats {

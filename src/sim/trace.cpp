@@ -1,5 +1,6 @@
 #include "sim/trace.hpp"
 
+#include <cstdint>
 #include <sstream>
 #include <unordered_set>
 
@@ -66,6 +67,27 @@ int steps_of(const Trace& trace, Pid pid) {
     if (s.pid == pid && !s.null_step) ++n;
   }
   return n;
+}
+
+std::uint64_t trace_hash(const Trace& trace) {
+  auto mix = [](std::uint64_t h, std::uint64_t x) {
+    h ^= x + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2);
+    h *= 0xBF58476D1CE4E5B9ULL;
+    h ^= h >> 29;
+    return h;
+  };
+  std::uint64_t h = 0x9AE16A3B2F90404FULL;
+  for (const auto& s : trace) {
+    h = mix(h, static_cast<std::uint64_t>(s.time));
+    h = mix(h, (static_cast<std::uint64_t>(s.pid.kind) << 32) |
+                   static_cast<std::uint64_t>(static_cast<std::uint32_t>(s.pid.index)));
+    h = mix(h, static_cast<std::uint64_t>(s.op));
+    h = mix(h, s.addr.valid() ? s.addr.name_hash() : 0);
+    h = mix(h, s.value.hash());
+    h = mix(h, s.result.hash());
+    h = mix(h, (s.null_step ? 2u : 0u) | (s.terminated ? 1u : 0u));
+  }
+  return h;
 }
 
 std::string format_trace(const Trace& trace, std::size_t limit) {

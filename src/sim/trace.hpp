@@ -47,4 +47,11 @@ using Trace = std::vector<StepRecord>;
 /// Renders at most `limit` records, one per line (for demos / debugging).
 [[nodiscard]] std::string format_trace(const Trace& trace, std::size_t limit = 100);
 
+/// Order-dependent deterministic hash of a trace: folds every field of every
+/// record, keying registers by their canonical-NAME hash (not the RegId), so
+/// the result is stable across processes, interning orders and thread
+/// counts. This is the identity record/replay (sim/replay.hpp) is checked
+/// against: replaying a tape must reproduce this hash bit-for-bit.
+[[nodiscard]] std::uint64_t trace_hash(const Trace& trace);
+
 }  // namespace efd

@@ -111,6 +111,21 @@ class World {
   [[nodiscard]] RegisterFile& memory() noexcept { return mem_; }
   [[nodiscard]] const RegisterFile& memory() const noexcept { return mem_; }
   [[nodiscard]] const FailurePattern& pattern() const noexcept { return pattern_; }
+
+  /// Crash-point fault injection: S-process q_{qi+1} crashes NOW (at the
+  /// current time), regardless of what the constructed pattern said. No-op
+  /// on an already-crashed process (crashes are permanent; re-injecting must
+  /// not revive it for the interim). Used by drive_with_crashes
+  /// (sim/replay.hpp) to kill a process at an exact schedule step index —
+  /// "crash the leader mid-commit" scenarios.
+  void inject_crash(int qi) {
+    if (qi < 0 || qi >= pattern_.n()) {
+      throw std::out_of_range("World::inject_crash: no such S-process");
+    }
+    if (!pattern_.alive(qi, now_)) return;
+    pattern_.crash(qi, now_);
+    ++stats_.injected_crashes;
+  }
   [[nodiscard]] const History& history() const noexcept { return *history_; }
   /// True iff pid can take a step now (C-processes always can).
   [[nodiscard]] bool alive(Pid pid) const {

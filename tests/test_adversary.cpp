@@ -87,6 +87,37 @@ TEST(Suppress, StarvedCProcessNeverSteps) {
   EXPECT_EQ(w.decision(cpid(0)), w.decision(cpid(1)));
 }
 
+TEST(Suppress, FallsBackWhenInnerProposesOnlySuppressedPids) {
+  // Regression: the inner scheduler's whole rotation is suppressed, so its
+  // bounded polls only ever propose suppressed pids and run dry — but an
+  // eligible outsider (p2, never in the rotation) exists. The old
+  // SuppressScheduler returned nullopt here, reported upstream as schedule
+  // exhaustion; it must instead consult the world and schedule the outsider.
+  World w = World::failure_free(1);
+  w.spawn_c(0, spin);
+  w.spawn_c(1, spin);
+  LockstepScheduler inner({cpid(0)});  // proposes p1 and nothing else
+  SuppressScheduler sup(inner, [](Pid pid, const World&) { return pid == cpid(0); });
+  for (int i = 0; i < 5; ++i) {
+    const auto pid = sup.next(w);
+    ASSERT_TRUE(pid.has_value()) << "spurious exhaustion with an eligible process left";
+    EXPECT_EQ(*pid, cpid(1));
+    w.step(*pid);
+  }
+  EXPECT_EQ(w.steps_taken(cpid(0)), 0);
+  EXPECT_EQ(w.steps_taken(cpid(1)), 5);
+}
+
+TEST(Suppress, StillExhaustsWhenTrulyNothingIsSchedulable) {
+  // The fallback consults the world, so genuine exhaustion — every process
+  // suppressed, terminated, or crashed — is still reported as nullopt.
+  World w = World::failure_free(1);
+  w.spawn_c(0, spin);
+  RoundRobinScheduler inner;
+  SuppressScheduler sup(inner, [](Pid, const World&) { return true; });
+  EXPECT_FALSE(sup.next(w).has_value());
+}
+
 TEST(Suppress, DynamicSuppressionByState) {
   // Suppress every S-process once the decision register is written: the
   // remaining C-processes must still finish on their own.

@@ -2,15 +2,28 @@
 // schedules, every algorithm keeps its task's safety invariants and decides
 // in fair runs. These sweeps are the repository's failure-injection net —
 // each case draws a fresh failure pattern AND a fresh schedule from the seed.
+//
+// Tests that record their run (via RecordingScheduler) stash the captured
+// ScheduleTape in the fixture; on failure TearDown auto-dumps it as
+// <suite>_<test>_seed<N>.tape so the exact failing schedule can be replayed,
+// shrunk (tools/efd_repro) and promoted into tests/corpus/. Dump target:
+// $EFD_TAPE_DUMP_DIR if set, else tests/corpus/pending/.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <filesystem>
+#include <optional>
 #include <set>
 
+#include "algo/bg_simulation.hpp"
+#include "algo/extraction.hpp"
+#include "algo/k_codes_sim.hpp"
 #include "algo/leader_consensus.hpp"
 #include "algo/participating_set.hpp"
 #include "algo/renaming.hpp"
 #include "algo/set_agreement_antiomega.hpp"
 #include "fd/detectors.hpp"
+#include "sim/replay.hpp"
 #include "sim/schedule.hpp"
 #include "tasks/consensus.hpp"
 #include "tasks/participating_set.hpp"
@@ -29,6 +42,49 @@ class Fuzz : public ::testing::TestWithParam<std::uint64_t> {
     z ^= z >> 27;
     return lo + static_cast<int>(z % static_cast<std::uint64_t>(hi - lo + 1));
   }
+
+  /// Tests that record their run park the tape here for the failure dump.
+  void stash_tape(ScheduleTape tape) { tape_ = std::move(tape); }
+
+  /// Captures `w`'s recorded run as a tape, stashes it for the failure dump,
+  /// and checks the text round-trip replays bit-identically in a fresh world
+  /// built by `make_world(pattern, history)` — the tape alone (no detector
+  /// object, no scheduler state) must reproduce the run.
+  template <class MakeWorld>
+  void expect_tape_roundtrip(const World& w, const FailurePattern& base,
+                             const RecordingScheduler& rec, MakeWorld&& make_world) {
+    ScheduleTape tape = ScheduleTape::capture("", base, rec.steps(), {}, w.trace());
+    const ScheduleTape parsed = ScheduleTape::parse(tape.serialize());
+    stash_tape(std::move(tape));
+    World w2 = make_world(parsed.pattern(), parsed.history());
+    const ReplayResult rr = replay_tape(w2, parsed);
+    EXPECT_TRUE(rr.hash_match) << "tape round-trip diverged from the recording";
+  }
+
+  void TearDown() override {
+    if (!HasFailure() || !tape_) return;
+    namespace fs = std::filesystem;
+    const char* env = std::getenv("EFD_TAPE_DUMP_DIR");
+    const fs::path dir = env ? fs::path(env) : fs::path(EFD_CORPUS_DIR) / "pending";
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    std::string name = std::string(info->test_suite_name()) + "_" + info->name() + "_seed" +
+                       std::to_string(seed()) + ".tape";
+    for (char& c : name) {
+      if (c == '/') c = '_';
+    }
+    try {
+      save_tape(*tape_, (dir / name).string());
+      std::fprintf(stderr, "[  TAPE    ] dumped failing schedule to %s\n",
+                   (dir / name).string().c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "[  TAPE    ] dump failed: %s\n", e.what());
+    }
+  }
+
+ private:
+  std::optional<ScheduleTape> tape_;
 };
 
 TEST_P(Fuzz, ConsensusWithOmega) {
@@ -122,6 +178,181 @@ TEST_P(Fuzz, NoAdviceNsaEveryEnvironment) {
   ValueVec in(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) in[static_cast<std::size_t>(i)] = Value(i);
   EXPECT_TRUE(task.relation(in, w.output_vector()));
+}
+
+// ---- end-to-end targets with tape capture ---------------------------------
+//
+// The three simulation pipelines (k-codes, BG, extraction) fuzzed with the
+// same seed/pick scaffold. Each records its schedule, asserts task safety,
+// and round-trips the captured tape — so any failure ships with a replayable
+// artifact (see TearDown) and the tape pipeline itself is fuzzed across the
+// full parameter space for free.
+
+// Code under simulation: read a register `reads` times, then decide
+// 1000 + own index (structure from the k-codes unit tests).
+struct FuzzSpinReadCode final : SimProgram {
+  int reads;
+  explicit FuzzSpinReadCode(int reads) : reads(reads) {}
+  Value init(int idx, const Value&) const override { return vec(Value(idx), Value(0)); }
+  SimAction action(const Value& st) const override {
+    const auto c = st.at(1).int_or(0);
+    if (c < reads) return {SimAction::Kind::kRead, "kcx", {}};
+    if (c == reads) return {SimAction::Kind::kDecide, "", Value(1000 + st.at(0).int_or(0))};
+    return {};
+  }
+  Value transition(const Value& st, const Value&) const override {
+    return vec(st.at(0), Value(st.at(1).int_or(0) + 1));
+  }
+};
+
+// Colorless min-of-inputs code with write-once registers (BG contract).
+struct FuzzMinCode final : SimProgram {
+  int n;
+  explicit FuzzMinCode(int n) : n(n) {}
+  Value init(int idx, const Value& input) const override {
+    return vec(Value(idx), input, Value(0), input);  // [idx, input, next_read, min]
+  }
+  SimAction action(const Value& st) const override {
+    const auto stage = st.at(2).int_or(0);
+    if (stage == -1) return {};
+    if (stage == 0) {
+      return {SimAction::Kind::kWrite, reg("mc/in", static_cast<int>(st.at(0).int_or(0))),
+              st.at(1)};
+    }
+    if (stage <= n) return {SimAction::Kind::kRead, reg("mc/in", static_cast<int>(stage) - 1), {}};
+    return {SimAction::Kind::kDecide, "", st.at(3)};
+  }
+  Value transition(const Value& st, const Value& result) const override {
+    const auto stage = st.at(2).int_or(0);
+    Value min = st.at(3);
+    if (stage >= 1 && stage <= n && result.is_int() &&
+        (min.is_nil() || result.as_int() < min.as_int())) {
+      min = result;
+    }
+    const std::int64_t next = stage > n ? -1 : stage + 1;
+    return vec(st.at(0), st.at(1), Value(next), min);
+  }
+};
+
+KCodesHarvest fuzz_first_decision() {
+  return [](const ValueVec& d) {
+    for (const auto& v : d) {
+      if (!v.is_nil()) return v;
+    }
+    return Value{};
+  };
+}
+
+TEST_P(Fuzz, KCodesSimulationEndToEnd) {
+  const int n = pick(14, 3, 4);
+  const int k = pick(15, 1, n - 1);
+  const int faults = pick(16, 0, n - 2);
+  const FailurePattern f = Environment(n, n - 1).sample(seed() + 3, faults, 12);
+  VectorOmegaK vo(k, pick(17, 20, 60));
+  KCodesConfig cfg;
+  cfg.ns = "kc";
+  cfg.n = n;
+  cfg.k = k;
+  cfg.code = std::make_shared<FuzzSpinReadCode>(pick(18, 2, 4));
+  cfg.inputs.assign(static_cast<std::size_t>(k), Value(0));
+  const auto make_world = [&](const FailurePattern& fp, HistoryPtr h) {
+    World w(fp, std::move(h));
+    for (int i = 0; i < n; ++i) w.spawn_c(i, make_kcodes_simulator(cfg, fuzz_first_decision()));
+    for (int i = 0; i < n; ++i) w.spawn_s(i, make_kcodes_server(cfg));
+    return w;
+  };
+
+  World w = make_world(f, vo.history(f, seed()));
+  w.enable_trace();
+  RandomScheduler rs(seed() ^ 0xC0DE5);
+  RecordingScheduler rec(rs);
+  const auto r = drive(w, rec, 3000000);
+  expect_tape_roundtrip(w, f, rec, make_world);
+
+  ASSERT_TRUE(r.all_c_decided) << "n=" << n << " k=" << k << " " << f.to_string();
+  for (int i = 0; i < n; ++i) {
+    const auto d = w.decision(cpid(i)).as_int();
+    EXPECT_GE(d, 1000);
+    EXPECT_LT(d, 1000 + k);  // decisions come from one of the k codes
+  }
+}
+
+TEST_P(Fuzz, BgSimulationEndToEnd) {
+  const int sims = pick(19, 2, 4);
+  const int codes = pick(20, 1, 3);
+  BgConfig cfg;
+  cfg.ns = "bg";
+  cfg.num_simulators = sims;
+  cfg.num_codes = codes;
+  cfg.code = std::make_shared<FuzzMinCode>(sims);
+  const auto make_world = [&](const FailurePattern& fp, HistoryPtr h) {
+    World w(fp, std::move(h));
+    for (int i = 0; i < sims; ++i) {
+      w.spawn_c(i, make_bg_simulator(cfg, Value(10 + i), adopt_any()));
+    }
+    return w;
+  };
+
+  const FailurePattern f(1);
+  TrivialFd trivial;
+  World w = make_world(f, trivial.history(f, 0));
+  w.enable_trace();
+  RandomScheduler rs(seed() ^ 0xB6B6);
+  RecordingScheduler rec(rs);
+  const auto r = drive(w, rec, 400000);
+  expect_tape_roundtrip(w, f, rec, make_world);
+
+  ASSERT_TRUE(r.all_c_decided) << "sims=" << sims << " codes=" << codes;
+  // MinCode decides the minimum input it saw — some simulator's input.
+  for (int i = 0; i < sims; ++i) {
+    const auto d = w.decision(cpid(i)).as_int();
+    EXPECT_GE(d, 10);
+    EXPECT_LT(d, 10 + sims);
+  }
+  // Published code decisions are single-valued per code and in range.
+  for (int c = 0; c < codes; ++c) {
+    const Value dec = w.memory().read(reg("bg/dec", c));
+    if (!dec.is_nil()) {
+      EXPECT_GE(dec.as_int(), 10);
+      EXPECT_LT(dec.as_int(), 10 + sims);
+    }
+  }
+}
+
+TEST_P(Fuzz, ExtractionReductionEndToEnd) {
+  // The Fig. 1 pipeline under fuzzed environments: extraction S-processes
+  // sample →Ωk into a DAG and emulate ¬Ωk; the emulated history must satisfy
+  // AntiOmegaK::check on the run's horizon. Replicates run_reduction's world
+  // shape inline so the schedule can be recorded.
+  const int n = 4, k = 2;
+  FailurePattern f(n);
+  f.crash(pick(21, 0, n - 1), Time{pick(22, 10, 40)});
+  VectorOmegaK vo(k, pick(23, 30, 80));
+
+  ExtractionConfig cfg;
+  cfg.ns = "ex";
+  cfg.n = n;
+  cfg.k = k;
+  cfg.explore_every = 2;
+  cfg.budget0 = 4000;
+  cfg.budget_step = 4000;
+  cfg.max_budget = 24000;
+  const auto make_world = [&](const FailurePattern& fp, HistoryPtr h) {
+    World w(fp, std::move(h));
+    for (int i = 0; i < n; ++i) w.spawn_s(i, make_extraction_sproc(cfg));
+    return w;
+  };
+
+  World w = make_world(f, vo.history(f, seed()));
+  w.enable_trace();
+  RoundRobinScheduler rr;
+  RecordingScheduler rec(rr);
+  const auto r = drive(w, rec, 7000);
+  EXPECT_TRUE(r.budget_exhausted);  // S-only world: never vacuously decided
+  expect_tape_roundtrip(w, f, rec, make_world);
+
+  const auto h = emulated_history_from_trace(w.trace(), cfg);
+  EXPECT_TRUE(AntiOmegaK::check(k, f, *h, w.now())) << "seed " << seed();
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, Fuzz, ::testing::Range<std::uint64_t>(1, 33));

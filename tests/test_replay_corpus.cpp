@@ -1,0 +1,89 @@
+// Replays every checked-in schedule tape under tests/corpus/ (ctest -L
+// replay). Each tape is a self-contained, hand-minimized (or directed)
+// reproduction of an interesting run — a fuzz counterexample, a leader
+// killed mid-commit, an adversarial schedule — and must keep replaying
+// bit-identically: trace hash AND scenario-predicate outcome both match the
+// expectations stamped in the tape. A hash mismatch here means the
+// simulator's step semantics drifted; a predicate mismatch means an
+// algorithm regressed under a schedule that was once interesting enough to
+// archive.
+//
+// Failing fuzz tests auto-dump new tapes (see test_fuzz.cpp); promote a tape
+// into tests/corpus/ by re-stamping it with `efd_repro shrink` (or `record`)
+// and committing the file.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "core/repro_scenarios.hpp"
+#include "sim/replay.hpp"
+
+#ifndef EFD_CORPUS_DIR
+#error "tests/CMakeLists.txt must define EFD_CORPUS_DIR"
+#endif
+
+namespace efd {
+namespace {
+
+std::vector<std::string> corpus_tapes() {
+  std::vector<std::string> paths;
+  const std::filesystem::path dir{EFD_CORPUS_DIR};
+  if (std::filesystem::is_directory(dir)) {
+    for (const auto& e : std::filesystem::directory_iterator(dir)) {
+      if (e.is_regular_file() && e.path().extension() == ".tape") {
+        paths.push_back(e.path().string());
+      }
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+TEST(ReplayCorpus, CorpusIsSeeded) {
+  // The repository ships hand-curated reproductions; an empty corpus means
+  // the checkout (or the EFD_CORPUS_DIR wiring) is broken, which would make
+  // every other test in this binary pass vacuously.
+  EXPECT_GE(corpus_tapes().size(), 4u) << "corpus dir: " << EFD_CORPUS_DIR;
+}
+
+TEST(ReplayCorpus, EveryTapeReplaysAsStamped) {
+  for (const std::string& path : corpus_tapes()) {
+    SCOPED_TRACE(path);
+    ScheduleTape tape;
+    ASSERT_NO_THROW(tape = load_tape(path));
+    ASSERT_FALSE(tape.scenario.empty()) << "corpus tapes must name a scenario";
+    const Scenario* sc = find_scenario(tape.scenario);
+    ASSERT_NE(sc, nullptr) << "unknown scenario '" << tape.scenario << "'";
+    ASSERT_TRUE(tape.expect_hash) << "corpus tapes must stamp expect_hash";
+    ASSERT_TRUE(tape.expect_violated) << "corpus tapes must stamp expect";
+
+    const ScenarioReplayOutcome out = replay_in_scenario(*sc, tape);
+    EXPECT_TRUE(out.replay.hash_match)
+        << "trace hash drifted: expected " << std::hex << *tape.expect_hash << ", got "
+        << out.replay.hash;
+    EXPECT_EQ(out.violated, *tape.expect_violated) << "predicate outcome drifted";
+  }
+}
+
+TEST(ReplayCorpus, TapesAreCanonicallySerialized) {
+  // Corpus files are exactly what serialize() emits (plus optional leading
+  // '#' comment lines), so diffs stay reviewable and tools can rewrite them.
+  for (const std::string& path : corpus_tapes()) {
+    SCOPED_TRACE(path);
+    std::ifstream in(path);
+    std::string text((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+    std::string body = text;
+    while (!body.empty() && body[0] == '#') {
+      body.erase(0, body.find('\n') + 1);
+    }
+    EXPECT_EQ(ScheduleTape::parse(text).serialize(), body);
+  }
+}
+
+}  // namespace
+}  // namespace efd

@@ -1,0 +1,185 @@
+// efd_repro: record / replay / shrink `efd-tape-v1` schedule tapes.
+//
+//   efd_repro list
+//   efd_repro record <scenario> [--seed N] [-o out.tape]
+//   efd_repro print  <tape>
+//   efd_repro replay <tape>
+//   efd_repro shrink <tape> [-o out.tape] [--max-rounds N]
+//
+// `record` runs a scenario's native recording (its own scheduler, detector
+// and fault plan) and writes a self-contained tape. `replay` rebuilds the
+// scenario's world around the tape's environment, replays the schedule with
+// its crash points, and checks both expectations (trace hash, predicate
+// outcome); exit status 0 iff everything matches. `shrink` ddmin-minimizes a
+// tape while its predicate outcome is preserved, then RE-STAMPS expect_hash
+// by replaying the minimized tape once (the recorded hash certified the
+// original schedule only).
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <string>
+
+#include "core/repro_scenarios.hpp"
+#include "core/shrink.hpp"
+#include "sim/replay.hpp"
+#include "sim/stats.hpp"
+
+namespace {
+
+using namespace efd;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: efd_repro list\n"
+               "       efd_repro record <scenario> [--seed N] [-o out.tape]\n"
+               "       efd_repro print  <tape>\n"
+               "       efd_repro replay <tape>\n"
+               "       efd_repro shrink <tape> [-o out.tape] [--max-rounds N]\n");
+  return 2;
+}
+
+int cmd_list() {
+  for (const auto& sc : scenarios()) {
+    std::printf("%-26s %s\n", sc.name.c_str(), sc.summary.c_str());
+  }
+  return 0;
+}
+
+const Scenario& required_scenario(const ScheduleTape& tape) {
+  if (tape.scenario.empty()) {
+    throw std::runtime_error("tape names no scenario; cannot rebuild its world");
+  }
+  const Scenario* sc = find_scenario(tape.scenario);
+  if (!sc) throw std::runtime_error("unknown scenario '" + tape.scenario + "'");
+  return *sc;
+}
+
+void print_summary(const ScheduleTape& t) {
+  std::printf("format    %s\n", ScheduleTape::kFormat);
+  std::printf("scenario  %s\n", t.scenario.empty() ? "(none)" : t.scenario.c_str());
+  std::printf("s         %d\n", t.num_s);
+  int base_crashes = 0;
+  for (const auto& c : t.base_crash) {
+    if (c) ++base_crashes;
+  }
+  std::printf("pattern   %d base crash(es)\n", base_crashes);
+  std::printf("injected  %zu crash point(s)\n", t.crashes.size());
+  for (const auto& c : t.crashes) {
+    std::printf("          step %" PRId64 " -> q%d\n", c.step_index, c.s_index + 1);
+  }
+  std::printf("fd        %zu delta(s)\n", t.fd.size());
+  std::printf("steps     %zu\n", t.steps.size());
+  if (t.expect_hash) std::printf("hash      %016" PRIx64 "\n", *t.expect_hash);
+  if (t.expect_violated) std::printf("expect    %s\n", *t.expect_violated ? "violated" : "ok");
+}
+
+int cmd_record(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const std::string name = argv[0];
+  std::uint64_t seed = 1;
+  std::string out = name + ".tape";
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--seed") && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 0);
+    } else if (!std::strcmp(argv[i], "-o") && i + 1 < argc) {
+      out = argv[++i];
+    } else {
+      return usage();
+    }
+  }
+  const Scenario* sc = find_scenario(name);
+  if (!sc) {
+    std::fprintf(stderr, "unknown scenario '%s' (try: efd_repro list)\n", name.c_str());
+    return 2;
+  }
+  const ScheduleTape tape = sc->record(seed);
+  save_tape(tape, out);
+  std::printf("recorded %s (seed %" PRIu64 ") -> %s\n", name.c_str(), seed, out.c_str());
+  print_summary(tape);
+  return 0;
+}
+
+int cmd_print(int argc, char** argv) {
+  if (argc != 1) return usage();
+  print_summary(load_tape(argv[0]));
+  return 0;
+}
+
+int cmd_replay(int argc, char** argv) {
+  if (argc != 1) return usage();
+  const ScheduleTape tape = load_tape(argv[0]);
+  const Scenario& sc = required_scenario(tape);
+  const ScenarioReplayOutcome out = replay_in_scenario(sc, tape);
+  std::printf("replayed  %zu-step tape (%" PRId64 " steps driven)\n", tape.steps.size(),
+              out.replay.drive.steps);
+  std::printf("hash      %016" PRIx64 " %s\n", out.replay.hash,
+              tape.expect_hash ? (out.replay.hash_match ? "(match)" : "(MISMATCH)")
+                               : "(unchecked)");
+  std::printf("predicate %s%s\n", out.violated ? "violated" : "ok",
+              tape.expect_violated
+                  ? (*tape.expect_violated == out.violated ? " (as expected)" : " (UNEXPECTED)")
+                  : "");
+  if (out.stats.injected_crashes > 0) {
+    std::printf("faults    %" PRId64 " crash point(s) applied\n", out.stats.injected_crashes);
+  }
+  return out.matches(tape) ? 0 : 1;
+}
+
+int cmd_shrink(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const std::string in = argv[0];
+  std::string out = in + ".min";
+  ShrinkOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "-o") && i + 1 < argc) {
+      out = argv[++i];
+    } else if (!std::strcmp(argv[i], "--max-rounds") && i + 1 < argc) {
+      opts.max_rounds = std::atoi(argv[++i]);
+    } else {
+      return usage();
+    }
+  }
+  const ScheduleTape tape = load_tape(in);
+  const Scenario& sc = required_scenario(tape);
+  // "Failing" = the predicate outcome the tape itself exhibits (stamped at
+  // record time, else observed by one replay now): a violated tape shrinks
+  // while it keeps violating, an ok tape while it stays ok.
+  const bool anchor =
+      tape.expect_violated ? *tape.expect_violated : replay_in_scenario(sc, tape).violated;
+
+  ShrinkStats stats;
+  ScheduleTape min = shrink_tape(tape, scenario_predicate(sc, anchor), opts, &stats);
+
+  // Re-stamp expectations from the minimized tape's own replay.
+  World w = sc.make_world(min.pattern(), min.history());
+  min.expect_hash = replay_tape(w, min).hash;
+  min.expect_violated = anchor;
+  save_tape(min, out);
+
+  std::printf("shrunk    %zu -> %zu steps, %zu -> %zu crash point(s)\n", tape.steps.size(),
+              min.steps.size(), tape.crashes.size(), min.crashes.size());
+  std::printf("          %" PRId64 " candidate replays, %d round(s)%s\n", stats.candidates,
+              stats.rounds, stats.reached_fixpoint ? ", fixpoint" : "");
+  std::printf("wrote     %s\n", out.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "list") return cmd_list();
+    if (cmd == "record") return cmd_record(argc - 2, argv + 2);
+    if (cmd == "print") return cmd_print(argc - 2, argv + 2);
+    if (cmd == "replay") return cmd_replay(argc - 2, argv + 2);
+    if (cmd == "shrink") return cmd_shrink(argc - 2, argv + 2);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "efd_repro: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}

@@ -1,0 +1,48 @@
+#!/bin/sh
+# End-to-end shrinker smoke: record the synthetic known-bad scenario
+# (synth_write_race — a write race whose minimal witness is 3 steps), ddmin
+# it, and assert the minimized tape (a) still replays as violated and (b) is
+# at most a quarter of the recorded schedule. Exercises the whole
+# record -> shrink -> replay pipeline through the efd_repro CLI, exactly the
+# workflow a developer uses on a real fuzz counterexample.
+#
+# Usage: replay_smoke.sh EFD_REPRO_BINARY
+set -eu
+
+bin=$1
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+# Seed 1 is a verified violating seed for synth_write_race (p2's write lands
+# after p1's); the scenario stamps expect from the observed run, so guard
+# against the seed ever drifting to a non-violating recording.
+"$bin" record synth_write_race --seed 1 -o "$tmpdir/race.tape" > "$tmpdir/record.txt"
+grep -q '^expect *violated$' "$tmpdir/race.tape" || {
+    echo "replay_smoke: recording did not violate (seed drift?)" >&2
+    cat "$tmpdir/record.txt" >&2
+    exit 1
+}
+
+"$bin" shrink "$tmpdir/race.tape" -o "$tmpdir/race.min.tape" > "$tmpdir/shrink.txt"
+cat "$tmpdir/shrink.txt"
+
+# The minimized tape must still be a counterexample, bit-for-bit replayable.
+"$bin" replay "$tmpdir/race.min.tape"
+
+orig=$(sed -n 's/^steps \([0-9][0-9]*\)$/\1/p' "$tmpdir/race.tape")
+min=$(sed -n 's/^steps \([0-9][0-9]*\)$/\1/p' "$tmpdir/race.min.tape")
+
+if [ -z "$orig" ] || [ -z "$min" ]; then
+    echo "replay_smoke: could not read step counts" >&2
+    exit 1
+fi
+if [ "$min" -lt 1 ]; then
+    echo "replay_smoke: minimized tape is empty" >&2
+    exit 1
+fi
+if [ $((min * 4)) -gt "$orig" ]; then
+    echo "replay_smoke: shrinker too weak: $orig -> $min steps (> 25%)" >&2
+    exit 1
+fi
+echo "replay_smoke: OK ($orig -> $min steps)"
