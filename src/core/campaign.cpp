@@ -1,0 +1,439 @@
+#include "core/campaign.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <stdexcept>
+
+#include "core/repro_scenarios.hpp"
+#include "core/shrink.hpp"
+#include "sim/replay.hpp"
+#include "sim/schedule.hpp"
+
+namespace efd {
+namespace {
+
+std::uint64_t mix_seed(std::uint64_t seed, int i) {
+  std::uint64_t z = seed + 0x9E3779B97F4A7C15ULL * (static_cast<std::uint64_t>(i) + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::function<std::unique_ptr<Scheduler>(std::uint64_t)> random_sched() {
+  return [](std::uint64_t seed) -> std::unique_ptr<Scheduler> {
+    return std::make_unique<RandomScheduler>(seed ^ 0x5EEDF00DULL);
+  };
+}
+
+/// Seeded arrival permutation for the 1-concurrent window target.
+std::function<std::unique_ptr<Scheduler>(std::uint64_t)> window_sched(int num_c) {
+  return [num_c](std::uint64_t seed) -> std::unique_ptr<Scheduler> {
+    std::vector<int> arrival(static_cast<std::size_t>(num_c));
+    for (int i = 0; i < num_c; ++i) arrival[static_cast<std::size_t>(i)] = i;
+    std::uint64_t z = seed;
+    for (int i = num_c - 1; i > 0; --i) {
+      z = mix_seed(z, i);
+      std::swap(arrival[static_cast<std::size_t>(i)],
+                arrival[static_cast<std::size_t>(z % static_cast<std::uint64_t>(i + 1))]);
+    }
+    return std::make_unique<KConcurrencyScheduler>(1, std::move(arrival), 0);
+  };
+}
+
+std::vector<CampaignTarget> build_targets() {
+  std::vector<CampaignTarget> out;
+  {
+    CampaignTarget t;
+    t.name = "cons";
+    t.scenario = "cons_leader_crash_commit";
+    t.algorithm = "leader consensus (Omega advice + Paxos)";
+    t.num_s = 3;
+    t.advice = [] { return std::make_shared<OmegaFd>(12); };
+    t.make_sched = random_sched();
+    t.max_steps = 12000;
+    t.bounds = {800, 2500, 5000};
+    t.expect_clean = true;
+    t.space.num_s = 3;
+    t.space.num_c = 3;
+    t.space.horizon = 2500;
+    t.space.max_crashes = 2;
+    t.space.trigger_prefixes = {"cons/ACC"};
+    t.space.allow_fd_faults = true;
+    t.space.max_gst = 60;
+    t.space.max_bursts = 2;
+    t.space.max_burst_len = 400;
+    out.push_back(std::move(t));
+  }
+  {
+    CampaignTarget t;
+    t.name = "ksa";
+    t.scenario = "ksa_starved_leader";
+    t.algorithm = "k-set agreement (vector-Omega-k advice, KSA)";
+    t.num_s = 4;
+    t.advice = [] { return std::make_shared<VectorOmegaK>(2, 25); };
+    t.make_sched = random_sched();
+    t.max_steps = 12000;
+    t.bounds = {1200, 2500, 5000};
+    t.expect_clean = true;
+    t.space.num_s = 4;
+    t.space.num_c = 4;
+    t.space.horizon = 2500;
+    t.space.max_crashes = 2;
+    t.space.trigger_prefixes = {"ksa/"};
+    t.space.allow_fd_faults = true;
+    t.space.max_gst = 60;
+    t.space.max_bursts = 2;
+    t.space.max_burst_len = 400;
+    out.push_back(std::move(t));
+  }
+  {
+    CampaignTarget t;
+    t.name = "ren";
+    t.scenario = "renaming_flip_lockstep";
+    t.algorithm = "k-concurrent renaming (Fig. 4)";
+    t.num_s = 1;
+    t.advice = [] { return std::make_shared<TrivialFd>(); };
+    t.make_sched = random_sched();
+    t.max_steps = 8000;
+    t.bounds = {600, 2000, 4000};
+    t.expect_clean = true;
+    t.space.num_s = 1;
+    t.space.num_c = 3;
+    t.space.horizon = 2000;
+    t.space.max_crashes = 1;
+    t.space.allow_fd_faults = false;
+    t.space.max_bursts = 2;
+    t.space.max_burst_len = 300;
+    out.push_back(std::move(t));
+  }
+  {
+    CampaignTarget t;
+    t.name = "p1c";
+    t.scenario = "one_conc_window";
+    t.algorithm = "generic 1-concurrent solver (Prop. 1) on consensus";
+    t.num_s = 0;
+    t.advice = [] { return std::make_shared<TrivialFd>(); };
+    t.make_sched = window_sched(3);
+    t.max_steps = 2000;
+    t.bounds = {64, 500, 500};
+    t.expect_clean = true;
+    t.space.num_s = 0;
+    t.space.num_c = 3;
+    t.space.horizon = 500;
+    t.space.max_crashes = 0;
+    t.space.allow_fd_faults = false;
+    t.space.max_bursts = 2;
+    t.space.max_burst_len = 100;
+    out.push_back(std::move(t));
+  }
+  {
+    CampaignTarget t;
+    t.name = "synth";
+    t.scenario = "synth_write_race";
+    t.algorithm = "seeded bug: racing writers (shrinker reference)";
+    t.num_s = 1;
+    t.advice = [] { return std::make_shared<TrivialFd>(); };
+    t.make_sched = random_sched();
+    t.max_steps = 2000;
+    t.expect_clean = false;
+    t.space.num_s = 1;
+    t.space.num_c = 3;
+    t.space.horizon = 1000;
+    t.space.max_crashes = 1;
+    t.space.allow_fd_faults = false;
+    t.space.max_bursts = 2;
+    t.space.max_burst_len = 200;
+    out.push_back(std::move(t));
+  }
+  {
+    CampaignTarget t;
+    t.name = "bcf";
+    t.scenario = "buggy_cons_first_writer";
+    t.algorithm = "seeded bug: first-writer consensus";
+    t.num_s = 1;
+    t.advice = [] { return std::make_shared<TrivialFd>(); };
+    t.make_sched = random_sched();
+    t.max_steps = 1500;
+    t.expect_clean = false;
+    t.space.num_s = 1;
+    t.space.num_c = 8;
+    t.space.horizon = 500;
+    t.space.max_crashes = 1;
+    t.space.allow_fd_faults = false;
+    t.space.max_bursts = 2;
+    t.space.max_burst_len = 100;
+    out.push_back(std::move(t));
+  }
+  {
+    CampaignTarget t;
+    t.name = "brn";
+    t.scenario = "buggy_ren_stale_claim";
+    t.algorithm = "seeded bug: stale-claim renaming";
+    t.num_s = 1;
+    t.advice = [] { return std::make_shared<TrivialFd>(); };
+    t.make_sched = random_sched();
+    t.max_steps = 1500;
+    t.expect_clean = false;
+    t.space.num_s = 1;
+    t.space.num_c = 8;
+    t.space.horizon = 500;
+    t.space.max_crashes = 1;
+    t.space.allow_fd_faults = false;
+    t.space.max_bursts = 2;
+    t.space.max_burst_len = 100;
+    out.push_back(std::move(t));
+  }
+  {
+    CampaignTarget t;
+    t.name = "tw";
+    t.scenario = "buggy_torn_commit";
+    t.algorithm = "seeded bug: torn A/B epoch commit";
+    t.num_s = 1;
+    t.advice = [] { return std::make_shared<TrivialFd>(); };
+    t.make_sched = random_sched();
+    t.max_steps = 2000;
+    t.expect_clean = false;
+    t.space.num_s = 1;
+    t.space.num_c = 4;
+    t.space.horizon = 800;
+    t.space.max_crashes = 1;
+    t.space.trigger_prefixes = {"tw/A", "tw/B"};
+    t.space.allow_fd_faults = false;
+    t.space.max_bursts = 2;
+    t.space.max_burst_len = 150;
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<CampaignTarget>& campaign_targets() {
+  static const std::vector<CampaignTarget> targets = build_targets();
+  return targets;
+}
+
+const CampaignTarget* find_campaign_target(const std::string& name) {
+  for (const auto& t : campaign_targets()) {
+    if (t.name == name) return &t;
+  }
+  return nullptr;
+}
+
+int CampaignRun::safety_violations() const {
+  return static_cast<int>(std::count_if(violations.begin(), violations.end(),
+                                        [](const CampaignViolation& v) { return v.safety; }));
+}
+
+int CampaignRun::wait_free_violations() const {
+  return static_cast<int>(std::count_if(violations.begin(), violations.end(),
+                                        [](const CampaignViolation& v) { return v.wait_free; }));
+}
+
+bool CampaignRun::verdict_ok() const {
+  if (expect_clean) return violations.empty();
+  return std::any_of(violations.begin(), violations.end(), [](const CampaignViolation& v) {
+    return v.safety && (v.shrunk_steps == 0 || v.shrunk_replay_ok);
+  });
+}
+
+CampaignRun run_campaign(const CampaignTarget& target, const CampaignOptions& opts) {
+  const Scenario* sc = find_scenario(target.scenario);
+  if (sc == nullptr) {
+    throw std::invalid_argument("run_campaign: unknown scenario " + target.scenario);
+  }
+  if (!target.advice || !target.make_sched) {
+    throw std::invalid_argument("run_campaign: target '" + target.name +
+                                "' missing advice or scheduler factory");
+  }
+
+  CampaignRun run;
+  run.target = target.name;
+  run.scenario = target.scenario;
+  run.algorithm = target.algorithm;
+  run.expect_clean = target.expect_clean;
+  run.plans = opts.plans;
+
+  for (int i = 0; i < opts.plans; ++i) {
+    const std::uint64_t plan_seed = mix_seed(opts.seed, i);
+    const FaultPlan plan = FaultPlan::sample(plan_seed, target.space);
+    if (plan.fd.kind != FdFaultKind::kNone) ++run.plans_with_fd_fault;
+    if (!plan.storm.empty()) ++run.plans_with_storm;
+    if (!plan.triggers.empty()) ++run.plans_with_trigger;
+    if (!plan.bursts.empty()) ++run.plans_with_burst;
+
+    const FailurePattern base(target.num_s);
+    const DetectorPtr advice = plan.corrupt(target.advice());
+
+    // Rehearsal: resolve the plan's S-kills (storm step indices, trigger
+    // matches) into concrete crash TIMES over the base pattern.
+    std::vector<std::optional<Time>> crash_at(static_cast<std::size_t>(target.num_s));
+    if (!plan.storm.empty() || !plan.triggers.empty()) {
+      World rehearsal = sc->make_world(base, advice->history(base, plan_seed));
+      const auto inner = target.make_sched(plan_seed);
+      BurstScheduler bursts(*inner, plan.bursts);
+      const PlanDriveResult pdr = drive_with_plan(rehearsal, bursts, target.max_steps, plan);
+      run.rehearsal_steps += pdr.drive.steps;
+      int never_crashed = target.num_s;
+      for (std::size_t k = 0; k < pdr.applied.size(); ++k) {
+        const auto qi = static_cast<std::size_t>(pdr.applied[k].s_index);
+        if (crash_at[qi]) continue;
+        // Correct algorithms are only live while some S-process survives:
+        // cap the kills there so a liveness violation is the ALGORITHM's.
+        if (target.expect_clean && never_crashed <= 1) continue;
+        crash_at[qi] = pdr.applied_at[k];
+        --never_crashed;
+      }
+    }
+    const FailurePattern eff(crash_at);
+
+    // Authoritative run: honest advice recomputed over the EFFECTIVE
+    // pattern, then plan-corrupted; bursts wrap the scheduler; the monitor
+    // watches with plan-scaled bounds.
+    const DetectorPtr eff_advice = plan.corrupt(target.advice());
+    World w = sc->make_world(eff, eff_advice->history(eff, plan_seed));
+    w.enable_trace();
+
+    std::int64_t total_burst = 0;
+    for (const auto& b : plan.bursts) total_burst += b.length;
+    const Time stab = eff_advice->stabilization_time(eff);
+    MonitorBounds mb;
+    if (target.bounds.own_steps_to_decide > 0) {
+      mb.own_steps_to_decide = target.bounds.own_steps_to_decide + 2 * stab + total_burst;
+    }
+    if (target.bounds.starvation_window > 0) {
+      mb.starvation_window = target.bounds.starvation_window + total_burst;
+    }
+    if (target.bounds.livelock_window > 0) {
+      mb.livelock_window = target.bounds.livelock_window + 4 * stab + 2 * total_burst;
+    }
+    LivenessMonitor monitor(mb);
+    if (opts.monitors) w.attach_observer(&monitor);
+
+    const auto inner = target.make_sched(plan_seed);
+    BurstScheduler bursts(*inner, plan.bursts);
+    RecordingScheduler rec(bursts);
+    const DriveResult dr = drive(w, rec, target.max_steps);
+    w.attach_observer(nullptr);
+    if (opts.monitors) monitor.finalize(w);
+
+    run.total_steps += dr.steps;
+    run.monitored_steps += monitor.monitored_steps();
+    run.max_own_steps_to_decide =
+        std::max(run.max_own_steps_to_decide, monitor.max_own_steps_to_decide());
+    for (const auto& v : monitor.violations()) {
+      if (v.kind == MonitorViolation::Kind::kStarvation) ++run.starvation_observations;
+    }
+
+    const bool safety = sc->violated(w);
+    const bool wait_free_bad = opts.monitors && !monitor.wait_free_ok();
+    if (!safety && !wait_free_bad) {
+      ++run.clean_plans;
+      continue;
+    }
+
+    CampaignViolation viol;
+    viol.target = target.name;
+    viol.plan_seed = plan_seed;
+    viol.plan = plan.to_string();
+    viol.safety = safety;
+    viol.wait_free = wait_free_bad;
+    if (safety) {
+      viol.detail = "scenario safety predicate violated";
+    }
+    if (wait_free_bad) {
+      for (const auto& v : monitor.violations()) {
+        if (v.kind == MonitorViolation::Kind::kWaitFree) {
+          if (!viol.detail.empty()) viol.detail += "; ";
+          viol.detail += v.to_string();
+          break;
+        }
+      }
+    }
+
+    ScheduleTape tape = ScheduleTape::capture(target.scenario, eff, rec.steps(), {}, w.trace());
+    tape.expect_violated = safety;
+    tape.plan = plan.to_string();
+    viol.tape_steps = static_cast<std::int64_t>(tape.steps.size());
+
+    std::string stem;
+    if (!opts.save_dir.empty()) {
+      std::filesystem::create_directories(opts.save_dir);
+      stem = opts.save_dir + "/" + target.name + "_" + std::to_string(plan_seed);
+      save_tape(tape, stem + ".tape");
+      viol.tape_path = stem + ".tape";
+    }
+
+    // Auto-shrink safety violations (the ddmin oracle is the scenario
+    // predicate; wait-freedom-only findings have no tape-level oracle).
+    if (opts.shrink && safety) {
+      const TapePredicate still_fails = scenario_predicate(*sc, true);
+      ScheduleTape mini = shrink_tape(tape, still_fails);
+      const ScenarioReplayOutcome stamp = replay_in_scenario(*sc, mini);
+      mini.expect_hash = stamp.replay.hash;
+      mini.expect_violated = true;
+      const ScenarioReplayOutcome again = replay_in_scenario(*sc, mini);
+      viol.shrunk_steps = static_cast<std::int64_t>(mini.steps.size());
+      viol.shrunk_replay_ok = again.replay.hash_match && again.violated;
+      if (!stem.empty()) save_tape(mini, stem + ".min.tape");
+    }
+    run.violations.push_back(std::move(viol));
+  }
+  return run;
+}
+
+telemetry::Json campaign_json(const std::vector<CampaignRun>& runs, const CampaignOptions& opts) {
+  using telemetry::Json;
+  Json doc = Json::object();
+  doc["schema"] = Json("efd-campaign-v1");
+  doc["experiment"] = Json("campaign");
+  doc["git"] = Json(telemetry::git_describe());
+  doc["seed"] = Json(static_cast<std::int64_t>(opts.seed));
+  doc["plans_per_target"] = Json(opts.plans);
+  doc["monitors"] = Json(opts.monitors);
+  Json targets = Json::array();
+  for (const auto& r : runs) {
+    Json t = Json::object();
+    t["target"] = Json(r.target);
+    t["scenario"] = Json(r.scenario);
+    t["algorithm"] = Json(r.algorithm);
+    t["expect_clean"] = Json(r.expect_clean);
+    t["verdict_ok"] = Json(r.verdict_ok());
+    t["plans"] = Json(r.plans);
+    t["clean_plans"] = Json(r.clean_plans);
+    t["violations"] = Json(static_cast<std::int64_t>(r.violations.size()));
+    t["safety_violations"] = Json(r.safety_violations());
+    t["wait_free_violations"] = Json(r.wait_free_violations());
+    t["starvation_observations"] = Json(r.starvation_observations);
+    Json mix = Json::object();
+    mix["fd_fault"] = Json(r.plans_with_fd_fault);
+    mix["storm"] = Json(r.plans_with_storm);
+    mix["trigger"] = Json(r.plans_with_trigger);
+    mix["burst"] = Json(r.plans_with_burst);
+    t["plan_mix"] = std::move(mix);
+    t["total_steps"] = Json(r.total_steps);
+    t["rehearsal_steps"] = Json(r.rehearsal_steps);
+    t["monitored_steps"] = Json(r.monitored_steps);
+    t["max_own_steps_to_decide"] = Json(r.max_own_steps_to_decide);
+    Json viols = Json::array();
+    for (const auto& v : r.violations) {
+      Json e = Json::object();
+      e["plan_seed"] = Json(static_cast<std::int64_t>(v.plan_seed));
+      e["plan"] = Json(v.plan);
+      e["safety"] = Json(v.safety);
+      e["wait_free"] = Json(v.wait_free);
+      e["detail"] = Json(v.detail);
+      e["tape_steps"] = Json(v.tape_steps);
+      e["shrunk_steps"] = Json(v.shrunk_steps);
+      e["shrunk_replay_ok"] = Json(v.shrunk_replay_ok);
+      e["tape"] = Json(v.tape_path);
+      viols.push_back(std::move(e));
+    }
+    t["violation_list"] = std::move(viols);
+    targets.push_back(std::move(t));
+  }
+  doc["targets"] = std::move(targets);
+  return doc;
+}
+
+}  // namespace efd

@@ -1,0 +1,127 @@
+// Adversarial fault campaigns: seeded sweeps of random FaultPlans against
+// the paper's algorithms, with liveness monitoring, violation tapes, and
+// automatic ddmin shrinking.
+//
+// A CampaignTarget binds a repro scenario (core/repro_scenarios.hpp) to an
+// honest advice detector, a scheduler family, liveness bounds, and a
+// FaultPlan::Space. For every plan seed the campaign:
+//
+//  1. samples a FaultPlan and, when it contains S-kills, resolves them in a
+//     REHEARSAL drive (drive_with_plan over the base pattern) into concrete
+//     crash times;
+//  2. re-runs authoritatively with the EFFECTIVE failure pattern — the base
+//     pattern plus the rehearsed crash times — so honest advice is computed
+//     over the failures that actually happen (an Ω that keeps endorsing a
+//     killed leader would be a lie, not a fault-tolerance finding). The
+//     plan's FD corruption wraps the advice (fd/faulty.hpp), bursts wrap the
+//     scheduler, and a LivenessMonitor (core/monitors.hpp) watches every
+//     step with bounds scaled by the plan's corruption window and burst
+//     lengths;
+//  3. evaluates the scenario safety predicate + the monitor's wait-freedom
+//     certificate; violations are captured as plain efd-tape-v1 tapes
+//     (FaultPlan text attached as the `plan` provenance line), saved under
+//     save_dir, ddmin-shrunk via the scenario predicate, and re-verified by
+//     bit-identical double replay of the shrunk tape.
+//
+// Campaign runs are deterministic in (seed, plans): same inputs, same plans,
+// same verdicts, same tapes. Starvation watchdog hits are reported as
+// schedule observations and never counted as algorithm violations.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/monitors.hpp"
+#include "core/telemetry.hpp"
+#include "fd/detectors.hpp"
+#include "sim/faultplan.hpp"
+
+namespace efd {
+
+struct CampaignTarget {
+  std::string name;       ///< short key for the CLI / JSON ("cons", "tw", ...)
+  std::string scenario;   ///< repro-scenario registry key (worlds + safety)
+  std::string algorithm;  ///< human-readable algorithm label
+
+  int num_s = 0;                              ///< S-processes of the base pattern
+  std::function<DetectorPtr()> advice;        ///< honest advice detector
+  /// Scheduler family (seeded); the campaign wraps it in Burst + Recording.
+  std::function<std::unique_ptr<Scheduler>(std::uint64_t seed)> make_sched;
+
+  std::int64_t max_steps = 4000;
+
+  // Base liveness bounds (0 disables the check). Scaled PER PLAN: the
+  // wait-freedom bound grows with the advice stabilization time and the
+  // plan's total burst length, the watchdog windows likewise — planned
+  // unfairness must not masquerade as an algorithm violation.
+  MonitorBounds bounds;
+
+  bool expect_clean = true;  ///< correct algorithm: any violation is a finding
+  FaultPlan::Space space;    ///< plan sampling dimensions
+};
+
+/// The built-in sweep list: the paper algorithms expected to survive every
+/// plan, plus the seeded-buggy variants the campaign must catch.
+[[nodiscard]] const std::vector<CampaignTarget>& campaign_targets();
+[[nodiscard]] const CampaignTarget* find_campaign_target(const std::string& name);
+
+struct CampaignViolation {
+  std::string target;
+  std::uint64_t plan_seed = 0;
+  std::string plan;           ///< FaultPlan::to_string of the offending plan
+  bool safety = false;        ///< scenario predicate fired
+  bool wait_free = false;     ///< monitor wait-freedom bound broken
+  std::string detail;         ///< one-line human diagnosis
+  std::int64_t tape_steps = 0;
+  std::int64_t shrunk_steps = 0;   ///< 0 when shrinking was skipped
+  bool shrunk_replay_ok = false;   ///< shrunk tape double-replayed bit-identically
+  std::string tape_path;           ///< "" when save_dir was empty
+};
+
+struct CampaignOptions {
+  std::uint64_t seed = 42;
+  int plans = 100;          ///< plans per target
+  bool monitors = true;     ///< attach the LivenessMonitor
+  bool shrink = true;       ///< ddmin-shrink safety-violation tapes
+  std::string save_dir;     ///< violation tape directory; "" disables saving
+};
+
+/// One target's sweep outcome.
+struct CampaignRun {
+  std::string target;
+  std::string scenario;
+  std::string algorithm;
+  bool expect_clean = true;
+  int plans = 0;
+  int clean_plans = 0;
+  // Plan-mix counters (how many sampled plans contained each fault family).
+  int plans_with_fd_fault = 0;
+  int plans_with_storm = 0;
+  int plans_with_trigger = 0;
+  int plans_with_burst = 0;
+  std::int64_t total_steps = 0;       ///< authoritative-drive steps
+  std::int64_t rehearsal_steps = 0;   ///< trigger/storm rehearsal steps
+  std::int64_t monitored_steps = 0;
+  std::int64_t max_own_steps_to_decide = 0;  ///< worst over all plans
+  std::int64_t starvation_observations = 0;  ///< watchdog hits (not violations)
+  std::vector<CampaignViolation> violations;
+
+  [[nodiscard]] int safety_violations() const;
+  [[nodiscard]] int wait_free_violations() const;
+  /// expect_clean targets must have zero violations; buggy targets at least
+  /// one safety violation with a verified shrunk tape.
+  [[nodiscard]] bool verdict_ok() const;
+};
+
+/// Sweeps `opts.plans` seeded fault plans against one target.
+[[nodiscard]] CampaignRun run_campaign(const CampaignTarget& target, const CampaignOptions& opts);
+
+/// The `efd-campaign-v1` document for a set of runs (schema in
+/// EXPERIMENTS.md E15; bench_diff.py --validate accepts it).
+[[nodiscard]] telemetry::Json campaign_json(const std::vector<CampaignRun>& runs,
+                                            const CampaignOptions& opts);
+
+}  // namespace efd

@@ -1,0 +1,135 @@
+#include "core/monitors.hpp"
+
+#include <algorithm>
+
+#include "sim/world.hpp"
+
+namespace efd {
+
+const char* MonitorViolation::kind_name() const {
+  switch (kind) {
+    case Kind::kWaitFree: return "wait_free";
+    case Kind::kStarvation: return "starvation";
+    case Kind::kLivelock: return "livelock";
+  }
+  return "?";
+}
+
+std::string MonitorViolation::to_string() const {
+  return std::string(kind_name()) + " " + pid.to_string() + ": " + std::to_string(measured) +
+         " > bound " + std::to_string(bound) + " (at step " + std::to_string(at_step) + ")";
+}
+
+LivenessMonitor::CTrack& LivenessMonitor::track(int ci) {
+  if (static_cast<std::size_t>(ci) >= c_.size()) c_.resize(static_cast<std::size_t>(ci) + 1);
+  return c_[static_cast<std::size_t>(ci)];
+}
+
+void LivenessMonitor::record(MonitorViolation::Kind kind, Pid pid, std::int64_t measured,
+                             std::int64_t bound) {
+  violations_.push_back(MonitorViolation{kind, pid, measured, bound, step_});
+}
+
+void LivenessMonitor::on_step(Pid pid, bool null_step, bool decided_now, bool terminated_now) {
+  ++step_;
+  if (!pid.is_c()) return;
+  CTrack& t = track(pid.index);
+
+  // Starvation is detected the moment a process resurfaces (and at finalize
+  // for processes that never resurface): gap = steps it sat unscheduled.
+  if (t.seen && !t.finished) {
+    const std::int64_t gap = step_ - t.last_sched;
+    max_gap_ = std::max(max_gap_, gap);
+    if (bounds_.starvation_window > 0 && gap > bounds_.starvation_window && !t.flagged_starved) {
+      t.flagged_starved = true;
+      record(MonitorViolation::Kind::kStarvation, pid, gap, bounds_.starvation_window);
+    }
+  }
+  t.seen = true;
+  t.last_sched = step_;
+  if (null_step || t.finished) return;
+
+  ++t.own_steps;
+  ++drought_;
+  max_drought_ = std::max(max_drought_, drought_);
+
+  if (decided_now) {
+    t.decided = true;
+    t.finished = true;
+    t.steps_to_decide = t.own_steps;
+    ++decisions_;
+    max_to_decide_ = std::max(max_to_decide_, t.own_steps);
+    drought_ = 0;
+  } else {
+    max_undecided_ = std::max(max_undecided_, t.own_steps);
+    if (bounds_.own_steps_to_decide > 0 && t.own_steps > bounds_.own_steps_to_decide &&
+        !t.flagged_waitfree) {
+      t.flagged_waitfree = true;
+      record(MonitorViolation::Kind::kWaitFree, pid, t.own_steps, bounds_.own_steps_to_decide);
+    }
+    if (terminated_now) {
+      // Quitter: terminated without deciding. It can never violate the
+      // wait-freedom bound any further; stop tracking it.
+      t.finished = true;
+      drought_ = 0;
+    } else if (bounds_.livelock_window > 0 && drought_ > bounds_.livelock_window &&
+               !flagged_livelock_) {
+      flagged_livelock_ = true;
+      record(MonitorViolation::Kind::kLivelock, pid, drought_, bounds_.livelock_window);
+    }
+  }
+}
+
+void LivenessMonitor::finalize(const World& w) {
+  if (finalized_) return;
+  finalized_ = true;
+  for (int ci = 0; ci < w.num_c(); ++ci) {
+    const Pid pid = cpid(ci);
+    if (!w.exists(pid)) continue;
+    CTrack& t = track(ci);
+    if (t.finished || w.decided(pid) || w.terminated(pid)) continue;
+    const std::int64_t gap = step_ - (t.seen ? t.last_sched : 0);
+    max_gap_ = std::max(max_gap_, gap);
+    if (bounds_.starvation_window > 0 && gap > bounds_.starvation_window && !t.flagged_starved) {
+      t.flagged_starved = true;
+      record(MonitorViolation::Kind::kStarvation, pid, gap, bounds_.starvation_window);
+    }
+  }
+}
+
+bool LivenessMonitor::wait_free_ok() const {
+  return std::none_of(violations_.begin(), violations_.end(), [](const MonitorViolation& v) {
+    return v.kind == MonitorViolation::Kind::kWaitFree;
+  });
+}
+
+telemetry::Json LivenessMonitor::to_json() const {
+  using telemetry::Json;
+  Json j = Json::object();
+  Json b = Json::object();
+  b["own_steps_to_decide"] = Json(bounds_.own_steps_to_decide);
+  b["starvation_window"] = Json(bounds_.starvation_window);
+  b["livelock_window"] = Json(bounds_.livelock_window);
+  j["bounds"] = std::move(b);
+  j["monitored_steps"] = Json(step_);
+  j["decisions"] = Json(decisions_);
+  j["max_own_steps_to_decide"] = Json(max_to_decide_);
+  j["max_own_steps_undecided"] = Json(max_undecided_);
+  j["max_starvation_gap"] = Json(max_gap_);
+  j["max_decision_drought"] = Json(max_drought_);
+  Json viol = Json::array();
+  for (const auto& v : violations_) {
+    Json e = Json::object();
+    e["kind"] = Json(v.kind_name());
+    e["pid"] = Json(v.pid.to_string());
+    e["measured"] = Json(v.measured);
+    e["bound"] = Json(v.bound);
+    e["at_step"] = Json(v.at_step);
+    viol.push_back(std::move(e));
+  }
+  j["violations"] = std::move(viol);
+  j["wait_free_ok"] = Json(wait_free_ok());
+  return j;
+}
+
+}  // namespace efd

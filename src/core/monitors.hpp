@@ -1,0 +1,122 @@
+// Liveness monitors: quantitative wait-freedom certification of one run.
+//
+// The paper's central liveness claim is that C-processes are wait-free WITH
+// RESPECT TO THEIR OWN STEPS: in the runs the task's concurrency contract
+// allows, every C-process decides within a bounded number of ITS OWN
+// (non-null) steps, no matter how S-processes crash or how bad the advice is
+// before stabilization. The LivenessMonitor turns that into a checkable,
+// quantified run property:
+//
+//  * wait-freedom bound  — a C-process exceeding `own_steps_to_decide` of its
+//    own steps without deciding is a violation (the bound is per-target and
+//    scales with the advice stabilization time, see core/campaign);
+//  * starvation watchdog — a scheduling-fairness observation: an unfinished
+//    C-process unscheduled for more than `starvation_window` global steps.
+//    Starvation is the SCHEDULE's doing, not the algorithm's — campaigns
+//    report it separately and never count it against the algorithm;
+//  * livelock watchdog   — C-processes collectively taking more than
+//    `livelock_window` non-null steps with no decision or termination
+//    anywhere: the "everyone works, nobody finishes" shape of Fig. 1.
+//
+// The monitor is attachment-based and O(1) per step (a few integer updates),
+// so it can stay on in fuzzing and campaign drives; a World without an
+// attached monitor pays one pointer test per step (measured ≤ noise on the
+// E14 exploration hot loop, see EXPERIMENTS.md E15). Bounds set to 0 disable
+// the corresponding check.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/telemetry.hpp"
+#include "sim/ids.hpp"
+#include "sim/world.hpp"
+
+namespace efd {
+
+/// Step bounds of one monitored run; 0 disables a check.
+struct MonitorBounds {
+  std::int64_t own_steps_to_decide = 0;  ///< wait-freedom: own non-null steps before deciding
+  std::int64_t starvation_window = 0;    ///< max global-step gap for an unfinished C-process
+  std::int64_t livelock_window = 0;      ///< max collective C-steps without any progress event
+};
+
+struct MonitorViolation {
+  enum class Kind : std::uint8_t { kWaitFree, kStarvation, kLivelock };
+  Kind kind{Kind::kWaitFree};
+  Pid pid{};                 ///< offending C-process (livelock: the last stepper)
+  std::int64_t measured = 0; ///< the quantity that broke the bound
+  std::int64_t bound = 0;    ///< the bound it broke
+  std::int64_t at_step = 0;  ///< global monitored step where it was detected
+
+  [[nodiscard]] const char* kind_name() const;
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Per-run liveness certifier. Attach with World::attach_observer before
+/// driving; call finalize(w) once the drive stopped to flush end-of-run
+/// starvation gaps. Violations are recorded once per (kind, process).
+class LivenessMonitor final : public StepObserver {
+ public:
+  explicit LivenessMonitor(MonitorBounds bounds = {}) : bounds_(bounds) {}
+
+  /// One scheduled, non-refused step of `pid`. O(1).
+  void on_step(Pid pid, bool null_step, bool decided_now, bool terminated_now) override;
+
+  /// Flushes end-of-run starvation gaps for `w`'s unfinished C-processes
+  /// (including ones never scheduled at all). Idempotent per run.
+  void finalize(const World& w);
+
+  /// No wait-freedom violation (the algorithm-level certificate).
+  [[nodiscard]] bool wait_free_ok() const;
+  /// No violation of any kind (wait-freedom + both watchdogs).
+  [[nodiscard]] bool ok() const { return violations_.empty(); }
+  [[nodiscard]] const std::vector<MonitorViolation>& violations() const { return violations_; }
+  [[nodiscard]] const MonitorBounds& bounds() const noexcept { return bounds_; }
+
+  // -- quantified run shape (valid any time; final after finalize) --
+  [[nodiscard]] std::int64_t monitored_steps() const noexcept { return step_; }
+  [[nodiscard]] std::int64_t decisions() const noexcept { return decisions_; }
+  /// Worst own-step count at the moment of decision, over decided C-processes.
+  [[nodiscard]] std::int64_t max_own_steps_to_decide() const noexcept { return max_to_decide_; }
+  /// Worst own-step count reached by a C-process while still undecided.
+  [[nodiscard]] std::int64_t max_own_steps_undecided() const noexcept { return max_undecided_; }
+  /// Largest observed scheduling gap of an unfinished C-process.
+  [[nodiscard]] std::int64_t max_starvation_gap() const noexcept { return max_gap_; }
+  /// Largest observed run of collective C-steps without a progress event.
+  [[nodiscard]] std::int64_t max_decision_drought() const noexcept { return max_drought_; }
+
+  /// The monitor block of the telemetry JSON (bounds, quantities, violations).
+  [[nodiscard]] telemetry::Json to_json() const;
+
+ private:
+  struct CTrack {
+    std::int64_t own_steps = 0;
+    std::int64_t last_sched = 0;  ///< global step of the last scheduled step
+    std::int64_t steps_to_decide = -1;
+    bool seen = false;
+    bool decided = false;
+    bool finished = false;  ///< decided or terminated
+    bool flagged_waitfree = false;
+    bool flagged_starved = false;
+  };
+
+  CTrack& track(int ci);
+  void record(MonitorViolation::Kind kind, Pid pid, std::int64_t measured, std::int64_t bound);
+
+  MonitorBounds bounds_;
+  std::vector<CTrack> c_;
+  std::vector<MonitorViolation> violations_;
+  std::int64_t step_ = 0;
+  std::int64_t decisions_ = 0;
+  std::int64_t max_to_decide_ = 0;
+  std::int64_t max_undecided_ = 0;
+  std::int64_t max_gap_ = 0;
+  std::int64_t drought_ = 0;      ///< collective C-steps since the last progress event
+  std::int64_t max_drought_ = 0;
+  bool flagged_livelock_ = false;
+  bool finalized_ = false;
+};
+
+}  // namespace efd

@@ -4,12 +4,15 @@
 #include <set>
 
 #include "algo/leader_consensus.hpp"
+#include "algo/one_concurrent.hpp"
 #include "algo/paxos.hpp"
 #include "algo/renaming.hpp"
 #include "algo/set_agreement_antiomega.hpp"
 #include "fd/detectors.hpp"
 #include "sim/adversary.hpp"
+#include "sim/faultplan.hpp"
 #include "sim/memory.hpp"
+#include "tasks/consensus.hpp"
 
 namespace efd {
 namespace {
@@ -35,6 +38,58 @@ Proc yield_n_then_quit(Context& ctx, int n) {
   for (int i = 0; i < n; ++i) co_await ctx.yield();
   // Terminates WITHOUT deciding: the quitter the admission window must
   // retire (the terminated-undecided case of AdmissionWindow::refresh).
+}
+
+Proc bcf_client(Context& ctx, int i) {
+  const Sym v = sym("bcf/V");
+  co_await ctx.write(reg(v, i), Value(100 + i));
+  const Value first = co_await ctx.read(reg(v, 0));
+  co_await ctx.decide(first.is_nil() ? Value(100 + i) : first);
+}
+
+Proc brn_client(Context& ctx, int i) {
+  const Sym claim = sym("brn/C");
+  co_await ctx.write(reg(sym("brn/P"), i), Value(i));
+  for (int s = 1; s <= 9; ++s) {
+    const Value cur = co_await ctx.read(reg(claim, s));
+    if (cur.is_nil()) {
+      co_await ctx.write(reg(claim, s), Value(i));  // claim without recheck: the bug
+      co_await ctx.decide(Value(s));
+      co_return;
+    }
+  }
+  co_await ctx.decide(Value(9));  // unreachable with 8 clients and 9 slots
+}
+
+Proc tw_writer(Context& ctx) {
+  const RegAddr a{"tw/A"};
+  const RegAddr b{"tw/B"};
+  for (std::int64_t e = 1;; ++e) {
+    co_await ctx.write(a, Value(e));
+    co_await ctx.write(b, Value(e));  // the commit; a crash in between tears the pair
+    co_await ctx.yield();
+  }
+}
+
+Proc tw_client(Context& ctx) {
+  const RegAddr a{"tw/A"};
+  const RegAddr b{"tw/B"};
+  int torn = 0;
+  for (;;) {
+    const Value va = co_await ctx.read(a);
+    if (va.is_nil()) {
+      co_await ctx.yield();
+      continue;
+    }
+    const Value vb = co_await ctx.read(b);
+    if (vb == va || ++torn >= 3) {
+      // torn >= 3 is the bug: "the writer must be dead" — decides the
+      // uncommitted A value instead of falling back to the committed B.
+      co_await ctx.decide(va);
+      co_return;
+    }
+    co_await ctx.yield();
+  }
 }
 
 Proc endless_proposer(Context& ctx, int me, Value v) {
@@ -280,6 +335,170 @@ ScheduleTape quitter_record(std::uint64_t) {
   return record_run("quitter_window", w, base, ks, 200, {});
 }
 
+// ---- one_conc_window -------------------------------------------------------
+// The generic 1-concurrent solver (Prop. 1) on consensus: correct ONLY in
+// 1-concurrent runs, so the campaign drives it under a 1-slot admission
+// window (plus starvation bursts, which the BurstScheduler must never let
+// break the window). Safety: the decided vector satisfies the task relation.
+
+constexpr int kP1cN = 3;
+
+TaskPtr p1c_task() {
+  static const TaskPtr task = std::make_shared<ConsensusTask>(kP1cN);
+  return task;
+}
+
+World make_p1c_world(const FailurePattern& f, HistoryPtr h) {
+  World w(f, std::move(h));
+  for (int i = 0; i < kP1cN; ++i) {
+    w.spawn_c(i, make_one_concurrent(p1c_task(), Value(70 + i), "p1c"));
+  }
+  for (int i = 0; i < f.n(); ++i) w.spawn_s(i, spin_forever);
+  return w;
+}
+
+bool p1c_violated(const World& w) {
+  ValueVec in(kP1cN);
+  for (int i = 0; i < kP1cN; ++i) {
+    if (w.participating(cpid(i))) in[static_cast<std::size_t>(i)] = Value(70 + i);
+  }
+  return !p1c_task()->relation(in, w.output_vector());
+}
+
+ScheduleTape p1c_record(std::uint64_t) {
+  const FailurePattern base(0);
+  World w = make_p1c_world(base, TrivialFd{}.history(base, 0));
+  KConcurrencyScheduler ks(1, {0, 1, 2}, 0);
+  return record_run("one_conc_window", w, base, ks, 400, {});
+}
+
+// ---- buggy_cons_first_writer -----------------------------------------------
+// Seeded-bug consensus variant: each client publishes its proposal, then
+// decides whatever it reads from slot 0 — OWN value if the read still shows
+// ⊥. The classic write/read race: a client reading before p1's publish lands
+// decides differently from one reading after. Campaigns must find the
+// disagreement and shrink it to the ~6-step witness.
+
+// 8 clients: the violating witness needs only TWO deciders (one reading
+// before slot 0's publish, one after), so ddmin strips the other six bodies
+// — campaign tapes shrink well below a quarter of their recorded length.
+constexpr int kBcfN = 8;
+
+World make_bcf_world(const FailurePattern& f, HistoryPtr h) {
+  World w(f, std::move(h));
+  for (int i = 0; i < kBcfN; ++i) {
+    w.spawn_c(i, [i](Context& ctx) { return bcf_client(ctx, i); });
+  }
+  for (int i = 0; i < f.n(); ++i) w.spawn_s(i, spin_forever);
+  return w;
+}
+
+bool bcf_violated(const World& w) {
+  std::set<std::int64_t> vals;
+  for (int i = 0; i < kBcfN; ++i) {
+    if (!w.decided(cpid(i))) continue;
+    const Value d = w.decision(cpid(i));
+    if (!d.is_int() || d.as_int() < 100 || d.as_int() >= 100 + kBcfN) return true;  // validity
+    vals.insert(d.as_int());
+  }
+  return vals.size() > 1;  // agreement
+}
+
+ScheduleTape bcf_record(std::uint64_t seed) {
+  const FailurePattern base(1);
+  World w = make_bcf_world(base, TrivialFd{}.history(base, 0));
+  RandomScheduler rs(seed);
+  return record_run("buggy_cons_first_writer", w, base, rs, 400, {});
+}
+
+// ---- buggy_ren_stale_claim -------------------------------------------------
+// Seeded-bug renaming variant: a client claims the first free name slot
+// WITHOUT re-reading after its claim write. Two clients observing the same
+// free slot both claim it — duplicate names.
+
+// 8 clients over 9 slots; a duplicate needs only two colliding claimants, so
+// the other six bodies are ddmin fodder (see kBcfN).
+constexpr int kBrnN = 8;
+
+World make_brn_world(const FailurePattern& f, HistoryPtr h) {
+  World w(f, std::move(h));
+  for (int i = 0; i < kBrnN; ++i) {
+    w.spawn_c(i, [i](Context& ctx) { return brn_client(ctx, i); });
+  }
+  for (int i = 0; i < f.n(); ++i) w.spawn_s(i, spin_forever);
+  return w;
+}
+
+bool brn_violated(const World& w) {
+  std::set<std::int64_t> names;
+  for (int i = 0; i < kBrnN; ++i) {
+    if (!w.decided(cpid(i))) continue;
+    const Value d = w.decision(cpid(i));
+    if (!d.is_int() || d.as_int() < 1 || d.as_int() > 9) return true;
+    if (!names.insert(d.as_int()).second) return true;  // duplicate name
+  }
+  return false;
+}
+
+ScheduleTape brn_record(std::uint64_t seed) {
+  const FailurePattern base(1);
+  World w = make_brn_world(base, TrivialFd{}.history(base, 0));
+  RandomScheduler rs(seed);
+  return record_run("buggy_ren_stale_claim", w, base, rs, 400, {});
+}
+
+// ---- buggy_torn_commit -----------------------------------------------------
+// Seeded-bug variant whose violation is FAULT-dependent, not just
+// schedule-dependent: an S-writer publishes epochs as the pair A=e then B=e
+// (B is the commit). The client double-reads; after three torn observations
+// (A ≠ B) it concludes the writer is dead and decides A — the UNCOMMITTED
+// value. That decision is only wrong at the end of the run if B never caught
+// up, i.e. the writer crashed (or stayed starved) between the two writes —
+// exactly what crash triggers ("kill after the next tw/A write") and storms
+// landing mid-pair produce.
+
+// 4 clients all double-reading the same pair; one wrong decider is a
+// violation, the other three bodies shrink away.
+constexpr int kTwC = 4;
+
+World make_tw_world(const FailurePattern& f, HistoryPtr h) {
+  World w(f, std::move(h));
+  for (int i = 0; i < kTwC; ++i) {
+    w.spawn_c(i, [](Context& ctx) { return tw_client(ctx); });
+  }
+  w.spawn_s(0, [](Context& ctx) { return tw_writer(ctx); });
+  for (int i = 1; i < f.n(); ++i) w.spawn_s(i, spin_forever);
+  return w;
+}
+
+bool tw_violated(const World& w) {
+  const std::int64_t committed = w.memory().read("tw/B").int_or(0);
+  for (int i = 0; i < kTwC; ++i) {
+    if (!w.decided(cpid(i))) continue;
+    const Value d = w.decision(cpid(i));
+    if (!d.is_int() || d.as_int() < 1 || d.as_int() > committed) return true;
+  }
+  return false;
+}
+
+ScheduleTape tw_record(std::uint64_t seed) {
+  const FailurePattern base(1);
+  World w = make_tw_world(base, TrivialFd{}.history(base, 0));
+  // Canonical fault: kill the writer right after its next A write — the
+  // trigger resolves online into a concrete crash point the tape carries.
+  FaultPlan plan;
+  plan.triggers.push_back(CrashTrigger{"tw/A", OpKind::kWrite, 1, 1 + static_cast<int>(seed % 2)});
+  w.enable_trace();
+  RandomScheduler inner(seed);
+  RecordingScheduler rec(inner);
+  const PlanDriveResult pdr = drive_with_plan(w, rec, 600, plan);
+  ScheduleTape t = ScheduleTape::capture("buggy_torn_commit", base, rec.steps(), pdr.applied,
+                                         w.trace());
+  t.expect_violated = tw_violated(w);
+  t.plan = plan.to_string();
+  return t;
+}
+
 std::vector<Scenario> build_registry() {
   return {
       {"synth_write_race",
@@ -300,6 +519,18 @@ std::vector<Scenario> build_registry() {
       {"quitter_window",
        "1-concurrent window with a terminated-undecided quitter; window retires it",
        make_quitter_world, quitter_violated, quitter_record},
+      {"one_conc_window",
+       "generic 1-concurrent consensus solver (Prop. 1) under a 1-slot window",
+       make_p1c_world, p1c_violated, p1c_record},
+      {"buggy_cons_first_writer",
+       "seeded bug: consensus that decides the slot-0 read, own value on bottom",
+       make_bcf_world, bcf_violated, bcf_record},
+      {"buggy_ren_stale_claim",
+       "seeded bug: renaming that claims a free slot without rechecking",
+       make_brn_world, brn_violated, brn_record},
+      {"buggy_torn_commit",
+       "seeded bug: client trusts the uncommitted half of a torn A/B epoch write",
+       make_tw_world, tw_violated, tw_record},
   };
 }
 

@@ -191,6 +191,7 @@ class IncrementalExplorer {
       w_.spawn_c(i, body_(i, inputs_[static_cast<std::size_t>(i)]));
       exists_[static_cast<std::size_t>(i)] = 1;
     }
+    if (cfg_.threads <= 1) w_.attach_observer(cfg_.observer);
     window_.refresh([this](int c) { return finished(c); });
   }
 
@@ -418,6 +419,7 @@ class FullReplayExplorer {
     for (int i : cfg_.arrival) {
       w.spawn_c(i, body_(i, inputs_[static_cast<std::size_t>(i)]));
     }
+    w.attach_observer(cfg_.observer);
     AdmissionWindow win(cfg_.k, cfg_.arrival);
     win.refresh(w);
 

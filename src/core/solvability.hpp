@@ -56,6 +56,12 @@ struct ExploreConfig {
   bool dedup = true;               ///< merge states with equal signatures
   ExploreEngine engine = ExploreEngine::kIncremental;
   int threads = 1;                 ///< >1: parallel frontier (incremental engine only)
+  /// Optional per-step observer attached to the engine's world(s), e.g. a
+  /// core/monitors LivenessMonitor in accounting mode (its step counts are
+  /// raw executed steps, INCLUDING backtracked ones — liveness bounds are
+  /// meaningless across DFS branches, so attach with zero bounds). Ignored
+  /// by parallel sweeps: one observer cannot soundly watch many worlds.
+  StepObserver* observer = nullptr;
 };
 
 struct ExploreOutcome {

@@ -32,9 +32,12 @@
 #include "algo/set_agreement_antiomega.hpp"
 #include "algo/sim_program.hpp"
 #include "core/bivalence.hpp"
+#include "core/campaign.hpp"
 #include "core/efd_system.hpp"
 #include "core/hierarchy.hpp"
+#include "core/monitors.hpp"
 #include "core/reduction.hpp"
+#include "core/repro_scenarios.hpp"
 #include "core/telemetry.hpp"
 #include "core/weakest.hpp"
 #include "core/solvability.hpp"
@@ -42,6 +45,7 @@
 #include "fd/detectors.hpp"
 #include "fd/emulations.hpp"
 #include "fd/failure_pattern.hpp"
+#include "fd/faulty.hpp"
 #include "fd/history.hpp"
 #include "fd/reduction.hpp"
 #include "sim/ids.hpp"
@@ -49,6 +53,7 @@
 #include "sim/proc.hpp"
 #include "sim/snapshot.hpp"
 #include "sim/adversary.hpp"
+#include "sim/faultplan.hpp"
 #include "sim/schedule.hpp"
 #include "sim/stats.hpp"
 #include "sim/trace.hpp"

@@ -28,8 +28,11 @@ Value sorted_set_value(std::vector<int> ids) {
   return Value(std::move(out));
 }
 
-// A pseudo-random subset of {0..n-1} of size `sz`.
+// A pseudo-random subset of {0..n-1} of size `sz` (clamped into [0, n]:
+// anti-Omega-k with k > n would otherwise ask for a negative size, and the
+// size_t cast in resize would turn that into a huge allocation).
 std::vector<int> noise_subset(int n, int sz, std::uint64_t seed, int qi, Time t) {
+  sz = std::max(0, std::min(sz, n));
   std::vector<int> ids(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) ids[static_cast<std::size_t>(i)] = i;
   for (int i = 0; i < sz; ++i) {
@@ -54,6 +57,11 @@ HistoryPtr TrivialFd::history(const FailurePattern&, std::uint64_t) const {
 
 HistoryPtr OmegaFd::history(const FailurePattern& f, std::uint64_t seed) const {
   const int n = f.n();
+  // Zero-S world: there is nobody to elect (and the pre-stable noise would
+  // divide by zero); the module output is ⊥ forever.
+  if (n == 0) {
+    return std::make_shared<FnHistory>([](int, Time) { return Value{}; });
+  }
   const int safe = safe_process(f);
   const Time stable = stabilization_time(f);
   return std::make_shared<FnHistory>([n, safe, stable, seed](int qi, Time t) {
@@ -142,6 +150,14 @@ bool AntiOmegaK::check(int k, const FailurePattern& f, const History& h, Time ho
 
 HistoryPtr VectorOmegaK::history(const FailurePattern& f, std::uint64_t seed) const {
   const int n = f.n();
+  // Zero-S world: nothing to point at (and the rotating noise would divide
+  // by zero); every slot is ⊥ forever.
+  if (n == 0) {
+    const int k = k_;
+    return std::make_shared<FnHistory>([k](int, Time) {
+      return Value(ValueVec(static_cast<std::size_t>(k)));
+    });
+  }
   const int k = k_;
   const int safe = safe_process(f);
   const int slot = stable_slot(f, seed);

@@ -62,10 +62,13 @@ std::string FailurePattern::to_string() const {
 
 std::vector<FailurePattern> Environment::enumerate(Time crash_time) const {
   std::vector<FailurePattern> out;
-  const std::uint32_t limit = 1U << n_;
-  for (std::uint32_t mask = 0; mask < limit; ++mask) {
-    const int faults = __builtin_popcount(mask);
-    if (faults > t_ || faults == n_) continue;
+  // 1ULL: n_ == 31 or 32 would overflow a 32-bit shift into UB.
+  const std::uint64_t limit = 1ULL << n_;
+  for (std::uint64_t mask = 0; mask < limit; ++mask) {
+    const int faults = __builtin_popcountll(mask);
+    // n_ == 0: keep the one (empty, failure-free) pattern instead of
+    // excluding it as "everyone crashed".
+    if (faults > t_ || (n_ > 0 && faults == n_)) continue;
     FailurePattern f(n_);
     for (int i = 0; i < n_; ++i) {
       if ((mask >> i) & 1U) f.crash(i, crash_time);
@@ -76,7 +79,10 @@ std::vector<FailurePattern> Environment::enumerate(Time crash_time) const {
 }
 
 FailurePattern Environment::sample(std::uint64_t seed, int faults, Time horizon) const {
-  faults = std::min({faults, t_, n_ - 1});
+  // Clamp below as well: a negative request (or n_ == 0, where n_ - 1 is
+  // -1) must sample the failure-free pattern, not run a negative-length
+  // Fisher-Yates prefix.
+  faults = std::max(0, std::min({faults, t_, n_ - 1}));
   std::uint64_t s = seed * 0x9E3779B97F4A7C15ULL + 1;
   std::vector<int> ids(static_cast<std::size_t>(n_));
   for (int i = 0; i < n_; ++i) ids[static_cast<std::size_t>(i)] = i;

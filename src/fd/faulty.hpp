@@ -1,0 +1,100 @@
+// Faulty-advice wrappers: corrupt any inner detector's output for a finite
+// prefix (paper Thm. 8/9 regime — failure detectors are only EVENTUALLY
+// correct, so algorithms must survive an arbitrary finite prefix of lies).
+//
+// Each wrapper takes an inner detector and a corruption window bound
+// `corrupt_until` (the wrapper's own GST): histories agree with the inner
+// detector's history EXACTLY from max(corrupt_until, inner stabilization) on,
+// so every eventual property of the inner detector is preserved by
+// construction — the wrappers never weaken the advice, only delay it.
+// Before the window closes, each wrapper corrupts differently:
+//
+//  * LyingFd       — arbitrary adversarial output: samples the INNER history
+//                    at seed-scrambled (process, time) coordinates, so lies
+//                    are type-correct for any inner detector (a ¬Ωk sample
+//                    stays a set of exactly n−k ids) but carry no truth;
+//  * OmissiveFd    — drops updates: only a seed-chosen ~1/drop_period subset
+//                    of sample times deliver a fresh inner value; in between
+//                    the module serves the last delivered one;
+//  * StutteringFd  — stale snapshots: serves the inner value frozen at the
+//                    last multiple of `period` ≤ t (a coarse module clock).
+//
+// All three keep per-sample TYPE invariants because every output is the
+// inner history evaluated at some (possibly wrong) coordinate pair.
+#pragma once
+
+#include <string>
+
+#include "fd/detectors.hpp"
+
+namespace efd {
+
+/// The corruption families a FaultPlan can apply to a scenario's advice.
+enum class FdFaultKind : std::uint8_t { kNone, kLying, kOmissive, kStuttering };
+
+[[nodiscard]] const char* to_string(FdFaultKind k);
+/// Inverse of to_string; throws std::invalid_argument on unknown names.
+[[nodiscard]] FdFaultKind fd_fault_kind_from(const std::string& name);
+
+/// Common shape of the wrappers: inner detector + corruption window.
+class FaultyFdBase : public FailureDetector {
+ public:
+  FaultyFdBase(DetectorPtr inner, Time corrupt_until);
+
+  /// max(own corruption window, inner stabilization): from here the wrapped
+  /// history equals the inner one AND the inner promise holds.
+  [[nodiscard]] Time stabilization_time(const FailurePattern& f) const override;
+
+  [[nodiscard]] const DetectorPtr& inner() const noexcept { return inner_; }
+  [[nodiscard]] Time corrupt_until() const noexcept { return until_; }
+
+ protected:
+  DetectorPtr inner_;
+  Time until_;
+};
+
+/// Arbitrary lies before the window closes: output = inner history at
+/// seed-scrambled coordinates (see file comment).
+class LyingFd final : public FaultyFdBase {
+ public:
+  LyingFd(DetectorPtr inner, Time corrupt_until) : FaultyFdBase(std::move(inner), corrupt_until) {}
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] HistoryPtr history(const FailurePattern& f, std::uint64_t seed) const override;
+};
+
+/// Dropped updates: before the window closes only seed-chosen refresh times
+/// deliver a fresh inner sample; other times repeat the last delivered one
+/// (the initial sample is inner@0, so outputs stay type-correct).
+class OmissiveFd final : public FaultyFdBase {
+ public:
+  OmissiveFd(DetectorPtr inner, Time corrupt_until, int drop_period = 8)
+      : FaultyFdBase(std::move(inner), corrupt_until), drop_period_(drop_period < 1 ? 1 : drop_period) {}
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] HistoryPtr history(const FailurePattern& f, std::uint64_t seed) const override;
+  [[nodiscard]] int drop_period() const noexcept { return drop_period_; }
+
+ private:
+  int drop_period_;
+};
+
+/// Stale snapshots: before the window closes the module serves the inner
+/// value frozen at the last multiple of `period` ≤ t.
+class StutteringFd final : public FaultyFdBase {
+ public:
+  StutteringFd(DetectorPtr inner, Time corrupt_until, int period = 8)
+      : FaultyFdBase(std::move(inner), corrupt_until), period_(period < 1 ? 1 : period) {}
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] HistoryPtr history(const FailurePattern& f, std::uint64_t seed) const override;
+  [[nodiscard]] int period() const noexcept { return period_; }
+
+ private:
+  int period_;
+};
+
+/// Wraps `inner` per `kind` (kNone returns `inner` unchanged). `param` is
+/// drop_period / period for the omissive / stuttering families; ignored for
+/// lying.
+[[nodiscard]] DetectorPtr make_faulty(FdFaultKind kind, DetectorPtr inner, Time corrupt_until,
+                                      int param = 8);
+
+}  // namespace efd

@@ -1,0 +1,306 @@
+#include "sim/faultplan.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+#include "sim/world.hpp"
+
+namespace efd {
+namespace {
+
+// splitmix64: the same generator family the detectors use for seeded noise.
+struct Rng {
+  std::uint64_t s;
+
+  std::uint64_t next() {
+    std::uint64_t z = (s += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+  /// Uniform in [0, n); 0 when n == 0.
+  std::uint64_t below(std::uint64_t n) { return n == 0 ? 0 : next() % n; }
+};
+
+std::optional<Pid> parse_pid_token(const std::string& tok) {
+  if (tok.size() < 2 || (tok[0] != 'p' && tok[0] != 'q')) return std::nullopt;
+  int idx = 0;
+  for (std::size_t i = 1; i < tok.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(tok[i]))) return std::nullopt;
+    idx = idx * 10 + (tok[i] - '0');
+  }
+  if (idx < 1) return std::nullopt;
+  return tok[0] == 'p' ? cpid(idx - 1) : spid(idx - 1);
+}
+
+const char* op_token(OpKind op) { return op == OpKind::kRead ? "read" : "write"; }
+
+[[noreturn]] void plan_fail(const std::string& what) {
+  throw std::invalid_argument("FaultPlan::parse: " + what);
+}
+
+}  // namespace
+
+std::string FaultPlan::to_string() const {
+  std::ostringstream os;
+  os << "plan-v1";
+  if (fd.kind != FdFaultKind::kNone) {
+    os << "; fd " << efd::to_string(fd.kind) << ' ' << fd.gst << ' ' << fd.param;
+  }
+  for (const auto& c : storm) os << "; storm " << c.step_index << ' ' << c.s_index;
+  for (const auto& t : triggers) {
+    os << "; trig " << t.reg_prefix << ' ' << op_token(t.op) << ' ' << t.delay << ' '
+       << t.occurrence;
+  }
+  for (const auto& b : bursts) {
+    os << "; burst " << b.start_step << ' ' << b.length << ' ' << b.victim.to_string();
+  }
+  return os.str();
+}
+
+FaultPlan FaultPlan::parse(const std::string& text) {
+  FaultPlan plan;
+  std::size_t pos = 0;
+  bool first = true;
+  while (pos <= text.size()) {
+    std::size_t semi = text.find(';', pos);
+    if (semi == std::string::npos) semi = text.size();
+    std::istringstream seg(text.substr(pos, semi - pos));
+    pos = semi + 1;
+    std::string key;
+    if (!(seg >> key)) {
+      if (first) plan_fail("empty plan text");
+      plan_fail("empty segment");
+    }
+    if (first) {
+      if (key != "plan-v1") plan_fail("missing 'plan-v1' header, got '" + key + "'");
+      std::string extra;
+      if (seg >> extra) plan_fail("trailing token '" + extra + "' after header");
+      first = false;
+      if (pos > text.size()) break;
+      continue;
+    }
+    if (key == "fd") {
+      std::string kind;
+      if (!(seg >> kind >> plan.fd.gst >> plan.fd.param) || plan.fd.gst < 0 ||
+          plan.fd.param < 1) {
+        plan_fail("fd: want '<kind> <gst> <param>'");
+      }
+      plan.fd.kind = fd_fault_kind_from(kind);  // throws on unknown kind
+      if (plan.fd.kind == FdFaultKind::kNone) plan_fail("fd: kind 'none' is the default; drop the segment");
+    } else if (key == "storm") {
+      CrashPoint c;
+      if (!(seg >> c.step_index >> c.s_index) || c.step_index < 0 || c.s_index < 0) {
+        plan_fail("storm: want '<step> <qi>' (both >= 0)");
+      }
+      plan.storm.push_back(c);
+    } else if (key == "trig") {
+      CrashTrigger t;
+      std::string op;
+      if (!(seg >> t.reg_prefix >> op >> t.delay >> t.occurrence) || t.delay < 1 ||
+          t.occurrence < 1) {
+        plan_fail("trig: want '<prefix> <op> <delay>=1.. <occurrence>=1..'");
+      }
+      if (op == "read") {
+        t.op = OpKind::kRead;
+      } else if (op == "write") {
+        t.op = OpKind::kWrite;
+      } else {
+        plan_fail("trig: op must be 'read' or 'write', got '" + op + "'");
+      }
+      plan.triggers.push_back(std::move(t));
+    } else if (key == "burst") {
+      StarvationBurst b;
+      std::string victim;
+      if (!(seg >> b.start_step >> b.length >> victim) || b.start_step < 0 || b.length < 1) {
+        plan_fail("burst: want '<start>=0.. <len>=1.. <pid>'");
+      }
+      const auto pid = parse_pid_token(victim);
+      if (!pid) plan_fail("burst: bad pid token '" + victim + "'");
+      b.victim = *pid;
+      plan.bursts.push_back(b);
+    } else {
+      plan_fail("unknown segment '" + key + "'");
+    }
+    std::string extra;
+    if (seg >> extra) plan_fail(key + ": trailing token '" + extra + "'");
+    if (pos > text.size()) break;
+  }
+  if (first) plan_fail("empty plan text");
+  return plan;
+}
+
+FaultPlan FaultPlan::sample(std::uint64_t seed, const Space& space) {
+  Rng rng{seed * 0x2545F4914F6CDD1DULL + 0x632BE59BD9B4E019ULL};
+  FaultPlan plan;
+  const std::int64_t horizon = std::max<std::int64_t>(1, space.horizon);
+
+  if (space.num_s > 0 && space.max_crashes > 0) {
+    const auto n_crash = rng.below(static_cast<std::uint64_t>(space.max_crashes) + 1);
+    for (std::uint64_t i = 0; i < n_crash; ++i) {
+      if (!space.trigger_prefixes.empty() && rng.below(2) == 0) {
+        CrashTrigger t;
+        t.reg_prefix = space.trigger_prefixes[rng.below(space.trigger_prefixes.size())];
+        t.op = rng.below(4) == 0 ? OpKind::kRead : OpKind::kWrite;
+        t.delay = 1 + static_cast<int>(rng.below(8));
+        t.occurrence = 1 + static_cast<int>(rng.below(3));
+        plan.triggers.push_back(std::move(t));
+      } else {
+        plan.storm.push_back(CrashPoint{
+            static_cast<std::int64_t>(rng.below(static_cast<std::uint64_t>(horizon))),
+            static_cast<int>(rng.below(static_cast<std::uint64_t>(space.num_s)))});
+      }
+    }
+  }
+
+  if (space.allow_fd_faults && space.num_s > 0) {
+    const Time max_gst = space.max_gst > 0 ? space.max_gst : std::max<Time>(1, horizon / 4);
+    switch (rng.below(4)) {
+      case 1: plan.fd.kind = FdFaultKind::kLying; break;
+      case 2: plan.fd.kind = FdFaultKind::kOmissive; break;
+      case 3: plan.fd.kind = FdFaultKind::kStuttering; break;
+      default: break;  // kNone: honest advice keeps the baseline in the mix
+    }
+    if (plan.fd.kind != FdFaultKind::kNone) {
+      plan.fd.gst = 1 + static_cast<Time>(rng.below(static_cast<std::uint64_t>(max_gst)));
+      plan.fd.param = 2 + static_cast<int>(rng.below(14));
+    }
+  }
+
+  const int population = space.num_c + space.num_s;
+  if (space.max_bursts > 0 && population > 0) {
+    const std::int64_t max_len =
+        space.max_burst_len > 0 ? space.max_burst_len : std::max<std::int64_t>(1, horizon / 8);
+    const auto n_burst = rng.below(static_cast<std::uint64_t>(space.max_bursts) + 1);
+    for (std::uint64_t i = 0; i < n_burst; ++i) {
+      StarvationBurst b;
+      const auto v = static_cast<int>(rng.below(static_cast<std::uint64_t>(population)));
+      b.victim = v < space.num_c ? cpid(v) : spid(v - space.num_c);
+      b.start_step = static_cast<std::int64_t>(rng.below(static_cast<std::uint64_t>(horizon)));
+      b.length = 1 + static_cast<std::int64_t>(rng.below(static_cast<std::uint64_t>(max_len)));
+      plan.bursts.push_back(b);
+    }
+  }
+  return plan;
+}
+
+bool BurstScheduler::suppressed(Pid pid, std::int64_t step) const {
+  for (const auto& b : bursts_) {
+    if (b.victim == pid && step >= b.start_step && step < b.start_step + b.length) return true;
+  }
+  return false;
+}
+
+std::optional<Pid> BurstScheduler::next(const World& w) {
+  const std::int64_t idx = attempt_++;
+  auto pick = inner_.next(w);
+  if (!pick || !suppressed(*pick, idx)) return pick;
+
+  // The inner scheduler proposed a suppressed victim: poll it a bounded
+  // number of times for an alternative (randomized/cyclic inners will move
+  // on; the extra polls are invisible to replay because the RecordingScheduler
+  // wraps THIS scheduler and records only the final choice).
+  for (int i = 0; i < 64; ++i) {
+    const auto alt = inner_.next(w);
+    if (!alt) return std::nullopt;  // inner exhausted mid-burst
+    if (!suppressed(*alt, idx)) return alt;
+    pick = alt;
+  }
+  // Stubborn inner (e.g. an admission window whose only admitted process is
+  // the victim): the burst yields rather than override the inner scheduler's
+  // invariants — a finite burst may starve a process, not the world.
+  return pick;
+}
+
+PlanDriveResult drive_with_plan(World& w, Scheduler& sched, std::int64_t max_steps,
+                                const FaultPlan& plan) {
+  PlanDriveResult out;
+  DriveResult& r = out.drive;
+
+  std::vector<CrashPoint> storm = plan.storm;
+  std::sort(storm.begin(), storm.end(),
+            [](const CrashPoint& a, const CrashPoint& b) { return a.step_index < b.step_index; });
+  std::size_t next_storm = 0;
+
+  struct TrigState {
+    const CrashTrigger* trig;
+    int remaining;
+  };
+  std::vector<TrigState> trig;
+  trig.reserve(plan.triggers.size());
+  for (const auto& t : plan.triggers) trig.push_back({&t, std::max(1, t.occurrence)});
+  std::vector<CrashPoint> armed;
+  if (!trig.empty()) w.enable_trace();  // trigger matching reads the trace
+  std::size_t trace_seen = w.trace().size();
+
+  // Kills a live, in-range S-process and records the effective crash point;
+  // mirrors drive_with_crashes' loop-top `step_index <= r.steps` convention so
+  // the recorded points replay the faults at the exact same step indices.
+  const auto apply = [&](int qi) {
+    if (qi < 0 || qi >= w.pattern().n()) return;       // plan wider than world
+    if (!w.pattern().alive(qi, w.now())) return;       // already down: no-op
+    w.inject_crash(qi);
+    out.applied.push_back(CrashPoint{r.steps, qi});
+    out.applied_at.push_back(w.now());
+  };
+
+  bool done = false;
+  while (!done) {
+    while (next_storm < storm.size() && storm[next_storm].step_index <= r.steps) {
+      apply(storm[next_storm].s_index);
+      ++next_storm;
+    }
+    for (std::size_t i = 0; i < armed.size();) {
+      if (armed[i].step_index <= r.steps) {
+        apply(armed[i].s_index);
+        armed.erase(armed.begin() + static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+
+    if (w.num_c() > 0 && w.all_c_decided()) {
+      r.all_c_decided = true;
+      done = true;
+    } else if (r.steps >= max_steps) {
+      r.budget_exhausted = true;
+      done = true;
+    } else {
+      const auto pid = sched.next(w);
+      if (!pid) {
+        r.exhausted = true;
+        done = true;
+      } else {
+        w.step(*pid);
+        ++r.steps;
+        if (!trig.empty()) {
+          const Trace& tr = w.trace();
+          for (; trace_seen < tr.size(); ++trace_seen) {
+            const StepRecord& rec = tr[trace_seen];
+            if (rec.null_step || !rec.pid.is_s()) continue;
+            for (auto& ts : trig) {
+              if (ts.remaining <= 0 || rec.op != ts.trig->op) continue;
+              const std::string& name = rec.addr_name();
+              if (name.rfind(ts.trig->reg_prefix, 0) != 0) continue;
+              if (--ts.remaining == 0) {
+                // The match was step index r.steps - 1; the kill lands
+                // `delay` steps after it (delay == 1: before the very next
+                // step executes).
+                armed.push_back(
+                    CrashPoint{r.steps - 1 + std::max(1, ts.trig->delay), rec.pid.index});
+                ++out.triggers_fired;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  // Both lists were appended in loop order (step_index is non-decreasing
+  // across loop iterations), so applied / applied_at stay aligned and sorted.
+  return out;
+}
+
+}  // namespace efd

@@ -1,0 +1,157 @@
+// Fault plans: one value type for everything a campaign can do to a run.
+//
+// A FaultPlan unifies the repository's fault families behind one seedable,
+// serializable artifact:
+//
+//  * crash storms      — unconditional step-indexed S-crashes (CrashPoint);
+//  * crash triggers    — targeted kills generalizing PR 4's hand-built
+//                        "kill the leader after its next ACC write": watch
+//                        the trace for the k-th matching S-op on a register
+//                        prefix, crash that S-process `delay` steps later;
+//  * advice corruption — wrap the scenario's detector in a fd/faulty.hpp
+//                        family (lying / omissive / stuttering) until a GST;
+//  * starvation bursts — unfair-but-eventually-fair scheduling: suppress one
+//                        process over a step-index window (BurstScheduler).
+//
+// drive_with_plan executes a plan: storms and trigger kills resolve ONLINE
+// into concrete, tape-ready CrashPoints (PlanDriveResult::applied), advice
+// corruption is baked into the FD samples the trace records, and bursts are
+// baked into the recorded pid schedule — so a recorded campaign failure is a
+// plain `efd-tape-v1` tape that replays and ddmin-shrinks with the existing
+// machinery, no plan object needed. The plan's one-line to_string() is
+// attached to the tape as a `plan` provenance line (ScheduleTape::plan).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fd/faulty.hpp"
+#include "sim/replay.hpp"
+#include "sim/schedule.hpp"
+
+namespace efd {
+
+/// Kill the S-process that performs the `occurrence`-th trace step matching
+/// (op, register-name prefix), `delay` schedule steps after the match.
+struct CrashTrigger {
+  std::string reg_prefix;       ///< canonical register-name prefix to watch
+  OpKind op = OpKind::kWrite;   ///< kWrite or kRead
+  int delay = 1;                ///< >= 1: steps between the match and the kill
+  int occurrence = 1;           ///< >= 1: fire on the k-th match
+
+  friend bool operator==(const CrashTrigger&, const CrashTrigger&) = default;
+};
+
+/// Suppress `victim` while the schedule-step index lies in
+/// [start_step, start_step + length). Finite, so eventual fairness of the
+/// underlying scheduler is preserved.
+struct StarvationBurst {
+  std::int64_t start_step = 0;
+  std::int64_t length = 0;
+  Pid victim{};
+
+  friend bool operator==(const StarvationBurst&, const StarvationBurst&) = default;
+};
+
+/// Advice corruption window (applied via make_faulty on the target's base
+/// detector). kind == kNone means the advice is left honest.
+struct FdFault {
+  FdFaultKind kind = FdFaultKind::kNone;
+  Time gst = 0;   ///< corruption window bound (wrapper stabilization)
+  int param = 8;  ///< drop_period / stutter period
+
+  friend bool operator==(const FdFault&, const FdFault&) = default;
+};
+
+class FaultPlan {
+ public:
+  std::vector<CrashPoint> storm;        ///< unconditional step-indexed kills
+  std::vector<CrashTrigger> triggers;   ///< targeted kills
+  FdFault fd;                           ///< advice corruption
+  std::vector<StarvationBurst> bursts;  ///< scheduler starvation windows
+
+  [[nodiscard]] bool empty() const {
+    return storm.empty() && triggers.empty() && bursts.empty() &&
+           fd.kind == FdFaultKind::kNone;
+  }
+
+  /// Wraps `base` advice per the plan's FdFault.
+  [[nodiscard]] DetectorPtr corrupt(DetectorPtr base) const {
+    return make_faulty(fd.kind, std::move(base), fd.gst, fd.param);
+  }
+
+  /// One-line canonical text ("plan-v1; fd lying 40 8; storm 12 3; ...");
+  /// round-trips through parse. Attached to tapes as provenance.
+  [[nodiscard]] std::string to_string() const;
+  /// Inverse of to_string; throws std::invalid_argument on malformed input.
+  [[nodiscard]] static FaultPlan parse(const std::string& text);
+
+  friend bool operator==(const FaultPlan&, const FaultPlan&) = default;
+
+  /// The dimensions a campaign target exposes for plan sampling.
+  struct Space {
+    int num_s = 0;
+    int num_c = 0;
+    std::int64_t horizon = 2000;  ///< step-index range for storms and bursts
+    int max_crashes = 0;          ///< cap on S-kills (storm + triggers)
+    std::vector<std::string> trigger_prefixes;  ///< registers worth targeting
+    bool allow_fd_faults = true;
+    Time max_gst = 0;             ///< 0: horizon / 4
+    int max_bursts = 2;
+    std::int64_t max_burst_len = 0;  ///< 0: horizon / 8
+  };
+
+  /// Deterministic pseudo-random plan. Storm sizes, trigger choices, FD
+  /// corruption and bursts are all drawn from `seed`; the same (seed, space)
+  /// always yields the same plan.
+  [[nodiscard]] static FaultPlan sample(std::uint64_t seed, const Space& space);
+};
+
+/// Wraps an inner scheduler and suppresses each burst's victim while the
+/// attempt index (== drive step index) is inside the burst window: the inner
+/// scheduler is re-polled (bounded) until it proposes someone else. If the
+/// inner scheduler insists on the victim — e.g. a 1-concurrent admission
+/// window whose only admitted process IS the victim — the burst yields and
+/// the victim steps anyway: a burst may starve a process, never override the
+/// inner scheduler's invariants or stall the whole world (finite bursts keep
+/// runs eventually fair).
+class BurstScheduler final : public Scheduler {
+ public:
+  BurstScheduler(Scheduler& inner, std::vector<StarvationBurst> bursts)
+      : inner_(inner), bursts_(std::move(bursts)) {}
+
+  [[nodiscard]] std::optional<Pid> next(const World& w) override;
+
+ private:
+  [[nodiscard]] bool suppressed(Pid pid, std::int64_t step) const;
+
+  Scheduler& inner_;
+  std::vector<StarvationBurst> bursts_;
+  std::int64_t attempt_ = 0;
+};
+
+struct PlanDriveResult {
+  DriveResult drive;
+  /// Crash points actually applied (storm hits on live processes + resolved
+  /// trigger kills), recorded at their application step index — feeding them
+  /// to drive_with_crashes replays the faults exactly. Sorted by step_index;
+  /// applied_at[i] is the model TIME of applied[i]'s injection, so an
+  /// equivalent FailurePattern (crash_time = applied_at) can be built — the
+  /// campaign uses it to recompute honest advice over the EFFECTIVE pattern.
+  std::vector<CrashPoint> applied;
+  std::vector<Time> applied_at;
+  int triggers_fired = 0;
+};
+
+/// drive() under `plan`'s crash faults: storm points apply at their step
+/// index, trigger matches arm kills `delay` steps later, both via
+/// World::inject_crash. Enables tracing when the plan has triggers (matching
+/// reads the trace). Starvation bursts are NOT applied here — wrap the
+/// scheduler in a BurstScheduler; advice corruption happens at world
+/// construction (FaultPlan::corrupt).
+PlanDriveResult drive_with_plan(World& w, Scheduler& sched, std::int64_t max_steps,
+                                const FaultPlan& plan);
+
+}  // namespace efd

@@ -126,14 +126,14 @@ std::optional<Pid> parse_pid(std::string_view tok) {
 }
 
 [[noreturn]] void parse_fail(int line_no, const std::string& what) {
-  throw std::runtime_error("efd-tape parse error, line " + std::to_string(line_no) + ": " + what);
+  throw TapeParseError("efd-tape parse error, line " + std::to_string(line_no) + ": " + what);
 }
 
 }  // namespace
 
 FailurePattern ScheduleTape::pattern() const {
   if (static_cast<int>(base_crash.size()) != num_s) {
-    throw std::runtime_error("ScheduleTape: pattern width " +
+    throw TapeParseError("ScheduleTape: pattern width " +
                              std::to_string(base_crash.size()) + " != s " +
                              std::to_string(num_s));
   }
@@ -186,6 +186,7 @@ std::string ScheduleTape::serialize() const {
   std::ostringstream os;
   os << kFormat << "\n";
   if (!scenario.empty()) os << "scenario " << scenario << "\n";
+  if (!plan.empty()) os << "plan " << plan << "\n";
   if (expect_violated) os << "expect " << (*expect_violated ? "violated" : "ok") << "\n";
   if (expect_hash) {
     os << "hash " << std::hex << *expect_hash << std::dec << "\n";
@@ -242,6 +243,12 @@ ScheduleTape ScheduleTape::parse(const std::string& text) {
     ls >> key;
     if (key == "scenario") {
       if (!(ls >> t.scenario)) parse_fail(line_no, "scenario: missing name");
+    } else if (key == "plan") {
+      std::string rest;
+      std::getline(ls, rest);
+      const std::size_t at = rest.find_first_not_of(" \t");
+      if (at == std::string::npos) parse_fail(line_no, "plan: missing text");
+      t.plan = rest.substr(at);
     } else if (key == "expect") {
       std::string v;
       if (!(ls >> v) || (v != "violated" && v != "ok")) {
@@ -323,17 +330,18 @@ ScheduleTape ScheduleTape::parse(const std::string& text) {
 
 ScheduleTape load_tape(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw std::runtime_error("load_tape: cannot open " + path);
+  if (!in) throw TapeIoError("load_tape: cannot open " + path);
   std::ostringstream buf;
   buf << in.rdbuf();
+  if (in.bad()) throw TapeIoError("load_tape: read failed for " + path);
   return ScheduleTape::parse(buf.str());
 }
 
 void save_tape(const ScheduleTape& tape, const std::string& path) {
   std::ofstream out(path);
-  if (!out) throw std::runtime_error("save_tape: cannot open " + path);
+  if (!out) throw TapeIoError("save_tape: cannot open " + path);
   out << tape.serialize();
-  if (!out) throw std::runtime_error("save_tape: write failed for " + path);
+  if (!out) throw TapeIoError("save_tape: write failed for " + path);
 }
 
 DriveResult drive_with_crashes(World& w, Scheduler& sched, std::int64_t max_steps,

@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -34,6 +35,26 @@
 #include "sim/trace.hpp"
 
 namespace efd {
+
+/// Base of the tape error taxonomy. Tools map the subclasses to distinct
+/// exit codes (see tools/efd_repro.cpp): parse errors mean the artifact is
+/// malformed, IO errors mean it could not be read or written at all.
+class TapeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Malformed or truncated tape text (always carries a line-numbered message).
+class TapeParseError : public TapeError {
+ public:
+  using TapeError::TapeError;
+};
+
+/// The tape file could not be opened / read / written.
+class TapeIoError : public TapeError {
+ public:
+  using TapeError::TapeError;
+};
 
 /// Crash an S-process immediately before the schedule step with this index
 /// executes (index = position in the recorded step sequence, counting refused
@@ -60,6 +81,11 @@ class ScheduleTape {
   };
 
   std::string scenario;  ///< registry key (core/repro_scenarios); "" = unbound
+  /// Provenance only: the one-line FaultPlan (sim/faultplan.hpp) this tape
+  /// was recorded under, if any. Replay never consults it — all plan effects
+  /// (trigger kills, corrupted advice, starvation bursts) are already baked
+  /// into crashes / fd / steps; it documents WHERE a campaign tape came from.
+  std::string plan;
   int num_s = 0;
   std::vector<std::optional<Time>> base_crash;  ///< base pattern crash times
   std::vector<CrashPoint> crashes;              ///< injected, sorted by step_index
@@ -87,13 +113,14 @@ class ScheduleTape {
                                             std::vector<Pid> steps,
                                             std::vector<CrashPoint> crashes, const Trace& trace);
 
-  /// Versioned text round-trip. parse throws std::runtime_error with a
+  /// Versioned text round-trip. parse throws TapeParseError with a
   /// line-numbered message on malformed input.
   [[nodiscard]] std::string serialize() const;
   [[nodiscard]] static ScheduleTape parse(const std::string& text);
 };
 
-/// File IO conveniences (throw std::runtime_error on IO/parse failure).
+/// File IO conveniences (throw TapeIoError on IO failure, TapeParseError on
+/// malformed content).
 [[nodiscard]] ScheduleTape load_tape(const std::string& path);
 void save_tape(const ScheduleTape& tape, const std::string& path);
 

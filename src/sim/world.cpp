@@ -143,6 +143,10 @@ bool World::step(Pid pid) {
   }
 
   ++stats_.steps;
+  if (observer_ != nullptr) {
+    observer_->on_step(pid, rec.null_step, !rec.null_step && rec.op == OpKind::kDecide,
+                       rec.terminated);
+  }
   if (tracing_) trace_.push_back(std::move(rec));
   ++now_;
   return true;

@@ -30,6 +30,15 @@ namespace efd {
 /// Factory producing a process body bound to its Context.
 using ProcBody = std::function<Proc(Context&)>;
 
+/// Per-step observer hook (core/monitors.hpp implements it). Called once for
+/// every successful (non-refused) step, after the op executed; refused steps
+/// of crashed S-processes are invisible to observers, like to the trace.
+class StepObserver {
+ public:
+  virtual ~StepObserver() = default;
+  virtual void on_step(Pid pid, bool null_step, bool decided_now, bool terminated_now) = 0;
+};
+
 class World {
  public:
   /// A world with `num_s` S-processes failing per `pattern` and consulting
@@ -137,6 +146,12 @@ class World {
   void enable_trace(bool on = true) noexcept { tracing_ = on; }
   [[nodiscard]] const Trace& trace() const noexcept { return trace_; }
 
+  /// Attaches a per-step observer (nullptr detaches). The world does not own
+  /// it; the caller keeps it alive across the drive. Unattached worlds pay
+  /// one pointer test per step (E14 A/B: within noise, see EXPERIMENTS E15).
+  void attach_observer(StepObserver* obs) noexcept { observer_ = obs; }
+  [[nodiscard]] StepObserver* observer() const noexcept { return observer_; }
+
   /// Always-on run counters (see sim/stats.hpp for the invariants).
   [[nodiscard]] const RunStats& run_stats() const noexcept { return stats_; }
 
@@ -162,6 +177,7 @@ class World {
   bool tracing_ = false;
   Trace trace_;
   RunStats stats_;
+  StepObserver* observer_ = nullptr;
 };
 
 }  // namespace efd

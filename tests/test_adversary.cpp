@@ -136,5 +136,51 @@ TEST(Suppress, DynamicSuppressionByState) {
   EXPECT_TRUE(r.all_c_decided);
 }
 
+
+// ---- degenerate-world drives (fault-campaign hardening) --------------------
+
+Proc decide_one(Context& ctx) {
+  co_await ctx.decide(Value(1));
+}
+
+TEST(DegenerateWorlds, AllSCrashedWorldYieldsDefinedDriveResult) {
+  FailurePattern f(2);
+  f.crash(0, 0);
+  f.crash(1, 0);
+  World w(f, TrivialFd{}.history(f, 0));
+  w.spawn_s(0, spin);
+  w.spawn_s(1, spin);
+  w.spawn_c(0, decide_one);
+  RoundRobinScheduler rr;
+  const DriveResult r = drive(w, rr, 100);
+  EXPECT_TRUE(r.all_c_decided);
+  EXPECT_FALSE(r.exhausted);
+  EXPECT_TRUE(w.decided(cpid(0)));
+}
+
+TEST(DegenerateWorlds, AllSCrashedNoClientsStopsDefined) {
+  // Nothing is schedulable: the round-robin scheduler reports exhaustion
+  // immediately and the drive terminates with a defined stop cause instead
+  // of spinning or reporting a vacuous all-decided.
+  FailurePattern f(1);
+  f.crash(0, 0);
+  World w(f, TrivialFd{}.history(f, 0));
+  w.spawn_s(0, spin);
+  RoundRobinScheduler rr;
+  const DriveResult r = drive(w, rr, 50);
+  EXPECT_TRUE(r.exhausted);
+  EXPECT_EQ(r.steps, 0);
+  EXPECT_FALSE(r.all_c_decided);  // vacuous-decided must not be reported
+}
+
+TEST(DegenerateWorlds, ZeroSWorldDrivesClientsToDecision) {
+  World w = World::failure_free(0);
+  w.spawn_c(0, decide_one);
+  w.spawn_c(1, decide_one);
+  RoundRobinScheduler rr;
+  const DriveResult r = drive(w, rr, 100);
+  EXPECT_TRUE(r.all_c_decided);
+}
+
 }  // namespace
 }  // namespace efd

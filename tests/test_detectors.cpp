@@ -148,5 +148,36 @@ INSTANTIATE_TEST_SUITE_P(Sweep, DetectorSpecSweep,
                                            SweepParam{4, 3, 5}, SweepParam{5, 2, 6},
                                            SweepParam{5, 4, 7}, SweepParam{4, 1, 8}));
 
+
+// ---- degenerate-pattern histories (fault-campaign hardening) ---------------
+
+TEST(DegeneratePatterns, OmegaOnZeroSWorldIsBottomForever) {
+  const FailurePattern f(0);
+  const OmegaFd om(5);
+  const HistoryPtr h = om.history(f, 3);
+  for (Time t = 0; t < 20; ++t) EXPECT_TRUE(h->at(0, t).is_nil());
+}
+
+TEST(DegeneratePatterns, VectorOmegaOnZeroSWorldKeepsSlotShape) {
+  const FailurePattern f(0);
+  const VectorOmegaK vo(2, 5);
+  const HistoryPtr h = vo.history(f, 3);
+  const Value v = h->at(0, 7);
+  ASSERT_TRUE(v.is_vec());
+  ASSERT_EQ(v.size(), 2U);
+  EXPECT_TRUE(v.at(0).is_nil());
+}
+
+TEST(DegeneratePatterns, AntiOmegaWithKAboveNClampsSubsetSize) {
+  const FailurePattern f(2);
+  const AntiOmegaK ao(5, 4);  // k > n: n-k is negative
+  const HistoryPtr h = ao.history(f, 9);
+  for (Time t = 0; t < 10; ++t) {
+    const Value v = h->at(0, t);
+    ASSERT_TRUE(v.is_vec());
+    EXPECT_TRUE(v.size() <= 2U);
+  }
+}
+
 }  // namespace
 }  // namespace efd

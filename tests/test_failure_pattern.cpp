@@ -103,5 +103,35 @@ TEST(Environment, SampleClampsToEnvironmentBound) {
   EXPECT_LE(f.num_faulty(), 1);
 }
 
+
+// ---- edge-case regressions (fault-campaign hardening) ----------------------
+
+TEST(Environment, SampleClampsNegativeFaultRequests) {
+  Environment e(3, 2);
+  const auto f = e.sample(11, -4, 10);
+  EXPECT_EQ(f.num_faulty(), 0);
+  EXPECT_EQ(f.n(), 3);
+}
+
+TEST(Environment, ZeroProcessEnvironmentIsDefined) {
+  Environment e(0, 0);
+  const auto f = e.sample(3, 1, 10);  // nothing to crash
+  EXPECT_EQ(f.n(), 0);
+  EXPECT_EQ(f.num_faulty(), 0);
+  // enumerate keeps the single (empty, failure-free) pattern.
+  const auto pats = e.enumerate(0);
+  ASSERT_EQ(pats.size(), 1U);
+  EXPECT_EQ(pats[0].n(), 0);
+}
+
+TEST(FailurePattern, AllCrashedVectorPatternIsDefined) {
+  FailurePattern f(std::vector<std::optional<Time>>{Time{0}, Time{3}});
+  EXPECT_EQ(f.num_correct(), 0);
+  EXPECT_TRUE(f.correct_set().empty());
+  EXPECT_EQ(f.last_crash_time(), 3);
+  EXPECT_FALSE(f.alive(0, 0));
+  EXPECT_TRUE(f.alive(1, 2));
+}
+
 }  // namespace
 }  // namespace efd

@@ -1,0 +1,167 @@
+// Tests for the liveness monitors (core/monitors.hpp): wait-freedom bounds
+// over OWN steps, the starvation and livelock watchdogs, finalize semantics,
+// and the telemetry JSON block.
+#include <gtest/gtest.h>
+
+#include "core/monitors.hpp"
+#include "sim/schedule.hpp"
+
+namespace efd {
+namespace {
+
+Proc spin(Context& ctx) {
+  for (;;) co_await ctx.yield();
+}
+
+Proc decide_after(Context& ctx, int busy_steps, Value v) {
+  for (int i = 0; i < busy_steps; ++i) co_await ctx.yield();
+  co_await ctx.decide(v);
+}
+
+TEST(LivenessMonitor, CleanRunCertifiesWaitFreedom) {
+  World w = World::failure_free(0);
+  w.spawn_c(0, [](Context& ctx) { return decide_after(ctx, 3, Value(1)); });
+  w.spawn_c(1, [](Context& ctx) { return decide_after(ctx, 5, Value(2)); });
+  LivenessMonitor mon({/*own_steps_to_decide=*/10, /*starvation_window=*/50,
+                       /*livelock_window=*/50});
+  w.attach_observer(&mon);
+  RoundRobinScheduler rr;
+  const DriveResult r = drive(w, rr, 100);
+  w.attach_observer(nullptr);
+  mon.finalize(w);
+  EXPECT_TRUE(r.all_c_decided);
+  EXPECT_TRUE(mon.ok());
+  EXPECT_TRUE(mon.wait_free_ok());
+  EXPECT_EQ(mon.decisions(), 2);
+  EXPECT_EQ(mon.max_own_steps_to_decide(), 6);  // 5 yields + the decide step
+}
+
+TEST(LivenessMonitor, FlagsWaitFreedomViolationOnOwnSteps) {
+  World w = World::failure_free(0);
+  w.spawn_c(0, spin);  // never decides
+  LivenessMonitor mon({/*own_steps_to_decide=*/8, 0, 0});
+  w.attach_observer(&mon);
+  RoundRobinScheduler rr;
+  (void)drive(w, rr, 50);
+  w.attach_observer(nullptr);
+  mon.finalize(w);
+  EXPECT_FALSE(mon.wait_free_ok());
+  ASSERT_EQ(mon.violations().size(), 1U);  // flagged once, not per step
+  const MonitorViolation& v = mon.violations().front();
+  EXPECT_EQ(v.kind, MonitorViolation::Kind::kWaitFree);
+  EXPECT_EQ(v.pid, cpid(0));
+  EXPECT_GT(v.measured, v.bound);
+}
+
+TEST(LivenessMonitor, OwnStepBoundIgnoresOtherProcessesSteps) {
+  // p1 decides within 4 OWN steps while the S-process burns a hundred global
+  // steps first: a bound of 8 own steps must hold regardless.
+  World w = World::failure_free(1);
+  w.spawn_s(0, spin);
+  w.spawn_c(0, [](Context& ctx) { return decide_after(ctx, 3, Value(1)); });
+  LivenessMonitor mon({/*own_steps_to_decide=*/8, 0, 0});
+  w.attach_observer(&mon);
+  std::vector<Pid> seq(100, spid(0));
+  for (int i = 0; i < 4; ++i) seq.push_back(cpid(0));
+  ExplicitSchedule sched(seq);
+  (void)drive(w, sched, 200);
+  w.attach_observer(nullptr);
+  EXPECT_TRUE(mon.wait_free_ok());
+  EXPECT_EQ(mon.max_own_steps_to_decide(), 4);
+}
+
+TEST(LivenessMonitor, StarvationIsObservedOnResurfaceAndAtFinalize) {
+  World w = World::failure_free(0);
+  w.spawn_c(0, spin);
+  w.spawn_c(1, spin);
+  LivenessMonitor mon({0, /*starvation_window=*/10, 0});
+  w.attach_observer(&mon);
+  std::vector<Pid> seq;
+  seq.push_back(cpid(1));
+  for (int i = 0; i < 25; ++i) seq.push_back(cpid(0));  // p2 starves for 25 steps
+  seq.push_back(cpid(1));                               // resurfaces
+  ExplicitSchedule sched(seq);
+  (void)drive(w, sched, 100);
+  w.attach_observer(nullptr);
+  mon.finalize(w);
+  EXPECT_TRUE(mon.wait_free_ok());  // starvation is not a wait-freedom violation
+  ASSERT_FALSE(mon.violations().empty());
+  EXPECT_EQ(mon.violations().front().kind, MonitorViolation::Kind::kStarvation);
+  EXPECT_GE(mon.max_starvation_gap(), 25);
+
+  // End-of-run gap without resurfacing: finalize must flush it.
+  World w2 = World::failure_free(0);
+  w2.spawn_c(0, spin);
+  w2.spawn_c(1, spin);
+  LivenessMonitor mon2({0, /*starvation_window=*/10, 0});
+  w2.attach_observer(&mon2);
+  ExplicitSchedule sched2(std::vector<Pid>(30, cpid(0)));
+  (void)drive(w2, sched2, 100);
+  w2.attach_observer(nullptr);
+  EXPECT_TRUE(mon2.ok());  // not yet: the gap is still open
+  mon2.finalize(w2);
+  ASSERT_FALSE(mon2.violations().empty());
+  EXPECT_EQ(mon2.violations().front().kind, MonitorViolation::Kind::kStarvation);
+}
+
+TEST(LivenessMonitor, FlagsCollectiveLivelock) {
+  World w = World::failure_free(0);
+  w.spawn_c(0, spin);
+  w.spawn_c(1, spin);
+  LivenessMonitor mon({0, 0, /*livelock_window=*/12});
+  w.attach_observer(&mon);
+  RoundRobinScheduler rr;
+  (void)drive(w, rr, 60);
+  w.attach_observer(nullptr);
+  mon.finalize(w);
+  ASSERT_FALSE(mon.violations().empty());
+  EXPECT_EQ(mon.violations().front().kind, MonitorViolation::Kind::kLivelock);
+  EXPECT_GE(mon.max_decision_drought(), 12);
+}
+
+TEST(LivenessMonitor, DecisionsResetTheLivelockDrought) {
+  World w = World::failure_free(0);
+  for (int i = 0; i < 4; ++i) {
+    w.spawn_c(i, [i](Context& ctx) { return decide_after(ctx, 4, Value(i)); });
+  }
+  // Round-robin: a decision lands at least every ~20 collective steps.
+  LivenessMonitor mon({0, 0, /*livelock_window=*/25});
+  w.attach_observer(&mon);
+  RoundRobinScheduler rr;
+  const DriveResult r = drive(w, rr, 200);
+  w.attach_observer(nullptr);
+  mon.finalize(w);
+  EXPECT_TRUE(r.all_c_decided);
+  EXPECT_TRUE(mon.ok());
+}
+
+TEST(LivenessMonitor, ZeroBoundsDisableAllChecks) {
+  World w = World::failure_free(0);
+  w.spawn_c(0, spin);
+  LivenessMonitor mon{MonitorBounds{}};
+  w.attach_observer(&mon);
+  RoundRobinScheduler rr;
+  (void)drive(w, rr, 500);
+  w.attach_observer(nullptr);
+  mon.finalize(w);
+  EXPECT_TRUE(mon.ok());
+  EXPECT_EQ(mon.monitored_steps(), 500);
+}
+
+TEST(LivenessMonitor, JsonReportsBoundsAndViolations) {
+  World w = World::failure_free(0);
+  w.spawn_c(0, spin);
+  LivenessMonitor mon({/*own_steps_to_decide=*/5, 0, 0});
+  w.attach_observer(&mon);
+  RoundRobinScheduler rr;
+  (void)drive(w, rr, 20);
+  w.attach_observer(nullptr);
+  mon.finalize(w);
+  const std::string json = mon.to_json().dump();
+  EXPECT_NE(json.find("\"wait_free_ok\""), std::string::npos);
+  EXPECT_NE(json.find("\"violations\""), std::string::npos);
+  EXPECT_NE(json.find("\"wait_free\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace efd

@@ -1,0 +1,53 @@
+#!/usr/bin/env sh
+# Campaign smoke check (ctest -L campaign): a small fixed-seed sweep over all
+# campaign targets must end with every verdict met — clean targets clean,
+# seeded-buggy targets caught with a verified shrunk tape — and must emit a
+# well-formed efd-campaign-v1 document. Small N keeps this fast enough to run
+# under EFD_SANITIZE=address/thread builds, where the full sweep would not be.
+#
+# usage: campaign_smoke.sh <efd_campaign-binary> [workdir]
+set -eu
+
+campaign="$1"
+work="${2:-$(mktemp -d)}"
+mkdir -p "$work"
+out="$work/campaign_smoke.json"
+
+# Exit 0 is the verdict line: nonzero means a clean target violated or a
+# seeded bug escaped. The torn-commit target (tw) is excluded: its bug fires
+# in only ~4% of plans, so a seeded 8-plan sweep cannot reliably catch it —
+# it is covered by test_campaign's checker tests and the full E15 sweep.
+"$campaign" run --seed 42 --plans 8 --save-dir "$work/pending" --out "$out" \
+  --target cons --target ksa --target ren --target p1c \
+  --target synth --target bcf --target brn
+
+grep -q '"schema": "efd-campaign-v1"' "$out" || {
+  echo "FAIL: $out is not an efd-campaign-v1 document" >&2
+  exit 1
+}
+grep -q '"target": "cons"' "$out" || {
+  echo "FAIL: $out is missing the consensus target" >&2
+  exit 1
+}
+
+# Violation tapes of the seeded-buggy targets must exist and carry the plan
+# provenance line.
+found=0
+for tape in "$work"/pending/*.tape; do
+  [ -e "$tape" ] || continue
+  found=1
+  head -1 "$tape" | grep -q '^efd-tape-v1$' || {
+    echo "FAIL: $tape is not an efd-tape-v1 artifact" >&2
+    exit 1
+  }
+done
+if [ "$found" = "0" ]; then
+  echo "FAIL: the seeded-buggy targets produced no violation tapes" >&2
+  exit 1
+fi
+grep -lq '^plan plan-v1' "$work"/pending/*.tape || {
+  echo "FAIL: no violation tape carries a plan provenance line" >&2
+  exit 1
+}
+
+echo "campaign smoke ok: $out"

@@ -1,0 +1,144 @@
+// efd_campaign: seeded adversarial fault campaigns over the paper algorithms.
+//
+//   efd_campaign list
+//   efd_campaign run [--seed N] [--plans N] [--target NAME ...]
+//                    [--save-dir DIR] [--out FILE]
+//                    [--no-monitors] [--no-shrink]
+//
+// `run` sweeps N random FaultPlans (crash storms, targeted trigger kills,
+// lying/omissive/stuttering advice, starvation bursts) per campaign target —
+// the paper algorithms expected to survive everything, plus the seeded-buggy
+// variants the campaign must catch. Violations are saved as replayable
+// `efd-tape-v1` tapes (default: tests/corpus/pending/), safety findings are
+// ddmin-shrunk and double-replay-verified, and the sweep summary is emitted
+// as `efd-campaign-v1` JSON (schema in EXPERIMENTS.md E15; bench_diff.py
+// --validate accepts it).
+//
+// Exit codes: 0 every target met its verdict (clean targets clean, buggy
+// targets caught with a verified shrunk tape); 1 some verdict failed;
+// 2 usage error; 6 any other error.
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/campaign.hpp"
+
+namespace {
+
+using namespace efd;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: efd_campaign list\n"
+               "       efd_campaign run [--seed N] [--plans N] [--target NAME ...]\n"
+               "                        [--save-dir DIR] [--out FILE]\n"
+               "                        [--no-monitors] [--no-shrink]\n");
+  return 2;
+}
+
+int cmd_list() {
+  for (const auto& t : campaign_targets()) {
+    std::printf("%-8s %-26s %s%s\n", t.name.c_str(), t.scenario.c_str(), t.algorithm.c_str(),
+                t.expect_clean ? "" : "  [seeded bug]");
+  }
+  return 0;
+}
+
+int cmd_run(int argc, char** argv) {
+  CampaignOptions opts;
+  opts.save_dir = "tests/corpus/pending";
+  std::vector<std::string> names;
+  std::string out_path;
+  for (int i = 0; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--seed") && i + 1 < argc) {
+      opts.seed = std::strtoull(argv[++i], nullptr, 0);
+    } else if (!std::strcmp(argv[i], "--plans") && i + 1 < argc) {
+      opts.plans = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--target") && i + 1 < argc) {
+      names.emplace_back(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--save-dir") && i + 1 < argc) {
+      opts.save_dir = argv[++i];
+    } else if (!std::strcmp(argv[i], "--out") && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--no-monitors")) {
+      opts.monitors = false;
+    } else if (!std::strcmp(argv[i], "--no-shrink")) {
+      opts.shrink = false;
+    } else {
+      return usage();
+    }
+  }
+  if (opts.plans <= 0) return usage();
+
+  std::vector<const CampaignTarget*> picked;
+  if (names.empty()) {
+    for (const auto& t : campaign_targets()) picked.push_back(&t);
+  } else {
+    for (const auto& n : names) {
+      const CampaignTarget* t = find_campaign_target(n);
+      if (!t) {
+        std::fprintf(stderr, "efd_campaign: unknown target '%s' (try: efd_campaign list)\n",
+                     n.c_str());
+        return 2;
+      }
+      picked.push_back(t);
+    }
+  }
+
+  std::vector<CampaignRun> runs;
+  bool all_ok = true;
+  for (const CampaignTarget* t : picked) {
+    CampaignRun r = run_campaign(*t, opts);
+    const bool ok = r.verdict_ok();
+    all_ok = all_ok && ok;
+    std::fprintf(stderr,
+                 "%-8s %4d plans  %4d clean  %2d safety  %2d wait-free  %3" PRId64
+                 " starvation obs  %s\n",
+                 r.target.c_str(), r.plans, r.clean_plans, r.safety_violations(),
+                 r.wait_free_violations(), r.starvation_observations,
+                 ok ? "OK" : (r.expect_clean ? "VIOLATIONS" : "BUG NOT CAUGHT"));
+    for (const auto& v : r.violations) {
+      std::fprintf(stderr, "         seed %" PRIu64 " [%s] %s\n", v.plan_seed, v.plan.c_str(),
+                   v.detail.c_str());
+      if (v.shrunk_steps > 0) {
+        std::fprintf(stderr, "         shrunk %" PRId64 " -> %" PRId64 " steps, replay %s\n",
+                     v.tape_steps, v.shrunk_steps, v.shrunk_replay_ok ? "verified" : "FAILED");
+      }
+    }
+    runs.push_back(std::move(r));
+  }
+
+  const std::string doc = campaign_json(runs, opts).dump(2);
+  if (out_path.empty()) {
+    std::printf("%s\n", doc.c_str());
+  } else {
+    std::ofstream out(out_path);
+    out << doc << "\n";
+    if (!out) {
+      std::fprintf(stderr, "efd_campaign: cannot write %s\n", out_path.c_str());
+      return 6;
+    }
+    std::fprintf(stderr, "wrote %s\n", out_path.c_str());
+  }
+  return all_ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  try {
+    if (cmd == "list") return cmd_list();
+    if (cmd == "run") return cmd_run(argc - 2, argv + 2);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "efd_campaign: %s\n", e.what());
+    return 6;
+  }
+  return usage();
+}

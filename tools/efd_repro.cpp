@@ -14,6 +14,15 @@
 // tape while its predicate outcome is preserved, then RE-STAMPS expect_hash
 // by replaying the minimized tape once (the recorded hash certified the
 // original schedule only).
+//
+// Exit codes (stable; scripted triage relies on them):
+//   0  success / replay matched expectations
+//   1  replay ran but an expectation failed (hash or predicate mismatch)
+//   2  usage error
+//   3  malformed or truncated tape (TapeParseError; line-numbered diagnostic)
+//   4  tape file could not be read or written (TapeIoError)
+//   5  tape names an unknown or missing scenario
+//   6  any other error
 #include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
@@ -47,18 +56,25 @@ int cmd_list() {
   return 0;
 }
 
+/// Exit code 5: the tape parsed fine but cannot be bound to process bodies.
+class UnknownScenarioError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 const Scenario& required_scenario(const ScheduleTape& tape) {
   if (tape.scenario.empty()) {
-    throw std::runtime_error("tape names no scenario; cannot rebuild its world");
+    throw UnknownScenarioError("tape names no scenario; cannot rebuild its world");
   }
   const Scenario* sc = find_scenario(tape.scenario);
-  if (!sc) throw std::runtime_error("unknown scenario '" + tape.scenario + "'");
+  if (!sc) throw UnknownScenarioError("unknown scenario '" + tape.scenario + "'");
   return *sc;
 }
 
 void print_summary(const ScheduleTape& t) {
   std::printf("format    %s\n", ScheduleTape::kFormat);
   std::printf("scenario  %s\n", t.scenario.empty() ? "(none)" : t.scenario.c_str());
+  if (!t.plan.empty()) std::printf("plan      %s\n", t.plan.c_str());
   std::printf("s         %d\n", t.num_s);
   int base_crashes = 0;
   for (const auto& c : t.base_crash) {
@@ -177,9 +193,18 @@ int main(int argc, char** argv) {
     if (cmd == "print") return cmd_print(argc - 2, argv + 2);
     if (cmd == "replay") return cmd_replay(argc - 2, argv + 2);
     if (cmd == "shrink") return cmd_shrink(argc - 2, argv + 2);
+  } catch (const TapeParseError& e) {
+    std::fprintf(stderr, "efd_repro: malformed tape: %s\n", e.what());
+    return 3;
+  } catch (const TapeIoError& e) {
+    std::fprintf(stderr, "efd_repro: %s\n", e.what());
+    return 4;
+  } catch (const UnknownScenarioError& e) {
+    std::fprintf(stderr, "efd_repro: %s\n", e.what());
+    return 5;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "efd_repro: %s\n", e.what());
-    return 1;
+    return 6;
   }
   return usage();
 }

@@ -1,0 +1,55 @@
+#!/usr/bin/env sh
+# Malformed-tape triage contract: every fixture in tests/corpus/malformed/
+# must fail `efd_repro replay` with the DOCUMENTED exit code (3 = parse,
+# 4 = IO, 5 = unknown scenario) and a one-line diagnostic on stderr —
+# scripted triage sorts tapes by these codes, so they are part of the CLI's
+# stable interface (see the exit-code table in efd_repro.cpp).
+#
+# usage: tape_errors_smoke.sh <efd_repro-binary> <malformed-corpus-dir>
+set -u
+
+repro="$1"
+dir="$2"
+fail=0
+
+expect_code() {
+  tape="$1"
+  want="$2"
+  err=$("$repro" replay "$tape" 2>&1 >/dev/null)
+  got=$?
+  if [ "$got" != "$want" ]; then
+    echo "FAIL: $tape exited $got, want $want" >&2
+    fail=1
+    return
+  fi
+  if [ -z "$err" ]; then
+    echo "FAIL: $tape produced no diagnostic" >&2
+    fail=1
+    return
+  fi
+  if [ "$(printf '%s\n' "$err" | wc -l)" != "1" ]; then
+    echo "FAIL: $tape diagnostic is not one line:" >&2
+    printf '%s\n' "$err" >&2
+    fail=1
+    return
+  fi
+  echo "ok: $(basename "$tape") -> $got ($err)"
+}
+
+for tape in "$dir"/*.tape; do
+  case "$(basename "$tape")" in
+    unknown_scenario.tape) expect_code "$tape" 5 ;;
+    *) expect_code "$tape" 3 ;;
+  esac
+done
+
+expect_code "$dir/does-not-exist.tape.missing" 4
+
+# `print` must fail identically: the parse happens before any replay.
+"$repro" print "$dir/truncated.tape" >/dev/null 2>&1
+if [ $? != 3 ]; then
+  echo "FAIL: print truncated.tape did not exit 3" >&2
+  fail=1
+fi
+
+exit $fail
