@@ -10,12 +10,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <initializer_list>
 #include <mutex>
+#include <new>
 #include <set>
 #include <string>
 #include <utility>
@@ -24,6 +26,40 @@
 #include "efd/efd.hpp"
 
 namespace efd::bench {
+
+// ---- heap-allocation telemetry (EFD_BENCH_ALLOC_PROBE) ----
+//
+// Benches that instantiate EFD_BENCH_ALLOC_PROBE() at file scope replace the
+// global operator new/delete with counting forwarders, so a timing loop can
+// report its true heap traffic (`allocs_per_step`). The arena-pooled hot
+// path (sim/arena.hpp) must show ~0 allocations per explored state in
+// steady state; tools/bench_diff.py fails a diff whose allocs_per_* counter
+// rises. The counters are process-wide and relaxed: benches read deltas
+// around single-threaded timing loops (the parallel E14 variants count
+// worker allocations too, which is exactly what we want to observe).
+
+struct AllocCounters {
+  std::atomic<std::uint64_t> allocs{0};
+  std::atomic<std::uint64_t> frees{0};
+  std::atomic<std::uint64_t> bytes{0};
+};
+
+inline AllocCounters& alloc_counters() noexcept {
+  static AllocCounters c;
+  return c;
+}
+
+/// Total operator-new calls so far (0 unless EFD_BENCH_ALLOC_PROBE is live).
+inline std::uint64_t alloc_count() noexcept {
+  return alloc_counters().allocs.load(std::memory_order_relaxed);
+}
+
+/// Records `delta_allocs / steps` as the "allocs_per_step" counter.
+inline void alloc_counter(benchmark::State& state, std::uint64_t delta_allocs,
+                          double steps) {
+  state.counters["allocs_per_step"] =
+      steps > 0 ? static_cast<double>(delta_allocs) / steps : 0.0;
+}
 
 inline telemetry::BenchEmitter& emitter() { return telemetry::BenchEmitter::instance(); }
 
@@ -122,4 +158,44 @@ inline void json_run(const benchmark::State& state, std::string name,
     ::efd::bench::init_json(exp);                               \
     return true;                                                \
   }();                                                          \
+  }
+
+/// Place once at file scope (outside any namespace) in a bench binary that
+/// reports allocation counters: replaces the global operator new/delete with
+/// malloc/free forwarders that count into efd::bench::alloc_counters().
+/// Replacement functions must have external linkage and appear in exactly
+/// one TU — fine here, every bench binary is a single TU.
+#define EFD_BENCH_ALLOC_PROBE()                                               \
+  void* operator new(std::size_t n) {                                         \
+    auto& c = ::efd::bench::alloc_counters();                                 \
+    c.allocs.fetch_add(1, std::memory_order_relaxed);                         \
+    c.bytes.fetch_add(n, std::memory_order_relaxed);                          \
+    if (void* p = std::malloc(n != 0 ? n : 1)) return p;                      \
+    throw std::bad_alloc{};                                                   \
+  }                                                                           \
+  void* operator new[](std::size_t n) { return ::operator new(n); }           \
+  void* operator new(std::size_t n, const std::nothrow_t&) noexcept {         \
+    auto& c = ::efd::bench::alloc_counters();                                 \
+    c.allocs.fetch_add(1, std::memory_order_relaxed);                         \
+    c.bytes.fetch_add(n, std::memory_order_relaxed);                          \
+    return std::malloc(n != 0 ? n : 1);                                       \
+  }                                                                           \
+  void* operator new[](std::size_t n, const std::nothrow_t& t) noexcept {     \
+    return ::operator new(n, t);                                              \
+  }                                                                           \
+  void operator delete(void* p) noexcept {                                    \
+    if (p != nullptr) {                                                       \
+      ::efd::bench::alloc_counters().frees.fetch_add(1,                       \
+                                                     std::memory_order_relaxed); \
+      std::free(p);                                                           \
+    }                                                                         \
+  }                                                                           \
+  void operator delete(void* p, std::size_t) noexcept { ::operator delete(p); } \
+  void operator delete[](void* p) noexcept { ::operator delete(p); }          \
+  void operator delete[](void* p, std::size_t) noexcept { ::operator delete(p); } \
+  void operator delete(void* p, const std::nothrow_t&) noexcept {             \
+    ::operator delete(p);                                                     \
+  }                                                                           \
+  void operator delete[](void* p, const std::nothrow_t&) noexcept {           \
+    ::operator delete(p);                                                     \
   }

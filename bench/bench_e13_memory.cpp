@@ -15,6 +15,7 @@
 #include <unordered_map>
 
 EFD_BENCH_JSON("E13")
+EFD_BENCH_ALLOC_PROBE()
 
 namespace efd {
 namespace {
@@ -24,11 +25,13 @@ constexpr int kRegs = 256;  // footprint per store, matching mid-size runs
 /// Counter + JSON epilogue shared by every E13 variant: `ops` mirrors
 /// items-processed as an explicit counter so the emitted JSON is
 /// self-contained (SetItemsProcessed only feeds the stdout report).
-void e13_finish(benchmark::State& state, const char* name, std::int64_t items_per_iter) {
+void e13_finish(benchmark::State& state, const char* name, std::int64_t items_per_iter,
+                std::uint64_t allocs_delta) {
   const auto ops = static_cast<double>(state.iterations() * items_per_iter);
   state.SetItemsProcessed(state.iterations() * items_per_iter);
   state.counters["ops"] = ops;
   state.counters["ops_per_s"] = benchmark::Counter(ops, benchmark::Counter::kIsRate);
+  bench::alloc_counter(state, allocs_delta, ops);
   bench::json_run(state, name);
 }
 
@@ -61,22 +64,24 @@ void E13_WriteLegacy(benchmark::State& state) {
   LegacyRegisterFile m;
   const std::string base = "e13/legacy/W";
   int i = 0;
+  const std::uint64_t a0 = bench::alloc_count();
   for (auto _ : state) {
     m.write(legacy_reg(base, i), Value(i));
     i = (i + 1) % kRegs;
   }
-  e13_finish(state, "E13_WriteLegacy", 1);
+  e13_finish(state, "E13_WriteLegacy", 1, bench::alloc_count() - a0);
 }
 
 void E13_WriteInterned(benchmark::State& state) {
   RegisterFile m;
   const Sym base = sym("e13/interned/W");
   int i = 0;
+  const std::uint64_t a0 = bench::alloc_count();
   for (auto _ : state) {
     m.write(reg(base, i), Value(i));
     i = (i + 1) % kRegs;
   }
-  e13_finish(state, "E13_WriteInterned", 1);
+  e13_finish(state, "E13_WriteInterned", 1, bench::alloc_count() - a0);
 }
 
 void E13_ReadLegacy(benchmark::State& state) {
@@ -85,12 +90,13 @@ void E13_ReadLegacy(benchmark::State& state) {
   for (int i = 0; i < kRegs; ++i) m.write(legacy_reg(base, i), Value(i));
   int i = 0;
   std::int64_t sink = 0;
+  const std::uint64_t a0 = bench::alloc_count();
   for (auto _ : state) {
     sink += m.read(legacy_reg(base, i)).int_or(0);
     i = (i + 1) % kRegs;
   }
   benchmark::DoNotOptimize(sink);
-  e13_finish(state, "E13_ReadLegacy", 1);
+  e13_finish(state, "E13_ReadLegacy", 1, bench::alloc_count() - a0);
 }
 
 void E13_ReadInterned(benchmark::State& state) {
@@ -99,12 +105,13 @@ void E13_ReadInterned(benchmark::State& state) {
   for (int i = 0; i < kRegs; ++i) m.write(reg(base, i), Value(i));
   int i = 0;
   std::int64_t sink = 0;
+  const std::uint64_t a0 = bench::alloc_count();
   for (auto _ : state) {
     sink += m.read(reg(base, i)).int_or(0);
     i = (i + 1) % kRegs;
   }
   benchmark::DoNotOptimize(sink);
-  e13_finish(state, "E13_ReadInterned", 1);
+  e13_finish(state, "E13_ReadInterned", 1, bench::alloc_count() - a0);
 }
 
 // A collect()-style sweep: read base[0..n-1] in one pass, as every snapshot
@@ -114,11 +121,12 @@ void E13_SnapshotLegacy(benchmark::State& state) {
   const std::string base = "e13/legacy/S";
   for (int i = 0; i < kRegs; ++i) m.write(legacy_reg(base, i), Value(i));
   std::int64_t sink = 0;
+  const std::uint64_t a0 = bench::alloc_count();
   for (auto _ : state) {
     for (int i = 0; i < kRegs; ++i) sink += m.read(legacy_reg(base, i)).int_or(0);
   }
   benchmark::DoNotOptimize(sink);
-  e13_finish(state, "E13_SnapshotLegacy", kRegs);
+  e13_finish(state, "E13_SnapshotLegacy", kRegs, bench::alloc_count() - a0);
 }
 
 void E13_SnapshotInterned(benchmark::State& state) {
@@ -126,11 +134,12 @@ void E13_SnapshotInterned(benchmark::State& state) {
   const Sym base = sym("e13/interned/S");
   for (int i = 0; i < kRegs; ++i) m.write(reg(base, i), Value(i));
   std::int64_t sink = 0;
+  const std::uint64_t a0 = bench::alloc_count();
   for (auto _ : state) {
     for (int i = 0; i < kRegs; ++i) sink += m.read(reg(base, i)).int_or(0);
   }
   benchmark::DoNotOptimize(sink);
-  e13_finish(state, "E13_SnapshotInterned", kRegs);
+  e13_finish(state, "E13_SnapshotInterned", kRegs, bench::alloc_count() - a0);
 }
 
 // Exploration dedup pattern (corridor DFS): one write, then a signature of
@@ -142,13 +151,14 @@ void E13_ContentHashLegacy(benchmark::State& state) {
   for (int i = 0; i < kRegs; ++i) m.write(legacy_reg(base, i), Value(i));
   int i = 0;
   std::uint64_t sink = 0;
+  const std::uint64_t a0 = bench::alloc_count();
   for (auto _ : state) {
     m.write(legacy_reg(base, i), Value(i + 1));
     sink ^= m.content_hash();
     i = (i + 1) % kRegs;
   }
   benchmark::DoNotOptimize(sink);
-  e13_finish(state, "E13_ContentHashLegacy", 1);
+  e13_finish(state, "E13_ContentHashLegacy", 1, bench::alloc_count() - a0);
 }
 
 void E13_ContentHashInterned(benchmark::State& state) {
@@ -157,13 +167,14 @@ void E13_ContentHashInterned(benchmark::State& state) {
   for (int i = 0; i < kRegs; ++i) m.write(reg(base, i), Value(i));
   int i = 0;
   std::uint64_t sink = 0;
+  const std::uint64_t a0 = bench::alloc_count();
   for (auto _ : state) {
     m.write(reg(base, i), Value(i + 1));
     sink ^= m.content_hash();
     i = (i + 1) % kRegs;
   }
   benchmark::DoNotOptimize(sink);
-  e13_finish(state, "E13_ContentHashInterned", 1);
+  e13_finish(state, "E13_ContentHashInterned", 1, bench::alloc_count() - a0);
 }
 
 }  // namespace

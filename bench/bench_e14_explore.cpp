@@ -21,6 +21,7 @@
 #include <string>
 
 EFD_BENCH_JSON("E14")
+EFD_BENCH_ALLOC_PROBE()
 
 namespace efd {
 namespace {
@@ -57,6 +58,7 @@ void run_one(benchmark::State& state, ExploreEngine engine, int threads, const c
   std::int64_t last_terminal = 0;
   ExploreStats last_stats;
   bool ok = true;
+  const std::uint64_t allocs_before = bench::alloc_count();
   for (auto _ : state) {
     const ExploreOutcome o = explore_k_concurrent(task, body, in, e14_cfg(engine, threads));
     states_total += o.states;
@@ -65,6 +67,7 @@ void run_one(benchmark::State& state, ExploreEngine engine, int threads, const c
     last_stats = o.stats;
     ok = ok && o.ok && !o.budget_exhausted;
   }
+  const std::uint64_t allocs_delta = bench::alloc_count() - allocs_before;
   state.counters["states"] = static_cast<double>(last_states);
   state.counters["states/s"] =
       benchmark::Counter(static_cast<double>(states_total), benchmark::Counter::kIsRate);
@@ -72,7 +75,9 @@ void run_one(benchmark::State& state, ExploreEngine engine, int threads, const c
   state.counters["dedup_queries"] = static_cast<double>(last_stats.dedup_queries);
   state.counters["dedup_hits"] = static_cast<double>(last_stats.dedup_hits);
   state.counters["respawns"] = static_cast<double>(last_stats.respawns);
+  state.counters["ghost_hits"] = static_cast<double>(last_stats.ghost_hits);
   state.counters["pool_steals"] = static_cast<double>(last_stats.pool_steals);
+  bench::alloc_counter(state, allocs_delta, static_cast<double>(states_total));
   bench::json_run(state, json_name, json_args);
   bench::row("%-22s | %8lld states | %7lld terminal | clean=%d", label,
              static_cast<long long>(last_states), static_cast<long long>(last_terminal),

@@ -4,8 +4,7 @@
 
 namespace efd {
 
-Proc one_concurrent_solver(Context& ctx, TaskPtr task, Value input, std::string ns) {
-  const OneConcurrentRegs regs(ns);
+Proc one_concurrent_solver(Context& ctx, TaskPtr task, Value input, OneConcurrentRegs regs) {
   const int n = task->n_procs();
   const int i = ctx.pid().index;
 
@@ -23,8 +22,11 @@ Proc one_concurrent_solver(Context& ctx, TaskPtr task, Value input, std::string 
 }
 
 ProcBody make_one_concurrent(TaskPtr task, Value input, std::string ns) {
-  return [task = std::move(task), input = std::move(input), ns = std::move(ns)](Context& ctx) {
-    return one_concurrent_solver(ctx, task, input, ns);
+  // Intern the register bases once at bind time; every invocation (including
+  // explorer respawns) then passes two Syms instead of re-deriving them.
+  const OneConcurrentRegs regs(ns);
+  return [task = std::move(task), input = std::move(input), regs](Context& ctx) {
+    return one_concurrent_solver(ctx, task, input, regs);
   };
 }
 

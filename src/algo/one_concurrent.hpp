@@ -24,8 +24,12 @@ struct OneConcurrentRegs {
       : in_base(sym(ns + "/In")), out_base(sym(ns + "/Out")) {}
 };
 
-/// Body of C-process p_{i+1} solving `task` with input `input`.
-Proc one_concurrent_solver(Context& ctx, TaskPtr task, Value input, std::string ns);
+/// Body of C-process p_{i+1} solving `task` with input `input`. Takes the
+/// pre-interned register bases by value (8 trivially-copyable bytes): the
+/// incremental explorer respawns bodies ~10^5 times per sweep, and interning
+/// "ns/In"/"ns/Out" inside the coroutine put two string builds plus two
+/// interner lookups on every respawn.
+Proc one_concurrent_solver(Context& ctx, TaskPtr task, Value input, OneConcurrentRegs regs);
 
 /// Convenience factory binding (task, input, namespace) into a ProcBody.
 ProcBody make_one_concurrent(TaskPtr task, Value input, std::string ns = "p1c");

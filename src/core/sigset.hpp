@@ -1,0 +1,75 @@
+// Flat open-addressing set of 64-bit exploration signatures.
+//
+// The dedup set is the hottest container in an exploration sweep: one lookup
+// per DFS node, one insert per unseen configuration. std::unordered_set
+// allocates a node per insert and chases a bucket pointer per lookup; this
+// set stores the signatures in one flat power-of-two array with linear
+// probing, so a sweep's dedup traffic performs zero allocations outside the
+// (amortized, doubling) table growths.
+//
+// Semantics match unordered_set::insert().second exactly: first insert wins,
+// duplicates report false. Signatures are already avalanche-mixed by the
+// explorers (mix64 / content hashes), but the probe index is remixed here
+// anyway so a structured signature family cannot cluster the table.
+// Not thread-safe; ShardedSigSet (core/workpool.hpp) stripes instances of
+// this set behind per-shard mutexes for the parallel frontier.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace efd {
+
+class FlatSigSet {
+ public:
+  FlatSigSet() : slots_(kInitialCap, kEmpty) {}
+
+  /// Inserts `sig`; true iff it was unseen (first insert wins).
+  bool insert(std::uint64_t sig) {
+    // 0 cannot live in the table (it marks empty slots); track it aside.
+    if (sig == kEmpty) {
+      const bool fresh = !has_zero_;
+      has_zero_ = true;
+      size_ += fresh ? 1 : 0;
+      return fresh;
+    }
+    if ((size_ + 1) * 10 >= slots_.size() * 7) grow();
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = probe_start(sig, mask);
+    while (slots_[i] != kEmpty) {
+      if (slots_[i] == sig) return false;
+      i = (i + 1) & mask;
+    }
+    slots_[i] = sig;
+    ++size_;
+    return true;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+ private:
+  static constexpr std::uint64_t kEmpty = 0;
+  static constexpr std::size_t kInitialCap = 1024;  // power of two
+
+  [[nodiscard]] static std::size_t probe_start(std::uint64_t sig, std::size_t mask) noexcept {
+    return static_cast<std::size_t>((sig * 0x9E3779B97F4A7C15ULL) >> 17) & mask;
+  }
+
+  void grow() {
+    std::vector<std::uint64_t> old = std::move(slots_);
+    slots_.assign(old.size() * 2, kEmpty);
+    const std::size_t mask = slots_.size() - 1;
+    for (const std::uint64_t sig : old) {
+      if (sig == kEmpty) continue;
+      std::size_t i = probe_start(sig, mask);
+      while (slots_[i] != kEmpty) i = (i + 1) & mask;
+      slots_[i] = sig;
+    }
+  }
+
+  std::vector<std::uint64_t> slots_;
+  std::size_t size_ = 0;
+  bool has_zero_ = false;
+};
+
+}  // namespace efd

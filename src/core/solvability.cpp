@@ -4,9 +4,9 @@
 #include <atomic>
 #include <chrono>
 #include <deque>
-#include <unordered_set>
 #include <utility>
 
+#include "core/sigset.hpp"
 #include "core/workpool.hpp"
 #include "sim/schedule.hpp"
 
@@ -76,7 +76,7 @@ class SequentialContext final : public ExploreContext {
   }
   bool visit(std::uint64_t sig) override {
     ++queries_;
-    const bool fresh = visited_.insert(sig).second;
+    const bool fresh = visited_.insert(sig);
     misses_ += fresh ? 1 : 0;
     return fresh;
   }
@@ -95,7 +95,7 @@ class SequentialContext final : public ExploreContext {
   std::int64_t misses_ = 0;
   bool stop_ = false;
   bool exhausted_ = false;
-  std::unordered_set<std::uint64_t> visited_;
+  FlatSigSet visited_;  ///< flat probing set: no node alloc per insert
 };
 
 class ParallelContext final : public ExploreContext {
@@ -186,25 +186,38 @@ class IncrementalExplorer {
     exists_.assign(n, 0);
     outs_.resize(n);
     proc_log_.resize(n);
-    cor_pos_.assign(n, 0);
+    ghost_.resize(n);
+    bodies_.resize(n);
     for (int i : cfg_.arrival) {
-      w_.spawn_c(i, body_(i, inputs_[static_cast<std::size_t>(i)]));
-      exists_[static_cast<std::size_t>(i)] = 1;
+      const auto ii = static_cast<std::size_t>(i);
+      // Cache the ProcBody once per process: every respawn reuses it instead
+      // of manufacturing a fresh std::function through the factory.
+      bodies_[ii] = body_(i, inputs_[ii]);
+      w_.spawn_c(i, bodies_[ii]);
+      exists_[ii] = 1;
     }
     if (cfg_.threads <= 1) w_.attach_observer(cfg_.observer);
+    relation_ok_ = task_->relation(inputs_, outs_);
     window_.refresh([this](int c) { return finished(c); });
   }
 
   /// Full DFS from the current configuration (entry bookkeeping included).
   void dfs() {
     if (enter_node() != Node::kExpand) return;
-    const std::vector<int> elig = window_.active();  // copy: window_ mutates below
-    for (int c : elig) {
-      if (ctx_.stopped()) return;
+    // window_.active() mutates below; snapshot it onto the shared scratch
+    // stack (index-based: recursion may grow/reallocate it) instead of a
+    // fresh vector per node.
+    const std::size_t base = elig_stack_.size();
+    elig_stack_.insert(elig_stack_.end(), window_.active().begin(), window_.active().end());
+    const std::size_t top = elig_stack_.size();
+    for (std::size_t j = base; j < top; ++j) {
+      if (ctx_.stopped()) break;
+      const int c = elig_stack_[j];
       push_step(c);
       dfs();
       pop_step();
     }
+    elig_stack_.resize(base);
   }
 
   /// Advances to `prefix` WITHOUT entry bookkeeping (used by parallel
@@ -235,7 +248,11 @@ class IncrementalExplorer {
       ctx_.stop();
       return Node::kPruned;
     }
-    if (!task_->relation(inputs_, outs_)) {
+    // relation(inputs_, outs_) is a pure predicate and outs_ only changes on
+    // decide edges, so the verdict is cached there instead of being
+    // recomputed at every node (it dominated enter_node: two sorted
+    // distinct-value vectors per call on the set-agreement family).
+    if (!relation_ok_) {
       fail("task relation violated");
       return Node::kPruned;
     }
@@ -266,7 +283,24 @@ class IncrementalExplorer {
     std::uint64_t prev_proc_sig = 0;
     bool became_decided = false;
     bool became_terminated = false;
-    AdmissionWindow prev_window;
+    bool prev_relation_ok = true;  ///< relation verdict before this decide edge
+    AdmissionWindow::RefreshUndo win_undo;  ///< delta, not a window snapshot
+  };
+
+  /// One step a live coroutine frame consumed BEYOND the logical position
+  /// (its edge was popped). Deterministic replay cuts both ways: if the next
+  /// logical step of the process would deliver exactly `result` again, the
+  /// ran-ahead frame is already in the correct post-step state, and the step
+  /// can be applied world-side only — no respawn, no replay, no resume.
+  /// Everything here is a pure function of the process's consumed-result
+  /// prefix, which is what makes the reuse sound.
+  struct GhostStep {
+    OpKind op = OpKind::kYield;
+    RegAddr addr;           ///< op target (kRead/kWrite)
+    Value result;           ///< result the frame consumed at this position
+    Value value;            ///< written value (kWrite) / decision (kDecide)
+    bool decided = false;   ///< this step recorded the first decision
+    bool terminated = false;///< this step completed the coroutine
   };
 
   [[nodiscard]] bool finished(int c) const {
@@ -274,31 +308,86 @@ class IncrementalExplorer {
     return decided_[i] != 0 || terminated_[i] != 0;
   }
 
-  /// Rebuilds c's coroutine at the logical position if it ran ahead.
+  /// Rebuilds c's coroutine at the logical position if it ran ahead
+  /// (non-empty ghost log = frame consumed results beyond the position).
   void ensure_fresh(int c) {
     const auto i = static_cast<std::size_t>(c);
-    if (cor_pos_[i] == proc_log_[i].size()) return;
-    w_.respawn(cpid(c), body_(c, inputs_[i]));
+    if (ghost_[i].empty()) return;
+    ghost_[i].clear();
+    w_.respawn(cpid(c), bodies_[i]);
     ++out_.stats.respawns;
-    for (const Value& result : proc_log_[i]) w_.redeliver(cpid(c), result);
+    w_.redeliver_all(cpid(c), proc_log_[i]);
     out_.stats.redelivers += static_cast<std::int64_t>(proc_log_[i].size());
-    cor_pos_[i] = proc_log_[i].size();
+  }
+
+  /// Fast path of push_step: the frame ran ahead, and its next ghost step
+  /// would consume exactly the result the current configuration delivers.
+  /// Applies the step's world-side effects (memory write, flags, window)
+  /// and reclaims the ghost entry; the frame itself is already past the
+  /// step. Returns false (leaving no side effects) when the results
+  /// diverge — the caller then respawns and replays as usual.
+  bool try_ghost_step(int c) {
+    const auto i = static_cast<std::size_t>(c);
+    const GhostStep& gs = ghost_[i].back();
+    Value result;
+    if (gs.op == OpKind::kRead) {
+      result = w_.memory().read(gs.addr);
+      if (result != gs.result) return false;
+    } else if (gs.op == OpKind::kQuery) {
+      return false;  // FD answers are time-dependent; never ghost-replayed
+    }
+    // Non-read ops deliver Nil, which trivially matches the ghost.
+    PathStep& ps = path_.emplace_back();
+    ps.c = c;
+    ps.op = gs.op;
+    ps.addr = gs.addr;
+    ps.prev_proc_sig = proc_sig_[i];
+    if (gs.op == OpKind::kWrite) {
+      ps.prev_written = w_.memory().written(gs.addr);
+      if (ps.prev_written) ps.prev_value = w_.memory().read(gs.addr);
+      w_.memory().write(gs.addr, gs.value);
+    }
+    proc_log_[i].push_back(result);
+    proc_sig_[i] = proc_sig_[i] * kFnvPrime + result.hash() + static_cast<std::uint64_t>(ps.op);
+    if (gs.decided && decided_[i] == 0) {
+      ps.became_decided = true;
+      decided_[i] = 1;
+      outs_[i] = gs.value;
+      ps.prev_relation_ok = relation_ok_;
+      relation_ok_ = task_->relation(inputs_, outs_);
+    }
+    if (gs.terminated) {
+      ps.became_terminated = true;
+      terminated_[i] = 1;
+    }
+    if (StepObserver* obs = w_.observer()) {
+      // Same signature World::step would have reported for this step.
+      obs->on_step(cpid(c), false, gs.op == OpKind::kDecide, gs.terminated);
+    }
+    ghost_[i].pop_back();
+    ++out_.stats.ghost_hits;
+    window_.refresh_tracked([this](int cc) { return finished(cc); }, ps.win_undo);
+    sched_.push_back(c);
+    out_.stats.max_undo_depth =
+        std::max(out_.stats.max_undo_depth, static_cast<std::int64_t>(path_.size()));
+    return true;
   }
 
   void push_step(int c) {
     const auto i = static_cast<std::size_t>(c);
+    if (!ghost_[i].empty() && try_ghost_step(c)) return;
     ensure_fresh(c);
     const PendingOp* op = w_.pending_op(cpid(c));
     if (op == nullptr) {
       throw std::logic_error("IncrementalExplorer: scheduled a finished process");
     }
-    PathStep ps;
+    PathStep& ps = path_.emplace_back();  // filled in place; popped on undo
     ps.c = c;
     ps.op = op->kind;
     ps.prev_proc_sig = proc_sig_[i];
-    ps.prev_window = window_;
     Value result;  // what the step delivers back (mirrors World::step)
     if (op->kind == OpKind::kRead) {
+      ps.addr = op->addr;  // kept so a popped edge can become a ghost step
       result = w_.memory().read(op->addr);
     } else if (op->kind == OpKind::kWrite) {
       ps.addr = op->addr;
@@ -306,41 +395,53 @@ class IncrementalExplorer {
       if (ps.prev_written) ps.prev_value = w_.memory().read(op->addr);
     }
     w_.step(cpid(c));  // executes exactly `op`
-    ++cor_pos_[i];
     proc_log_[i].push_back(result);
     proc_sig_[i] = proc_sig_[i] * kFnvPrime + result.hash() + static_cast<std::uint64_t>(ps.op);
     if (decided_[i] == 0 && w_.decided(cpid(c))) {
       ps.became_decided = true;
       decided_[i] = 1;
       outs_[i] = w_.decision(cpid(c));
+      ps.prev_relation_ok = relation_ok_;
+      relation_ok_ = task_->relation(inputs_, outs_);
     }
     if (terminated_[i] == 0 && w_.terminated(cpid(c))) {
       ps.became_terminated = true;
       terminated_[i] = 1;
     }
-    window_.refresh([this](int cc) { return finished(cc); });
+    window_.refresh_tracked([this](int cc) { return finished(cc); }, ps.win_undo);
     sched_.push_back(c);
-    path_.push_back(std::move(ps));
     out_.stats.max_undo_depth =
         std::max(out_.stats.max_undo_depth, static_cast<std::int64_t>(path_.size()));
   }
 
   void pop_step() {
-    PathStep ps = std::move(path_.back());
-    path_.pop_back();
+    PathStep& ps = path_.back();
     sched_.pop_back();
     const auto i = static_cast<std::size_t>(ps.c);
-    window_ = std::move(ps.prev_window);
+    window_.unrefresh(ps.win_undo);
     proc_sig_[i] = ps.prev_proc_sig;
+    // The frame stays one step ahead; record what it consumed so a future
+    // push of this process can reuse it instead of respawning (ghost path).
+    GhostStep gs;
+    gs.op = ps.op;
+    gs.addr = ps.addr;
+    gs.result = std::move(proc_log_[i].back());
+    gs.decided = ps.became_decided;
+    gs.terminated = ps.became_terminated;
+    if (ps.op == OpKind::kWrite) gs.value = w_.memory().read(ps.addr);
     if (ps.became_decided) {
+      gs.value = outs_[i];
       decided_[i] = 0;
       outs_[i] = Value{};
+      relation_ok_ = ps.prev_relation_ok;
     }
     if (ps.became_terminated) terminated_[i] = 0;
     if (ps.op == OpKind::kWrite) {
       w_.memory().undo_write(ps.addr, ps.prev_value, ps.prev_written);
     }
-    proc_log_[i].pop_back();  // coroutine now ahead: dirty until respawned
+    proc_log_[i].pop_back();
+    ghost_[i].push_back(std::move(gs));
+    path_.pop_back();  // invalidates ps — must stay last
   }
 
   /// Full-configuration signature; identical formula to the reference
@@ -374,6 +475,8 @@ class IncrementalExplorer {
   AdmissionWindow window_;
   std::vector<int> sched_;
   std::vector<PathStep> path_;
+  std::vector<int> elig_stack_;   ///< dfs eligibility snapshots, all depths
+  std::vector<ProcBody> bodies_;  ///< cached per-process bodies (respawn)
 
   // Logical (undo-tracked) per-process state; w_'s own flags lag behind for
   // dirty processes, so the engine never consults them outside push_step.
@@ -382,8 +485,12 @@ class IncrementalExplorer {
   std::vector<std::uint8_t> terminated_;
   std::vector<std::uint8_t> exists_;
   ValueVec outs_;
+  bool relation_ok_ = true;  ///< cached task_->relation(inputs_, outs_)
   std::vector<std::vector<Value>> proc_log_;  ///< delivered results, per process
-  std::vector<std::size_t> cor_pos_;          ///< results applied to the live frame
+  // Per process: results its live frame consumed beyond the logical position,
+  // innermost last. Invariant: concat(proc_log_[i], reverse(ghost_[i])) is
+  // exactly the prefix the frame has consumed; LIFO push/pop preserves it.
+  std::vector<std::vector<GhostStep>> ghost_;
 };
 
 // ---------------------------------------------------------------------------
@@ -395,7 +502,13 @@ class FullReplayExplorer {
  public:
   FullReplayExplorer(const TaskPtr& task, const std::function<ProcBody(int, Value)>& body,
                      const ValueVec& inputs, const ExploreConfig& cfg, ExploreContext& ctx)
-      : task_(task), body_(body), inputs_(inputs), cfg_(cfg), ctx_(ctx) {}
+      : task_(task), body_(body), inputs_(inputs), cfg_(cfg), ctx_(ctx) {
+    bodies_.resize(static_cast<std::size_t>(task_->n_procs()));
+    for (int i : cfg_.arrival) {
+      const auto ii = static_cast<std::size_t>(i);
+      bodies_[ii] = body_(i, inputs_[ii]);
+    }
+  }
 
   void dfs() {
     std::vector<int> sched;
@@ -417,7 +530,7 @@ class FullReplayExplorer {
   ReplayInfo replay(const std::vector<int>& sched) {
     World w = World::failure_free(1);
     for (int i : cfg_.arrival) {
-      w.spawn_c(i, body_(i, inputs_[static_cast<std::size_t>(i)]));
+      w.spawn_c(i, bodies_[static_cast<std::size_t>(i)]);
     }
     w.attach_observer(cfg_.observer);
     AdmissionWindow win(cfg_.k, cfg_.arrival);
@@ -494,6 +607,7 @@ class FullReplayExplorer {
   ExploreConfig cfg_;
   ExploreContext& ctx_;
   ExploreOutcome out_;
+  std::vector<ProcBody> bodies_;  ///< cached per-process bodies
 };
 
 // ---------------------------------------------------------------------------
@@ -596,6 +710,7 @@ ExploreOutcome explore_parallel(const TaskPtr& task,
     out.stats.max_undo_depth = std::max(out.stats.max_undo_depth, p.stats.max_undo_depth);
     out.stats.respawns += p.stats.respawns;
     out.stats.redelivers += p.stats.redelivers;
+    out.stats.ghost_hits += p.stats.ghost_hits;
   }
   out.states = ctx.states();
   const std::chrono::duration<double> dt = std::chrono::steady_clock::now() - t0;

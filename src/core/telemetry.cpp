@@ -19,6 +19,7 @@ void ExploreStats::merge(const ExploreStats& o) {
   max_undo_depth = std::max(max_undo_depth, o.max_undo_depth);
   respawns += o.respawns;
   redelivers += o.redelivers;
+  ghost_hits += o.ghost_hits;
   pool_steals += o.pool_steals;
   threads = std::max(threads, o.threads);
   elapsed_s += o.elapsed_s;

@@ -45,6 +45,7 @@ struct ExploreStats {
   std::int64_t max_undo_depth = 0; ///< deepest undo log (incremental engine)
   std::int64_t respawns = 0;       ///< coroutines rebuilt after a backtrack
   std::int64_t redelivers = 0;     ///< logged results replayed into rebuilt frames
+  std::int64_t ghost_hits = 0;     ///< steps replayed against a ran-ahead frame (no rebuild)
   std::int64_t pool_steals = 0;    ///< frontier jobs executed by a stealing worker
   int threads = 1;                 ///< worker count of the sweep
   double elapsed_s = 0;            ///< wall time of the sweep

@@ -16,8 +16,9 @@
 #include <cstdint>
 #include <functional>
 #include <mutex>
-#include <unordered_set>
 #include <vector>
+
+#include "core/sigset.hpp"
 
 namespace efd {
 
@@ -48,7 +49,7 @@ class ShardedSigSet {
   bool insert(std::uint64_t sig) {
     Shard& s = shards_[shard_of(sig)];
     std::lock_guard<std::mutex> lk(s.mu);
-    return s.set.insert(sig).second;
+    return s.set.insert(sig);
   }
 
   [[nodiscard]] std::size_t size() const {
@@ -70,7 +71,7 @@ class ShardedSigSet {
 
   struct Shard {
     mutable std::mutex mu;
-    std::unordered_set<std::uint64_t> set;
+    FlatSigSet set;  ///< flat probing set: no node alloc per insert
   };
   Shard shards_[kShards];
 };

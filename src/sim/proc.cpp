@@ -5,6 +5,17 @@
 namespace efd {
 
 Co<Value> collect(Context& ctx, Sym base, int n) {
+  // Fast path: gather into a frame-local buffer and pack straight into a
+  // Value (inline when the elements permit) — no ValueVec heap round-trip.
+  // The buffer lives in the coroutine frame, i.e. in the world's arena.
+  constexpr int kBuf = 16;
+  if (n >= 0 && n <= kBuf) {
+    Value buf[kBuf];
+    for (int i = 0; i < n; ++i) {
+      buf[i] = co_await ctx.read(reg(base, i));
+    }
+    co_return Value(buf, buf + n);
+  }
   ValueVec out;
   out.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {

@@ -37,6 +37,7 @@
 #include <string>
 #include <utility>
 
+#include "sim/arena.hpp"
 #include "sim/ids.hpp"
 #include "sim/regid.hpp"
 #include "sim/value.hpp"
@@ -67,6 +68,14 @@ template <class T>
 struct CoPromiseBase {
   std::coroutine_handle<> continuation{};
   std::exception_ptr error{};
+
+  // Coroutine frames come from the thread's current FrameArena (installed by
+  // World entry points) and fall back to the global heap otherwise. The
+  // sized delete is ignored on purpose: frame_free reads the size from the
+  // block's own header, so frames can be freed from any thread/scope.
+  static void* operator new(std::size_t bytes) { return frame_alloc(bytes); }
+  static void operator delete(void* p) noexcept { frame_free(p); }
+  static void operator delete(void* p, std::size_t) noexcept { frame_free(p); }
 
   std::suspend_always initial_suspend() noexcept { return {}; }
 
@@ -265,6 +274,18 @@ class Context {
     decision_ = std::move(v);
   }
 
+  /// Returns the mailbox to its freshly-constructed state so World::respawn
+  /// can reuse the Context object (it is a stable heap address handed by
+  /// reference into coroutine frames, so it must not be reallocated).
+  void reset() noexcept {
+    pending_ = PendingOp{};
+    has_pending_ = false;
+    result_ = Value{};
+    resume_target_ = {};
+    decided_ = false;
+    decision_ = Value{};
+  }
+
  private:
   Pid pid_;
   PendingOp pending_{};
@@ -290,7 +311,12 @@ Co<Value> double_collect(Context& ctx, Sym base, int n);
 /// the first non-Nil value observed.
 Co<Value> await_nonnil(Context& ctx, RegAddr addr);
 
-/// String conveniences (intern per call; hot paths hoist the Sym).
+/// DEPRECATED(string-intern-per-call): these convenience overloads intern
+/// `base` on EVERY call, taking the global Sym table lock inside the step
+/// loop. New code (and all hot paths) must hoist the handle once —
+/// `static const Sym kBase = sym("base");` — and call the Sym overloads
+/// above. Kept only for cold call sites and tests; grep for the marker
+/// `string-intern-per-call` before adding a caller.
 inline Co<Value> collect(Context& ctx, const std::string& base, int n) {
   return collect(ctx, sym(base), n);
 }

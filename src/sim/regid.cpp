@@ -240,7 +240,26 @@ std::uint64_t RegAddr::name_hash() const { return Interner::instance().reg_name_
 
 RegAddr reg(Sym base) { return RegAddr::from_id(Interner::instance().resolve0(base.id())); }
 RegAddr reg(Sym base, int i) {
-  return RegAddr::from_id(Interner::instance().resolve1(base.id(), i));
+  // (sym, index) -> RegId is append-only and immutable once resolved, so a
+  // tiny direct-mapped thread-local memo can skip the interner's shared
+  // lock: collect() resolves the same handful of addresses millions of
+  // times per exploration sweep, and two atomic ops per resolve dominated
+  // the interner's cost. Stale entries are impossible; collisions just
+  // fall through to the interner.
+  struct Memo {
+    std::uint64_t tag;  // key + 1; 0 marks an empty slot
+    RegId id;
+  };
+  static thread_local Memo memo[256] = {};
+  const std::uint64_t key =
+      ((static_cast<std::uint64_t>(base.id()) << 32) |
+       static_cast<std::uint64_t>(static_cast<std::uint32_t>(i))) + 1;
+  Memo& m = memo[(key * 0x9E3779B97F4A7C15ULL) >> 56];
+  if (m.tag == key) return RegAddr::from_id(m.id);
+  const RegId id = Interner::instance().resolve1(base.id(), i);
+  m.tag = key;
+  m.id = id;
+  return RegAddr::from_id(id);
 }
 RegAddr reg2(Sym base, int i, int j) {
   return RegAddr::from_id(Interner::instance().resolve2(base.id(), i, j));

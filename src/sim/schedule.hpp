@@ -17,6 +17,7 @@
 #pragma once
 
 #include <algorithm>
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <type_traits>
@@ -110,6 +111,81 @@ class AdmissionWindow {
   /// Convenience refresh against a live World.
   void refresh(const World& w) {
     refresh([&w](int c) { return w.decided(cpid(c)) || w.terminated(cpid(c)); });
+  }
+
+  /// Inverse log of one refresh_tracked() call. Retirements are recorded as
+  /// (original position, value); the common per-DFS-edge case (at most one
+  /// retirement — only the stepped process can change finished state — and
+  /// at most one admission) fits the inline array, so tracking allocates
+  /// nothing in steady state. The overflow vector only engages when more
+  /// processes retire in a single refresh than the inline slots hold.
+  struct RefreshUndo {
+    struct Retired {
+      std::uint32_t pos;  ///< index in active_ before the refresh
+      int c;
+    };
+    std::size_t prev_next_arrival = 0;
+    int prev_peak = 0;
+    std::uint32_t admitted = 0;
+    std::uint32_t retired = 0;
+    std::array<Retired, 4> inline_retired{};
+    std::vector<Retired> overflow_retired;  ///< entries 4.. in retire order
+  };
+
+  /// refresh(), but records the exact delta into `u` so unrefresh() can
+  /// rewind it. `u` is reset and reused; repeated track/unwind cycles touch
+  /// the heap only if a single refresh retires more than 4 processes.
+  /// Replaces the incremental explorer's per-edge full-window snapshots.
+  template <class FinishedFn,
+            class = std::enable_if_t<std::is_invocable_r_v<bool, FinishedFn&, int>>>
+  void refresh_tracked(FinishedFn&& finished, RefreshUndo& u) {
+    u.prev_next_arrival = next_arrival_;
+    u.prev_peak = stats_.peak_active;
+    u.admitted = 0;
+    u.retired = 0;
+    u.overflow_retired.clear();
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < active_.size(); ++i) {
+      const int c = active_[i];
+      if (finished(c)) {
+        const RefreshUndo::Retired entry{static_cast<std::uint32_t>(i), c};
+        if (u.retired < u.inline_retired.size()) {
+          u.inline_retired[u.retired] = entry;
+        } else {
+          u.overflow_retired.push_back(entry);
+        }
+        ++u.retired;
+      } else {
+        active_[out++] = c;
+      }
+    }
+    active_.resize(out);
+    stats_.retired += static_cast<std::int64_t>(u.retired);
+    while (next_arrival_ < arrival_.size() && static_cast<int>(active_.size()) < k_) {
+      active_.push_back(arrival_[next_arrival_++]);
+      ++stats_.admitted;
+      ++u.admitted;
+    }
+    stats_.peak_active = std::max(stats_.peak_active, static_cast<int>(active_.size()));
+  }
+
+  /// Exact inverse of the refresh_tracked() call that filled `u`. Must be
+  /// applied in LIFO order relative to other window mutations.
+  void unrefresh(const RefreshUndo& u) {
+    active_.resize(active_.size() - u.admitted);  // admissions append at the tail
+    stats_.admitted -= static_cast<std::int64_t>(u.admitted);
+    next_arrival_ = u.prev_next_arrival;
+    // Reinserting retirees in increasing original position inverts the
+    // stable remove: earlier reinsertions restore exactly the prefix the
+    // later positions were measured against.
+    for (std::uint32_t i = 0; i < u.retired; ++i) {
+      const auto& entry = i < u.inline_retired.size()
+                              ? u.inline_retired[i]
+                              : u.overflow_retired[i - u.inline_retired.size()];
+      active_.insert(active_.begin() + entry.pos, entry.c);
+    }
+    stats_.retired -= static_cast<std::int64_t>(u.retired);
+    stats_.peak_active = u.prev_peak;
   }
 
   /// Admitted, unfinished C-indices, in admission order (stable across

@@ -45,16 +45,18 @@ std::string StepRecord::to_string() const {
 int max_concurrency(const Trace& trace) {
   std::unordered_set<int> undecided;
   int peak = 0;
-  for (const auto& s : trace) {
-    if (!s.pid.is_c() || s.null_step) continue;
-    undecided.insert(s.pid.index);
+  const std::size_t n = trace.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Pid pid = trace.pid_at(i);
+    if (!pid.is_c() || trace.null_at(i)) continue;
+    undecided.insert(pid.index);
     peak = std::max(peak, static_cast<int>(undecided.size()));
     // Retire on decide OR termination: a coroutine that ran to completion
     // without deciding can never decide later, so counting it as "undecided"
     // forever would inflate the measured concurrency (the same
     // terminated-undecided inconsistency AdmissionWindow::refresh fixes on
     // the scheduling side).
-    if (s.op == OpKind::kDecide || s.terminated) undecided.erase(s.pid.index);
+    if (trace.op_at(i) == OpKind::kDecide || trace.term_at(i)) undecided.erase(pid.index);
   }
   return peak;
 }
@@ -63,8 +65,9 @@ bool is_k_concurrent(const Trace& trace, int k) { return max_concurrency(trace) 
 
 int steps_of(const Trace& trace, Pid pid) {
   int n = 0;
-  for (const auto& s : trace) {
-    if (s.pid == pid && !s.null_step) ++n;
+  const std::size_t sz = trace.size();
+  for (std::size_t i = 0; i < sz; ++i) {
+    if (trace.pid_at(i) == pid && !trace.null_at(i)) ++n;
   }
   return n;
 }
@@ -76,16 +79,24 @@ std::uint64_t trace_hash(const Trace& trace) {
     h ^= h >> 29;
     return h;
   };
+  // The Nil hash is a constant of the Value encoding; hoisting it makes the
+  // common all-Nil record a pure integer scan over the column arrays.
+  static const std::uint64_t kNilHash = Value{}.hash();
   std::uint64_t h = 0x9AE16A3B2F90404FULL;
-  for (const auto& s : trace) {
-    h = mix(h, static_cast<std::uint64_t>(s.time));
-    h = mix(h, (static_cast<std::uint64_t>(s.pid.kind) << 32) |
-                   static_cast<std::uint64_t>(static_cast<std::uint32_t>(s.pid.index)));
-    h = mix(h, static_cast<std::uint64_t>(s.op));
-    h = mix(h, s.addr.valid() ? s.addr.name_hash() : 0);
-    h = mix(h, s.value.hash());
-    h = mix(h, s.result.hash());
-    h = mix(h, (s.null_step ? 2u : 0u) | (s.terminated ? 1u : 0u));
+  const std::size_t n = trace.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Pid pid = trace.pid_at(i);
+    const RegAddr addr = trace.addr_at(i);
+    const Value& value = trace.value_at(i);
+    const Value& result = trace.result_at(i);
+    h = mix(h, static_cast<std::uint64_t>(trace.time_at(i)));
+    h = mix(h, (static_cast<std::uint64_t>(pid.kind) << 32) |
+                   static_cast<std::uint64_t>(static_cast<std::uint32_t>(pid.index)));
+    h = mix(h, static_cast<std::uint64_t>(trace.op_at(i)));
+    h = mix(h, addr.valid() ? addr.name_hash() : 0);
+    h = mix(h, value.is_nil() ? kNilHash : value.hash());
+    h = mix(h, result.is_nil() ? kNilHash : result.hash());
+    h = mix(h, (trace.null_at(i) ? 2u : 0u) | (trace.term_at(i) ? 1u : 0u));
   }
   return h;
 }

@@ -5,14 +5,32 @@
 // strings, and vectors of Values. Values are ordered and hashable so they can
 // be used as keys in deterministic explorations (corridor DFS, bivalence
 // search) and as canonical encodings of simulated-process states.
+//
+// Representation (PR 6): a 24-byte hand-rolled tagged union. Small payloads
+// are stored INLINE — no heap allocation, no shared_ptr refcount traffic:
+//  * strings of at most 15 bytes live in the union's byte buffer;
+//  * vectors of at most 8 elements, each Nil or an integer in
+//    [-32767, 32767], are packed as int16 lanes (INT16_MIN encodes Nil).
+// Everything else falls back to the original shared_ptr<const T> payloads.
+// The encoding is CANONICAL: whether a value is inline is a pure function of
+// its content, so structural equality, ordering, hash() and to_string() are
+// representation-independent (and all comparisons/hashes are implemented
+// structurally anyway — an inline vector compares equal to a heap vector
+// with the same elements, which test_value's property sweep pins down).
+//
+// API note: as_vec() MATERIALIZES a ValueVec (inline vectors have no
+// std::vector behind them), so it returns by value. Hot paths iterate with
+// size()/at() instead; as_str() returns a string_view over either rep.
 #pragma once
 
 #include <compare>
 #include <cstdint>
+#include <cstring>
 #include <initializer_list>
 #include <memory>
 #include <string>
-#include <variant>
+#include <string_view>
+#include <variant>  // std::bad_variant_access: kept as the wrong-kind accessor error
 #include <vector>
 
 namespace efd {
@@ -20,45 +38,99 @@ namespace efd {
 class Value;
 using ValueVec = std::vector<Value>;
 
-/// One immutable datum. Cheap to copy (vector/string payloads are shared).
+/// One immutable datum. Cheap to copy (small payloads are inline; large
+/// vector/string payloads are shared).
 class Value {
  public:
-  /// Nil — the paper's ⊥ (unwritten register / non-participating / undecided).
-  Value() noexcept = default;
-  Value(std::int64_t v) : rep_(v) {}                       // NOLINT(google-explicit-constructor)
-  Value(int v) : rep_(static_cast<std::int64_t>(v)) {}     // NOLINT(google-explicit-constructor)
-  Value(bool v) : rep_(static_cast<std::int64_t>(v)) {}    // NOLINT(google-explicit-constructor)
-  Value(std::string v) : rep_(std::make_shared<const std::string>(std::move(v))) {}  // NOLINT
-  Value(const char* v) : Value(std::string(v)) {}          // NOLINT(google-explicit-constructor)
-  Value(ValueVec v) : rep_(std::make_shared<const ValueVec>(std::move(v))) {}  // NOLINT
-  Value(std::initializer_list<Value> v) : Value(ValueVec(v)) {}
+  /// Longest string stored inline (bytes).
+  static constexpr std::size_t kMaxInlineStr = 15;
+  /// Longest int-only vector stored inline (elements).
+  static constexpr std::size_t kMaxInlineVec = 8;
 
-  [[nodiscard]] bool is_nil() const noexcept { return std::holds_alternative<std::monostate>(rep_); }
-  [[nodiscard]] bool is_int() const noexcept { return std::holds_alternative<std::int64_t>(rep_); }
+  /// Nil — the paper's ⊥ (unwritten register / non-participating / undecided).
+  constexpr Value() noexcept : tag_(Tag::kNil), len_(0) {}
+  Value(std::int64_t v) noexcept : tag_(Tag::kInt), len_(0) {  // NOLINT(google-explicit-constructor)
+    rep_.i = v;
+  }
+  Value(int v) noexcept : Value(static_cast<std::int64_t>(v)) {}   // NOLINT
+  Value(bool v) noexcept : Value(static_cast<std::int64_t>(v)) {}  // NOLINT
+  Value(std::string v) : Value(std::string_view(v)) {}             // NOLINT
+  Value(const char* v) : Value(std::string_view(v)) {}             // NOLINT
+  Value(std::string_view v);                                       // NOLINT
+  Value(ValueVec v);                                               // NOLINT
+  /// Vector value from a contiguous range, without requiring the caller to
+  /// materialize a ValueVec first (inline-packable ranges never touch the
+  /// heap; collect() builds from a frame-local buffer through this).
+  Value(const Value* first, const Value* last);
+  Value(std::initializer_list<Value> v) : Value(v.begin(), v.end()) {}
+
+  Value(const Value& o) { copy_from(o); }
+  Value(Value&& o) noexcept { move_from(o); }
+  Value& operator=(const Value& o) {
+    if (this != &o) {
+      destroy();
+      copy_from(o);
+    }
+    return *this;
+  }
+  Value& operator=(Value&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      move_from(o);
+    }
+    return *this;
+  }
+  ~Value() { destroy(); }
+
+  [[nodiscard]] bool is_nil() const noexcept { return tag_ == Tag::kNil; }
+  [[nodiscard]] bool is_int() const noexcept { return tag_ == Tag::kInt; }
   [[nodiscard]] bool is_str() const noexcept {
-    return std::holds_alternative<std::shared_ptr<const std::string>>(rep_);
+    return tag_ == Tag::kStrInline || tag_ == Tag::kStrHeap;
   }
   [[nodiscard]] bool is_vec() const noexcept {
-    return std::holds_alternative<std::shared_ptr<const ValueVec>>(rep_);
+    return tag_ == Tag::kVecInline || tag_ == Tag::kVecHeap;
   }
 
   /// Integer payload. Precondition: is_int(); throws std::bad_variant_access otherwise.
-  [[nodiscard]] std::int64_t as_int() const { return std::get<std::int64_t>(rep_); }
+  [[nodiscard]] std::int64_t as_int() const {
+    if (tag_ != Tag::kInt) throw std::bad_variant_access{};
+    return rep_.i;
+  }
   /// Integer payload or `dflt` when this Value is not an integer (e.g. Nil).
   [[nodiscard]] std::int64_t int_or(std::int64_t dflt) const noexcept {
-    return is_int() ? std::get<std::int64_t>(rep_) : dflt;
+    return tag_ == Tag::kInt ? rep_.i : dflt;
   }
-  [[nodiscard]] const std::string& as_str() const {
-    return *std::get<std::shared_ptr<const std::string>>(rep_);
+  /// String payload as a view over either representation. Precondition:
+  /// is_str(); throws std::bad_variant_access otherwise. The view is valid
+  /// while this Value (or any sharing copy) is alive.
+  [[nodiscard]] std::string_view as_str() const {
+    if (tag_ == Tag::kStrInline) return {rep_.str, len_};
+    if (tag_ == Tag::kStrHeap) return *rep_.sp;
+    throw std::bad_variant_access{};
   }
-  [[nodiscard]] const ValueVec& as_vec() const {
-    return *std::get<std::shared_ptr<const ValueVec>>(rep_);
-  }
+  /// Vector payload, MATERIALIZED by value (inline vectors have no backing
+  /// std::vector). Precondition: is_vec(). Hot paths use size()/at().
+  [[nodiscard]] ValueVec as_vec() const;
 
   /// Element access for vectors; Nil when out of range or not a vector.
-  [[nodiscard]] Value at(std::size_t i) const noexcept;
+  [[nodiscard]] Value at(std::size_t i) const noexcept {
+    if (tag_ == Tag::kVecInline) {
+      if (i >= len_) return {};
+      const std::int16_t e = rep_.iv[i];
+      return e == kNilLane ? Value{} : Value(static_cast<std::int64_t>(e));
+    }
+    if (tag_ == Tag::kVecHeap) {
+      const ValueVec& v = *rep_.vp;
+      return i < v.size() ? v[i] : Value{};
+    }
+    return {};
+  }
   /// Vector size; 0 for non-vectors.
-  [[nodiscard]] std::size_t size() const noexcept;
+  [[nodiscard]] std::size_t size() const noexcept {
+    if (tag_ == Tag::kVecInline) return len_;
+    if (tag_ == Tag::kVecHeap) return rep_.vp->size();
+    return 0;
+  }
 
   /// Structural equality (deep for vectors, by content for strings).
   friend bool operator==(const Value& a, const Value& b) noexcept;
@@ -68,14 +140,78 @@ class Value {
   /// Stable textual form, e.g. `[1, "x", nil]`. Used in traces and tests.
   [[nodiscard]] std::string to_string() const;
 
-  /// Deterministic structural hash (FNV-1a over the canonical encoding).
+  /// Deterministic structural hash (FNV-1a over the canonical encoding;
+  /// representation-independent: inline and heap forms hash identically).
   [[nodiscard]] std::uint64_t hash() const noexcept;
 
  private:
-  std::variant<std::monostate, std::int64_t, std::shared_ptr<const std::string>,
-               std::shared_ptr<const ValueVec>>
-      rep_;
+  enum class Tag : std::uint8_t { kNil, kInt, kStrInline, kStrHeap, kVecInline, kVecHeap };
+  /// int16 lane value encoding a Nil element of an inline vector. Integers
+  /// equal to it (INT16_MIN) force the heap representation instead.
+  static constexpr std::int16_t kNilLane = -32768;
+
+  union Rep {
+    constexpr Rep() noexcept : i(0) {}
+    ~Rep() noexcept {}  // managed by Value::destroy() via the tag
+    std::int64_t i;
+    char str[16];
+    std::int16_t iv[8];
+    std::shared_ptr<const std::string> sp;
+    std::shared_ptr<const ValueVec> vp;
+  };
+
+  void destroy() noexcept {
+    if (tag_ == Tag::kStrHeap) {
+      rep_.sp.~shared_ptr();
+    } else if (tag_ == Tag::kVecHeap) {
+      rep_.vp.~shared_ptr();
+    }
+    tag_ = Tag::kNil;
+    len_ = 0;
+  }
+  void copy_from(const Value& o) {
+    tag_ = o.tag_;
+    len_ = o.len_;
+    switch (tag_) {
+      case Tag::kStrHeap:
+        new (&rep_.sp) std::shared_ptr<const std::string>(o.rep_.sp);
+        break;
+      case Tag::kVecHeap:
+        new (&rep_.vp) std::shared_ptr<const ValueVec>(o.rep_.vp);
+        break;
+      default:
+        std::memcpy(rep_.str, o.rep_.str, sizeof(rep_.str));
+        break;
+    }
+  }
+  void move_from(Value& o) noexcept {
+    tag_ = o.tag_;
+    len_ = o.len_;
+    switch (tag_) {
+      case Tag::kStrHeap:
+        new (&rep_.sp) std::shared_ptr<const std::string>(std::move(o.rep_.sp));
+        o.rep_.sp.~shared_ptr();
+        break;
+      case Tag::kVecHeap:
+        new (&rep_.vp) std::shared_ptr<const ValueVec>(std::move(o.rep_.vp));
+        o.rep_.vp.~shared_ptr();
+        break;
+      default:
+        std::memcpy(rep_.str, o.rep_.str, sizeof(rep_.str));
+        break;
+    }
+    o.tag_ = Tag::kNil;
+    o.len_ = 0;
+  }
+
+  void hash_into(std::uint64_t& h) const noexcept;
+
+  Tag tag_;
+  std::uint8_t len_;  ///< inline payload length (string bytes / vector lanes)
+  Rep rep_;
 };
+
+static_assert(sizeof(Value) == 24, "Value must stay a 24-byte tagged union");
 
 /// The paper's ⊥.
 inline const Value kNil{};

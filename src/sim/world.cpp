@@ -8,16 +8,26 @@ World World::failure_free(int num_s) {
   return World(FailurePattern(num_s), TrivialFd{}.history(FailurePattern(num_s), 0));
 }
 
-void World::spawn(Pid pid, ProcBody body) {
+void World::spawn(Pid pid, const ProcBody& body) {
   if (exists(pid)) throw std::invalid_argument("World::spawn: duplicate pid " + pid.to_string());
+  if (pid.index < 0) throw std::invalid_argument("World::spawn: negative index");
   if (pid.is_s() && pid.index >= pattern_.n()) {
     throw std::invalid_argument("World::spawn: S-process index beyond failure pattern");
   }
-  Slot s;
+  auto& v = pid.is_c() ? c_slots_ : s_slots_;
+  if (static_cast<std::size_t>(pid.index) >= v.size()) {
+    v.resize(static_cast<std::size_t>(pid.index) + 1);
+  }
+  Slot& s = v[static_cast<std::size_t>(pid.index)];
   s.ctx = std::make_unique<Context>(pid);
-  s.proc = body(*s.ctx);
-  if (!s.proc.valid()) throw std::invalid_argument("World::spawn: body produced no coroutine");
-  slots_.emplace(pid, std::move(s));
+  {
+    FrameArena::Scope scope(arena_.get());
+    s.proc = body(*s.ctx);
+  }
+  if (!s.proc.valid()) {
+    s.ctx.reset();
+    throw std::invalid_argument("World::spawn: body produced no coroutine");
+  }
   if (pid.is_c()) {
     num_c_ = std::max(num_c_, pid.index + 1);
   } else {
@@ -25,15 +35,19 @@ void World::spawn(Pid pid, ProcBody body) {
   }
 }
 
-void World::respawn(Pid pid, ProcBody body) {
+void World::respawn(Pid pid, const ProcBody& body) {
   Slot& s = slot(pid);  // throws if pid was never spawned
-  Slot fresh;
-  fresh.ctx = std::make_unique<Context>(pid);
-  fresh.proc = body(*fresh.ctx);
-  if (!fresh.proc.valid()) {
+  FrameArena::Scope scope(arena_.get());
+  // Drop the old frame first: it lands on a freelist the new frame of the
+  // same body (same size class) is immediately recycled from.
+  s.proc = Proc{};
+  s.ctx->reset();
+  s.primed = false;
+  s.steps = 0;
+  s.proc = body(*s.ctx);
+  if (!s.proc.valid()) {
     throw std::invalid_argument("World::respawn: body produced no coroutine");
   }
-  s = std::move(fresh);
   ++stats_.respawns;
 }
 
@@ -54,36 +68,73 @@ void World::redeliver(Pid pid, Value result) {
   if (s.ctx->pending().kind == OpKind::kDecide) {
     s.ctx->record_decision(s.ctx->pending().value);
   }
-  s.ctx->deliver(std::move(result));
+  {
+    FrameArena::Scope scope(arena_.get());
+    s.ctx->deliver(std::move(result));
+  }
   if (auto err = s.proc.handle().promise().error) std::rethrow_exception(err);
   ++s.steps;
   ++stats_.redelivers;
 }
 
+void World::redeliver_all(Pid pid, const std::vector<Value>& results) {
+  if (!pid.is_c()) throw std::logic_error("World::redeliver: C-processes only");
+  Slot& s = slot(pid);
+  prime(s);
+  FrameArena::Scope scope(arena_.get());
+  for (const Value& result : results) {
+    if (s.proc.done() || !s.ctx->has_pending()) {
+      throw std::logic_error("World::redeliver: " + pid.to_string() + " has no pending op");
+    }
+    if (s.ctx->pending().kind == OpKind::kDecide) {
+      s.ctx->record_decision(s.ctx->pending().value);
+    }
+    s.ctx->deliver(Value(result));
+    if (s.proc.handle().promise().error) {
+      std::rethrow_exception(s.proc.handle().promise().error);
+    }
+  }
+  s.steps += static_cast<int>(results.size());
+  stats_.redelivers += static_cast<std::int64_t>(results.size());
+}
+
 std::vector<Pid> World::pids() const {
   std::vector<Pid> out;
-  out.reserve(slots_.size());
-  for (const auto& [pid, _] : slots_) out.push_back(pid);
-  std::sort(out.begin(), out.end());
+  out.reserve(c_slots_.size() + s_slots_.size());
+  // C before S, ascending index: already Pid order (kind is the major key).
+  for (std::size_t i = 0; i < c_slots_.size(); ++i) {
+    if (c_slots_[i].ctx) out.push_back(cpid(static_cast<int>(i)));
+  }
+  for (std::size_t i = 0; i < s_slots_.size(); ++i) {
+    if (s_slots_[i].ctx) out.push_back(spid(static_cast<int>(i)));
+  }
   return out;
 }
 
 const World::Slot& World::slot(Pid pid) const {
-  const auto it = slots_.find(pid);
-  if (it == slots_.end()) throw std::out_of_range("World: unknown pid " + pid.to_string());
-  return it->second;
+  const auto& v = pid.is_c() ? c_slots_ : s_slots_;
+  if (pid.index < 0 || static_cast<std::size_t>(pid.index) >= v.size() ||
+      !v[static_cast<std::size_t>(pid.index)].ctx) {
+    throw std::out_of_range("World: unknown pid " + pid.to_string());
+  }
+  return v[static_cast<std::size_t>(pid.index)];
 }
 
 World::Slot& World::slot(Pid pid) {
-  const auto it = slots_.find(pid);
-  if (it == slots_.end()) throw std::out_of_range("World: unknown pid " + pid.to_string());
-  return it->second;
+  auto& v = pid.is_c() ? c_slots_ : s_slots_;
+  if (pid.index < 0 || static_cast<std::size_t>(pid.index) >= v.size() ||
+      !v[static_cast<std::size_t>(pid.index)].ctx) {
+    throw std::out_of_range("World: unknown pid " + pid.to_string());
+  }
+  return v[static_cast<std::size_t>(pid.index)];
 }
 
 void World::prime(Slot& s) {
   if (s.primed) return;
   s.primed = true;
-  // Run local initialization up to the first operation; this consumes no step.
+  // Run local initialization up to the first operation; this consumes no
+  // step. Resuming can start subroutine frames, hence the arena scope.
+  FrameArena::Scope scope(arena_.get());
   s.proc.handle().resume();
   if (auto err = s.proc.handle().promise().error) std::rethrow_exception(err);
 }
@@ -96,28 +147,31 @@ bool World::step(Pid pid) {
   }
   prime(s);
 
-  StepRecord rec;
-  rec.time = now_;
-  rec.pid = pid;
+  OpKind op_kind = OpKind::kYield;
+  RegAddr addr;
+  bool null_step = false;
+  bool terminated = false;
+  Value traced_value;   // only populated when tracing
+  Value traced_result;  // only populated when tracing
 
   if (s.proc.done() || !s.ctx->has_pending()) {
     // Terminated (typically after a decide): null steps forever.
-    rec.null_step = true;
-    rec.op = OpKind::kYield;
+    null_step = true;
     ++stats_.null_steps;
   } else {
-    const PendingOp op = s.ctx->pending();  // copy: deliver() consumes it
-    rec.op = op.kind;
-    rec.addr = op.addr;
-    rec.value = op.value;
+    // The pending op stays valid until deliver() resumes the coroutine;
+    // everything needed after the resume is copied out first.
+    const PendingOp& op = s.ctx->pending();
+    op_kind = op.kind;
+    addr = op.addr;
     Value result;
-    switch (op.kind) {
+    switch (op_kind) {
       case OpKind::kRead:
-        result = mem_.read(op.addr);
+        result = mem_.read(addr);
         ++stats_.reads;
         break;
       case OpKind::kWrite:
-        mem_.write(op.addr, op.value);
+        mem_.write(addr, op.value);
         ++stats_.writes;
         break;
       case OpKind::kQuery:
@@ -133,36 +187,44 @@ bool World::step(Pid pid) {
         ++stats_.decides;
         break;
     }
-    rec.result = result;
-    s.ctx->deliver(std::move(result));
+    if (tracing_) {
+      traced_value = op.value;
+      traced_result = result;
+    }
+    {
+      FrameArena::Scope scope(arena_.get());
+      s.ctx->deliver(std::move(result));
+    }
     if (auto err = s.proc.handle().promise().error) std::rethrow_exception(err);
     ++s.steps;
     // Mark the step that completes the coroutine: checkers retire the
     // process here even when it never decided (quitters).
-    rec.terminated = s.proc.done();
+    terminated = s.proc.done();
   }
 
   ++stats_.steps;
   if (observer_ != nullptr) {
-    observer_->on_step(pid, rec.null_step, !rec.null_step && rec.op == OpKind::kDecide,
-                       rec.terminated);
+    observer_->on_step(pid, null_step, !null_step && op_kind == OpKind::kDecide, terminated);
   }
-  if (tracing_) trace_.push_back(std::move(rec));
+  if (tracing_) {
+    trace_.append(now_, pid, op_kind, addr, traced_value, traced_result, null_step, terminated);
+  }
   ++now_;
   return true;
 }
 
 bool World::all_c_decided() const {
-  for (const auto& [pid, s] : slots_) {
-    if (pid.is_c() && !s.ctx->decided()) return false;
+  for (const Slot& s : c_slots_) {
+    if (s.ctx && !s.ctx->decided()) return false;
   }
   return true;
 }
 
 ValueVec World::output_vector() const {
   ValueVec out(static_cast<std::size_t>(num_c_));
-  for (const auto& [pid, s] : slots_) {
-    if (pid.is_c() && s.ctx->decided()) out[static_cast<std::size_t>(pid.index)] = s.ctx->decision();
+  for (std::size_t i = 0; i < c_slots_.size(); ++i) {
+    const Slot& s = c_slots_[i];
+    if (s.ctx && s.ctx->decided()) out[i] = s.ctx->decision();
   }
   return out;
 }

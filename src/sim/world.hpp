@@ -8,17 +8,25 @@
 // Runs are fully deterministic given (process bodies, schedule, pattern,
 // history), which is what makes replay-based exploration (corridor DFS,
 // bivalence search) sound.
+//
+// Allocation (PR 6): every path that can resume or construct a coroutine
+// (spawn/respawn/prime/step/redeliver) installs the world's FrameArena as the
+// thread's current arena, so all frames — bodies and their subroutines — are
+// pooled per World. respawn() additionally reuses the process's Context
+// (reset in place) instead of reallocating it, and step() only assembles a
+// trace record when tracing is enabled. Steady-state stepping is
+// allocation-free; see sim/arena.hpp for the pooling contract.
 #pragma once
 
 #include <functional>
 #include <memory>
 #include <optional>
 #include <stdexcept>
-#include <unordered_map>
 #include <vector>
 
 #include "fd/failure_pattern.hpp"
 #include "fd/history.hpp"
+#include "sim/arena.hpp"
 #include "sim/ids.hpp"
 #include "sim/memory.hpp"
 #include "sim/proc.hpp"
@@ -53,26 +61,35 @@ class World {
 
   World(const World&) = delete;
   World& operator=(const World&) = delete;
-  // Movable: Contexts are heap-allocated (stable addresses), so suspended
-  // coroutine frames referencing them survive the move.
+  // Movable: Contexts and the FrameArena are heap-allocated (stable
+  // addresses), so suspended coroutine frames referencing them — and frame
+  // headers naming the arena — survive the move.
   World(World&&) noexcept = default;
   World& operator=(World&&) noexcept = default;
 
   // ---- population ----
 
   /// Spawns C-process p_{i+1}. The body typically starts by writing its input.
-  void spawn_c(int i, ProcBody body) { spawn(cpid(i), std::move(body)); }
+  void spawn_c(int i, const ProcBody& body) { spawn(cpid(i), body); }
   /// Spawns S-process q_{i+1}.
-  void spawn_s(int i, ProcBody body) { spawn(spid(i), std::move(body)); }
-  void spawn(Pid pid, ProcBody body);
+  void spawn_s(int i, const ProcBody& body) { spawn(spid(i), body); }
+  /// The body is only invoked, never stored: callers may (and the
+  /// incremental explorer does) pass the same cached ProcBody repeatedly
+  /// without paying a std::function copy per call.
+  void spawn(Pid pid, const ProcBody& body);
 
-  /// Replaces pid's coroutine with a fresh instance of `body` (fresh
-  /// Context: undecided, zero steps). Used by the incremental explorer to
+  /// Replaces pid's coroutine with a fresh instance of `body` (Context reset
+  /// in place: undecided, zero steps). Used by the incremental explorer to
   /// rewind a single process: coroutine frames cannot run backwards, so a
   /// backtracked process is respawned and fast-forwarded with redeliver().
-  void respawn(Pid pid, ProcBody body);
+  /// The old frame is recycled through the world's arena into the new one.
+  void respawn(Pid pid, const ProcBody& body);
 
-  [[nodiscard]] bool exists(Pid pid) const { return slots_.count(pid) != 0; }
+  [[nodiscard]] bool exists(Pid pid) const noexcept {
+    const auto& v = pid.is_c() ? c_slots_ : s_slots_;
+    return pid.index >= 0 && static_cast<std::size_t>(pid.index) < v.size() &&
+           v[static_cast<std::size_t>(pid.index)].ctx != nullptr;
+  }
   [[nodiscard]] std::vector<Pid> pids() const;
   [[nodiscard]] int num_c() const noexcept { return num_c_; }
   [[nodiscard]] int num_s() const noexcept { return num_s_; }
@@ -97,6 +114,13 @@ class World {
   /// the caller is responsible for the shared-memory side (the incremental
   /// explorer restores memory via its undo log). C-processes only.
   void redeliver(Pid pid, Value result);
+
+  /// Batched redeliver(): fast-forwards pid through `results` in order,
+  /// paying the slot lookup, priming check, and arena scope once for the
+  /// whole replay instead of per step. Exactly equivalent to redelivering
+  /// each element in sequence; the incremental explorer replays whole
+  /// per-process logs through this.
+  void redeliver_all(Pid pid, const std::vector<Value>& results);
 
   [[nodiscard]] Time now() const noexcept { return now_; }
 
@@ -154,11 +178,13 @@ class World {
 
   /// Always-on run counters (see sim/stats.hpp for the invariants).
   [[nodiscard]] const RunStats& run_stats() const noexcept { return stats_; }
+  /// Frame-pool telemetry of this world's arena (benchmark reporting).
+  [[nodiscard]] const ArenaStats& arena_stats() const noexcept { return arena_->stats(); }
 
  private:
   struct Slot {
     Proc proc;
-    std::unique_ptr<Context> ctx;
+    std::unique_ptr<Context> ctx;  ///< null => slot index never spawned
     bool primed = false;
     int steps = 0;
   };
@@ -170,7 +196,12 @@ class World {
   FailurePattern pattern_;
   HistoryPtr history_;
   RegisterFile mem_;
-  std::unordered_map<Pid, Slot> slots_;
+  // The arena must be declared before the slot vectors: members destroy in
+  // reverse order, so the frames (owned by the slots' coroutines) are freed
+  // back into a still-live arena.
+  std::unique_ptr<FrameArena> arena_ = std::make_unique<FrameArena>();
+  std::vector<Slot> c_slots_;
+  std::vector<Slot> s_slots_;
   Time now_ = 0;
   int num_c_ = 0;
   int num_s_ = 0;

@@ -41,13 +41,34 @@ bool SetAgreementTask::input_ok(const ValueVec& in) const {
 bool SetAgreementTask::relation(const ValueVec& in, const ValueVec& out) const {
   if (!input_ok(in) || static_cast<int>(out.size()) != n_) return false;
   if (!outputs_within_inputs(in, out)) return false;
-  const auto inputs = distinct_values(in);
-  const auto outputs = distinct_values(out);
-  if (static_cast<int>(outputs.size()) > k_) return false;
-  // Validity: every decided value is some participant's proposal.
-  return std::all_of(outputs.begin(), outputs.end(), [&inputs](const Value& v) {
-    return std::binary_search(inputs.begin(), inputs.end(), v);
-  });
+  // Hot in the incremental explorer: re-evaluated on every decision edge, so
+  // count distinct decisions and check validity in place instead of building
+  // sorted distinct-value vectors. Quadratic in n, which is tiny, and
+  // allocation-free, which the arena-pooled hot path requires.
+  int distinct = 0;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const Value& v = out[i];
+    if (v.is_nil()) continue;
+    bool seen = false;
+    for (std::size_t j = 0; j < i; ++j) {
+      if (out[j] == v) {
+        seen = true;
+        break;
+      }
+    }
+    if (seen) continue;
+    if (++distinct > k_) return false;
+    // Validity: every decided value is some participant's proposal.
+    bool proposed = false;
+    for (const auto& p : in) {
+      if (!p.is_nil() && p == v) {
+        proposed = true;
+        break;
+      }
+    }
+    if (!proposed) return false;
+  }
+  return true;
 }
 
 Value SetAgreementTask::pick_output(const ValueVec& in, const ValueVec& out, int i) const {

@@ -32,9 +32,12 @@ Usage:
         counter. Counters whose name contains a rate marker ("per_s",
         "per_iter", "/s") are treated as rates: a drop of more than
         --threshold percent (default 10) against the baseline is a
-        regression and makes the exit status 1. Non-rate counters are
-        reported when they differ but never fail the diff (they are
-        workload-shape figures, not performance).
+        regression and makes the exit status 1. Counters whose name
+        contains "allocs_per" are lower-is-better: an increase beyond
+        the threshold (and beyond an absolute epsilon, so 0 -> ~0 noise
+        never trips) is a regression. Other counters are reported when
+        they differ but never fail the diff (they are workload-shape
+        figures, not performance).
 """
 
 import argparse
@@ -45,6 +48,15 @@ import sys
 SCHEMA = "efd-bench-v1"
 CAMPAIGN_SCHEMA = "efd-campaign-v1"
 RATE_MARKERS = ("per_s", "per_iter", "/s")
+# Counters where smaller is better (heap traffic): an *increase* beyond the
+# threshold is the regression. ALLOC_EPSILON absorbs jitter around zero —
+# 0 -> 0.004 allocs/step is measurement noise (one-off warm-up allocations
+# amortized over a different iteration count), not a leak.
+LOWER_BETTER_MARKERS = ("allocs_per",)
+ALLOC_EPSILON = 0.01
+# Experiments whose benches carry the allocation probe; --validate requires
+# the counter so a silently dropped probe cannot pass the smoke test.
+ALLOC_PROBED_EXPERIMENTS = ("E13", "E14")
 
 
 def fail(msg):
@@ -109,7 +121,7 @@ def validate_campaign_doc(path, doc):
                       f"{name}: violation {key} must be a non-negative integer")
 
 
-def validate_doc(path, doc):
+def validate_doc(path, doc, require_alloc_probe=True):
     def check(cond, msg):
         if not cond:
             fail(f"{path}: {msg}")
@@ -138,6 +150,10 @@ def validate_doc(path, doc):
               f"{name}: counters must be a non-empty object")
         for k, v in counters.items():
             check(isinstance(v, (int, float)), f"{name}: counter {k!r} is not numeric")
+        if require_alloc_probe and doc.get("experiment") in ALLOC_PROBED_EXPERIMENTS:
+            check("allocs_per_step" in counters,
+                  f"{name}: missing allocs_per_step counter "
+                  f"(experiment {doc['experiment']} carries the allocation probe)")
     tables = doc.get("tables")
     check(isinstance(tables, list), "tables must be an array")
     for t in tables:
@@ -150,8 +166,13 @@ def validate_doc(path, doc):
     check(len(titles) == len(set(titles)), "duplicate table titles")
 
 
+def is_lower_better(counter_name):
+    return any(m in counter_name for m in LOWER_BETTER_MARKERS)
+
+
 def is_rate(counter_name):
-    return any(m in counter_name for m in RATE_MARKERS)
+    return not is_lower_better(counter_name) and any(
+        m in counter_name for m in RATE_MARKERS)
 
 
 def diff_dirs(base_dir, cand_dir, threshold):
@@ -171,8 +192,10 @@ def diff_dirs(base_dir, cand_dir, threshold):
     for fname in common:
         base = load(os.path.join(base_dir, fname))
         cand = load(os.path.join(cand_dir, fname))
-        validate_doc(os.path.join(base_dir, fname), base)
-        validate_doc(os.path.join(cand_dir, fname), cand)
+        # Baselines may predate the allocation probe; only --validate (used by
+        # tools/bench_smoke.sh on freshly emitted files) insists on it.
+        validate_doc(os.path.join(base_dir, fname), base, require_alloc_probe=False)
+        validate_doc(os.path.join(cand_dir, fname), cand, require_alloc_probe=False)
         if CAMPAIGN_SCHEMA in (base.get("schema"), cand.get("schema")):
             print(f"note: {fname} is an {CAMPAIGN_SCHEMA} document; not diffable, skipping")
             continue
@@ -193,13 +216,17 @@ def diff_dirs(base_dir, cand_dir, threshold):
                 if is_rate(key) and pct < -threshold:
                     print(f"REGRESSION {tag}")
                     regressions += 1
+                elif (is_lower_better(key) and val > old + ALLOC_EPSILON
+                      and pct > threshold):
+                    print(f"REGRESSION {tag}")
+                    regressions += 1
                 else:
                     print(f"  {tag}")
     if regressions:
-        print(f"bench_diff: {regressions} rate regression(s) beyond "
+        print(f"bench_diff: {regressions} regression(s) beyond "
               f"{threshold:g}%", file=sys.stderr)
         return 1
-    print("bench_diff: no rate regressions")
+    print("bench_diff: no regressions")
     return 0
 
 
