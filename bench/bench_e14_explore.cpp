@@ -17,6 +17,7 @@
 // runs) for the sweep to count.
 #include "bench_common.hpp"
 
+#include <algorithm>
 #include <memory>
 #include <string>
 
@@ -49,7 +50,8 @@ ExploreConfig e14_cfg(ExploreEngine engine, int threads) {
 }
 
 void run_one(benchmark::State& state, ExploreEngine engine, int threads, const char* label,
-             const char* json_name, std::initializer_list<std::int64_t> json_args = {}) {
+             const char* json_name, std::initializer_list<std::int64_t> json_args = {},
+             const DedupConfig* dedup = nullptr) {
   const TaskPtr task = e14_task();
   const ValueVec in = e14_inputs();
   const auto body = e14_body(task);
@@ -60,7 +62,9 @@ void run_one(benchmark::State& state, ExploreEngine engine, int threads, const c
   bool ok = true;
   const std::uint64_t allocs_before = bench::alloc_count();
   for (auto _ : state) {
-    const ExploreOutcome o = explore_k_concurrent(task, body, in, e14_cfg(engine, threads));
+    ExploreConfig cfg = e14_cfg(engine, threads);
+    if (dedup != nullptr) cfg.dedup_store = *dedup;
+    const ExploreOutcome o = explore_k_concurrent(task, body, in, cfg);
     states_total += o.states;
     last_states = o.states;
     last_terminal = o.terminal_runs;
@@ -77,6 +81,26 @@ void run_one(benchmark::State& state, ExploreEngine engine, int threads, const c
   state.counters["respawns"] = static_cast<double>(last_stats.respawns);
   state.counters["ghost_hits"] = static_cast<double>(last_stats.ghost_hits);
   state.counters["pool_steals"] = static_cast<double>(last_stats.pool_steals);
+  if (dedup != nullptr) {
+    // Per-tier traffic of the tiered store (core/diskset.hpp). Hit rates are
+    // fractions of all duplicate answers; bench_diff treats *hit_rate as
+    // higher-is-better, spill volume as informational.
+    const double hits = static_cast<double>(
+        std::max<std::int64_t>(1, last_stats.dedup_hits));
+    state.counters["recent_hit_rate"] =
+        static_cast<double>(last_stats.dedup_recent_hits) / hits;
+    state.counters["mem_hit_rate"] =
+        static_cast<double>(last_stats.dedup_mem_hits) / hits;
+    state.counters["cold_hit_rate"] =
+        static_cast<double>(last_stats.dedup_cold_hits) / hits;
+    state.counters["bloom_skip_rate"] =
+        static_cast<double>(last_stats.dedup_bloom_skips) /
+        static_cast<double>(std::max<std::int64_t>(1, last_stats.dedup_cold_probes));
+    state.counters["spills"] = static_cast<double>(last_stats.dedup_spills);
+    state.counters["spilled_sigs"] = static_cast<double>(last_stats.dedup_spilled_sigs);
+    state.counters["spill_bytes"] = static_cast<double>(last_stats.dedup_spill_bytes);
+    state.counters["merges"] = static_cast<double>(last_stats.dedup_merges);
+  }
   bench::alloc_counter(state, allocs_delta, static_cast<double>(states_total));
   bench::json_run(state, json_name, json_args);
   bench::row("%-22s | %8lld states | %7lld terminal | clean=%d", label,
@@ -100,6 +124,20 @@ void E14_Parallel(benchmark::State& state) {
   run_one(state, ExploreEngine::kIncremental, threads, label.c_str(), "E14_Parallel", {threads});
 }
 
+// Same sweep through the tiered dedup store with a memory budget small
+// enough (1 MiB over 64 shards) that every shard spills to disk several
+// times: exercises tier-0/1/2 traffic, run files and merges on the standard
+// workload. Semantic counters (states, terminal runs, dedup traffic) must
+// match the plain rows exactly — the tiers only move where duplicates are
+// found — which makes this row the per-tier hit-rate source for
+// EXPERIMENTS.md E17 and the counter source bench_diff validates.
+void E14_Tiered(benchmark::State& state) {
+  DedupConfig dedup;
+  dedup.disk_tier = true;
+  dedup.mem_budget_bytes = 1 << 20;
+  run_one(state, ExploreEngine::kIncremental, 1, "tiered 1MiB+disk", "E14_Tiered", {}, &dedup);
+}
+
 }  // namespace
 }  // namespace efd
 
@@ -107,3 +145,4 @@ BENCHMARK(efd::E14_FullReplay)->Unit(benchmark::kMillisecond);
 BENCHMARK(efd::E14_Incremental)->Unit(benchmark::kMillisecond);
 BENCHMARK(efd::E14_Parallel)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Unit(benchmark::kMillisecond)
     ->MeasureProcessCPUTime()->UseRealTime();
+BENCHMARK(efd::E14_Tiered)->Unit(benchmark::kMillisecond);

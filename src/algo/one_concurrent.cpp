@@ -13,9 +13,16 @@ Proc one_concurrent_solver(Context& ctx, TaskPtr task, Value input, OneConcurren
   const Value iv = co_await collect(ctx, regs.in_base, n);   // (2) inputs seen
   const Value ov = co_await collect(ctx, regs.out_base, n);  // (3) outputs seen
 
-  ValueVec in(iv.as_vec());
-  ValueVec out(ov.as_vec());
-  const Value mine = task->pick_output(in, out, i);  // (4) extend per Δ
+  // Unpacked into per-thread scratch: the explorer re-executes this region
+  // on every respawn, and two fresh ValueVecs per respawn were the last
+  // measurable allocation source on the sweep hot path (E14 alloc probe).
+  // Safe: no suspension point between the unpack and the last use, so the
+  // coroutine cannot migrate threads while the scratch is borrowed.
+  thread_local ValueVec in_scratch;
+  thread_local ValueVec out_scratch;
+  iv.unpack_vec(in_scratch);
+  ov.unpack_vec(out_scratch);
+  const Value mine = task->pick_output(in_scratch, out_scratch, i);  // (4) extend per Δ
 
   co_await ctx.write(reg(regs.out_base, i), mine);
   co_await ctx.decide(mine);

@@ -50,10 +50,18 @@ HierarchyRow classify(const TaskPtr& task, const std::function<ProcBody(int, Val
     if (o.budget_exhausted) {
       // The sweep did NOT cover level k, so a clean partial sweep certifies
       // nothing: keep the last fully-covered level and mark the row as a
-      // lower bound instead of silently counting a sampled level.
+      // lower bound instead of silently counting a sampled level. The note
+      // distinguishes the state budget from the dedup memory cap: the
+      // former is lifted with max_states, the latter with EFD_DEDUP_MEM_MB
+      // or by enabling the disk tier (EFD_DEDUP_TIERS=tiered).
       row.level_exhausted = true;
-      row.note = "budget hit at level " + std::to_string(k) +
-                 "; observed level is a certified lower bound";
+      row.mem_exhausted = o.mem_exhausted;
+      row.note = o.mem_exhausted
+                     ? "dedup memory cap hit at level " + std::to_string(k) +
+                           "; observed level is a certified lower bound" +
+                           " (enable the disk tier to certify)"
+                     : "budget hit at level " + std::to_string(k) +
+                           "; observed level is a certified lower bound";
       break;
     }
     row.observed_level = k;

@@ -22,6 +22,8 @@ struct HierarchyRow {
   int observed_level = 0;      ///< max FULLY-certified clean level of the solver
   bool level_exhausted = false;  ///< the sweep above observed_level ran out of
                                  ///< budget: the level is a lower bound only
+  bool mem_exhausted = false;    ///< that budget was the dedup memory cap
+                                 ///< (EFD_DEDUP_MEM_MB), not max_states
   bool violation_above = false;  ///< a concrete violating run exists at level+1
   std::string violation;       ///< what went wrong at level+1
   std::string weakest_fd;      ///< Thm. 10 class for the observed level

@@ -12,7 +12,9 @@
 // explorers (mix64 / content hashes), but the probe index is remixed here
 // anyway so a structured signature family cannot cluster the table.
 // Not thread-safe; ShardedSigSet (core/workpool.hpp) stripes instances of
-// this set behind per-shard mutexes for the parallel frontier.
+// this set behind per-shard mutexes for the parallel frontier, and the
+// tiered store (core/diskset.hpp) drains shards into disk runs via
+// drain_into() when they cross their byte budget.
 #pragma once
 
 #include <cstdint>
@@ -24,28 +26,77 @@ class FlatSigSet {
  public:
   FlatSigSet() : slots_(kInitialCap, kEmpty) {}
 
-  /// Inserts `sig`; true iff it was unseen (first insert wins).
+  /// Inserts `sig`; true iff it was unseen (first insert wins). The load
+  /// check runs only when the probe proved the signature fresh: inserting a
+  /// duplicate can never grow the table, and the aside-tracked zero
+  /// signature never counts toward the load factor (it occupies no slot).
   bool insert(std::uint64_t sig) {
     // 0 cannot live in the table (it marks empty slots); track it aside.
     if (sig == kEmpty) {
       const bool fresh = !has_zero_;
       has_zero_ = true;
-      size_ += fresh ? 1 : 0;
       return fresh;
     }
-    if ((size_ + 1) * 10 >= slots_.size() * 7) grow();
     const std::size_t mask = slots_.size() - 1;
     std::size_t i = probe_start(sig, mask);
     while (slots_[i] != kEmpty) {
       if (slots_[i] == sig) return false;
       i = (i + 1) & mask;
     }
+    if ((table_size_ + 1) * 10 >= slots_.size() * 7) {
+      grow();
+      // The table moved: re-derive the insertion slot (no duplicate can
+      // appear — growth only rehashes existing, distinct signatures).
+      const std::size_t m2 = slots_.size() - 1;
+      i = probe_start(sig, m2);
+      while (slots_[i] != kEmpty) i = (i + 1) & m2;
+    }
     slots_[i] = sig;
-    ++size_;
+    ++table_size_;
     return true;
   }
 
-  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  /// True iff `sig` was inserted before. Never grows the table.
+  [[nodiscard]] bool contains(std::uint64_t sig) const noexcept {
+    if (sig == kEmpty) return has_zero_;
+    const std::size_t mask = slots_.size() - 1;
+    std::size_t i = probe_start(sig, mask);
+    while (slots_[i] != kEmpty) {
+      if (slots_[i] == sig) return true;
+      i = (i + 1) & mask;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return table_size_ + (has_zero_ ? 1u : 0u);
+  }
+
+  /// Bytes held by the slot array (the set's whole footprint; used by the
+  /// tiered store's per-shard spill budget).
+  [[nodiscard]] std::size_t bytes() const noexcept {
+    return slots_.size() * sizeof(std::uint64_t);
+  }
+
+  /// Moves every stored signature (including an aside-tracked zero) into
+  /// `out` (appended, unsorted) and resets the set to its initial capacity,
+  /// releasing the table memory. Spill primitive of the tiered store.
+  void drain_into(std::vector<std::uint64_t>& out) {
+    for (const std::uint64_t sig : slots_) {
+      if (sig != kEmpty) out.push_back(sig);
+    }
+    if (has_zero_) out.push_back(kEmpty);
+    clear();
+  }
+
+  /// Empties the set and shrinks it back to the initial capacity (the swap
+  /// idiom guarantees the grown table's memory is actually released, which
+  /// is the whole point of spilling a shard).
+  void clear() {
+    std::vector<std::uint64_t>(kInitialCap, kEmpty).swap(slots_);
+    table_size_ = 0;
+    has_zero_ = false;
+  }
 
  private:
   static constexpr std::uint64_t kEmpty = 0;
@@ -68,7 +119,7 @@ class FlatSigSet {
   }
 
   std::vector<std::uint64_t> slots_;
-  std::size_t size_ = 0;
+  std::size_t table_size_ = 0;  ///< slots occupied (excludes the aside zero)
   bool has_zero_ = false;
 };
 

@@ -4,8 +4,10 @@
 #include <atomic>
 #include <chrono>
 #include <deque>
+#include <memory>
 #include <utility>
 
+#include "core/diskset.hpp"
 #include "core/sigset.hpp"
 #include "core/workpool.hpp"
 #include "sim/schedule.hpp"
@@ -58,6 +60,11 @@ class ExploreContext {
   virtual void stop() = 0;
   virtual std::int64_t states() const = 0;
   virtual bool exhausted() const = 0;
+  /// True once the dedup store hit its memory cap with no disk tier — the
+  /// sweep is aborted (charge() starts failing) and certifies nothing.
+  virtual bool mem_exhausted() const = 0;
+  /// The tiered store, when one is configured (nullptr = plain legacy set).
+  virtual const TieredSigSet* store() const = 0;
   /// Dedup traffic so far: (lookups, first-inserts). For fully-covered clean
   /// sweeps both are engine- and thread-count-invariant (unique signatures
   /// are expanded exactly once, so lookup multiplicity is state-determined).
@@ -66,8 +73,16 @@ class ExploreContext {
 
 class SequentialContext final : public ExploreContext {
  public:
-  explicit SequentialContext(std::int64_t max_states) : max_states_(max_states) {}
+  SequentialContext(std::int64_t max_states, const DedupConfig& store)
+      : max_states_(max_states),
+        tiered_(store.plain() ? nullptr : std::make_unique<TieredSigSet>(store)) {}
   bool charge() override {
+    // A memory-capped store that overflowed with no disk tier aborts the
+    // sweep the same way max_states does: the result is a lower bound.
+    if (tiered_ != nullptr && tiered_->mem_exhausted()) {
+      exhausted_ = true;
+      return false;
+    }
     if (++states_ > max_states_) {
       exhausted_ = true;
       return false;
@@ -76,7 +91,7 @@ class SequentialContext final : public ExploreContext {
   }
   bool visit(std::uint64_t sig) override {
     ++queries_;
-    const bool fresh = visited_.insert(sig);
+    const bool fresh = tiered_ != nullptr ? tiered_->insert(sig) : visited_.insert(sig);
     misses_ += fresh ? 1 : 0;
     return fresh;
   }
@@ -84,6 +99,10 @@ class SequentialContext final : public ExploreContext {
   void stop() override { stop_ = true; }
   std::int64_t states() const override { return states_; }
   bool exhausted() const override { return exhausted_; }
+  bool mem_exhausted() const override {
+    return tiered_ != nullptr && tiered_->mem_exhausted();
+  }
+  const TieredSigSet* store() const override { return tiered_.get(); }
   std::pair<std::int64_t, std::int64_t> dedup_traffic() const override {
     return {queries_, misses_};
   }
@@ -96,12 +115,20 @@ class SequentialContext final : public ExploreContext {
   bool stop_ = false;
   bool exhausted_ = false;
   FlatSigSet visited_;  ///< flat probing set: no node alloc per insert
+  std::unique_ptr<TieredSigSet> tiered_;  ///< replaces visited_ when configured
 };
 
 class ParallelContext final : public ExploreContext {
  public:
-  explicit ParallelContext(std::int64_t max_states) : max_states_(max_states) {}
+  ParallelContext(std::int64_t max_states, const DedupConfig& store)
+      : max_states_(max_states),
+        plain_(store.plain() ? std::make_unique<ShardedSigSet>() : nullptr),
+        tiered_(store.plain() ? nullptr : std::make_unique<TieredSigSet>(store)) {}
   bool charge() override {
+    if (tiered_ != nullptr && tiered_->mem_exhausted()) {
+      exhausted_.store(true, std::memory_order_relaxed);
+      return false;
+    }
     if (states_.fetch_add(1, std::memory_order_relaxed) + 1 > max_states_) {
       exhausted_.store(true, std::memory_order_relaxed);
       return false;
@@ -110,7 +137,7 @@ class ParallelContext final : public ExploreContext {
   }
   bool visit(std::uint64_t sig) override {
     queries_.fetch_add(1, std::memory_order_relaxed);
-    const bool fresh = visited_.insert(sig);
+    const bool fresh = tiered_ != nullptr ? tiered_->insert(sig) : plain_->insert(sig);
     if (fresh) misses_.fetch_add(1, std::memory_order_relaxed);
     return fresh;
   }
@@ -118,6 +145,10 @@ class ParallelContext final : public ExploreContext {
   void stop() override { stop_.store(true, std::memory_order_release); }
   std::int64_t states() const override { return states_.load(std::memory_order_relaxed); }
   bool exhausted() const override { return exhausted_.load(std::memory_order_relaxed); }
+  bool mem_exhausted() const override {
+    return tiered_ != nullptr && tiered_->mem_exhausted();
+  }
+  const TieredSigSet* store() const override { return tiered_.get(); }
   std::pair<std::int64_t, std::int64_t> dedup_traffic() const override {
     return {queries_.load(std::memory_order_relaxed), misses_.load(std::memory_order_relaxed)};
   }
@@ -129,7 +160,10 @@ class ParallelContext final : public ExploreContext {
   std::atomic<std::int64_t> misses_{0};
   std::atomic<bool> stop_{false};
   std::atomic<bool> exhausted_{false};
-  ShardedSigSet visited_;
+  // Exactly one of these is live: the plain set keeps the legacy workloads
+  // free of tier bookkeeping; the tiered store carries budget + disk spill.
+  std::unique_ptr<ShardedSigSet> plain_;
+  std::unique_ptr<TieredSigSet> tiered_;
 };
 
 /// Fills the context-derived fields of `stats` at the end of a sweep.
@@ -143,6 +177,19 @@ void harvest_context(ExploreStats& stats, const ExploreContext& ctx, int threads
   stats.threads = threads;
   stats.elapsed_s = elapsed_s;
   stats.states_per_s = elapsed_s > 0 ? static_cast<double>(stats.states) / elapsed_s : 0;
+  stats.mem_exhausted = ctx.mem_exhausted();
+  if (const TieredSigSet* store = ctx.store()) {
+    const TierStats t = store->tier_stats();
+    stats.dedup_recent_hits = t.recent_hits;
+    stats.dedup_mem_hits = t.mem_hits;
+    stats.dedup_cold_probes = t.cold_probes;
+    stats.dedup_bloom_skips = t.bloom_skips;
+    stats.dedup_cold_hits = t.cold_hits;
+    stats.dedup_spills = t.spills;
+    stats.dedup_spilled_sigs = t.spilled_sigs;
+    stats.dedup_spill_bytes = t.spill_bytes;
+    stats.dedup_merges = t.merges;
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -617,7 +664,7 @@ class FullReplayExplorer {
 ExploreOutcome explore_sequential(const TaskPtr& task,
                                   const std::function<ProcBody(int, Value)>& body,
                                   const ValueVec& inputs, const ExploreConfig& cfg) {
-  SequentialContext ctx(cfg.max_states);
+  SequentialContext ctx(cfg.max_states, cfg.dedup_store);
   ExploreOutcome out;
   const auto t0 = std::chrono::steady_clock::now();
   if (cfg.engine == ExploreEngine::kFullReplay) {
@@ -632,6 +679,10 @@ ExploreOutcome explore_sequential(const TaskPtr& task,
   const std::chrono::duration<double> dt = std::chrono::steady_clock::now() - t0;
   out.states = ctx.states();
   if (ctx.exhausted()) out.budget_exhausted = true;
+  if (ctx.mem_exhausted()) {
+    out.mem_exhausted = true;
+    out.budget_exhausted = true;
+  }
   out.stats.terminal_runs = out.terminal_runs;
   harvest_context(out.stats, ctx, /*threads=*/1, dt.count());
   return out;
@@ -650,7 +701,7 @@ ExploreOutcome explore_sequential(const TaskPtr& task,
 ExploreOutcome explore_parallel(const TaskPtr& task,
                                 const std::function<ProcBody(int, Value)>& body,
                                 const ValueVec& inputs, const ExploreConfig& cfg) {
-  ParallelContext ctx(cfg.max_states);
+  ParallelContext ctx(cfg.max_states, cfg.dedup_store);
   const std::size_t target = static_cast<std::size_t>(cfg.threads) * 4;
   const auto t0 = std::chrono::steady_clock::now();
 
@@ -773,6 +824,7 @@ CleanLevelResult max_clean_level(const TaskPtr& task,
     if (!levels[ki].ok) break;
     if (levels[ki].budget_exhausted) {
       r.budget_exhausted = true;  // level k only sampled: r.level is a lower bound
+      r.mem_exhausted = levels[ki].mem_exhausted;
       break;
     }
     r.level = k;

@@ -37,6 +37,7 @@
 #include <string>
 #include <vector>
 
+#include "core/diskset.hpp"
 #include "core/telemetry.hpp"
 #include "sim/world.hpp"
 #include "tasks/task.hpp"
@@ -62,11 +63,20 @@ struct ExploreConfig {
   /// meaningless across DFS branches, so attach with zero bounds). Ignored
   /// by parallel sweeps: one observer cannot soundly watch many worlds.
   StepObserver* observer = nullptr;
+  /// Dedup store shape (core/diskset.hpp). The default reads EFD_DEDUP_TIERS
+  /// / EFD_DEDUP_MEM_MB / EFD_DEDUP_DIR, so every sweep in the process obeys
+  /// the environment; a default environment yields the plain in-memory store
+  /// and the zero-overhead legacy containers. Semantic counters (states,
+  /// terminal_runs, dedup_misses) are identical across store shapes — tiers
+  /// only move where duplicates are detected and where the memory lives.
+  DedupConfig dedup_store = DedupConfig::from_env();
 };
 
 struct ExploreOutcome {
   bool ok = true;
-  bool budget_exhausted = false;   ///< hit max_states before covering the tree
+  bool budget_exhausted = false;   ///< hit max_states OR the memory cap before covering the tree
+  bool mem_exhausted = false;      ///< the dedup store hit EFD_DEDUP_MEM_MB with no disk tier
+                                   ///< (implies budget_exhausted: the sweep certifies nothing)
   std::int64_t terminal_runs = 0;  ///< complete runs reached (all decided)
   std::int64_t states = 0;
   std::string violation;           ///< "" when ok
@@ -89,6 +99,7 @@ struct CleanLevelResult {
   int level = 0;                 ///< highest level whose sweep was FULLY covered clean
   bool budget_exhausted = false;  ///< the sweep above `level` ran out of budget:
                                   ///< `level` is a certified lower bound only
+  bool mem_exhausted = false;     ///< that exhaustion was the memory cap, not max_states
   std::int64_t states = 0;       ///< total states across all level sweeps
   ExploreStats stats;            ///< merged telemetry of the counted sweeps
 };

@@ -24,6 +24,16 @@ void ExploreStats::merge(const ExploreStats& o) {
   threads = std::max(threads, o.threads);
   elapsed_s += o.elapsed_s;
   states_per_s = std::max(states_per_s, o.states_per_s);
+  dedup_recent_hits += o.dedup_recent_hits;
+  dedup_mem_hits += o.dedup_mem_hits;
+  dedup_cold_probes += o.dedup_cold_probes;
+  dedup_bloom_skips += o.dedup_bloom_skips;
+  dedup_cold_hits += o.dedup_cold_hits;
+  dedup_spills += o.dedup_spills;
+  dedup_spilled_sigs += o.dedup_spilled_sigs;
+  dedup_spill_bytes += o.dedup_spill_bytes;
+  dedup_merges += o.dedup_merges;
+  mem_exhausted = mem_exhausted || o.mem_exhausted;
 }
 
 namespace telemetry {

@@ -51,6 +51,22 @@ struct ExploreStats {
   double elapsed_s = 0;            ///< wall time of the sweep
   double states_per_s = 0;         ///< states / elapsed_s (0 when unmeasured)
 
+  // -- tiered dedup store traffic (core/diskset.hpp; all zero when the
+  //    store runs in plain in-memory mode). Which tier answers a duplicate
+  //    is thread-interleaving dependent, so these live in the run-shape
+  //    group even though their sums relate to the deterministic dedup
+  //    counters (recent+mem+cold hits == dedup_hits). --
+  std::int64_t dedup_recent_hits = 0;  ///< duplicates answered by the tier-0 TLS cache
+  std::int64_t dedup_mem_hits = 0;     ///< duplicates found in the in-memory shards
+  std::int64_t dedup_cold_probes = 0;  ///< in-memory misses that consulted the disk tier
+  std::int64_t dedup_bloom_skips = 0;  ///< cold probes settled by the bloom prefilter
+  std::int64_t dedup_cold_hits = 0;    ///< duplicates found in an mmap'd run
+  std::int64_t dedup_spills = 0;       ///< shard drains to disk
+  std::int64_t dedup_spilled_sigs = 0; ///< signatures moved to disk in total
+  std::int64_t dedup_spill_bytes = 0;  ///< bytes written to run files in total
+  std::int64_t dedup_merges = 0;       ///< per-shard run merges
+  bool mem_exhausted = false;          ///< a sweep hit its memory cap with no disk tier
+
   /// Accumulates another sweep's counters (sums; max for depth; threads and
   /// rates keep the maximum seen so aggregates stay meaningful).
   void merge(const ExploreStats& o);

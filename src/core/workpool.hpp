@@ -10,9 +10,13 @@
 //  * ShardedSigSet — concurrent signature (de-dup) set: 64 mutex-striped
 //    hash sets keyed by a mixed shard index. insert() is first-insert-wins,
 //    which is what makes the parallel explorers' clean-sweep state counts
-//    thread-count-invariant (see DESIGN.md, "Exploration engine").
+//    thread-count-invariant (see DESIGN.md, "Exploration engine"). It is
+//    also the hot middle tier of the tiered dedup store (core/diskset.hpp):
+//    an optional per-shard byte budget + ColdTier hook spill overflowing
+//    shards to bloom-prefiltered disk runs, all under the shard mutex.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <mutex>
@@ -45,25 +49,84 @@ class WorkStealingPool {
 
 class ShardedSigSet {
  public:
-  /// True iff `sig` was not present (first insert wins). Thread-safe.
+  static constexpr std::size_t kShards = 64;
+
+  /// Cold storage a shard overflows into (core/diskset.hpp implements this
+  /// over bloom-prefiltered mmap'd sorted runs). Both methods are invoked
+  /// UNDER the owning shard's mutex, so per-shard cold state needs no
+  /// further synchronization.
+  class ColdTier {
+   public:
+    virtual ~ColdTier() = default;
+    /// True iff `sig` was spilled to this shard's cold storage earlier.
+    virtual bool contains(std::size_t shard, std::uint64_t sig) = 0;
+    /// Moves the shard's in-memory contents to cold storage (the set is
+    /// drained and reset to its initial footprint).
+    virtual void spill(std::size_t shard, FlatSigSet& set) = 0;
+  };
+
+  ShardedSigSet() = default;
+  /// Budgeted form: when a shard's table crosses `shard_byte_budget` bytes
+  /// after an insert, it is spilled into `cold` — or, with no cold tier,
+  /// the set latches mem_exhausted() so the sweep can stop and report a
+  /// lower bound instead of growing without bound.
+  ShardedSigSet(std::size_t shard_byte_budget, ColdTier* cold)
+      : shard_budget_(shard_byte_budget), cold_(cold) {}
+
+  /// True iff `sig` was not present in the shard OR its cold storage (first
+  /// insert wins). Thread-safe; the whole probe-insert-spill sequence holds
+  /// the shard mutex, which is what keeps clean-sweep counts
+  /// thread-count-invariant with the disk tier active.
   bool insert(std::uint64_t sig) {
-    Shard& s = shards_[shard_of(sig)];
+    const std::size_t idx = shard_of(sig);
+    Shard& s = shards_[idx];
     std::lock_guard<std::mutex> lk(s.mu);
-    return s.set.insert(sig);
+    if (cold_ == nullptr && shard_budget_ == 0) {
+      const bool fresh = s.set.insert(sig);
+      if (fresh) size_.fetch_add(1, std::memory_order_relaxed);
+      return fresh;
+    }
+    if (s.set.contains(sig)) return false;
+    if (cold_ != nullptr && cold_->contains(idx, sig)) return false;
+    s.set.insert(sig);
+    size_.fetch_add(1, std::memory_order_relaxed);
+    if (shard_budget_ != 0 && s.set.bytes() > shard_budget_) {
+      if (cold_ != nullptr) {
+        cold_->spill(idx, s.set);
+      } else {
+        mem_exhausted_.store(true, std::memory_order_relaxed);
+      }
+    }
+    return true;
   }
 
-  [[nodiscard]] std::size_t size() const {
+  /// Signatures ever first-inserted (in-memory + spilled). Maintained as one
+  /// atomic counter, so a mid-sweep read is never torn: it is exactly the
+  /// number of successful insert() calls that happened-before the load
+  /// (the old implementation locked stripes one at a time and could return
+  /// a total no single moment ever exhibited).
+  [[nodiscard]] std::size_t size() const noexcept {
+    return size_.load(std::memory_order_relaxed);
+  }
+
+  /// True once any shard crossed its byte budget with no cold tier to spill
+  /// into (memory-capped mem-only mode).
+  [[nodiscard]] bool mem_exhausted() const noexcept {
+    return mem_exhausted_.load(std::memory_order_relaxed);
+  }
+
+  /// Bytes currently held by the in-memory shard tables (snapshot; shards
+  /// are sampled one at a time).
+  [[nodiscard]] std::size_t mem_bytes() const {
     std::size_t n = 0;
     for (const Shard& s : shards_) {
       std::lock_guard<std::mutex> lk(s.mu);
-      n += s.set.size();
+      n += s.set.bytes();
     }
     return n;
   }
 
  private:
-  static constexpr std::size_t kShards = 64;
-
   static std::size_t shard_of(std::uint64_t sig) noexcept {
     // Fibonacci mix so consecutive sigs don't pile onto one stripe.
     return static_cast<std::size_t>((sig * 0x9E3779B97F4A7C15ULL) >> 58) % kShards;
@@ -74,6 +137,10 @@ class ShardedSigSet {
     FlatSigSet set;  ///< flat probing set: no node alloc per insert
   };
   Shard shards_[kShards];
+  std::size_t shard_budget_ = 0;  ///< bytes per shard; 0 = unlimited
+  ColdTier* cold_ = nullptr;      ///< overflow target; null = latch exhaustion
+  std::atomic<std::size_t> size_{0};
+  std::atomic<bool> mem_exhausted_{false};
 };
 
 }  // namespace efd

@@ -3,6 +3,14 @@
 #include "sim/memory.hpp"
 
 namespace efd {
+namespace {
+
+/// Widest snapshot assembled on the frame instead of the heap. System sizes
+/// explored exhaustively are far below this; larger n falls back to a
+/// heap-backed ValueVec.
+constexpr int kStackCells = 16;
+
+}  // namespace
 
 Co<void> versioned_write(Context& ctx, Sym base, int me, Value v) {
   const Value cur = co_await ctx.read(reg(base, me));
@@ -12,6 +20,16 @@ Co<void> versioned_write(Context& ctx, Sym base, int me, Value v) {
 
 Co<Value> atomic_snapshot(Context& ctx, Sym base, int n) {
   const Value stable = co_await double_collect(ctx, base, n);
+  if (n <= kStackCells) {
+    // Assemble on the frame: the range constructor packs int-only
+    // snapshots inline, so the common small-n case never allocates.
+    Value buf[kStackCells];
+    for (int i = 0; i < n; ++i) {
+      const Value cell = stable.at(static_cast<std::size_t>(i));
+      if (cell.is_vec()) buf[i] = cell.at(1);
+    }
+    co_return Value(buf, buf + n);
+  }
   ValueVec out(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
     const Value cell = stable.at(static_cast<std::size_t>(i));
@@ -28,6 +46,19 @@ Co<Value> immediate_snapshot(Context& ctx, Sym ns_r, int me, int n, Value v) {
     --level;
     co_await ctx.write(reg(ns_r, me), vec(Value(level), v));
     const Value snap = co_await double_collect(ctx, ns_r, n);
+    if (n <= kStackCells) {
+      Value buf[kStackCells];
+      int at_or_below = 0;
+      for (int q = 0; q < n; ++q) {
+        const Value cell = snap.at(static_cast<std::size_t>(q));
+        if (cell.is_vec() && cell.at(0).int_or(n + 1) <= level) {
+          buf[q] = cell.at(1);
+          ++at_or_below;
+        }
+      }
+      if (at_or_below >= level) co_return Value(buf, buf + n);
+      continue;
+    }
     ValueVec view(static_cast<std::size_t>(n));
     int at_or_below = 0;
     for (int q = 0; q < n; ++q) {

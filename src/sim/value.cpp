@@ -94,6 +94,17 @@ ValueVec Value::as_vec() const {
   return out;
 }
 
+void Value::unpack_vec(ValueVec& out) const {
+  out.clear();
+  if (tag_ == Tag::kVecHeap) {
+    out.assign(rep_.vp->begin(), rep_.vp->end());
+    return;
+  }
+  if (tag_ != Tag::kVecInline) throw std::bad_variant_access{};
+  out.reserve(len_);
+  for (std::size_t i = 0; i < len_; ++i) out.push_back(at(i));
+}
+
 bool operator==(const Value& a, const Value& b) noexcept {
   return (a <=> b) == std::strong_ordering::equal;
 }

@@ -111,6 +111,12 @@ class Value {
   /// Vector payload, MATERIALIZED by value (inline vectors have no backing
   /// std::vector). Precondition: is_vec(). Hot paths use size()/at().
   [[nodiscard]] ValueVec as_vec() const;
+  /// Copies the vector payload into `out` (cleared first), reusing its
+  /// capacity: the allocation-free counterpart of as_vec() for hot paths
+  /// that re-materialize vectors repeatedly (e.g. explorer respawn
+  /// re-execution unpacking the same snapshot shape every backtrack).
+  /// Precondition: is_vec(); throws std::bad_variant_access otherwise.
+  void unpack_vec(ValueVec& out) const;
 
   /// Element access for vectors; Nil when out of range or not a vector.
   [[nodiscard]] Value at(std::size_t i) const noexcept {

@@ -47,16 +47,28 @@ import sys
 
 SCHEMA = "efd-bench-v1"
 CAMPAIGN_SCHEMA = "efd-campaign-v1"
-RATE_MARKERS = ("per_s", "per_iter", "/s")
+# "hit_rate" covers the tiered dedup store's per-tier hit rates: higher is
+# better (a drop means duplicates migrated to a slower tier), so they use the
+# same drop-beyond-threshold rule as throughput rates. Spill byte/sig counts
+# deliberately carry NO marker — they are workload-shape figures, reported
+# when they differ but never a failure.
+RATE_MARKERS = ("per_s", "per_iter", "/s", "hit_rate")
 # Counters where smaller is better (heap traffic): an *increase* beyond the
 # threshold is the regression. ALLOC_EPSILON absorbs jitter around zero —
-# 0 -> 0.004 allocs/step is measurement noise (one-off warm-up allocations
-# amortized over a different iteration count), not a leak.
+# since the respawn-path fix the sweep hot loop performs no steady-state
+# allocations at all, so the bar is a tight 0.002 allocs/step: enough for
+# one-off warm-up allocations amortized over a different iteration count,
+# far below any real per-state allocation creeping back in.
 LOWER_BETTER_MARKERS = ("allocs_per",)
-ALLOC_EPSILON = 0.01
+ALLOC_EPSILON = 0.002
 # Experiments whose benches carry the allocation probe; --validate requires
 # the counter so a silently dropped probe cannot pass the smoke test.
 ALLOC_PROBED_EXPERIMENTS = ("E13", "E14")
+# Experiments that must exercise the tiered dedup store: --validate requires
+# at least one benchmark with the per-tier counters, so silently dropping the
+# tiered row (and its spill coverage) cannot pass the smoke test.
+TIER_COUNTER_EXPERIMENTS = ("E14",)
+TIER_COUNTER_KEYS = ("recent_hit_rate", "mem_hit_rate", "spill_bytes")
 
 
 def fail(msg):
@@ -154,6 +166,12 @@ def validate_doc(path, doc, require_alloc_probe=True):
             check("allocs_per_step" in counters,
                   f"{name}: missing allocs_per_step counter "
                   f"(experiment {doc['experiment']} carries the allocation probe)")
+    if require_alloc_probe and doc.get("experiment") in TIER_COUNTER_EXPERIMENTS:
+        check(any(all(k in b.get("counters", {}) for k in TIER_COUNTER_KEYS)
+                  for b in benches),
+              f"no benchmark carries the tiered dedup counters "
+              f"{TIER_COUNTER_KEYS} (experiment {doc['experiment']} must "
+              f"exercise the tiered store)")
     tables = doc.get("tables")
     check(isinstance(tables, list), "tables must be an array")
     for t in tables:
