@@ -28,12 +28,16 @@
 // schedule observations and never counted as algorithm violations.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "core/corpus.hpp"
 #include "core/monitors.hpp"
 #include "core/telemetry.hpp"
 #include "fd/detectors.hpp"
@@ -116,12 +120,149 @@ struct CampaignRun {
   [[nodiscard]] bool verdict_ok() const;
 };
 
-/// Sweeps `opts.plans` seeded fault plans against one target.
+/// Sweeps `opts.plans` seeded fault plans against one target. Throws
+/// CorpusIoError when `opts.save_dir` cannot be created (checked ONCE, up
+/// front — tools map it to a distinct exit code; tapes must never vanish
+/// silently into an unwritable directory).
 [[nodiscard]] CampaignRun run_campaign(const CampaignTarget& target, const CampaignOptions& opts);
 
 /// The `efd-campaign-v1` document for a set of runs (schema in
 /// EXPERIMENTS.md E15; bench_diff.py --validate accepts it).
 [[nodiscard]] telemetry::Json campaign_json(const std::vector<CampaignRun>& runs,
                                             const CampaignOptions& opts);
+
+// ---------------------------------------------------------------------------
+// Campaign farm: the resident, corpus-backed form of the sweep (DESIGN.md
+// 4g, EXPERIMENTS.md E18). run_farm streams plans from the seeded
+// generator / coverage-guided mutator / an external PlanSource, dispatches
+// them across workers as WorkStealingPool batches, dedups findings against a
+// persistent CorpusStore, and shrinks + double-replay-verifies only novel
+// findings. Verdicts for identical (plan_seed, plan) inputs are byte-
+// identical to the one-shot runner's: both run the same run_plan.
+// ---------------------------------------------------------------------------
+
+/// Deterministic per-plan seed: folds the campaign seed, the TARGET NAME and
+/// the plan index. Folding the name is load-bearing — deriving from the
+/// index alone made every target sample the SAME plan sequence (perfectly
+/// correlated coverage across targets; regression-pinned in test_campaign).
+[[nodiscard]] std::uint64_t campaign_plan_seed(std::uint64_t campaign_seed,
+                                               const std::string& target, int index);
+
+/// One plan's verdict — the unit of work both run_campaign and run_farm
+/// execute. Pure in (target, plan, plan_seed, monitors): thread-safe and
+/// byte-deterministic, which is what lets the farm fan plans out across
+/// workers without perturbing verdicts.
+struct PlanOutcome {
+  std::uint64_t plan_seed = 0;
+  FaultPlan plan;
+  bool safety = false;          ///< scenario predicate fired
+  bool wait_free_bad = false;   ///< monitor wait-freedom bound broken
+  std::string detail;
+  std::int64_t steps = 0;
+  std::int64_t rehearsal_steps = 0;
+  std::int64_t monitored_steps = 0;
+  std::int64_t max_own_steps_to_decide = 0;
+  std::int64_t starvation_observations = 0;
+  /// Coarse trace-shape signature (which (process, op, register) triples the
+  /// run exercised + decision count). Interleaving-insensitive by design:
+  /// the farm mutates plans whose runs flip a bit nobody flipped before.
+  std::uint64_t coverage_sig = 0;
+  /// Populated ONLY on violation: the captured tape, finding + plan lines
+  /// stamped (finding = "safety" / "wait-free" / "safety+wait-free").
+  ScheduleTape tape;
+
+  [[nodiscard]] bool violated() const { return safety || wait_free_bad; }
+};
+
+/// Runs one plan against one target (rehearsal, effective-pattern re-drive,
+/// monitors, tape capture on violation). Shared by the one-shot sweep and
+/// the farm workers.
+[[nodiscard]] PlanOutcome run_plan(const CampaignTarget& target, const FaultPlan& plan,
+                                   std::uint64_t plan_seed, bool monitors);
+
+/// ddmin-shrinks a safety-finding tape and double-replay-verifies the
+/// minimized tape; provenance (plan, finding) carries over and expectations
+/// are re-stamped from the minimized tape's own replay.
+struct ShrunkFinding {
+  ScheduleTape mini;
+  bool replay_ok = false;  ///< shrunk tape double-replayed bit-identically
+};
+[[nodiscard]] ShrunkFinding shrink_finding(const std::string& scenario, const ScheduleTape& tape);
+
+/// External plan queue (the `serve` FIFO): non-blocking; each poll returns
+/// one (target-name, plan) submission or nullopt.
+class PlanSource {
+ public:
+  virtual ~PlanSource() = default;
+  virtual std::optional<std::pair<std::string, FaultPlan>> poll() = 0;
+};
+
+struct FarmOptions {
+  std::uint64_t seed = 42;
+  int workers = 8;
+  int batch = 64;              ///< plans per work-stealing dispatch batch
+  std::int64_t max_plans = 0;  ///< stop after this many plans (0: unbounded)
+  double duration_s = 0;       ///< stop after this much wall time (0: unbounded)
+  bool monitors = true;
+  bool shrink = true;
+  bool mutate = true;          ///< coverage-guided mutation of novel-coverage plans
+  std::string corpus_dir;     ///< persistent corpus directory ("": in-memory dedup)
+  std::vector<std::string> seed_corpora;  ///< read-only corpora absorbed at startup
+  double soak_interval_s = 5.0;           ///< streaming soak-record cadence
+  std::function<void(const telemetry::Json&)> on_soak;  ///< soak-record sink
+  PlanSource* source = nullptr;             ///< external plan queue (may be null)
+  const std::atomic<bool>* stop = nullptr;  ///< graceful-drain flag (SIGINT)
+};
+
+struct FarmTargetStats {
+  std::string target;
+  bool expect_clean = true;
+  std::int64_t plans = 0;
+  std::int64_t clean = 0;
+  std::int64_t safety_violations = 0;
+  std::int64_t wait_free_violations = 0;
+  std::int64_t novel = 0;       ///< findings inserted into the corpus
+  std::int64_t duplicates = 0;  ///< findings already in the corpus
+  std::int64_t starvation_observations = 0;
+  std::int64_t coverage_sigs = 0;  ///< distinct coverage signatures seen
+  std::int64_t mutated = 0;        ///< plans produced by mutate/splice
+  std::int64_t external = 0;       ///< plans submitted via the PlanSource
+  std::int64_t total_steps = 0;
+};
+
+struct FarmStats {
+  std::int64_t plans = 0;
+  std::int64_t clean = 0;
+  std::int64_t violations = 0;
+  std::int64_t novel = 0;
+  std::int64_t duplicates = 0;
+  std::int64_t shrunk = 0;
+  std::int64_t shrink_replays_ok = 0;
+  std::int64_t mutated = 0;
+  std::int64_t external = 0;
+  std::int64_t coverage_sigs = 0;
+  std::int64_t total_steps = 0;
+  std::int64_t batches = 0;
+  double elapsed_s = 0;
+  std::size_t corpus_size = 0;
+  std::size_t corpus_aliases = 0;
+  int corpus_seeded = 0;     ///< entries indexed from corpus dir + seed corpora
+  int quarantined = 0;       ///< malformed corpus entries moved aside at open
+  bool drained = false;      ///< stopped via the stop flag (graceful drain)
+  std::vector<FarmTargetStats> targets;
+};
+
+/// Runs the farm until a stop condition (stop flag, duration, max_plans)
+/// holds at a batch boundary — the in-flight batch always completes and its
+/// findings are processed (graceful drain). Throws CorpusIoError when the
+/// corpus directory cannot be created or written.
+[[nodiscard]] FarmStats run_farm(const std::vector<const CampaignTarget*>& targets,
+                                 const FarmOptions& opts);
+
+/// One `efd-campaign-farm-v1` soak record (schema in EXPERIMENTS.md E18;
+/// bench_diff.py --validate dispatches on it). `mode` is "soak" for the
+/// streaming interval records and "final" for the end-of-run document.
+[[nodiscard]] telemetry::Json farm_json(const FarmStats& stats, const FarmOptions& opts,
+                                        const std::string& mode);
 
 }  // namespace efd

@@ -186,6 +186,178 @@ FaultPlan FaultPlan::sample(std::uint64_t seed, const Space& space) {
   return plan;
 }
 
+namespace {
+
+/// Clamps a plan into `space`: at most max_crashes S-kills (storm points
+/// first, then triggers), at most max_bursts bursts, every index inside the
+/// horizon and every victim inside the population. sample() respects the
+/// caps by construction; mutate/splice re-clamp after editing.
+FaultPlan clamp_to_space(FaultPlan plan, const FaultPlan::Space& space) {
+  const std::int64_t horizon = std::max<std::int64_t>(1, space.horizon);
+  if (space.num_s <= 0 || space.max_crashes == 0) {
+    plan.storm.clear();
+    plan.triggers.clear();
+  }
+  for (auto& c : plan.storm) {
+    c.step_index = std::clamp<std::int64_t>(c.step_index, 0, horizon - 1);
+    c.s_index = std::clamp(c.s_index, 0, std::max(0, space.num_s - 1));
+  }
+  while (static_cast<int>(plan.storm.size()) > space.max_crashes) plan.storm.pop_back();
+  while (static_cast<int>(plan.storm.size() + plan.triggers.size()) > space.max_crashes) {
+    plan.triggers.pop_back();
+  }
+  if (!space.allow_fd_faults || space.num_s <= 0) plan.fd = FdFault{};
+  if (plan.fd.kind != FdFaultKind::kNone) {
+    const Time max_gst = space.max_gst > 0 ? space.max_gst : std::max<Time>(1, horizon / 4);
+    plan.fd.gst = std::clamp<Time>(plan.fd.gst, 1, max_gst);
+    plan.fd.param = std::max(1, plan.fd.param);
+  }
+  const int population = space.num_c + space.num_s;
+  if (space.max_bursts <= 0 || population <= 0) plan.bursts.clear();
+  while (static_cast<int>(plan.bursts.size()) > space.max_bursts) plan.bursts.pop_back();
+  const std::int64_t max_len =
+      space.max_burst_len > 0 ? space.max_burst_len : std::max<std::int64_t>(1, horizon / 8);
+  for (auto& b : plan.bursts) {
+    b.start_step = std::clamp<std::int64_t>(b.start_step, 0, horizon - 1);
+    b.length = std::clamp<std::int64_t>(b.length, 1, max_len);
+    const bool in_world = b.victim.is_s() ? b.victim.index < space.num_s
+                                          : b.victim.index < space.num_c;
+    if (!in_world) {
+      const int v = b.victim.index % std::max(1, population);
+      b.victim = v < space.num_c ? cpid(v) : spid(v - space.num_c);
+    }
+  }
+  return plan;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::mutate(std::uint64_t seed, const Space& space) const {
+  Rng rng{seed * 0xD1342543DE82EF95ULL + 0x9E6C63D0876A9A47ULL};
+  FaultPlan plan = *this;
+  const std::int64_t horizon = std::max<std::int64_t>(1, space.horizon);
+  const std::int64_t jitter = std::max<std::int64_t>(1, horizon / 8);
+  const int population = space.num_c + space.num_s;
+
+  const int edits = 1 + static_cast<int>(rng.below(2));
+  for (int e = 0; e < edits; ++e) {
+    switch (rng.below(6)) {
+      case 0:  // perturb (or seed) a storm point
+        if (!plan.storm.empty()) {
+          CrashPoint& c = plan.storm[rng.below(plan.storm.size())];
+          if (rng.below(4) == 0 && space.num_s > 0) {
+            c.s_index = static_cast<int>(rng.below(static_cast<std::uint64_t>(space.num_s)));
+          } else {
+            c.step_index += static_cast<std::int64_t>(rng.below(2 * jitter + 1)) - jitter;
+          }
+        } else if (space.num_s > 0 && space.max_crashes > 0) {
+          plan.storm.push_back(CrashPoint{
+              static_cast<std::int64_t>(rng.below(static_cast<std::uint64_t>(horizon))),
+              static_cast<int>(rng.below(static_cast<std::uint64_t>(space.num_s)))});
+        }
+        break;
+      case 1:  // perturb (or seed) a trigger
+        if (!plan.triggers.empty()) {
+          CrashTrigger& t = plan.triggers[rng.below(plan.triggers.size())];
+          switch (rng.below(3)) {
+            case 0: t.delay = 1 + static_cast<int>(rng.below(16)); break;
+            case 1: t.occurrence = 1 + static_cast<int>(rng.below(5)); break;
+            default:
+              if (!space.trigger_prefixes.empty()) {
+                t.reg_prefix = space.trigger_prefixes[rng.below(space.trigger_prefixes.size())];
+              }
+              break;
+          }
+        } else if (!space.trigger_prefixes.empty() && space.num_s > 0 && space.max_crashes > 0) {
+          CrashTrigger t;
+          t.reg_prefix = space.trigger_prefixes[rng.below(space.trigger_prefixes.size())];
+          t.op = rng.below(4) == 0 ? OpKind::kRead : OpKind::kWrite;
+          t.delay = 1 + static_cast<int>(rng.below(8));
+          t.occurrence = 1 + static_cast<int>(rng.below(3));
+          plan.triggers.push_back(std::move(t));
+        }
+        break;
+      case 2:  // widen / narrow / retarget the FD corruption window
+        if (space.allow_fd_faults && space.num_s > 0) {
+          if (plan.fd.kind == FdFaultKind::kNone) {
+            plan.fd.kind = rng.below(3) == 0   ? FdFaultKind::kLying
+                           : rng.below(2) == 0 ? FdFaultKind::kOmissive
+                                               : FdFaultKind::kStuttering;
+            plan.fd.gst = 1 + static_cast<Time>(rng.below(16));
+            plan.fd.param = 2 + static_cast<int>(rng.below(14));
+          } else if (rng.below(2) == 0) {
+            plan.fd.gst = rng.below(2) == 0 ? plan.fd.gst * 2 : std::max<Time>(1, plan.fd.gst / 2);
+          } else {
+            plan.fd.param = 1 + static_cast<int>(rng.below(16));
+          }
+        }
+        break;
+      case 3:  // jitter (or seed) a burst window
+        if (!plan.bursts.empty()) {
+          StarvationBurst& b = plan.bursts[rng.below(plan.bursts.size())];
+          switch (rng.below(3)) {
+            case 0:
+              b.start_step += static_cast<std::int64_t>(rng.below(2 * jitter + 1)) - jitter;
+              break;
+            case 1: b.length = 1 + static_cast<std::int64_t>(rng.below(
+                        static_cast<std::uint64_t>(std::max<std::int64_t>(1, 2 * b.length))));
+              break;
+            default:
+              if (population > 0) {
+                const auto v = static_cast<int>(rng.below(static_cast<std::uint64_t>(population)));
+                b.victim = v < space.num_c ? cpid(v) : spid(v - space.num_c);
+              }
+              break;
+          }
+        } else if (space.max_bursts > 0 && population > 0) {
+          StarvationBurst b;
+          const auto v = static_cast<int>(rng.below(static_cast<std::uint64_t>(population)));
+          b.victim = v < space.num_c ? cpid(v) : spid(v - space.num_c);
+          b.start_step = static_cast<std::int64_t>(rng.below(static_cast<std::uint64_t>(horizon)));
+          b.length = 1 + static_cast<std::int64_t>(rng.below(8));
+          plan.bursts.push_back(b);
+        }
+        break;
+      case 4:  // drop one fault element (shrinking move)
+        if (!plan.storm.empty() && rng.below(2) == 0) {
+          plan.storm.erase(plan.storm.begin() +
+                           static_cast<std::ptrdiff_t>(rng.below(plan.storm.size())));
+        } else if (!plan.triggers.empty()) {
+          plan.triggers.erase(plan.triggers.begin() +
+                              static_cast<std::ptrdiff_t>(rng.below(plan.triggers.size())));
+        } else if (!plan.bursts.empty()) {
+          plan.bursts.erase(plan.bursts.begin() +
+                            static_cast<std::ptrdiff_t>(rng.below(plan.bursts.size())));
+        } else {
+          plan.fd = FdFault{};
+        }
+        break;
+      default:  // drop the advice corruption entirely
+        plan.fd = FdFault{};
+        break;
+    }
+  }
+  return clamp_to_space(std::move(plan), space);
+}
+
+FaultPlan FaultPlan::splice(const FaultPlan& a, const FaultPlan& b, std::uint64_t seed,
+                            const Space& space) {
+  Rng rng{seed * 0xA24BAED4963EE407ULL + 0x9FB21C651E98DF25ULL};
+  FaultPlan plan;
+  plan.storm = a.storm;
+  plan.triggers = a.triggers;
+  plan.fd = b.fd;
+  // Interleave bursts: draw each slot from a or b.
+  const std::size_t total = a.bursts.size() + b.bursts.size();
+  std::size_t ia = 0;
+  std::size_t ib = 0;
+  for (std::size_t i = 0; i < total; ++i) {
+    const bool from_a = ib >= b.bursts.size() || (ia < a.bursts.size() && rng.below(2) == 0);
+    plan.bursts.push_back(from_a ? a.bursts[ia++] : b.bursts[ib++]);
+  }
+  return clamp_to_space(std::move(plan), space);
+}
+
 bool BurstScheduler::suppressed(Pid pid, std::int64_t step) const {
   for (const auto& b : bursts_) {
     if (b.victim == pid && step >= b.start_step && step < b.start_step + b.length) return true;

@@ -107,6 +107,21 @@ class FaultPlan {
   /// corruption and bursts are all drawn from `seed`; the same (seed, space)
   /// always yields the same plan.
   [[nodiscard]] static FaultPlan sample(std::uint64_t seed, const Space& space);
+
+  /// Coverage-guided mutation (the campaign farm's search move): applies one
+  /// or two small operators to a copy of this plan — perturb a storm point's
+  /// step index or victim, perturb a trigger's delay/occurrence, widen or
+  /// narrow the FD corruption window (double/halve gst, clamped to
+  /// [1, max_gst]), jitter a burst's window or victim, or add/drop one fault
+  /// element within the space's caps. Deterministic in (this, seed, space);
+  /// the result always respects `space` (crash cap, burst cap, horizon).
+  [[nodiscard]] FaultPlan mutate(std::uint64_t seed, const Space& space) const;
+
+  /// Crossover: a's crash faults (storm + triggers) combined with b's advice
+  /// corruption and a seeded interleaving of both plans' bursts, re-clamped
+  /// to the space caps. Deterministic in (a, b, seed, space).
+  [[nodiscard]] static FaultPlan splice(const FaultPlan& a, const FaultPlan& b,
+                                        std::uint64_t seed, const Space& space);
 };
 
 /// Wraps an inner scheduler and suppresses each burst's victim while the

@@ -187,6 +187,7 @@ std::string ScheduleTape::serialize() const {
   os << kFormat << "\n";
   if (!scenario.empty()) os << "scenario " << scenario << "\n";
   if (!plan.empty()) os << "plan " << plan << "\n";
+  if (!finding.empty()) os << "finding " << finding << "\n";
   if (expect_violated) os << "expect " << (*expect_violated ? "violated" : "ok") << "\n";
   if (expect_hash) {
     os << "hash " << std::hex << *expect_hash << std::dec << "\n";
@@ -249,6 +250,8 @@ ScheduleTape ScheduleTape::parse(const std::string& text) {
       const std::size_t at = rest.find_first_not_of(" \t");
       if (at == std::string::npos) parse_fail(line_no, "plan: missing text");
       t.plan = rest.substr(at);
+    } else if (key == "finding") {
+      if (!(ls >> t.finding)) parse_fail(line_no, "finding: missing kind");
     } else if (key == "expect") {
       std::string v;
       if (!(ls >> v) || (v != "violated" && v != "ok")) {

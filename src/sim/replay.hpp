@@ -86,6 +86,13 @@ class ScheduleTape {
   /// (trigger kills, corrupted advice, starvation bursts) are already baked
   /// into crashes / fd / steps; it documents WHERE a campaign tape came from.
   std::string plan;
+  /// Provenance only: what kind of finding this tape captures ("safety",
+  /// "wait-free", "safety+wait-free"; "" for non-finding tapes). A
+  /// wait-freedom-only finding has expect_violated == false — the safety
+  /// predicate really did hold — so without this stamp a replay reports
+  /// "as expected" and triage cannot tell the tape captured a liveness
+  /// violation at all. efd_repro print/replay surface it.
+  std::string finding;
   int num_s = 0;
   std::vector<std::optional<Time>> base_crash;  ///< base pattern crash times
   std::vector<CrashPoint> crashes;              ///< injected, sorted by step_index

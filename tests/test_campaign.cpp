@@ -3,6 +3,8 @@
 // variants, tape/shrink integration, and the efd-campaign-v1 JSON document.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
 #include <set>
 
 #include "core/campaign.hpp"
@@ -115,6 +117,96 @@ TEST(Campaign, JsonDocumentHasCampaignSchema) {
   // Round-trips through the telemetry parser.
   const telemetry::Json back = telemetry::Json::parse(text);
   EXPECT_EQ(back.dump(), text);
+}
+
+// Regression: plan seeds were derived from the plan INDEX alone, so every
+// target swept the same plan sequence (perfectly correlated coverage) and
+// two targets' tapes could collide on the same save stem. The seed mix must
+// fold the target name.
+TEST(Campaign, PlanSeedsDifferAcrossTargets) {
+  int collisions = 0;
+  for (int i = 0; i < 32; ++i) {
+    const std::uint64_t a = campaign_plan_seed(42, "cons", i);
+    const std::uint64_t b = campaign_plan_seed(42, "ksa", i);
+    const std::uint64_t c = campaign_plan_seed(42, "synth", i);
+    if (a == b || b == c || a == c) ++collisions;
+    // Same target, same index: stable.
+    EXPECT_EQ(a, campaign_plan_seed(42, "cons", i));
+  }
+  EXPECT_EQ(collisions, 0);
+
+  // And the sampled PLANS differ too, not just the seeds.
+  const CampaignTarget* cons = find_campaign_target("cons");
+  const CampaignTarget* ksa = find_campaign_target("ksa");
+  ASSERT_NE(cons, nullptr);
+  ASSERT_NE(ksa, nullptr);
+  int distinct = 0;
+  for (int i = 0; i < 16; ++i) {
+    const FaultPlan pa =
+        FaultPlan::sample(campaign_plan_seed(42, "cons", i), cons->space);
+    const FaultPlan pb =
+        FaultPlan::sample(campaign_plan_seed(42, "ksa", i), ksa->space);
+    if (pa.to_string() != pb.to_string()) ++distinct;
+  }
+  EXPECT_GT(distinct, 8);
+}
+
+// Regression: violation tapes carried no record of WHY they were kept — a
+// wait-freedom-only finding saved with expect_violated=false was
+// indistinguishable from a mislabeled clean run. run_plan must stamp the
+// monitor verdict into the tape's finding line, and it must round-trip.
+TEST(Campaign, SafetyFindingsStampFindingProvenance) {
+  const CampaignTarget* t = find_campaign_target("synth");
+  ASSERT_NE(t, nullptr);
+  bool found = false;
+  for (int i = 0; i < 40 && !found; ++i) {
+    const std::uint64_t seed = campaign_plan_seed(42, t->name, i);
+    const PlanOutcome out = run_plan(*t, FaultPlan::sample(seed, t->space), seed, true);
+    if (!out.safety) continue;
+    found = true;
+    EXPECT_TRUE(out.tape.finding == "safety" || out.tape.finding == "safety+wait-free")
+        << out.tape.finding;
+    EXPECT_EQ(out.tape.expect_violated, std::optional<bool>(true));
+    // Serialization round-trips the finding line.
+    const ScheduleTape back = ScheduleTape::parse(out.tape.serialize());
+    EXPECT_EQ(back.finding, out.tape.finding);
+  }
+  EXPECT_TRUE(found) << "synth produced no safety finding in 40 plans";
+}
+
+TEST(Campaign, WaitFreeOnlyFindingsAreStampedAndKept) {
+  // A correct algorithm with an absurdly tight wait-freedom bound: the
+  // monitor fires with NO safety violation, and the tape must say so.
+  CampaignTarget t = *find_campaign_target("cons");
+  t.bounds.own_steps_to_decide = 1;
+  bool found = false;
+  for (int i = 0; i < 20 && !found; ++i) {
+    const std::uint64_t seed = campaign_plan_seed(7, t.name, i);
+    const PlanOutcome out = run_plan(t, FaultPlan{}, seed, true);
+    if (!out.wait_free_bad || out.safety) continue;
+    found = true;
+    EXPECT_EQ(out.tape.finding, "wait-free");
+    // The safety predicate did NOT fire: replay will report "ok, as
+    // expected" — the finding line is what marks it a liveness finding.
+    EXPECT_EQ(out.tape.expect_violated, std::optional<bool>(false));
+    EXPECT_FALSE(out.detail.empty());
+  }
+  EXPECT_TRUE(found) << "tight bound produced no wait-freedom finding";
+}
+
+// Regression: the save-dir was (re-)created inside the per-violation loop
+// with the failure ignored — an unwritable directory silently dropped every
+// tape. It must be checked once, up front, with a typed error.
+TEST(Campaign, UnwritableSaveDirFailsUpFront) {
+  const CampaignTarget* t = find_campaign_target("cons");
+  ASSERT_NE(t, nullptr);
+  CampaignOptions o = small_opts();
+  o.plans = 1;
+  const std::string blocker =
+      (std::filesystem::path(::testing::TempDir()) / "efd_campaign_blocker").string();
+  std::ofstream(blocker) << "x";
+  o.save_dir = blocker + "/pending";
+  EXPECT_THROW((void)run_campaign(*t, o), CorpusIoError);
 }
 
 // Satellite of the fault-campaign issue: every campaign algorithm's safety

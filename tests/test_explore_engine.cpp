@@ -9,6 +9,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <mutex>
+#include <set>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -434,6 +437,53 @@ TEST(ExploreEngine, WorkStealingPoolRunsEveryTaskOnce) {
   }
   WorkStealingPool::run(std::move(tasks), 4);
   EXPECT_EQ(hits.load(), 100);
+}
+
+TEST(ExploreEngine, ResidentPoolReusesItsCrewAcrossBatches) {
+  // Many small batches on one pool: every task runs exactly once per batch,
+  // stats reset between runs, and the same persistent crew serves them all
+  // (the farm issues thousands of such batches per minute — per-batch
+  // thread spawn is exactly what this class exists to avoid).
+  ResidentPool pool(4);
+  EXPECT_EQ(pool.threads(), 4);
+  std::set<std::thread::id> crew_ids;
+  std::mutex ids_mu;
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> hits{0};
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 16; ++i) {
+      tasks.push_back([&hits, &crew_ids, &ids_mu] {
+        hits.fetch_add(1, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lk(ids_mu);
+        crew_ids.insert(std::this_thread::get_id());
+      });
+    }
+    PoolStats st;
+    pool.run(std::move(tasks), &st);
+    EXPECT_EQ(hits.load(), 16);
+    EXPECT_EQ(st.tasks, 16);
+  }
+  // Worker 0 is the caller; at most 3 spawned workers ever touch a task.
+  EXPECT_LE(crew_ids.size(), 4u);
+}
+
+TEST(ExploreEngine, ResidentPoolRethrowsFirstTaskError) {
+  ResidentPool pool(3);
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 8; ++i) {
+    tasks.push_back([i] {
+      if (i == 5) throw std::runtime_error("task five");
+    });
+  }
+  EXPECT_THROW(pool.run(std::move(tasks)), std::runtime_error);
+  // The pool stays usable after a throwing batch.
+  std::atomic<int> hits{0};
+  std::vector<std::function<void()>> ok;
+  for (int i = 0; i < 8; ++i) {
+    ok.push_back([&hits] { hits.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.run(std::move(ok));
+  EXPECT_EQ(hits.load(), 8);
 }
 
 TEST(ExploreEngine, ShardedSigSetFirstInsertWins) {

@@ -95,6 +95,76 @@ TEST(FaultPlan, NoFdFaultsWhenDisallowed) {
   }
 }
 
+void expect_in_space(const FaultPlan& p, const FaultPlan::Space& sp, std::uint64_t seed) {
+  ASSERT_LE(static_cast<int>(p.storm.size() + p.triggers.size()), sp.max_crashes)
+      << "seed " << seed;
+  ASSERT_LE(static_cast<int>(p.bursts.size()), sp.max_bursts) << "seed " << seed;
+  for (const auto& c : p.storm) {
+    ASSERT_GE(c.s_index, 0) << "seed " << seed;
+    ASSERT_LT(c.s_index, sp.num_s) << "seed " << seed;
+    ASSERT_GE(c.step_index, 0) << "seed " << seed;
+    ASSERT_LT(c.step_index, sp.horizon) << "seed " << seed;
+  }
+  for (const auto& t : p.triggers) {
+    ASSERT_GE(t.delay, 1) << "seed " << seed;
+    ASSERT_GE(t.occurrence, 1) << "seed " << seed;
+  }
+  if (p.fd.kind != FdFaultKind::kNone) {
+    ASSERT_TRUE(sp.allow_fd_faults) << "seed " << seed;
+    ASSERT_GE(p.fd.gst, 1) << "seed " << seed;
+    ASSERT_LE(p.fd.gst, sp.max_gst) << "seed " << seed;
+  }
+}
+
+TEST(FaultPlan, MutationIsDeterministicAndStaysInSpace) {
+  const FaultPlan::Space sp = small_space();
+  int changed = 0;
+  for (std::uint64_t seed = 0; seed < 200; ++seed) {
+    const FaultPlan base = FaultPlan::sample(seed, sp);
+    const FaultPlan m1 = base.mutate(seed + 1000, sp);
+    const FaultPlan m2 = base.mutate(seed + 1000, sp);
+    ASSERT_EQ(m1, m2) << "seed " << seed;
+    expect_in_space(m1, sp, seed);
+    if (m1 != base) ++changed;
+    // Mutants stay serializable provenance.
+    ASSERT_EQ(FaultPlan::parse(m1.to_string()), m1) << m1.to_string();
+  }
+  // Mutation must actually move through the space, not fixpoint.
+  EXPECT_GT(changed, 150);
+}
+
+TEST(FaultPlan, MutationRespectsTightenedCaps) {
+  FaultPlan::Space wide = small_space();
+  FaultPlan::Space tight = small_space();
+  tight.max_crashes = 1;
+  tight.max_bursts = 1;
+  tight.max_gst = 5;
+  tight.allow_fd_faults = false;
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    const FaultPlan base = FaultPlan::sample(seed, wide);
+    const FaultPlan m = base.mutate(seed, tight);
+    expect_in_space(m, tight, seed);
+    EXPECT_EQ(m.fd.kind, FdFaultKind::kNone) << "seed " << seed;
+  }
+}
+
+TEST(FaultPlan, SpliceIsDeterministicAndStaysInSpace) {
+  const FaultPlan::Space sp = small_space();
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    const FaultPlan a = FaultPlan::sample(seed, sp);
+    const FaultPlan b = FaultPlan::sample(seed + 7, sp);
+    const FaultPlan s1 = FaultPlan::splice(a, b, seed, sp);
+    const FaultPlan s2 = FaultPlan::splice(a, b, seed, sp);
+    ASSERT_EQ(s1, s2) << "seed " << seed;
+    expect_in_space(s1, sp, seed);
+    // The crossover carries a's crash faults (clamped) and b's FD fault.
+    if (s1.fd.kind != FdFaultKind::kNone) {
+      EXPECT_EQ(s1.fd.kind, b.fd.kind) << "seed " << seed;
+    }
+    ASSERT_EQ(FaultPlan::parse(s1.to_string()), s1) << s1.to_string();
+  }
+}
+
 TEST(BurstScheduler, SuppressesVictimInsideWindow) {
   World w = World::failure_free(0);
   w.spawn_c(0, spin);

@@ -47,6 +47,7 @@ import sys
 
 SCHEMA = "efd-bench-v1"
 CAMPAIGN_SCHEMA = "efd-campaign-v1"
+FARM_SCHEMA = "efd-campaign-farm-v1"
 # "hit_rate" covers the tiered dedup store's per-tier hit rates: higher is
 # better (a drop means duplicates migrated to a slower tier), so they use the
 # same drop-beyond-threshold rule as throughput rates. Spill byte/sig counts
@@ -133,6 +134,82 @@ def validate_campaign_doc(path, doc):
                       f"{name}: violation {key} must be a non-negative integer")
 
 
+def load_stream(path):
+    """Loads either one JSON document or a JSONL stream (the farm's stdout:
+    one soak record per line). Returns a list of documents."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            text = f.read()
+    except OSError as e:
+        fail(f"{path}: {e}")
+    try:
+        return [json.loads(text)]
+    except json.JSONDecodeError:
+        pass
+    docs = []
+    for i, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        try:
+            docs.append(json.loads(line))
+        except json.JSONDecodeError as e:
+            fail(f"{path}:{i}: {e}")
+    if not docs:
+        fail(f"{path}: no JSON documents")
+    return docs
+
+
+def validate_farm_doc(path, doc):
+    """One efd-campaign-farm-v1 record: a streaming "soak" interval snapshot
+    or the end-of-run "final" document (same shape; EXPERIMENTS.md E18)."""
+    def check(cond, msg):
+        if not cond:
+            fail(f"{path}: {msg}")
+
+    check(isinstance(doc.get("git"), str) and doc["git"], "missing git describe")
+    check(doc.get("mode") in ("soak", "final"), "mode must be 'soak' or 'final'")
+    check(isinstance(doc.get("seed"), int), "seed must be an integer")
+    for key in ("workers", "batch"):
+        check(isinstance(doc.get(key), int) and doc[key] > 0,
+              f"{key} must be a positive integer")
+    for key in ("monitors", "shrink", "mutate", "drained"):
+        check(isinstance(doc.get(key), bool), f"{key} must be a boolean")
+    for key in ("elapsed_s", "plans_per_s"):
+        check(isinstance(doc.get(key), (int, float)) and doc[key] >= 0,
+              f"{key} must be a non-negative number")
+    for key in ("plans", "clean", "violations", "novel", "duplicates", "shrunk",
+                "shrink_replays_ok", "mutated", "external", "coverage_sigs",
+                "total_steps", "batches"):
+        check(isinstance(doc.get(key), int) and doc[key] >= 0,
+              f"{key} must be a non-negative integer")
+    check(doc["novel"] + doc["duplicates"] <= doc["violations"],
+          "novel + duplicates exceeds violations")
+    check(doc["clean"] + doc["violations"] == doc["plans"],
+          "clean + violations != plans")
+    corpus = doc.get("corpus")
+    check(isinstance(corpus, dict), "corpus must be an object")
+    check(isinstance(corpus.get("dir"), str), "corpus.dir must be a string")
+    for key in ("size", "aliases", "seeded", "quarantined"):
+        check(isinstance(corpus.get(key), int) and corpus[key] >= 0,
+              f"corpus.{key} must be a non-negative integer")
+    targets = doc.get("targets")
+    check(isinstance(targets, list) and targets, "targets must be a non-empty array")
+    seen = set()
+    for t in targets:
+        check(isinstance(t, dict), "target entry is not an object")
+        name = t.get("target")
+        check(isinstance(name, str) and name, "target without a name")
+        check(name not in seen, f"duplicate target {name!r}")
+        seen.add(name)
+        check(isinstance(t.get("expect_clean"), bool),
+              f"{name}: expect_clean must be a boolean")
+        for key in ("plans", "clean", "safety_violations", "wait_free_violations",
+                    "novel", "duplicates", "starvation_observations", "coverage_sigs",
+                    "mutated", "external", "total_steps"):
+            check(isinstance(t.get(key), int) and t[key] >= 0,
+                  f"{name}: {key} must be a non-negative integer")
+
+
 def validate_doc(path, doc, require_alloc_probe=True):
     def check(cond, msg):
         if not cond:
@@ -142,8 +219,12 @@ def validate_doc(path, doc, require_alloc_probe=True):
     if doc.get("schema") == CAMPAIGN_SCHEMA:
         validate_campaign_doc(path, doc)
         return
+    if doc.get("schema") == FARM_SCHEMA:
+        validate_farm_doc(path, doc)
+        return
     check(doc.get("schema") == SCHEMA,
-          f"schema is {doc.get('schema')!r}, want {SCHEMA!r} or {CAMPAIGN_SCHEMA!r}")
+          f"schema is {doc.get('schema')!r}, want {SCHEMA!r}, {CAMPAIGN_SCHEMA!r}"
+          f" or {FARM_SCHEMA!r}")
     check(isinstance(doc.get("experiment"), str) and doc["experiment"], "missing experiment name")
     check(isinstance(doc.get("git"), str) and doc["git"], "missing git describe")
     benches = doc.get("benchmarks")
@@ -261,8 +342,10 @@ def main():
 
     if args.validate:
         for path in args.paths:
-            validate_doc(path, load(path))
-            print(f"{path}: OK")
+            docs = load_stream(path)
+            for doc in docs:
+                validate_doc(path, doc)
+            print(f"{path}: OK" + (f" ({len(docs)} records)" if len(docs) > 1 else ""))
         return 0
     if len(args.paths) != 2:
         fail("diff mode takes exactly two directories (or use --validate)")

@@ -49,5 +49,21 @@ grep -lq '^plan plan-v1' "$work"/pending/*.tape || {
   echo "FAIL: no violation tape carries a plan provenance line" >&2
   exit 1
 }
+grep -lq '^finding ' "$work"/pending/*.tape || {
+  echo "FAIL: no violation tape carries a finding verdict line" >&2
+  exit 1
+}
+
+# An unwritable save-dir must fail up front with the distinct IO exit code
+# (7), not silently drop tapes plan by plan. A plain file blocks the
+# create_directories call on every platform, root or not.
+touch "$work/not_a_dir"
+rc=0
+"$campaign" run --seed 42 --plans 1 --target cons \
+  --save-dir "$work/not_a_dir/pending" --out "$work/unused.json" 2>/dev/null || rc=$?
+if [ "$rc" != "7" ]; then
+  echo "FAIL: malformed save-dir exited $rc, want 7" >&2
+  exit 1
+fi
 
 echo "campaign smoke ok: $out"

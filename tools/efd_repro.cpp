@@ -75,6 +75,7 @@ void print_summary(const ScheduleTape& t) {
   std::printf("format    %s\n", ScheduleTape::kFormat);
   std::printf("scenario  %s\n", t.scenario.empty() ? "(none)" : t.scenario.c_str());
   if (!t.plan.empty()) std::printf("plan      %s\n", t.plan.c_str());
+  if (!t.finding.empty()) std::printf("finding   %s\n", t.finding.c_str());
   std::printf("s         %d\n", t.num_s);
   int base_crashes = 0;
   for (const auto& c : t.base_crash) {
@@ -137,6 +138,10 @@ int cmd_replay(int argc, char** argv) {
               tape.expect_violated
                   ? (*tape.expect_violated == out.violated ? " (as expected)" : " (UNEXPECTED)")
                   : "");
+  // Tapes kept for a liveness finding replay "predicate ok" by design — the
+  // finding line is what tells triage this was a wait-freedom violation, not
+  // a mislabeled clean run.
+  if (!tape.finding.empty()) std::printf("finding   %s\n", tape.finding.c_str());
   if (out.stats.injected_crashes > 0) {
     std::printf("faults    %" PRId64 " crash point(s) applied\n", out.stats.injected_crashes);
   }
