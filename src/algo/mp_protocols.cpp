@@ -1,0 +1,100 @@
+#include "algo/mp_protocols.hpp"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "algo/adopt_commit.hpp"
+
+namespace efd {
+namespace {
+
+Proc floodmin(Context& ctx, FloodMinConfig cfg, int index, Value input) {
+  // Flood (sender, value) to every mailbox, own one included.
+  for (int j = 0; j < cfg.n; ++j) {
+    co_await ctx.send(mp_mailbox(j), vec(index, input));
+  }
+  // A process knows its own input: it counts as heard from the start (the
+  // self-send above is kept for broadcast symmetry and simply ignored).
+  // Drain own inbox until n - f distinct senders were heard. Under
+  // exhaustive exploration an empty-inbox recv BLOCKS (the explorer never
+  // schedules it; see core/solvability); in driven runs it returns Nil and
+  // the loop polls again.
+  const RegAddr inbox = mp_mailbox(index);
+  std::vector<char> seen(static_cast<std::size_t>(cfg.n), 0);
+  seen[static_cast<std::size_t>(index)] = 1;
+  int heard = 1;
+  Value best = input;
+  while (heard < cfg.n - cfg.f) {
+    const Value msg = co_await ctx.recv(inbox);
+    if (msg.is_nil()) continue;  // empty poll (driven runs only)
+    const std::int64_t from = msg.at(0).int_or(-1);
+    if (from < 0 || from >= cfg.n || seen[static_cast<std::size_t>(from)]) continue;
+    seen[static_cast<std::size_t>(from)] = 1;
+    ++heard;
+    const Value v = msg.at(1);
+    if (best.is_nil() || v < best) best = v;
+  }
+  co_await ctx.decide(best);
+}
+
+Proc mp_consensus_client(Context& ctx, MpConsensusConfig cfg, Value input) {
+  const int i = ctx.pid().index;
+  for (int j = 0; j < cfg.n_servers; ++j) {
+    co_await ctx.send(mp_mailbox(j), vec(i, input));
+  }
+  const Value d = co_await await_nonnil(ctx, reg(sym(cfg.ns + "/DEC")));
+  co_await ctx.decide(d);
+}
+
+Proc mp_consensus_server(Context& ctx, MpConsensusConfig cfg) {
+  const int me = ctx.pid().index;  // servers sit at S-indices 0..n_servers-1
+  const RegAddr inbox = mp_mailbox(me);
+  const RegAddr dec = reg(sym(cfg.ns + "/DEC"));
+  Value est;
+  int round = 0;
+  for (;;) {
+    const Value leader = co_await ctx.query();
+    if (leader.int_or(-1) != me) {
+      co_await ctx.yield();
+      continue;
+    }
+    if (est.is_nil()) {
+      const Value msg = co_await ctx.recv(inbox);
+      if (msg.is_nil()) {
+        co_await ctx.yield();  // no proposal flooded to us yet
+        continue;
+      }
+      est = msg.at(1);
+    }
+    // One proven adopt-commit per round, rounds strictly in order (safety
+    // argument as in algo/leader_consensus.cpp's server_ac).
+    const AdoptCommitInstance inst{cfg.ns + "/ac" + std::to_string(round), cfg.n_servers};
+    const Value r = co_await adopt_commit(ctx, inst, me, est);
+    est = r.at(1);
+    if (r.at(0).int_or(0) == 1) {
+      co_await ctx.write(dec, est);
+    }
+    ++round;
+  }
+}
+
+}  // namespace
+
+ProcBody make_floodmin(FloodMinConfig cfg, int index, Value input) {
+  return [cfg, index, input = std::move(input)](Context& ctx) {
+    return floodmin(ctx, cfg, index, input);
+  };
+}
+
+ProcBody make_mp_consensus_client(MpConsensusConfig cfg, Value input) {
+  return [cfg = std::move(cfg), input = std::move(input)](Context& ctx) {
+    return mp_consensus_client(ctx, cfg, input);
+  };
+}
+
+ProcBody make_mp_consensus_server(MpConsensusConfig cfg) {
+  return [cfg = std::move(cfg)](Context& ctx) { return mp_consensus_server(ctx, cfg); };
+}
+
+}  // namespace efd

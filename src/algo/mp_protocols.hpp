@@ -1,0 +1,58 @@
+// Message-passing protocols (the minimal algorithm port for the second
+// substrate; sim/msg_world.hpp).
+//
+// * FloodMin k-set agreement — each process floods (index, input) to every
+//   mailbox, then drains its own inbox until it has heard n - f distinct
+//   senders (itself counted from the start: a process knows its own input)
+//   and decides the minimum value heard. Any
+//   (n-f)-subset of the inputs contains one of the f+1 smallest, so the
+//   protocol solves k-set agreement for every k >= f + 1; for k <= f an
+//   asynchronous adversary can hand each process a different subset and
+//   reach k+1 distinct decisions — the Biely-Robinson-Schmid impossibility
+//   boundary E19 mechanizes (unsolvable side: exploration finds the
+//   violation; solvable side: exploration certifies clean).
+//
+// * Flooding consensus with Omega — clients flood their proposal to every
+//   server's mailbox; servers (S-processes 0..n_servers-1, crash-prone,
+//   advice-querying) adopt the first proposal they receive and, while the
+//   advice names them leader, run rounds of the repo's proven adopt-commit
+//   ballot over shared registers, writing committed values to ns + "/DEC";
+//   clients busy-wait on DEC. Message passing carries dissemination, the
+//   register adopt-commit carries safety — the hybrid the "port the
+//   algorithm layer minimally" tentpole asks for. Safety holds under
+//   arbitrary advice lies; liveness needs an eventually-accurate leader
+//   among the servers (place servers at S-indices 0..n_servers-1, link
+//   daemons above them, so an Omega-style detector elects a server).
+//
+// Both bodies speak ctx.send/ctx.recv only — the SAME body runs on
+// ShmSubstrate (registers-as-mailboxes) and MsgSubstrate, which is the
+// differential axis tests/test_substrate.cpp sweeps.
+#pragma once
+
+#include "sim/msg_world.hpp"
+#include "sim/world.hpp"
+
+namespace efd {
+
+struct FloodMinConfig {
+  int n = 3;  ///< processes (mailboxes mb[0..n-1], one per process)
+  int f = 1;  ///< tolerated crashes: decide after hearing n - f senders
+};
+
+/// C-process index `index` of the FloodMin protocol, proposing `input`.
+[[nodiscard]] ProcBody make_floodmin(FloodMinConfig cfg, int index, Value input);
+
+struct MpConsensusConfig {
+  std::string ns = "mpc";  ///< register namespace (DEC + adopt-commit rounds)
+  int n_servers = 2;       ///< S-servers; their inboxes are mb[0..n_servers-1]
+};
+
+/// Client p_{index+1}: floods vec(index, input) to every server mailbox,
+/// then busy-waits on ns + "/DEC" and decides its value.
+[[nodiscard]] ProcBody make_mp_consensus_client(MpConsensusConfig cfg, Value input);
+
+/// Server q_{j+1} (spawn at S-index j < n_servers): adopts the first
+/// proposal from its inbox, then drives adopt-commit rounds while leading.
+[[nodiscard]] ProcBody make_mp_consensus_server(MpConsensusConfig cfg);
+
+}  // namespace efd

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "algo/leader_consensus.hpp"
+#include "algo/mp_protocols.hpp"
 #include "algo/one_concurrent.hpp"
 #include "algo/paxos.hpp"
 #include "algo/renaming.hpp"
@@ -499,6 +500,105 @@ ScheduleTape tw_record(std::uint64_t seed) {
   return t;
 }
 
+// ---- mp_floodmin family ----------------------------------------------------
+// FloodMin k-set agreement on the message-passing substrate (daemon-mode
+// MsgSubstrate; sim/msg_world.hpp): 3 senders flood (index, input) to every
+// mailbox and decide the min of the first n - f = 2 distinct senders heard.
+// The three scenarios share one world builder and differ in faults + the k
+// the predicate checks:
+//  * mp_floodmin_clean       — failure-free; k = f+1 = 2 must hold (and does);
+//  * mp_floodmin_partition   — {p0} vs {p1,p2} partition at t=0 (cross-group
+//    link daemons crashed in the base pattern): p0 blocks forever polling its
+//    inbox, p1/p2 decide among themselves; safety at k = 2 still holds — the
+//    tape is the partition-induced-blocking artifact;
+//  * mp_floodmin_crash_bcast — daemons ch[0][1], ch[0][2] killed right after
+//    p0's FIRST send: the broadcast lands only on p0's own mailbox, its
+//    messages to mb[1]/mb[2] die in flight. p1/p2 decide min{1,2} = 1 while
+//    p0 (hearing its own 0) decides 0 — checked at k = 1 this is the decision
+//    split behind the MP set-agreement impossibility boundary (E19), and the
+//    injected MP violation the shrink pipeline minimizes.
+
+constexpr int kMpfmN = 3;
+constexpr int kMpfmF = 1;
+
+World make_mpfm_world(const FailurePattern& f, HistoryPtr h) {
+  World w = make_mp_world(kMpfmN, kMpfmN, f, std::move(h));
+  const FloodMinConfig cfg{kMpfmN, kMpfmF};
+  for (int i = 0; i < kMpfmN; ++i) w.spawn_c(i, make_floodmin(cfg, i, Value(i)));
+  return w;
+}
+
+bool mpfm_violated_at(const World& w, int k) {
+  std::set<std::int64_t> vals;
+  for (int i = 0; i < kMpfmN; ++i) {
+    if (!w.decided(cpid(i))) continue;
+    const Value d = w.decision(cpid(i));
+    if (!d.is_int() || d.as_int() < 0 || d.as_int() >= kMpfmN) return true;  // validity
+    vals.insert(d.as_int());
+  }
+  return static_cast<int>(vals.size()) > k;
+}
+
+bool mpfm_kset_violated(const World& w) { return mpfm_violated_at(w, kMpfmF + 1); }
+bool mpfm_cons_violated(const World& w) { return mpfm_violated_at(w, 1); }
+
+ScheduleTape mpfm_clean_record(std::uint64_t seed) {
+  const FailurePattern base(kMpfmN * kMpfmN);
+  World w = make_mpfm_world(base, TrivialFd{}.history(base, 0));
+  RandomScheduler rs(seed);
+  ScheduleTape t = record_run("mp_floodmin_clean", w, base, rs, 4000, {});
+  t.substrate = "msg";
+  return t;
+}
+
+ScheduleTape mpfm_part_record(std::uint64_t seed) {
+  const FailurePattern base = mp_partition(kMpfmN, kMpfmN, {0}, 0);
+  World w = make_mpfm_world(base, TrivialFd{}.history(base, 0));
+  RandomScheduler rs(seed);
+  // p0 never decides (its group is alone), so the drive runs its full
+  // budget: keep it small — the artifact is the blocking, not the length.
+  ScheduleTape t = record_run("mp_floodmin_partition", w, base, rs, 700, {});
+  t.substrate = "msg";
+  return t;
+}
+
+ScheduleTape mpfm_crash_record(std::uint64_t seed) {
+  const FailurePattern base(kMpfmN * kMpfmN);
+
+  // Phase 1: clean same-seed recording to locate p0's first send (the base
+  // pattern is failure-free and nothing is injected, so no step is refused
+  // and trace position == schedule step index).
+  std::vector<CrashPoint> crashes;
+  {
+    World w = make_mpfm_world(base, TrivialFd{}.history(base, 0));
+    w.enable_trace();
+    RandomScheduler inner(seed);
+    RecordingScheduler rec(inner);
+    drive_with_crashes(w, rec, 4000, {});
+    const auto& trace = w.trace();
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      const auto& s = trace[i];
+      if (s.pid == cpid(0) && s.op == OpKind::kSend) {
+        // Kill p0's remaining outbound link daemons mid-broadcast: its
+        // messages to mb[1]/mb[2] are sent but can never be delivered.
+        crashes.push_back(CrashPoint{static_cast<std::int64_t>(i) + 1,
+                                     mp_link_s_index(kMpfmN, 0, 1)});
+        crashes.push_back(CrashPoint{static_cast<std::int64_t>(i) + 2,
+                                     mp_link_s_index(kMpfmN, 0, 2)});
+        break;
+      }
+    }
+  }
+
+  // Phase 2: the actual recording, same seed, with the mid-broadcast kills.
+  World w = make_mpfm_world(base, TrivialFd{}.history(base, 0));
+  RandomScheduler rs(seed);
+  ScheduleTape t =
+      record_run("mp_floodmin_crash_bcast", w, base, rs, 4000, std::move(crashes));
+  t.substrate = "msg";
+  return t;
+}
+
 std::vector<Scenario> build_registry() {
   return {
       {"synth_write_race",
@@ -531,6 +631,15 @@ std::vector<Scenario> build_registry() {
       {"buggy_torn_commit",
        "seeded bug: client trusts the uncommitted half of a torn A/B epoch write",
        make_tw_world, tw_violated, tw_record},
+      {"mp_floodmin_clean",
+       "FloodMin (n=3, f=1) on the MP substrate, failure-free; 2-set agreement holds",
+       make_mpfm_world, mpfm_kset_violated, mpfm_clean_record},
+      {"mp_floodmin_partition",
+       "FloodMin under a {p0}|{p1,p2} partition (severed-link daemons); p0 blocks, safety holds",
+       make_mpfm_world, mpfm_kset_violated, mpfm_part_record},
+      {"mp_floodmin_crash_bcast",
+       "FloodMin with p0's broadcast cut mid-flight (link daemons killed); decisions split at k=1",
+       make_mpfm_world, mpfm_cons_violated, mpfm_crash_record},
   };
 }
 

@@ -40,6 +40,12 @@ constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
   return x;
 }
 
+/// The world an engine explores in: the configured factory (substrate
+/// installs, MP worlds) or the legacy pure-register default.
+World make_explore_world(const ExploreConfig& cfg) {
+  return cfg.world_factory ? cfg.world_factory() : World::failure_free(1);
+}
+
 // ---------------------------------------------------------------------------
 // Budget + dedup context: the one piece of exploration state that is shared
 // when the frontier is sharded over threads. The sequential variant keeps the
@@ -224,8 +230,9 @@ class IncrementalExplorer {
         inputs_(inputs),
         cfg_(cfg),
         ctx_(ctx),
-        w_(World::failure_free(1)),
-        window_(cfg.k, cfg.arrival) {
+        w_(make_explore_world(cfg)),
+        window_(cfg.k, cfg.arrival),
+        mp_(w_.substrate_set()) {
     const std::size_t n = static_cast<std::size_t>(task_->n_procs());
     proc_sig_.assign(n, kFnvOffset);
     decided_.assign(n, 0);
@@ -255,7 +262,7 @@ class IncrementalExplorer {
     // stack (index-based: recursion may grow/reallocate it) instead of a
     // fresh vector per node.
     const std::size_t base = elig_stack_.size();
-    elig_stack_.insert(elig_stack_.end(), window_.active().begin(), window_.active().end());
+    push_eligible_children(elig_stack_);
     const std::size_t top = elig_stack_.size();
     for (std::size_t j = base; j < top; ++j) {
       if (ctx_.stopped()) break;
@@ -319,6 +326,16 @@ class IncrementalExplorer {
   [[nodiscard]] const std::vector<int>& sched() const noexcept { return sched_; }
   ExploreOutcome take_outcome() { return std::move(out_); }
 
+  /// Eligible successors of the current configuration: the admission window
+  /// filtered by the blocking-recv rule (substrate worlds). Counts a blocked
+  /// dead end like dfs() would — used by the parallel frontier expansion so
+  /// probe and workers agree with the sequential engine node for node.
+  [[nodiscard]] std::vector<int> eligible_children() {
+    std::vector<int> out;
+    push_eligible_children(out);
+    return out;
+  }
+
  private:
   /// One DFS edge of the undo log.
   struct PathStep {
@@ -355,6 +372,49 @@ class IncrementalExplorer {
     return decided_[i] != 0 || terminated_[i] != 0;
   }
 
+  /// BLOCKING recv: true iff scheduling c now would execute a recv on an
+  /// empty mailbox. Exploration never schedules such a step — otherwise a
+  /// poll loop (recv-Nil-retry) makes every MP protocol a spurious
+  /// step-bound violation, exactly the busy-waiting the paper's wait-free
+  /// notion abstracts away. A dirty process (frame ran ahead) is judged by
+  /// its next ghost step, never by w_'s pending op — the frame is past the
+  /// logical position and its pending op belongs to a future configuration.
+  [[nodiscard]] bool blocked(int c) {
+    const auto i = static_cast<std::size_t>(c);
+    OpKind op;
+    RegAddr addr;
+    if (!ghost_[i].empty()) {
+      const GhostStep& gs = ghost_[i].back();
+      op = gs.op;
+      addr = gs.addr;
+    } else {
+      const PendingOp* p = w_.pending_op(cpid(c));
+      if (p == nullptr) return false;
+      op = p->kind;
+      addr = p->addr;
+    }
+    if (op != OpKind::kRecv) return false;
+    return w_.substrate().peek_recv(w_.memory(), addr).is_nil();
+  }
+
+  /// Appends the eligible successors of the current configuration: the
+  /// admission window, minus blocked-recv processes when a substrate is
+  /// installed (pure register worlds keep the zero-overhead copy). A node
+  /// whose window is live but fully blocked is a DEAD END, not a terminal
+  /// run: nobody can move, nobody has violated anything — counted so
+  /// cross-backend runs can assert they agree on blocking structure.
+  void push_eligible_children(std::vector<int>& out) {
+    if (!mp_) {
+      out.insert(out.end(), window_.active().begin(), window_.active().end());
+      return;
+    }
+    const std::size_t base = out.size();
+    for (int c : window_.active()) {
+      if (!blocked(c)) out.push_back(c);
+    }
+    if (out.size() == base && !window_.active().empty()) ++out_.blocked_runs;
+  }
+
   /// Rebuilds c's coroutine at the logical position if it ran ahead
   /// (non-empty ghost log = frame consumed results beyond the position).
   void ensure_fresh(int c) {
@@ -376,6 +436,13 @@ class IncrementalExplorer {
   bool try_ghost_step(int c) {
     const auto i = static_cast<std::size_t>(c);
     const GhostStep& gs = ghost_[i].back();
+    if (gs.op == OpKind::kSend || gs.op == OpKind::kRecv || gs.op == OpKind::kDeliver) {
+      // Substrate ops mutate fabric/mailbox state through the substrate, not
+      // a single register cell; replaying them world-side only would need the
+      // substrate's mutation AND a proof the consumed result still matches.
+      // Rare on the explored (eager, blocking-recv) tree — always respawn.
+      return false;
+    }
     Value result;
     if (gs.op == OpKind::kRead) {
       result = w_.memory().read(gs.addr);
@@ -440,6 +507,15 @@ class IncrementalExplorer {
       ps.addr = op->addr;
       ps.prev_written = w_.memory().written(op->addr);
       if (ps.prev_written) ps.prev_value = w_.memory().read(op->addr);
+    } else if (op->kind == OpKind::kSend || op->kind == OpKind::kRecv) {
+      // Substrate ops touch exactly one mailbox cell; snapshot it through
+      // the substrate (fabric pending queue or backing register — the
+      // substrate knows which) so pop_step can restore it exactly.
+      ps.addr = op->addr;
+      ps.prev_written = w_.substrate().cell_state(w_.memory(), op->addr, ps.prev_value);
+      if (op->kind == OpKind::kRecv) {
+        result = w_.substrate().peek_recv(w_.memory(), op->addr);
+      }
     }
     w_.step(cpid(c));  // executes exactly `op`
     proc_log_[i].push_back(result);
@@ -485,6 +561,8 @@ class IncrementalExplorer {
     if (ps.became_terminated) terminated_[i] = 0;
     if (ps.op == OpKind::kWrite) {
       w_.memory().undo_write(ps.addr, ps.prev_value, ps.prev_written);
+    } else if (ps.op == OpKind::kSend || ps.op == OpKind::kRecv) {
+      w_.substrate().restore_cell(w_.memory(), ps.addr, ps.prev_value, ps.prev_written);
     }
     proc_log_[i].pop_back();
     ghost_[i].push_back(std::move(gs));
@@ -492,10 +570,11 @@ class IncrementalExplorer {
   }
 
   /// Full-configuration signature; identical formula to the reference
-  /// engine's (memory content hash, per-process step-result chains,
-  /// decided salts, admission progress).
+  /// engine's (shared-state hash — registers plus substrate-held mailbox
+  /// state, byte-identical across backends holding the same contents —
+  /// per-process step-result chains, decided salts, admission progress).
   [[nodiscard]] std::uint64_t sig() const {
-    std::uint64_t s = w_.memory().content_hash();
+    std::uint64_t s = w_.state_hash();
     for (std::size_t i = 0; i < proc_sig_.size(); ++i) {
       s = s * kFnvPrime + mix64(proc_sig_[i]) +
           (exists_[i] != 0 && decided_[i] != 0 ? kDecidedSalt : 0u);
@@ -520,6 +599,11 @@ class IncrementalExplorer {
 
   World w_;
   AdmissionWindow window_;
+  /// Substrate installed at construction → blocking-recv eligibility filter.
+  /// Latched ONCE: a world that lazily grows a default substrate mid-sweep
+  /// (bodies sending without a factory install) keeps the unfiltered rule
+  /// for the whole sweep, so eligibility stays configuration-deterministic.
+  bool mp_;
   std::vector<int> sched_;
   std::vector<PathStep> path_;
   std::vector<int> elig_stack_;   ///< dfs eligibility snapshots, all depths
@@ -566,7 +650,9 @@ class FullReplayExplorer {
 
  private:
   struct ReplayInfo {
-    std::vector<int> eligible;  ///< the admission window after the prefix
+    std::vector<int> eligible;  ///< admission window after the prefix, minus
+                                ///< blocked-recv processes (substrate worlds)
+    bool blocked = false;       ///< window live but every process blocked
     bool terminal = false;      ///< everyone arrived and finished
     bool relation_ok = true;
     std::uint64_t sig = 0;      ///< full-configuration signature
@@ -575,7 +661,7 @@ class FullReplayExplorer {
   /// Deterministically replays `sched` (a sequence of C-index choices) and
   /// summarizes the resulting configuration.
   ReplayInfo replay(const std::vector<int>& sched) {
-    World w = World::failure_free(1);
+    World w = make_explore_world(cfg_);
     for (int i : cfg_.arrival) {
       w.spawn_c(i, bodies_[static_cast<std::size_t>(i)]);
     }
@@ -598,10 +684,25 @@ class FullReplayExplorer {
     ReplayInfo info;
     info.eligible = win.active();
     info.terminal = win.exhausted();
+    if (w.substrate_set() && !info.eligible.empty()) {
+      // Same blocking-recv rule as the incremental engine: frames here are
+      // exactly at the logical position, so the pending op is authoritative.
+      std::vector<int> elig;
+      for (int c : info.eligible) {
+        const PendingOp* op = w.pending_op(cpid(c));
+        if (op != nullptr && op->kind == OpKind::kRecv &&
+            w.substrate().peek_recv(w.memory(), op->addr).is_nil()) {
+          continue;
+        }
+        elig.push_back(c);
+      }
+      info.blocked = elig.empty();
+      info.eligible = std::move(elig);
+    }
     ValueVec outs = w.output_vector();
     outs.resize(static_cast<std::size_t>(task_->n_procs()));
     info.relation_ok = task_->relation(inputs_, outs);
-    std::uint64_t sig = w.memory().content_hash();
+    std::uint64_t sig = w.state_hash();
     for (std::size_t i = 0; i < proc_sig.size(); ++i) {
       sig = sig * kFnvPrime + mix64(proc_sig[i]) +
             (w.exists(cpid(static_cast<int>(i))) && w.decided(cpid(static_cast<int>(i)))
@@ -640,6 +741,10 @@ class FullReplayExplorer {
       return;
     }
     if (cfg_.dedup && !ctx_.visit(info.sig)) return;
+    if (info.blocked) {
+      ++out_.blocked_runs;  // dead end: live window, all blocked on recv
+      return;
+    }
     for (int c : info.eligible) {
       sched.push_back(c);
       dfs(sched);
@@ -684,6 +789,7 @@ ExploreOutcome explore_sequential(const TaskPtr& task,
     out.budget_exhausted = true;
   }
   out.stats.terminal_runs = out.terminal_runs;
+  out.stats.blocked_runs = out.blocked_runs;
   harvest_context(out.stats, ctx, /*threads=*/1, dt.count());
   return out;
 }
@@ -716,7 +822,7 @@ ExploreOutcome explore_parallel(const TaskPtr& task,
       queue.pop_front();
       probe.move_to(prefix);
       if (probe.enter_node() == IncrementalExplorer::Node::kExpand) {
-        for (int c : probe.active()) {
+        for (int c : probe.eligible_children()) {
           std::vector<int> child = prefix;
           child.push_back(c);
           queue.push_back(std::move(child));
@@ -755,9 +861,11 @@ ExploreOutcome explore_parallel(const TaskPtr& task,
 
   ExploreOutcome out;
   out.terminal_runs = expansion_out.terminal_runs;
+  out.blocked_runs = expansion_out.blocked_runs;
   out.stats = expansion_out.stats;  // probe respawns/redelivers/undo depth
   for (const ExploreOutcome& p : parts) {
     out.terminal_runs += p.terminal_runs;
+    out.blocked_runs += p.blocked_runs;
     out.stats.max_undo_depth = std::max(out.stats.max_undo_depth, p.stats.max_undo_depth);
     out.stats.respawns += p.stats.respawns;
     out.stats.redelivers += p.stats.redelivers;
@@ -766,6 +874,7 @@ ExploreOutcome explore_parallel(const TaskPtr& task,
   out.states = ctx.states();
   const std::chrono::duration<double> dt = std::chrono::steady_clock::now() - t0;
   out.stats.terminal_runs = out.terminal_runs;
+  out.stats.blocked_runs = out.blocked_runs;
   out.stats.pool_steals = pool_stats.steals;
   harvest_context(out.stats, ctx, cfg.threads, dt.count());
   return out;

@@ -63,6 +63,22 @@ struct ExploreConfig {
   /// meaningless across DFS branches, so attach with zero bounds). Ignored
   /// by parallel sweeps: one observer cannot soundly watch many worlds.
   StepObserver* observer = nullptr;
+  /// Builds the world each engine explores in (null: World::failure_free(1),
+  /// the legacy pure-register world). MUST be deterministic — the reference
+  /// engine calls it once per node — and must NOT spawn C-processes (the
+  /// explorer spawns the participants itself). The canonical use is a
+  /// substrate install, e.g. [n] { World w = World::failure_free(1);
+  /// install_msg_eager(w, n, n); return w; } — explored MP worlds are the
+  /// EAGER (sends-land-instantly) subfamily: no link daemons, since S-steps
+  /// are never scheduled by the restricted-algorithm tree. Worlds with an
+  /// installed substrate explore with the BLOCKING-recv rule: a process whose
+  /// next op is a recv on an empty mailbox is not schedulable (otherwise
+  /// poll loops make every MP protocol a spurious step-bound violation);
+  /// configurations where every live process is blocked are dead ends,
+  /// counted as blocked_runs. Install ShmSubstrate explicitly on the
+  /// registers-as-mailboxes side of a differential pair so both backends
+  /// apply the identical rule.
+  std::function<World()> world_factory;
   /// Dedup store shape (core/diskset.hpp). The default reads EFD_DEDUP_TIERS
   /// / EFD_DEDUP_MEM_MB / EFD_DEDUP_DIR, so every sweep in the process obeys
   /// the environment; a default environment yields the plain in-memory store
@@ -78,6 +94,8 @@ struct ExploreOutcome {
   bool mem_exhausted = false;      ///< the dedup store hit EFD_DEDUP_MEM_MB with no disk tier
                                    ///< (implies budget_exhausted: the sweep certifies nothing)
   std::int64_t terminal_runs = 0;  ///< complete runs reached (all decided)
+  std::int64_t blocked_runs = 0;   ///< dead ends: live processes, all blocked on
+                                   ///< an empty-mailbox recv (substrate worlds)
   std::int64_t states = 0;
   std::string violation;           ///< "" when ok
   std::vector<int> bad_schedule;   ///< C-index choices reproducing the violation

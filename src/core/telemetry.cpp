@@ -15,6 +15,7 @@ void ExploreStats::merge(const ExploreStats& o) {
   terminal_runs += o.terminal_runs;
   dedup_queries += o.dedup_queries;
   dedup_misses += o.dedup_misses;
+  blocked_runs += o.blocked_runs;
   dedup_hits += o.dedup_hits;
   max_undo_depth = std::max(max_undo_depth, o.max_undo_depth);
   respawns += o.respawns;

@@ -41,6 +41,11 @@ struct ExploreStats {
   std::int64_t dedup_misses = 0;   ///< lookups that inserted (unique configurations)
 
   // -- run-shape dependent (schedule, engine and thread-count specific) --
+  std::int64_t blocked_runs = 0;   ///< dead-end nodes: live processes, every one
+                                   ///< blocked on an empty-mailbox recv (substrate
+                                   ///< worlds only; see core/solvability "blocking
+                                   ///< recv"). Cross-backend equality is asserted
+                                   ///< by tests/test_substrate, not test_telemetry.
   std::int64_t dedup_hits = 0;     ///< lookups pruned as already-seen
   std::int64_t max_undo_depth = 0; ///< deepest undo log (incremental engine)
   std::int64_t respawns = 0;       ///< coroutines rebuilt after a backtrack

@@ -22,6 +22,7 @@
 #include "algo/extraction.hpp"
 #include "algo/k_codes_sim.hpp"
 #include "algo/leader_consensus.hpp"
+#include "algo/mp_protocols.hpp"
 #include "algo/one_concurrent.hpp"
 #include "algo/participating_set.hpp"
 #include "algo/adopt_commit.hpp"
@@ -50,6 +51,7 @@
 #include "fd/reduction.hpp"
 #include "sim/ids.hpp"
 #include "sim/memory.hpp"
+#include "sim/msg_world.hpp"
 #include "sim/proc.hpp"
 #include "sim/snapshot.hpp"
 #include "sim/adversary.hpp"

@@ -1,0 +1,149 @@
+#include "sim/channel.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "sim/memory.hpp"  // cell_content_hash
+
+namespace efd {
+
+ChannelFabric::ChannelFabric(int num_senders, std::vector<RegAddr> mailboxes,
+                             std::vector<RegAddr> links, bool eager)
+    : num_senders_(num_senders), eager_(eager) {
+  if (num_senders < 0) throw std::invalid_argument("ChannelFabric: negative sender count");
+  mailboxes_.reserve(mailboxes.size());
+  for (std::size_t j = 0; j < mailboxes.size(); ++j) {
+    const RegAddr addr = mailboxes[j];
+    if (!mbox_slot_.emplace(addr.id(), static_cast<int>(j)).second) {
+      throw std::invalid_argument("ChannelFabric: duplicate mailbox " + addr.name());
+    }
+    Mailbox m;
+    m.addr = addr;
+    m.name_hash = addr.name_hash();
+    mailboxes_.push_back(std::move(m));
+  }
+  if (eager_ && !links.empty()) {
+    throw std::invalid_argument("ChannelFabric: eager fabrics have no links");
+  }
+  if (!eager_ && links.size() != mailboxes_.size() * static_cast<std::size_t>(num_senders_)) {
+    throw std::invalid_argument("ChannelFabric: need one link per (sender, mailbox)");
+  }
+  links_.reserve(links.size());
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    const RegAddr addr = links[i];
+    if (!link_slot_.emplace(addr.id(), static_cast<int>(i)).second) {
+      throw std::invalid_argument("ChannelFabric: duplicate link " + addr.name());
+    }
+    Link l;
+    l.addr = addr;
+    // Link order is sender-major: link i serves (sender i / m, mailbox i % m).
+    l.mbox_slot = static_cast<int>(i % mailboxes_.size());
+    links_.push_back(std::move(l));
+  }
+}
+
+ChannelFabric::Mailbox& ChannelFabric::mbox_at(RegAddr addr) {
+  const auto it = mbox_slot_.find(addr.id());
+  if (it == mbox_slot_.end()) {
+    throw std::out_of_range("ChannelFabric: unknown mailbox " + addr.name());
+  }
+  return mailboxes_[static_cast<std::size_t>(it->second)];
+}
+
+const ChannelFabric::Mailbox& ChannelFabric::mbox_at(RegAddr addr) const {
+  const auto it = mbox_slot_.find(addr.id());
+  if (it == mbox_slot_.end()) {
+    throw std::out_of_range("ChannelFabric: unknown mailbox " + addr.name());
+  }
+  return mailboxes_[static_cast<std::size_t>(it->second)];
+}
+
+void ChannelFabric::rehash(Mailbox& m) {
+  if (m.touched) hash_acc_ -= m.term;  // not touched => term == 0 already
+  m.touched = true;
+  const Value as_cell(m.pending.data(), m.pending.data() + m.pending.size());
+  m.term = cell_content_hash(m.name_hash, as_cell.hash());
+  hash_acc_ += m.term;
+}
+
+void ChannelFabric::send(Pid sender, RegAddr mbox, const Value& msg) {
+  if (eager_) {
+    Mailbox& m = mbox_at(mbox);
+    m.pending.push_back(msg);
+    rehash(m);
+    return;
+  }
+  if (!sender.is_c() || sender.index < 0 || sender.index >= num_senders_) {
+    throw std::logic_error("ChannelFabric: sender " + sender.to_string() +
+                           " has no outgoing links");
+  }
+  Mailbox& m = mbox_at(mbox);  // validates the destination
+  const int slot = mbox_slot_.at(m.addr.id());
+  Link& l = links_[static_cast<std::size_t>(sender.index) * mailboxes_.size() +
+                   static_cast<std::size_t>(slot)];
+  l.in_flight.push_back(msg);
+  ++total_in_flight_;
+}
+
+Value ChannelFabric::recv(RegAddr mbox) {
+  Mailbox& m = mbox_at(mbox);
+  if (m.pending.empty()) {
+    rehash(m);  // empty recv still marks the mailbox touched
+    return Value{};
+  }
+  Value head = std::move(m.pending.front());
+  m.pending.erase(m.pending.begin());
+  rehash(m);
+  return head;
+}
+
+Value ChannelFabric::deliver(RegAddr link) {
+  if (eager_) throw std::logic_error("ChannelFabric: eager fabrics deliver inside send");
+  const auto it = link_slot_.find(link.id());
+  if (it == link_slot_.end()) {
+    throw std::out_of_range("ChannelFabric: unknown link " + link.name());
+  }
+  Link& l = links_[static_cast<std::size_t>(it->second)];
+  if (l.in_flight.empty()) return Value{};
+  Value msg = std::move(l.in_flight.front());
+  l.in_flight.pop_front();
+  --total_in_flight_;
+  Mailbox& m = mailboxes_[static_cast<std::size_t>(l.mbox_slot)];
+  m.pending.push_back(msg);
+  rehash(m);
+  return msg;
+}
+
+Value ChannelFabric::peek(RegAddr mbox) const {
+  const Mailbox& m = mbox_at(mbox);
+  return m.pending.empty() ? Value{} : m.pending.front();
+}
+
+bool ChannelFabric::state(RegAddr mbox, Value& out) const {
+  const Mailbox& m = mbox_at(mbox);
+  out = m.touched ? Value(m.pending.data(), m.pending.data() + m.pending.size()) : Value{};
+  return m.touched;
+}
+
+void ChannelFabric::restore(RegAddr mbox, const Value& prev, bool prev_present) {
+  Mailbox& m = mbox_at(mbox);
+  if (m.touched) hash_acc_ -= m.term;
+  m.pending.clear();
+  m.term = 0;
+  m.touched = prev_present;
+  if (!prev_present) return;
+  if (prev.is_vec()) prev.unpack_vec(m.pending);  // a Nil prev restores an empty queue
+  const Value as_cell(m.pending.data(), m.pending.data() + m.pending.size());
+  m.term = cell_content_hash(m.name_hash, as_cell.hash());
+  hash_acc_ += m.term;
+}
+
+std::size_t ChannelFabric::in_flight(RegAddr link) const {
+  const auto it = link_slot_.find(link.id());
+  if (it == link_slot_.end()) {
+    throw std::out_of_range("ChannelFabric: unknown link " + link.name());
+  }
+  return links_[static_cast<std::size_t>(it->second)].in_flight.size();
+}
+
+}  // namespace efd

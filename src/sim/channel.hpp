@@ -1,0 +1,116 @@
+// Per-link FIFO channels for the message-passing substrate.
+//
+// A ChannelFabric owns the mailbox queues of a message-passing world and,
+// in daemon (non-eager) mode, one in-flight FIFO per (sender, mailbox) link:
+//
+//     send  —  eager: message lands directly on the destination mailbox
+//              (sends are instantaneous, the subfamily exhaustive
+//              exploration certifies over);
+//              daemon: message lands on the (sender, mailbox) link's
+//              in-flight channel and only a later deliver step moves it
+//              onto the mailbox — delivery order/timing is the scheduler's
+//              choice, so RecordingScheduler/ReplayScheduler drive it
+//              unchanged, and crashing a link's daemon severs the link
+//              permanently (a partition is just a set of daemon crashes).
+//     recv  —  pops the mailbox head; an empty recv marks the mailbox
+//              touched (see Substrate's contract).
+//     deliver — pops the link's in-flight head onto the mailbox FIFO.
+//
+// Hashing: the fabric maintains the same commutative accumulator a
+// RegisterFile would if each mailbox were one register holding its pending
+// FIFO as a vector Value — per touched mailbox, cell_content_hash(name hash
+// of the mailbox address, Value(pending).hash()), summed mod 2^64. That is
+// what makes World::state_hash() byte-identical across ShmSubstrate and
+// MsgSubstrate for equal mailbox contents. In-flight channel contents are
+// NOT hashed: exploration runs eager mode only, and driven (recorded) runs
+// never consult state hashes.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/ids.hpp"
+#include "sim/regid.hpp"
+#include "sim/value.hpp"
+
+namespace efd {
+
+class ChannelFabric {
+ public:
+  /// `mailboxes[j]` is the register-namespace address of mailbox j; links
+  /// are (sender c-index, mailbox slot) pairs addressed via `links` (empty
+  /// in eager mode). Duplicate addresses throw std::invalid_argument.
+  ChannelFabric(int num_senders, std::vector<RegAddr> mailboxes,
+                std::vector<RegAddr> links, bool eager);
+
+  [[nodiscard]] bool eager() const noexcept { return eager_; }
+  [[nodiscard]] int num_senders() const noexcept { return num_senders_; }
+  [[nodiscard]] int num_mailboxes() const noexcept {
+    return static_cast<int>(mailboxes_.size());
+  }
+
+  /// One send step. Eager: straight onto the mailbox. Daemon: onto the
+  /// (sender, mbox) link's in-flight FIFO — `sender` must then be a
+  /// C-process with index < num_senders.
+  void send(Pid sender, RegAddr mbox, const Value& msg);
+
+  /// One recv step: pops and returns the mailbox head (Nil when empty; the
+  /// mailbox is marked touched either way).
+  [[nodiscard]] Value recv(RegAddr mbox);
+
+  /// One deliver step on a link address: moves the link's in-flight head
+  /// onto its destination mailbox. Returns the delivered message, Nil when
+  /// the channel was empty. Throws std::logic_error in eager mode.
+  [[nodiscard]] Value deliver(RegAddr link);
+
+  /// The value the next recv(mbox) returns, without mutating.
+  [[nodiscard]] Value peek(RegAddr mbox) const;
+
+  /// Pending FIFO of `mbox` as a vector Value (Nil when never touched);
+  /// returns the touched flag. Feeds restore() on explorer backtrack.
+  [[nodiscard]] bool state(RegAddr mbox, Value& out) const;
+
+  /// Exact inverse of the one send/recv since (prev, prev_present) was
+  /// observed via state() on the same mailbox.
+  void restore(RegAddr mbox, const Value& prev, bool prev_present);
+
+  /// Messages sitting in `link`'s in-flight channel (0 in eager mode).
+  [[nodiscard]] std::size_t in_flight(RegAddr link) const;
+  /// Total undelivered messages across all links.
+  [[nodiscard]] std::size_t total_in_flight() const noexcept { return total_in_flight_; }
+
+  /// Commutative accumulator over touched mailboxes (see header comment).
+  [[nodiscard]] std::uint64_t hash_acc() const noexcept { return hash_acc_; }
+
+ private:
+  struct Mailbox {
+    RegAddr addr;
+    std::uint64_t name_hash = 0;
+    ValueVec pending;
+    bool touched = false;
+    std::uint64_t term = 0;  ///< current contribution to hash_acc_
+  };
+  struct Link {
+    RegAddr addr;
+    int mbox_slot = 0;
+    std::deque<Value> in_flight;
+  };
+
+  [[nodiscard]] Mailbox& mbox_at(RegAddr addr);
+  [[nodiscard]] const Mailbox& mbox_at(RegAddr addr) const;
+  /// Recomputes a mailbox's hash term after a pending/touched mutation.
+  void rehash(Mailbox& m);
+
+  int num_senders_;
+  bool eager_;
+  std::vector<Mailbox> mailboxes_;
+  std::vector<Link> links_;
+  std::unordered_map<RegId, int> mbox_slot_;  ///< RegId -> mailboxes_ index
+  std::unordered_map<RegId, int> link_slot_;  ///< RegId -> links_ index
+  std::size_t total_in_flight_ = 0;
+  std::uint64_t hash_acc_ = 0;
+};
+
+}  // namespace efd

@@ -90,6 +90,13 @@ class RegisterFile {
     return cell_content_hash(0x9AE16A3B2F90404FULL, hash_acc_);
   }
 
+  /// Raw commutative cell-hash accumulator, BEFORE the final mix. World
+  /// combines it with a substrate's accumulator (sim/substrate.hpp) so a
+  /// message-passing backend's mailbox state folds into the same state hash
+  /// a register-emulated mailbox would produce: content_hash() ==
+  /// cell_content_hash(seed, hash_acc()) by construction.
+  [[nodiscard]] std::uint64_t hash_acc() const noexcept { return hash_acc_; }
+
   /// From-scratch recompute of content_hash() over the written cells.
   /// O(footprint); for tests and debugging only.
   [[nodiscard]] std::uint64_t content_hash_slow() const noexcept;

@@ -1,0 +1,83 @@
+#include "sim/msg_world.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace efd {
+namespace {
+
+Proc link_daemon(Context& ctx, RegAddr link) {
+  for (;;) {
+    (void)co_await ctx.deliver(link);
+  }
+}
+
+}  // namespace
+
+RegAddr mp_mailbox(int j) {
+  static const Sym kMb = sym("mb");
+  return reg(kMb, j);
+}
+
+RegAddr mp_link(int sender, int mbox) {
+  static const Sym kCh = sym("ch");
+  return reg2(kCh, sender, mbox);
+}
+
+std::vector<RegAddr> mp_mailboxes(int m) {
+  std::vector<RegAddr> out;
+  out.reserve(static_cast<std::size_t>(m));
+  for (int j = 0; j < m; ++j) out.push_back(mp_mailbox(j));
+  return out;
+}
+
+void install_msg_eager(World& w, int n, int m) {
+  w.set_substrate(std::make_unique<MsgSubstrate>(
+      ChannelFabric(n, mp_mailboxes(m), {}, /*eager=*/true)));
+}
+
+void install_shm_mailboxes(World& w) { w.set_substrate(std::make_unique<ShmSubstrate>()); }
+
+ProcBody make_link_daemon(RegAddr link) {
+  return [link](Context& ctx) { return link_daemon(ctx, link); };
+}
+
+World make_mp_world(int n, int m, FailurePattern pattern, HistoryPtr history, int s_base) {
+  if (pattern.n() < s_base + n * m) {
+    throw std::invalid_argument("make_mp_world: pattern must cover one S-process per link");
+  }
+  std::vector<RegAddr> links;
+  links.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(m));
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < m; ++j) links.push_back(mp_link(i, j));
+  }
+  World w(std::move(pattern), std::move(history));
+  w.set_substrate(std::make_unique<MsgSubstrate>(
+      ChannelFabric(n, mp_mailboxes(m), links, /*eager=*/false)));
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < m; ++j) {
+      w.spawn_s(s_base + mp_link_s_index(m, i, j), make_link_daemon(mp_link(i, j)));
+    }
+  }
+  return w;
+}
+
+void sever_link(FailurePattern& pattern, int m, int sender, int mbox, Time t, int s_base) {
+  pattern.crash(s_base + mp_link_s_index(m, sender, mbox), t);
+}
+
+FailurePattern mp_partition(int n, int m, const std::vector<int>& group, Time t, int extra_s) {
+  FailurePattern p(n * m + extra_s);
+  const auto in_group = [&group](int x) {
+    return std::find(group.begin(), group.end(), x) != group.end();
+  };
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < m; ++j) {
+      if (in_group(i) != in_group(j)) sever_link(p, m, i, j, t);
+    }
+  }
+  return p;
+}
+
+}  // namespace efd

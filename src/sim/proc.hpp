@@ -45,18 +45,22 @@
 namespace efd {
 
 /// What a suspended process is waiting to do on its next scheduled step.
+/// Fits in 3 bits (Trace packs it with kOpMask) — at most 8 kinds.
 enum class OpKind : std::uint8_t {
-  kRead,    ///< read a shared register; step result = register value
-  kWrite,   ///< write a shared register; step result = Nil
-  kQuery,   ///< query the failure detector (S-processes only)
-  kYield,   ///< null local step (used by busy-wait loops); result = Nil
-  kDecide,  ///< decide step: records the decision value
+  kRead,     ///< read a shared register; step result = register value
+  kWrite,    ///< write a shared register; step result = Nil
+  kQuery,    ///< query the failure detector (S-processes only)
+  kYield,    ///< null local step (used by busy-wait loops); result = Nil
+  kDecide,   ///< decide step: records the decision value
+  kSend,     ///< enqueue a message to a mailbox (message substrates); result = Nil
+  kRecv,     ///< dequeue from own mailbox; result = message or Nil when empty
+  kDeliver,  ///< move one in-flight message onto its mailbox (link daemons)
 };
 
 struct PendingOp {
   OpKind kind{OpKind::kYield};
-  RegAddr addr;  ///< interned register handle for kRead/kWrite
-  Value value;   ///< value for kWrite/kDecide
+  RegAddr addr;  ///< interned register/mailbox/link handle
+  Value value;   ///< value for kWrite/kDecide/kSend
 };
 
 template <class T>
@@ -250,6 +254,15 @@ class Context {
   [[nodiscard]] StepAwaiter yield() noexcept { return {this, {OpKind::kYield, {}, Value{}}}; }
   [[nodiscard]] StepAwaiter decide(Value v) noexcept {
     return {this, {OpKind::kDecide, {}, std::move(v)}};
+  }
+  [[nodiscard]] StepAwaiter send(RegAddr to, Value v) noexcept {
+    return {this, {OpKind::kSend, to, std::move(v)}};
+  }
+  [[nodiscard]] StepAwaiter recv(RegAddr mbox) noexcept {
+    return {this, {OpKind::kRecv, mbox, Value{}}};
+  }
+  [[nodiscard]] StepAwaiter deliver(RegAddr link) noexcept {
+    return {this, {OpKind::kDeliver, link, Value{}}};
   }
 
   // ---- world-side protocol ----

@@ -188,6 +188,7 @@ std::string ScheduleTape::serialize() const {
   if (!scenario.empty()) os << "scenario " << scenario << "\n";
   if (!plan.empty()) os << "plan " << plan << "\n";
   if (!finding.empty()) os << "finding " << finding << "\n";
+  if (!substrate.empty()) os << "substrate " << substrate << "\n";
   if (expect_violated) os << "expect " << (*expect_violated ? "violated" : "ok") << "\n";
   if (expect_hash) {
     os << "hash " << std::hex << *expect_hash << std::dec << "\n";
@@ -252,6 +253,10 @@ ScheduleTape ScheduleTape::parse(const std::string& text) {
       t.plan = rest.substr(at);
     } else if (key == "finding") {
       if (!(ls >> t.finding)) parse_fail(line_no, "finding: missing kind");
+    } else if (key == "substrate") {
+      if (!(ls >> t.substrate) || (t.substrate != "shm" && t.substrate != "msg")) {
+        parse_fail(line_no, "substrate: want 'shm' or 'msg'");
+      }
     } else if (key == "expect") {
       std::string v;
       if (!(ls >> v) || (v != "violated" && v != "ok")) {

@@ -93,6 +93,11 @@ class ScheduleTape {
   /// "as expected" and triage cannot tell the tape captured a liveness
   /// violation at all. efd_repro print/replay surface it.
   std::string finding;
+  /// Provenance only: which substrate (sim/substrate.hpp) the run was
+  /// recorded on — "shm", "msg", or "" for plain register tapes. Replay
+  /// never consults it (the scenario rebuilds its own world, substrate and
+  /// all); parse validates the token so a typo fails loudly.
+  std::string substrate;
   int num_s = 0;
   std::vector<std::optional<Time>> base_crash;  ///< base pattern crash times
   std::vector<CrashPoint> crashes;              ///< injected, sorted by step_index

@@ -35,6 +35,9 @@ struct RunStats {
   std::int64_t queries = 0;           ///< failure-detector queries (S-processes)
   std::int64_t yields = 0;
   std::int64_t decides = 0;
+  std::int64_t sends = 0;             ///< message sends (message substrates)
+  std::int64_t recvs = 0;             ///< mailbox dequeues (message substrates)
+  std::int64_t delivers = 0;          ///< in-flight -> mailbox deliveries
   std::int64_t null_steps = 0;        ///< steps of already-terminated processes
   std::int64_t crashed_attempts = 0;  ///< step() calls refused (crashed S-process)
   std::int64_t injected_crashes = 0;  ///< crash points applied (fault injection)
@@ -44,7 +47,8 @@ struct RunStats {
   /// Sum of the per-op-kind counters; equals `steps` by construction and
   /// trace.size() when the run was traced (the test_telemetry invariant).
   [[nodiscard]] std::int64_t op_total() const noexcept {
-    return reads + writes + queries + yields + decides + null_steps;
+    return reads + writes + queries + yields + decides + sends + recvs + delivers +
+           null_steps;
   }
 };
 
@@ -56,6 +60,7 @@ struct RunStats {
 [[nodiscard]] constexpr bool deterministic_equal(const RunStats& a, const RunStats& b) noexcept {
   return a.steps == b.steps && a.reads == b.reads && a.writes == b.writes &&
          a.queries == b.queries && a.yields == b.yields && a.decides == b.decides &&
+         a.sends == b.sends && a.recvs == b.recvs && a.delivers == b.delivers &&
          a.null_steps == b.null_steps && a.crashed_attempts == b.crashed_attempts &&
          a.injected_crashes == b.injected_crashes;
 }

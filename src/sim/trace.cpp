@@ -19,6 +19,12 @@ const char* op_name(OpKind k) {
       return "yield";
     case OpKind::kDecide:
       return "decide";
+    case OpKind::kSend:
+      return "send";
+    case OpKind::kRecv:
+      return "recv";
+    case OpKind::kDeliver:
+      return "deliver";
   }
   return "?";
 }
@@ -37,6 +43,9 @@ std::string StepRecord::to_string() const {
   if (op == OpKind::kWrite) os << " " << addr_name() << " := " << value.to_string();
   if (op == OpKind::kQuery) os << " -> " << result.to_string();
   if (op == OpKind::kDecide) os << " " << value.to_string();
+  if (op == OpKind::kSend) os << " " << addr_name() << " <- " << value.to_string();
+  if (op == OpKind::kRecv) os << " " << addr_name() << " -> " << result.to_string();
+  if (op == OpKind::kDeliver) os << " " << addr_name() << " ~> " << result.to_string();
   if (null_step) os << " (null)";
   if (terminated) os << " (end)";
   return os.str();

@@ -186,6 +186,18 @@ bool World::step(Pid pid) {
         s.ctx->record_decision(op.value);
         ++stats_.decides;
         break;
+      case OpKind::kSend:
+        result = substrate().apply_send(mem_, pid, addr, op.value);
+        ++stats_.sends;
+        break;
+      case OpKind::kRecv:
+        result = substrate().apply_recv(mem_, addr);
+        ++stats_.recvs;
+        break;
+      case OpKind::kDeliver:
+        result = substrate().apply_deliver(mem_, addr);
+        ++stats_.delivers;
+        break;
     }
     if (tracing_) {
       traced_value = op.value;

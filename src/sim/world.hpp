@@ -31,6 +31,7 @@
 #include "sim/memory.hpp"
 #include "sim/proc.hpp"
 #include "sim/stats.hpp"
+#include "sim/substrate.hpp"
 #include "sim/trace.hpp"
 
 namespace efd {
@@ -145,6 +146,34 @@ class World {
   [[nodiscard]] const RegisterFile& memory() const noexcept { return mem_; }
   [[nodiscard]] const FailurePattern& pattern() const noexcept { return pattern_; }
 
+  // ---- substrate (communication-step semantics; sim/substrate.hpp) ----
+
+  /// Installs a substrate. Must happen before the first send/recv/deliver
+  /// step; pure register worlds never need one.
+  void set_substrate(std::unique_ptr<Substrate> s) noexcept { substrate_ = std::move(s); }
+  /// True once a substrate is installed — the explorers' cheap gate for
+  /// MP-aware paths (pure register worlds skip them entirely).
+  [[nodiscard]] bool substrate_set() const noexcept { return substrate_ != nullptr; }
+  /// The installed substrate, or nullptr.
+  [[nodiscard]] const Substrate* substrate_if() const noexcept { return substrate_.get(); }
+  /// The substrate, lazily defaulting to registers-as-mailboxes: a world
+  /// whose processes send/recv without an explicit install behaves as if
+  /// every mailbox were one register holding its pending FIFO.
+  [[nodiscard]] Substrate& substrate() {
+    if (!substrate_) substrate_ = std::make_unique<ShmSubstrate>();
+    return *substrate_;
+  }
+
+  /// Deterministic hash of the full shared state: register contents PLUS
+  /// substrate-held mailbox state. Equals memory().content_hash() exactly
+  /// when the substrate holds no state (none installed, or ShmSubstrate),
+  /// and is byte-identical across backends holding the same mailbox
+  /// contents — the property cross-backend exploration signatures rely on.
+  [[nodiscard]] std::uint64_t state_hash() const noexcept {
+    const std::uint64_t sub = substrate_ ? substrate_->hash_acc() : 0;
+    return cell_content_hash(0x9AE16A3B2F90404FULL, mem_.hash_acc() + sub);
+  }
+
   /// Crash-point fault injection: S-process q_{qi+1} crashes NOW (at the
   /// current time), regardless of what the constructed pattern said. No-op
   /// on an already-crashed process (crashes are permanent; re-injecting must
@@ -196,6 +225,7 @@ class World {
   FailurePattern pattern_;
   HistoryPtr history_;
   RegisterFile mem_;
+  std::unique_ptr<Substrate> substrate_;  ///< null: pure-register world
   // The arena must be declared before the slot vectors: members destroy in
   // reverse order, so the frames (owned by the slots' coroutines) are freed
   // back into a still-live arena.

@@ -16,6 +16,7 @@
 #include <set>
 
 #include "algo/bg_simulation.hpp"
+#include "algo/mp_protocols.hpp"
 #include "algo/extraction.hpp"
 #include "algo/k_codes_sim.hpp"
 #include "algo/leader_consensus.hpp"
@@ -353,6 +354,83 @@ TEST_P(Fuzz, ExtractionReductionEndToEnd) {
 
   const auto h = emulated_history_from_trace(w.trace(), cfg);
   EXPECT_TRUE(AntiOmegaK::check(k, f, *h, w.now())) << "seed " << seed();
+}
+
+// ---- message-passing world targets (sim/msg_world, daemon mode) -----------
+//
+// Same scaffold, second substrate: per-link FIFO channels, deliveries taken
+// by the n*m link daemons as ordinary schedulable S-steps, partitions as
+// daemon crashes. Each run records its schedule, asserts task safety, and
+// round-trips the tape — MP runs must replay bit-identically through the
+// unchanged efd-tape-v1 path, fuzzed across the parameter space.
+
+TEST_P(Fuzz, MpFloodMinEndToEnd) {
+  // FloodMin (f = 1) under an optional one-sided partition: a victim's
+  // outbound links are all severed at a fuzzed time. The n - 1 other senders
+  // still satisfy every process's n - f threshold, so all decide, and any
+  // (n-f)-subset of inputs contains one of the 2 smallest: 2-set agreement.
+  const int n = pick(24, 3, 4);
+  const FloodMinConfig cfg{n, 1};
+  FailurePattern base(n * n);
+  if (pick(25, 0, 1) == 1) {
+    const int victim = pick(26, 0, n - 1);
+    const Time t{pick(27, 0, 25)};
+    for (int j = 0; j < n; ++j) {
+      if (j != victim) sever_link(base, n, victim, j, t);
+    }
+  }
+  const auto make_world = [&](const FailurePattern& fp, HistoryPtr h) {
+    World w = make_mp_world(n, n, fp, std::move(h));
+    for (int i = 0; i < n; ++i) w.spawn_c(i, make_floodmin(cfg, i, Value(i)));
+    return w;
+  };
+  TrivialFd trivial;
+  World w = make_world(base, trivial.history(base, 0));
+  w.enable_trace();
+  RandomScheduler rs(seed() ^ 0xF10D);
+  RecordingScheduler rec(rs);
+  const auto r = drive(w, rec, 300000);
+  expect_tape_roundtrip(w, base, rec, make_world);
+
+  ASSERT_TRUE(r.all_c_decided) << "n=" << n << " " << base.to_string();
+  EXPECT_GT(w.run_stats().delivers, 0) << "daemon-mode runs must take deliver steps";
+  SetAgreementTask task(n, 2);
+  ValueVec in(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) in[static_cast<std::size_t>(i)] = Value(i);
+  EXPECT_TRUE(task.relation(in, w.output_vector()));
+}
+
+TEST_P(Fuzz, MpConsensusOmegaFlood) {
+  // Hybrid consensus: clients flood proposals over per-link channels to the
+  // server mailboxes; the crash-prone, Omega-advised servers run the proven
+  // register adopt-commit chain and publish DEC. Servers sit at S-indices
+  // 0..ns-1, BELOW the link daemons, so the lowest-correct-index leader the
+  // detector stabilizes on is a server, never a daemon.
+  const int n = pick(28, 2, 4);
+  const MpConsensusConfig cfg{"mpc", 2};
+  const int ns = cfg.n_servers;
+  FailurePattern base(ns + n * ns);
+  if (pick(30, 0, 1) == 1) base.crash(pick(29, 0, ns - 1), Time{pick(31, 5, 40)});
+  OmegaFd omega(pick(32, 0, 60));
+  const auto make_world = [&](const FailurePattern& fp, HistoryPtr h) {
+    World w = make_mp_world(n, ns, fp, std::move(h), /*s_base=*/ns);
+    for (int i = 0; i < n; ++i) w.spawn_c(i, make_mp_consensus_client(cfg, Value(20 + i)));
+    for (int j = 0; j < ns; ++j) w.spawn_s(j, make_mp_consensus_server(cfg));
+    return w;
+  };
+  World w = make_world(base, omega.history(base, seed()));
+  w.enable_trace();
+  RandomScheduler rs(seed() ^ 0x5B5B);
+  RecordingScheduler rec(rs);
+  const auto r = drive(w, rec, 800000);
+  expect_tape_roundtrip(w, base, rec, make_world);
+
+  ASSERT_TRUE(r.all_c_decided) << "n=" << n << " " << base.to_string();
+  std::set<std::int64_t> vals;
+  for (int i = 0; i < n; ++i) vals.insert(w.decision(cpid(i)).as_int());
+  EXPECT_EQ(vals.size(), 1u) << "consensus agreement";
+  EXPECT_GE(*vals.begin(), 20);
+  EXPECT_LT(*vals.begin(), 20 + n);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, Fuzz, ::testing::Range<std::uint64_t>(1, 33));

@@ -76,6 +76,7 @@ void print_summary(const ScheduleTape& t) {
   std::printf("scenario  %s\n", t.scenario.empty() ? "(none)" : t.scenario.c_str());
   if (!t.plan.empty()) std::printf("plan      %s\n", t.plan.c_str());
   if (!t.finding.empty()) std::printf("finding   %s\n", t.finding.c_str());
+  if (!t.substrate.empty()) std::printf("substrate %s\n", t.substrate.c_str());
   std::printf("s         %d\n", t.num_s);
   int base_crashes = 0;
   for (const auto& c : t.base_crash) {
@@ -120,7 +121,21 @@ int cmd_record(int argc, char** argv) {
 
 int cmd_print(int argc, char** argv) {
   if (argc != 1) return usage();
-  print_summary(load_tape(argv[0]));
+  const ScheduleTape tape = load_tape(argv[0]);
+  print_summary(tape);
+  // Best-effort step rendering: when the tape's scenario is registered,
+  // replay it and print the trace — send/recv/deliver and register steps
+  // alike render through StepRecord::to_string (sim/trace.cpp), so MP tapes
+  // print legibly. Unknown or unbound scenarios keep the summary-only
+  // behavior (and the malformed-tape exit codes above are unaffected: the
+  // tape already parsed by the time we get here).
+  if (const Scenario* sc = find_scenario(tape.scenario)) {
+    World w = sc->make_world(tape.pattern(), tape.history());
+    replay_tape(w, tape);
+    constexpr std::size_t kPrintLimit = 60;
+    std::printf("--- steps (first %zu) ---\n%s", kPrintLimit,
+                format_trace(w.trace(), kPrintLimit).c_str());
+  }
   return 0;
 }
 

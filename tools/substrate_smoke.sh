@@ -1,0 +1,78 @@
+#!/bin/sh
+# Cross-backend substrate smoke: the full MP tape workflow through the
+# efd_repro CLI, exactly what a developer does with a message-passing fuzz
+# counterexample.
+#
+#  1. record each MP scenario (clean run, partition, crash-mid-broadcast) —
+#     every tape must carry the `substrate msg` provenance line;
+#  2. replay each bit-identically (exit 0: hash + predicate match);
+#  3. print the violating tape — the renderer must show send/deliver/recv
+#     step kinds, not refuse non-register ops;
+#  4. ddmin the violating tape to <= 25% of the recorded schedule and replay
+#     the minimum as still-violating.
+#
+# Sweeps seeds 1 and 7 so the record path is exercised beyond a single
+# schedule. Sized to stay viable under EFD_SANITIZE=address/thread builds
+# (largest tape is 700 steps).
+#
+# Usage: substrate_smoke.sh EFD_REPRO_BINARY
+set -eu
+
+bin=$1
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+for seed in 1 7; do
+    for sc in mp_floodmin_clean mp_floodmin_partition mp_floodmin_crash_bcast; do
+        tape="$tmpdir/$sc.$seed.tape"
+        "$bin" record "$sc" --seed "$seed" -o "$tape" > /dev/null
+        grep -q '^substrate msg$' "$tape" || {
+            echo "substrate_smoke: $sc (seed $seed) lacks 'substrate msg' provenance" >&2
+            exit 1
+        }
+        "$bin" replay "$tape" > "$tmpdir/replay.txt" || {
+            echo "substrate_smoke: $sc (seed $seed) did not replay bit-identically" >&2
+            cat "$tmpdir/replay.txt" >&2
+            exit 1
+        }
+    done
+done
+
+# The crash-mid-broadcast recording is the violating one (decisions split).
+bad="$tmpdir/mp_floodmin_crash_bcast.7.tape"
+grep -q '^expect violated$' "$bad" || {
+    echo "substrate_smoke: crash_bcast recording did not violate (seed drift?)" >&2
+    exit 1
+}
+
+# print must render the message-passing step kinds.
+"$bin" print "$bad" > "$tmpdir/print.txt"
+for kind in 'send' 'deliver' 'recv'; do
+    grep -q " $kind " "$tmpdir/print.txt" || {
+        echo "substrate_smoke: print rendered no '$kind' step" >&2
+        cat "$tmpdir/print.txt" >&2
+        exit 1
+    }
+done
+
+"$bin" shrink "$bad" -o "$tmpdir/min.tape" > "$tmpdir/shrink.txt"
+cat "$tmpdir/shrink.txt"
+"$bin" replay "$tmpdir/min.tape"
+
+orig=$(sed -n 's/^steps \([0-9][0-9]*\)$/\1/p' "$bad")
+min=$(sed -n 's/^steps \([0-9][0-9]*\)$/\1/p' "$tmpdir/min.tape")
+if [ -z "$orig" ] || [ -z "$min" ]; then
+    echo "substrate_smoke: could not read step counts" >&2
+    exit 1
+fi
+if [ "$min" -lt 1 ]; then
+    echo "substrate_smoke: empty minimized schedule" >&2
+    exit 1
+fi
+if [ $((min * 4)) -gt "$orig" ]; then
+    echo "substrate_smoke: shrink too weak: $orig -> $min steps (want <= 25%)" >&2
+    exit 1
+fi
+
+echo "substrate_smoke: ok (crash_bcast $orig -> $min steps)"
