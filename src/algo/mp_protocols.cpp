@@ -1,5 +1,6 @@
 #include "algo/mp_protocols.hpp"
 
+#include <algorithm>
 #include <string>
 #include <utility>
 #include <vector>
@@ -38,6 +39,108 @@ Proc floodmin(Context& ctx, FloodMinConfig cfg, int index, Value input) {
   co_await ctx.decide(best);
 }
 
+Proc floodmin_timeout(Context& ctx, FloodMinConfig cfg, int index, Value input, int patience) {
+  // Same wire format as floodmin: vec(sender, value) to every mailbox.
+  for (int j = 0; j < cfg.n; ++j) {
+    co_await ctx.send(mp_mailbox(j), vec(index, input));
+  }
+  const RegAddr inbox = mp_mailbox(index);
+  std::vector<char> seen(static_cast<std::size_t>(cfg.n), 0);
+  seen[static_cast<std::size_t>(index)] = 1;
+  int heard = 1;
+  Value best = input;
+  int idle = 0;
+  while (heard < cfg.n - cfg.f && idle < patience) {
+    const Value msg = co_await ctx.recv(inbox);
+    if (msg.is_nil()) {
+      ++idle;  // patience runs out only on CONSECUTIVE empty polls
+      continue;
+    }
+    idle = 0;
+    const std::int64_t from = msg.at(0).int_or(-1);
+    if (from < 0 || from >= cfg.n || seen[static_cast<std::size_t>(from)]) continue;
+    seen[static_cast<std::size_t>(from)] = 1;
+    ++heard;
+    const Value v = msg.at(1);
+    if (best.is_nil() || v < best) best = v;
+  }
+  co_await ctx.decide(best);  // possibly on < n - f inputs: the lossy bug
+}
+
+Proc floodmin_rt(Context& ctx, FloodMinConfig cfg, int index, Value input, RetransmitConfig rt) {
+  // DATA vec(0, sender, seq, value); ACK vec(1, acker, seq, acker_value).
+  // One datum per sender here, so seq is always 0 — kept for the dedup
+  // key's generality. ACKs piggyback the acker's own input: a process that
+  // decided and stopped retransmitting still hands its value to starving
+  // peers every time it acks their retries (without this, an early decider
+  // goes quiet and a peer whose inbound DATA was dropped starves forever).
+  for (int j = 0; j < cfg.n; ++j) {
+    co_await ctx.send(mp_mailbox(j), vec(0, index, 0, input));
+  }
+  const RegAddr inbox = mp_mailbox(index);
+  std::vector<char> seen(static_cast<std::size_t>(cfg.n), 0);
+  std::vector<char> acked(static_cast<std::size_t>(cfg.n), 0);
+  seen[static_cast<std::size_t>(index)] = 1;
+  acked[static_cast<std::size_t>(index)] = 1;  // own datum needs no ack
+  int heard = 1;
+  Value best = input;
+  int idle = 0;
+  int backoff = std::max(1, rt.initial_backoff);
+  int rounds = 0;
+  while (heard < cfg.n - cfg.f) {
+    const Value msg = co_await ctx.recv(inbox);
+    if (msg.is_nil()) {
+      ++idle;
+      if (idle >= backoff && rounds < rt.max_rounds) {
+        // Retransmit to every still-unacked peer (their DATA or our ACK may
+        // be the lost one; the always-ack rule below converges either way).
+        for (int j = 0; j < cfg.n; ++j) {
+          if (!acked[static_cast<std::size_t>(j)]) {
+            co_await ctx.send(mp_mailbox(j), vec(0, index, 0, input));
+          }
+        }
+        idle = 0;
+        backoff *= 2;
+        ++rounds;
+      }
+      continue;
+    }
+    idle = 0;
+    const std::int64_t tag = msg.at(0).int_or(-1);
+    const std::int64_t from = msg.at(1).int_or(-1);
+    if (from < 0 || from >= cfg.n) continue;
+    if (tag == 0 || tag == 1) {  // both DATA and ACK carry (sender, value)
+      if (!seen[static_cast<std::size_t>(from)]) {
+        seen[static_cast<std::size_t>(from)] = 1;
+        ++heard;
+        const Value v = msg.at(3);
+        if (best.is_nil() || v < best) best = v;
+      }
+    }
+    if (tag == 0) {  // DATA: ALWAYS ack, duplicates included — the
+                     // duplicate's ack may be the one that survives the link
+      if (from != index) {
+        co_await ctx.send(mp_mailbox(static_cast<int>(from)), vec(1, index, msg.at(2), input));
+      }
+    } else if (tag == 1) {
+      acked[static_cast<std::size_t>(from)] = 1;
+    }
+  }
+  co_await ctx.decide(best);
+  // Bounded helper phase: peers still collecting retransmit at us; keep
+  // acking (value piggybacked) long enough to cover their backoff horizon,
+  // then quit. The bound keeps the body terminating in driven runs.
+  const int helper_polls = std::max(1, rt.initial_backoff) * 64;
+  for (int polls = 0; polls < helper_polls; ++polls) {
+    const Value msg = co_await ctx.recv(inbox);
+    if (msg.is_nil() || msg.at(0).int_or(-1) != 0) continue;
+    const std::int64_t from = msg.at(1).int_or(-1);
+    if (from >= 0 && from < cfg.n && from != index) {
+      co_await ctx.send(mp_mailbox(static_cast<int>(from)), vec(1, index, msg.at(2), input));
+    }
+  }
+}
+
 Proc mp_consensus_client(Context& ctx, MpConsensusConfig cfg, Value input) {
   const int i = ctx.pid().index;
   for (int j = 0; j < cfg.n_servers; ++j) {
@@ -45,6 +148,35 @@ Proc mp_consensus_client(Context& ctx, MpConsensusConfig cfg, Value input) {
   }
   const Value d = co_await await_nonnil(ctx, reg(sym(cfg.ns + "/DEC")));
   co_await ctx.decide(d);
+}
+
+Proc mp_consensus_client_rt(Context& ctx, MpConsensusConfig cfg, Value input,
+                            RetransmitConfig rt) {
+  const int i = ctx.pid().index;
+  for (int j = 0; j < cfg.n_servers; ++j) {
+    co_await ctx.send(mp_mailbox(j), vec(i, input));
+  }
+  const RegAddr dec = reg(sym(cfg.ns + "/DEC"));
+  int idle = 0;
+  int backoff = std::max(1, rt.initial_backoff);
+  int rounds = 0;
+  for (;;) {
+    const Value d = co_await ctx.read(dec);
+    if (!d.is_nil()) {
+      co_await ctx.decide(d);
+      co_return;
+    }
+    ++idle;
+    if (idle >= backoff && rounds < rt.max_rounds) {
+      // DEC still empty: our proposal may have been swallowed — reflood it.
+      for (int j = 0; j < cfg.n_servers; ++j) {
+        co_await ctx.send(mp_mailbox(j), vec(i, input));
+      }
+      idle = 0;
+      backoff *= 2;
+      ++rounds;
+    }
+  }
 }
 
 Proc mp_consensus_server(Context& ctx, MpConsensusConfig cfg) {
@@ -87,6 +219,18 @@ ProcBody make_floodmin(FloodMinConfig cfg, int index, Value input) {
   };
 }
 
+ProcBody make_floodmin_timeout(FloodMinConfig cfg, int index, Value input, int patience) {
+  return [cfg, index, input = std::move(input), patience](Context& ctx) {
+    return floodmin_timeout(ctx, cfg, index, input, patience);
+  };
+}
+
+ProcBody make_floodmin_rt(FloodMinConfig cfg, int index, Value input, RetransmitConfig rt) {
+  return [cfg, index, input = std::move(input), rt](Context& ctx) {
+    return floodmin_rt(ctx, cfg, index, input, rt);
+  };
+}
+
 ProcBody make_mp_consensus_client(MpConsensusConfig cfg, Value input) {
   return [cfg = std::move(cfg), input = std::move(input)](Context& ctx) {
     return mp_consensus_client(ctx, cfg, input);
@@ -95,6 +239,12 @@ ProcBody make_mp_consensus_client(MpConsensusConfig cfg, Value input) {
 
 ProcBody make_mp_consensus_server(MpConsensusConfig cfg) {
   return [cfg = std::move(cfg)](Context& ctx) { return mp_consensus_server(ctx, cfg); };
+}
+
+ProcBody make_mp_consensus_client_rt(MpConsensusConfig cfg, Value input, RetransmitConfig rt) {
+  return [cfg = std::move(cfg), input = std::move(input), rt](Context& ctx) {
+    return mp_consensus_client_rt(ctx, cfg, input, rt);
+  };
 }
 
 }  // namespace efd

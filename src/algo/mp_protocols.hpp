@@ -24,7 +24,23 @@
 //   among the servers (place servers at S-indices 0..n_servers-1, link
 //   daemons above them, so an Omega-style detector elects a server).
 //
-// Both bodies speak ctx.send/ctx.recv only — the SAME body runs on
+// * Lossy-link variants (PR 10) — FloodMin above never times out, so
+//   message LOSS cannot break its safety, only its liveness. The timeout
+//   variant (make_floodmin_timeout) is the realistic protocol that decides
+//   the minimum heard SO FAR after a patience of consecutive empty polls:
+//   correct on reliable links, violated under drop storms (three processes
+//   starved into three distinct decisions break 2-set agreement) — E20's
+//   raw target. The retransmission-hardened variant (make_floodmin_rt)
+//   layers an ack/retransmit reliable broadcast under the same decision
+//   rule: DATA vec(0, sender, seq, value) is dedup'd by (sender, seq) and
+//   ALWAYS acked with vec(1, acker, seq) (a duplicate's ack may be the one
+//   that survives); a sender retransmits to still-unacked peers after a
+//   doubling backoff of empty polls, bounded rounds. It only decides after
+//   hearing n - f senders, so it stays safe AND live under any storm whose
+//   per-link drop budget is below the retry budget. The consensus client
+//   gets the same treatment (make_mp_consensus_client_rt).
+//
+// All bodies speak ctx.send/ctx.recv only — the SAME body runs on
 // ShmSubstrate (registers-as-mailboxes) and MsgSubstrate, which is the
 // differential axis tests/test_substrate.cpp sweeps.
 #pragma once
@@ -42,6 +58,34 @@ struct FloodMinConfig {
 /// C-process index `index` of the FloodMin protocol, proposing `input`.
 [[nodiscard]] ProcBody make_floodmin(FloodMinConfig cfg, int index, Value input);
 
+/// FloodMin with a decision timeout: after `patience` consecutive empty
+/// polls the process gives up waiting and decides the minimum heard so far
+/// (the counter resets on every non-empty poll). Correct when every flooded
+/// message arrives; under message loss it can decide on fewer than n - f
+/// inputs and break k-set agreement — E20's deliberately lossy-unsafe
+/// protocol. Driven runs only (under exhaustive exploration an empty-inbox
+/// recv blocks, so the timeout never fires).
+[[nodiscard]] ProcBody make_floodmin_timeout(FloodMinConfig cfg, int index, Value input,
+                                             int patience = 16);
+
+/// Retransmission parameters of the ack/retransmit-hardened bodies. Backoff
+/// is expressed in the process's OWN empty polls (model steps), not time:
+/// the first retransmit fires after `initial_backoff` consecutive empty
+/// polls, the next after twice that, for at most `max_rounds` rounds.
+struct RetransmitConfig {
+  int initial_backoff = 16;
+  int max_rounds = 12;
+};
+
+/// Retransmission-hardened FloodMin: same decision rule as make_floodmin
+/// (min after n - f distinct senders — never decides early), carried over
+/// an ack/retransmit layer with (sender, seq) dedup. Safe unconditionally;
+/// live whenever every link's drop budget is below the retry budget. After
+/// deciding, runs a bounded helper phase acking peers' retransmits so they
+/// can stop too.
+[[nodiscard]] ProcBody make_floodmin_rt(FloodMinConfig cfg, int index, Value input,
+                                        RetransmitConfig rt = {});
+
 struct MpConsensusConfig {
   std::string ns = "mpc";  ///< register namespace (DEC + adopt-commit rounds)
   int n_servers = 2;       ///< S-servers; their inboxes are mb[0..n_servers-1]
@@ -54,5 +98,12 @@ struct MpConsensusConfig {
 /// Server q_{j+1} (spawn at S-index j < n_servers): adopts the first
 /// proposal from its inbox, then drives adopt-commit rounds while leading.
 [[nodiscard]] ProcBody make_mp_consensus_server(MpConsensusConfig cfg);
+
+/// make_mp_consensus_client hardened against proposal loss: while DEC is
+/// still Nil, refloods its proposal to every server mailbox after a
+/// doubling backoff of empty DEC reads (bounded rounds). Safety is the
+/// servers' adopt-commit's; the retransmits only restore dissemination.
+[[nodiscard]] ProcBody make_mp_consensus_client_rt(MpConsensusConfig cfg, Value input,
+                                                   RetransmitConfig rt = {});
 
 }  // namespace efd

@@ -12,6 +12,7 @@
 #include "core/repro_scenarios.hpp"
 #include "core/shrink.hpp"
 #include "core/workpool.hpp"
+#include "sim/msg_world.hpp"
 #include "sim/replay.hpp"
 #include "sim/schedule.hpp"
 
@@ -262,6 +263,68 @@ std::vector<CampaignTarget> build_targets() {
     t.space.max_burst_len = 150;
     out.push_back(std::move(t));
   }
+  {
+    // E20 lossy-link pair, raw half: FloodMin with a decision timeout over
+    // the 3x3 message grid. Random link storms (drops, severs) starve
+    // processes into deciding on partial views and break 2-set agreement —
+    // the campaign must CATCH it with a shrunk, double-replayed tape.
+    CampaignTarget t;
+    t.name = "mpfm_raw";
+    t.scenario = "mp_floodmin_lossy_raw";
+    t.algorithm = "seeded bug: timeout FloodMin over lossy links (E20 raw)";
+    t.num_s = 9;  // the 3x3 link-daemon grid
+    t.advice = [] { return std::make_shared<TrivialFd>(); };
+    t.make_sched = random_sched();
+    t.max_steps = 6000;
+    t.expect_clean = false;
+    t.space.num_s = 0;  // daemons are infrastructure: no S-kills
+    t.space.num_c = 3;
+    // Tight horizon: unstormed runs decide within ~150 steps, so charges
+    // sampled over a longer window would land on finished runs.
+    t.space.horizon = 80;
+    t.space.max_crashes = 0;
+    t.space.allow_fd_faults = false;
+    t.space.max_bursts = 2;
+    t.space.max_burst_len = 100;
+    t.space.mp_senders = 3;
+    t.space.mp_mailboxes = 3;
+    t.space.max_link_actions = 8;
+    t.space.max_link_charge = 3;
+    t.space.max_sever_window = 48;
+    out.push_back(std::move(t));
+  }
+  {
+    // E20 lossy-link pair, hardened half: the SAME decision problem behind
+    // the ack/retransmit layer. Must survive every storm the space can
+    // sample — the per-link loss budget (actions x charge) stays below the
+    // retry budget (12 doubling rounds), so liveness bounds can be honest.
+    CampaignTarget t;
+    t.name = "mpfm_rt";
+    t.scenario = "mp_floodmin_lossy_rt";
+    t.algorithm = "retransmit-hardened FloodMin over lossy links (E20)";
+    t.num_s = 9;
+    t.advice = [] { return std::make_shared<TrivialFd>(); };
+    t.make_sched = random_sched();
+    t.max_steps = 30000;
+    t.bounds = {3000, 8000, 16000};
+    t.bounds.retransmit_storm_window = 400;
+    t.expect_clean = true;
+    t.space.num_s = 0;
+    t.space.num_c = 3;
+    // Tight horizon: unstormed runs decide within ~150 steps, so charges
+    // sampled over a longer window would land on finished runs.
+    t.space.horizon = 140;
+    t.space.max_crashes = 0;
+    t.space.allow_fd_faults = false;
+    t.space.max_bursts = 2;
+    t.space.max_burst_len = 100;
+    t.space.mp_senders = 3;
+    t.space.mp_mailboxes = 3;
+    t.space.max_link_actions = 4;
+    t.space.max_link_charge = 2;
+    t.space.max_sever_window = 32;
+    out.push_back(std::move(t));
+  }
   return out;
 }
 
@@ -353,16 +416,42 @@ PlanOutcome run_plan(const CampaignTarget& target, const FaultPlan& plan,
 
   std::int64_t total_burst = 0;
   for (const auto& b : plan.bursts) total_burst += b.length;
+  // Link-fault liveness allowance: every lost delivery costs the hardened
+  // protocols a doubling-backoff retry wait, so the worst-case recovery time
+  // is exponential in the per-run loss budget (capped well below the retry
+  // horizon by the target's space). Sever windows only HOLD messages; they
+  // add linearly.
+  std::int64_t lost_charge = 0;
+  std::int64_t sever_hold = 0;
+  for (const auto& la : plan.links) {
+    if (la.kind == LinkFaultKind::kSever) {
+      sever_hold += la.amount;
+    } else {
+      lost_charge += la.amount;
+    }
+  }
+  const std::int64_t link_wait =
+      plan.links.empty()
+          ? 0
+          : (std::int64_t{16} << std::min<std::int64_t>(lost_charge + 1, 10)) + 4 * sever_hold;
   const Time stab = eff_advice->stabilization_time(eff);
   MonitorBounds mb;
   if (target.bounds.own_steps_to_decide > 0) {
-    mb.own_steps_to_decide = target.bounds.own_steps_to_decide + 2 * stab + total_burst;
+    mb.own_steps_to_decide =
+        target.bounds.own_steps_to_decide + 2 * stab + total_burst + link_wait;
   }
   if (target.bounds.starvation_window > 0) {
     mb.starvation_window = target.bounds.starvation_window + total_burst;
   }
   if (target.bounds.livelock_window > 0) {
-    mb.livelock_window = target.bounds.livelock_window + 4 * stab + 2 * total_burst;
+    mb.livelock_window =
+        target.bounds.livelock_window + 4 * stab + 2 * total_burst + 2 * link_wait;
+  }
+  if (target.bounds.retransmit_storm_window > 0) {
+    // Each lost delivery legitimately buys extra retransmissions; the storm
+    // flag is reserved for send volume NO sampled loss budget explains.
+    mb.retransmit_storm_window =
+        target.bounds.retransmit_storm_window + 16 * lost_charge + 8 * sever_hold;
   }
   LivenessMonitor monitor(mb);
   if (monitors) w.attach_observer(&monitor);
@@ -370,7 +459,23 @@ PlanOutcome run_plan(const CampaignTarget& target, const FaultPlan& plan,
   const auto inner = target.make_sched(plan_seed);
   BurstScheduler bursts(*inner, plan.bursts);
   RecordingScheduler rec(bursts);
-  const DriveResult dr = drive(w, rec, target.max_steps);
+  DriveResult dr;
+  std::vector<LinkFaultPoint> applied_links;
+  if (plan.links.empty()) {
+    dr = drive(w, rec, target.max_steps);
+  } else {
+    // Authoritative drive with the link half of the plan only: S-kills were
+    // already realized as the effective pattern above, so storms/triggers
+    // must not fire a second time. With no kills, triggers, or links,
+    // drive_with_plan steps identically to drive() — the branch exists so
+    // link-free targets provably keep their pre-link verdict stream.
+    FaultPlan link_only = plan;
+    link_only.storm.clear();
+    link_only.triggers.clear();
+    const PlanDriveResult pdr = drive_with_plan(w, rec, target.max_steps, link_only);
+    dr = pdr.drive;
+    applied_links = pdr.applied_links;
+  }
   w.attach_observer(nullptr);
   if (monitors) monitor.finalize(w);
 
@@ -379,11 +484,16 @@ PlanOutcome run_plan(const CampaignTarget& target, const FaultPlan& plan,
   out.max_own_steps_to_decide = monitor.max_own_steps_to_decide();
   for (const auto& v : monitor.violations()) {
     if (v.kind == MonitorViolation::Kind::kStarvation) ++out.starvation_observations;
+    if (v.kind == MonitorViolation::Kind::kRetransmitStorm) out.retransmit_storm = true;
   }
   out.coverage_sig = trace_coverage_sig(w.trace());
 
   out.safety = sc->violated(w);
-  out.wait_free_bad = monitors && !monitor.wait_free_ok();
+  // A retransmit storm is a liveness finding on par with a broken
+  // wait-freedom bound: the hardened protocols must converge without
+  // unexplained send volume. Only targets that SET the storm window can flag
+  // it, so link-free targets are untouched.
+  out.wait_free_bad = monitors && (!monitor.wait_free_ok() || out.retransmit_storm);
   if (!out.violated()) return out;
 
   if (out.safety) {
@@ -391,7 +501,8 @@ PlanOutcome run_plan(const CampaignTarget& target, const FaultPlan& plan,
   }
   if (out.wait_free_bad) {
     for (const auto& v : monitor.violations()) {
-      if (v.kind == MonitorViolation::Kind::kWaitFree) {
+      if (v.kind == MonitorViolation::Kind::kWaitFree ||
+          v.kind == MonitorViolation::Kind::kRetransmitStorm) {
         if (!out.detail.empty()) out.detail += "; ";
         out.detail += v.to_string();
         break;
@@ -400,6 +511,8 @@ PlanOutcome run_plan(const CampaignTarget& target, const FaultPlan& plan,
   }
 
   out.tape = ScheduleTape::capture(target.scenario, eff, rec.steps(), {}, w.trace());
+  out.tape.linkfaults = applied_links;
+  if (msg_substrate(w) != nullptr) out.tape.substrate = "msg";
   // expect_violated records the SAFETY predicate outcome truthfully (a
   // wait-freedom-only tape replays "ok, as expected"); the finding line is
   // the triage-facing verdict that says WHY the tape was kept.
@@ -449,6 +562,7 @@ CampaignRun run_campaign(const CampaignTarget& target, const CampaignOptions& op
     if (!plan.storm.empty()) ++run.plans_with_storm;
     if (!plan.triggers.empty()) ++run.plans_with_trigger;
     if (!plan.bursts.empty()) ++run.plans_with_burst;
+    if (!plan.links.empty()) ++run.plans_with_link;
 
     PlanOutcome out = run_plan(target, plan, plan_seed, opts.monitors);
     run.total_steps += out.steps;
@@ -848,6 +962,7 @@ telemetry::Json campaign_json(const std::vector<CampaignRun>& runs, const Campai
     mix["storm"] = Json(r.plans_with_storm);
     mix["trigger"] = Json(r.plans_with_trigger);
     mix["burst"] = Json(r.plans_with_burst);
+    mix["link"] = Json(r.plans_with_link);
     t["plan_mix"] = std::move(mix);
     t["total_steps"] = Json(r.total_steps);
     t["rehearsal_steps"] = Json(r.rehearsal_steps);

@@ -106,6 +106,7 @@ struct CampaignRun {
   int plans_with_storm = 0;
   int plans_with_trigger = 0;
   int plans_with_burst = 0;
+  int plans_with_link = 0;  ///< plans carrying link actions (drop/dup/delay/reorder/sever)
   std::int64_t total_steps = 0;       ///< authoritative-drive steps
   std::int64_t rehearsal_steps = 0;   ///< trigger/storm rehearsal steps
   std::int64_t monitored_steps = 0;
@@ -156,7 +157,10 @@ struct PlanOutcome {
   std::uint64_t plan_seed = 0;
   FaultPlan plan;
   bool safety = false;          ///< scenario predicate fired
-  bool wait_free_bad = false;   ///< monitor wait-freedom bound broken
+  /// Monitor liveness verdict broken: the wait-freedom bound, or (on targets
+  /// with a retransmit_storm_window) a retransmit-storm livelock flag.
+  bool wait_free_bad = false;
+  bool retransmit_storm = false;  ///< the storm watchdog specifically fired
   std::string detail;
   std::int64_t steps = 0;
   std::int64_t rehearsal_steps = 0;

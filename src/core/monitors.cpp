@@ -11,6 +11,7 @@ const char* MonitorViolation::kind_name() const {
     case Kind::kWaitFree: return "wait_free";
     case Kind::kStarvation: return "starvation";
     case Kind::kLivelock: return "livelock";
+    case Kind::kRetransmitStorm: return "retransmit_storm";
   }
   return "?";
 }
@@ -30,7 +31,8 @@ void LivenessMonitor::record(MonitorViolation::Kind kind, Pid pid, std::int64_t 
   violations_.push_back(MonitorViolation{kind, pid, measured, bound, step_});
 }
 
-void LivenessMonitor::on_step(Pid pid, bool null_step, bool decided_now, bool terminated_now) {
+void LivenessMonitor::on_step(Pid pid, OpKind op, bool null_step, bool decided_now,
+                              bool terminated_now) {
   ++step_;
   if (!pid.is_c()) return;
   CTrack& t = track(pid.index);
@@ -52,6 +54,16 @@ void LivenessMonitor::on_step(Pid pid, bool null_step, bool decided_now, bool te
   ++t.own_steps;
   ++drought_;
   max_drought_ = std::max(max_drought_, drought_);
+  if (op == OpKind::kSend) {
+    ++send_burst_;
+    max_send_burst_ = std::max(max_send_burst_, send_burst_);
+    if (bounds_.retransmit_storm_window > 0 && send_burst_ > bounds_.retransmit_storm_window &&
+        !flagged_storm_) {
+      flagged_storm_ = true;
+      record(MonitorViolation::Kind::kRetransmitStorm, pid, send_burst_,
+             bounds_.retransmit_storm_window);
+    }
+  }
 
   if (decided_now) {
     t.decided = true;
@@ -60,6 +72,7 @@ void LivenessMonitor::on_step(Pid pid, bool null_step, bool decided_now, bool te
     ++decisions_;
     max_to_decide_ = std::max(max_to_decide_, t.own_steps);
     drought_ = 0;
+    send_burst_ = 0;
   } else {
     max_undecided_ = std::max(max_undecided_, t.own_steps);
     if (bounds_.own_steps_to_decide > 0 && t.own_steps > bounds_.own_steps_to_decide &&
@@ -110,6 +123,7 @@ telemetry::Json LivenessMonitor::to_json() const {
   b["own_steps_to_decide"] = Json(bounds_.own_steps_to_decide);
   b["starvation_window"] = Json(bounds_.starvation_window);
   b["livelock_window"] = Json(bounds_.livelock_window);
+  b["retransmit_storm_window"] = Json(bounds_.retransmit_storm_window);
   j["bounds"] = std::move(b);
   j["monitored_steps"] = Json(step_);
   j["decisions"] = Json(decisions_);
@@ -117,6 +131,7 @@ telemetry::Json LivenessMonitor::to_json() const {
   j["max_own_steps_undecided"] = Json(max_undecided_);
   j["max_starvation_gap"] = Json(max_gap_);
   j["max_decision_drought"] = Json(max_drought_);
+  j["max_send_burst"] = Json(max_send_burst_);
   Json viol = Json::array();
   for (const auto& v : violations_) {
     Json e = Json::object();

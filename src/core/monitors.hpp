@@ -17,6 +17,13 @@
 //  * livelock watchdog   — C-processes collectively taking more than
 //    `livelock_window` non-null steps with no decision or termination
 //    anywhere: the "everyone works, nobody finishes" shape of Fig. 1.
+//  * retransmit-storm watchdog — C-processes collectively issuing more than
+//    `retransmit_storm_window` SEND steps with no decision anywhere.
+//    Separates "messages were lost, the protocol retried and recovered"
+//    (bounded send burst between decisions) from genuine retransmission
+//    livelock under lossy links: an ack/retransmit layer whose backoff is
+//    broken resends forever, and only the send-step counter sees it —
+//    lock-step polling keeps the generic livelock drought low.
 //
 // The monitor is attachment-based and O(1) per step (a few integer updates),
 // so it can stay on in fuzzing and campaign drives; a World without an
@@ -40,10 +47,11 @@ struct MonitorBounds {
   std::int64_t own_steps_to_decide = 0;  ///< wait-freedom: own non-null steps before deciding
   std::int64_t starvation_window = 0;    ///< max global-step gap for an unfinished C-process
   std::int64_t livelock_window = 0;      ///< max collective C-steps without any progress event
+  std::int64_t retransmit_storm_window = 0;  ///< max collective C sends without a decision
 };
 
 struct MonitorViolation {
-  enum class Kind : std::uint8_t { kWaitFree, kStarvation, kLivelock };
+  enum class Kind : std::uint8_t { kWaitFree, kStarvation, kLivelock, kRetransmitStorm };
   Kind kind{Kind::kWaitFree};
   Pid pid{};                 ///< offending C-process (livelock: the last stepper)
   std::int64_t measured = 0; ///< the quantity that broke the bound
@@ -62,7 +70,8 @@ class LivenessMonitor final : public StepObserver {
   explicit LivenessMonitor(MonitorBounds bounds = {}) : bounds_(bounds) {}
 
   /// One scheduled, non-refused step of `pid`. O(1).
-  void on_step(Pid pid, bool null_step, bool decided_now, bool terminated_now) override;
+  void on_step(Pid pid, OpKind op, bool null_step, bool decided_now,
+               bool terminated_now) override;
 
   /// Flushes end-of-run starvation gaps for `w`'s unfinished C-processes
   /// (including ones never scheduled at all). Idempotent per run.
@@ -86,6 +95,8 @@ class LivenessMonitor final : public StepObserver {
   [[nodiscard]] std::int64_t max_starvation_gap() const noexcept { return max_gap_; }
   /// Largest observed run of collective C-steps without a progress event.
   [[nodiscard]] std::int64_t max_decision_drought() const noexcept { return max_drought_; }
+  /// Largest observed run of collective C send steps without a decision.
+  [[nodiscard]] std::int64_t max_send_burst() const noexcept { return max_send_burst_; }
 
   /// The monitor block of the telemetry JSON (bounds, quantities, violations).
   [[nodiscard]] telemetry::Json to_json() const;
@@ -115,7 +126,10 @@ class LivenessMonitor final : public StepObserver {
   std::int64_t max_gap_ = 0;
   std::int64_t drought_ = 0;      ///< collective C-steps since the last progress event
   std::int64_t max_drought_ = 0;
+  std::int64_t send_burst_ = 0;   ///< collective C send steps since the last decision
+  std::int64_t max_send_burst_ = 0;
   bool flagged_livelock_ = false;
+  bool flagged_storm_ = false;
   bool finalized_ = false;
 };
 

@@ -599,6 +599,74 @@ ScheduleTape mpfm_crash_record(std::uint64_t seed) {
   return t;
 }
 
+// ---- mp_floodmin lossy pair ------------------------------------------------
+// E20's acceptance pair: the SAME drop storm (every cross link ch[i][j],
+// i != j, charged to swallow the next 2 deliveries at step 0) against the
+// timeout-unsafe and the retransmission-hardened FloodMin.
+//  * mp_floodmin_lossy_raw — make_floodmin_timeout: every process's flood is
+//    swallowed, every inbox stays empty, all three run out of patience and
+//    decide their OWN input — 3 distinct decisions violate 2-set agreement.
+//    The tape's `linkfaults` line is semantic: replay re-charges the fabric.
+//  * mp_floodmin_lossy_rt  — make_floodmin_rt under the identical plan: the
+//    2-per-link drop budget is below the retry budget, the second retransmit
+//    round gets through, everyone decides min of n - f heard. Safety holds.
+
+World make_mpfm_lossy_raw_world(const FailurePattern& f, HistoryPtr h) {
+  World w = make_mp_world(kMpfmN, kMpfmN, f, std::move(h));
+  const FloodMinConfig cfg{kMpfmN, kMpfmF};
+  for (int i = 0; i < kMpfmN; ++i) w.spawn_c(i, make_floodmin_timeout(cfg, i, Value(i)));
+  return w;
+}
+
+World make_mpfm_lossy_rt_world(const FailurePattern& f, HistoryPtr h) {
+  World w = make_mp_world(kMpfmN, kMpfmN, f, std::move(h));
+  const FloodMinConfig cfg{kMpfmN, kMpfmF};
+  for (int i = 0; i < kMpfmN; ++i) w.spawn_c(i, make_floodmin_rt(cfg, i, Value(i)));
+  return w;
+}
+
+FaultPlan mpfm_drop_storm() {
+  FaultPlan plan;
+  for (int i = 0; i < kMpfmN; ++i) {
+    for (int j = 0; j < kMpfmN; ++j) {
+      if (i != j) plan.links.push_back(LinkAction{LinkFaultKind::kDrop, 0, i, j, 2});
+    }
+  }
+  return plan;
+}
+
+ScheduleTape mpfm_lossy_record(const std::string& scenario_name, World w, std::uint64_t seed,
+                               std::int64_t max_steps) {
+  const FaultPlan plan = mpfm_drop_storm();
+  w.enable_trace();
+  RandomScheduler inner(seed);
+  RecordingScheduler rec(inner);
+  const PlanDriveResult pdr = drive_with_plan(w, rec, max_steps, plan);
+  ScheduleTape t =
+      ScheduleTape::capture(scenario_name, w.pattern(), rec.steps(), pdr.applied, w.trace());
+  t.expect_violated = find_scenario(scenario_name)->violated(w);
+  t.plan = plan.to_string();
+  t.linkfaults = pdr.applied_links;
+  t.substrate = "msg";
+  return t;
+}
+
+ScheduleTape mpfm_lossy_raw_record(std::uint64_t seed) {
+  const FailurePattern base(kMpfmN * kMpfmN);
+  return mpfm_lossy_record("mp_floodmin_lossy_raw",
+                           make_mpfm_lossy_raw_world(base, TrivialFd{}.history(base, 0)), seed,
+                           4000);
+}
+
+ScheduleTape mpfm_lossy_rt_record(std::uint64_t seed) {
+  const FailurePattern base(kMpfmN * kMpfmN);
+  // The hardened run needs room for two doubling backoff rounds per process
+  // before the retransmits get through.
+  return mpfm_lossy_record("mp_floodmin_lossy_rt",
+                           make_mpfm_lossy_rt_world(base, TrivialFd{}.history(base, 0)), seed,
+                           8000);
+}
+
 std::vector<Scenario> build_registry() {
   return {
       {"synth_write_race",
@@ -640,6 +708,12 @@ std::vector<Scenario> build_registry() {
       {"mp_floodmin_crash_bcast",
        "FloodMin with p0's broadcast cut mid-flight (link daemons killed); decisions split at k=1",
        make_mpfm_world, mpfm_cons_violated, mpfm_crash_record},
+      {"mp_floodmin_lossy_raw",
+       "timeout FloodMin under a full cross-link drop storm; 3 own-input decisions break 2-set",
+       make_mpfm_lossy_raw_world, mpfm_kset_violated, mpfm_lossy_raw_record},
+      {"mp_floodmin_lossy_rt",
+       "retransmit-hardened FloodMin under the same drop storm; retries recover, safety holds",
+       make_mpfm_lossy_rt_world, mpfm_kset_violated, mpfm_lossy_rt_record},
   };
 }
 

@@ -20,6 +20,13 @@ ScheduleTape without_steps(const ScheduleTape& t, std::size_t begin, std::size_t
       c.step_index = static_cast<std::int64_t>(begin);
     }
   }
+  for (auto& p : out.linkfaults) {
+    if (p.step_index >= static_cast<std::int64_t>(end)) {
+      p.step_index -= removed;
+    } else if (p.step_index > static_cast<std::int64_t>(begin)) {
+      p.step_index = static_cast<std::int64_t>(begin);
+    }
+  }
   out.expect_hash.reset();  // certified the original schedule only
   return out;
 }
@@ -27,6 +34,13 @@ ScheduleTape without_steps(const ScheduleTape& t, std::size_t begin, std::size_t
 ScheduleTape without_crash(const ScheduleTape& t, std::size_t idx) {
   ScheduleTape out = t;
   out.crashes.erase(out.crashes.begin() + static_cast<std::ptrdiff_t>(idx));
+  out.expect_hash.reset();
+  return out;
+}
+
+ScheduleTape without_linkfault(const ScheduleTape& t, std::size_t idx) {
+  ScheduleTape out = t;
+  out.linkfaults.erase(out.linkfaults.begin() + static_cast<std::ptrdiff_t>(idx));
   out.expect_hash.reset();
   return out;
 }
@@ -47,6 +61,8 @@ ScheduleTape shrink_tape(ScheduleTape tape, const TapePredicate& still_fails,
     if (!still_fails(cand)) return false;
     st.removed_steps += static_cast<std::int64_t>(tape.steps.size() - cand.steps.size());
     st.removed_crashes += static_cast<std::int64_t>(tape.crashes.size() - cand.crashes.size());
+    st.removed_linkfaults +=
+        static_cast<std::int64_t>(tape.linkfaults.size() - cand.linkfaults.size());
     tape = cand;
     return true;
   };
@@ -82,6 +98,16 @@ ScheduleTape shrink_tape(ScheduleTape tape, const TapePredicate& still_fails,
     // 3. Crash points, one at a time.
     for (std::size_t i = 0; i < tape.crashes.size();) {
       if (try_adopt(without_crash(tape, i))) {
+        changed = true;
+      } else {
+        ++i;
+      }
+    }
+
+    // 4. Link-fault charges, one at a time (a dropped charge lets the
+    // delivery through; the failure must survive without it to adopt).
+    for (std::size_t i = 0; i < tape.linkfaults.size();) {
+      if (try_adopt(without_linkfault(tape, i))) {
         changed = true;
       } else {
         ++i;

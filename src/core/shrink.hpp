@@ -5,14 +5,15 @@
 // safety check, any user lambda over the replayed world encoded as a
 // TapePredicate), the shrinker repeatedly removes parts of the tape —
 // trailing suffix, step ranges at halving granularities (delta debugging),
-// individual crash points — re-replaying after every candidate edit and
-// keeping only edits that still fail. The result is locally minimal: no
-// single step, contiguous chunk at the tried granularities, or crash point
-// can be removed without losing the failure.
+// individual crash points, individual link-fault charges — re-replaying
+// after every candidate edit and keeping only edits that still fail. The
+// result is locally minimal: no single step, contiguous chunk at the tried
+// granularities, crash point, or link-fault charge can be removed without
+// losing the failure.
 //
-// Removing steps shifts later step indices, so crash points are remapped
-// (points inside a removed range snap to its start — the fault itself is
-// never silently dropped by a step removal). FD deltas are keyed by model
+// Removing steps shifts later step indices, so crash points and link-fault
+// points are remapped (points inside a removed range snap to its start —
+// the fault itself is never silently dropped by a step removal). FD deltas are keyed by model
 // TIME and left untouched: the tape's history() semantics (latest delta at
 // or before t) stays well-defined for any schedule the shrinker produces.
 // The recorded expect_hash is cleared as soon as the schedule changes — it
@@ -41,6 +42,7 @@ struct ShrinkStats {
   std::int64_t candidates = 0;  ///< predicate evaluations (replays)
   std::int64_t removed_steps = 0;
   std::int64_t removed_crashes = 0;
+  std::int64_t removed_linkfaults = 0;
   int rounds = 0;               ///< full passes until the fixed point
   bool reached_fixpoint = false;
 };

@@ -476,7 +476,7 @@ class IncrementalExplorer {
     }
     if (StepObserver* obs = w_.observer()) {
       // Same signature World::step would have reported for this step.
-      obs->on_step(cpid(c), false, gs.op == OpKind::kDecide, gs.terminated);
+      obs->on_step(cpid(c), gs.op, false, gs.op == OpKind::kDecide, gs.terminated);
     }
     ghost_[i].pop_back();
     ++out_.stats.ghost_hits;

@@ -1,11 +1,43 @@
 #include "sim/channel.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
 #include "sim/memory.hpp"  // cell_content_hash
 
 namespace efd {
+namespace {
+
+std::uint64_t pack_pair(int sender, int slot) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(sender)) << 32) |
+         static_cast<std::uint32_t>(slot);
+}
+
+}  // namespace
+
+const char* link_fault_token(LinkFaultKind kind) noexcept {
+  switch (kind) {
+    case LinkFaultKind::kDrop: return "drop";
+    case LinkFaultKind::kDup: return "dup";
+    case LinkFaultKind::kDelay: return "delay";
+    case LinkFaultKind::kReorder: return "reorder";
+    case LinkFaultKind::kSever: return "sever";
+    case LinkFaultKind::kHeal: return "heal";
+  }
+  return "?";
+}
+
+bool parse_link_fault_token(const std::string& tok, LinkFaultKind& out) noexcept {
+  if (tok == "drop") out = LinkFaultKind::kDrop;
+  else if (tok == "dup") out = LinkFaultKind::kDup;
+  else if (tok == "delay") out = LinkFaultKind::kDelay;
+  else if (tok == "reorder") out = LinkFaultKind::kReorder;
+  else if (tok == "sever") out = LinkFaultKind::kSever;
+  else if (tok == "heal") out = LinkFaultKind::kHeal;
+  else return false;
+  return true;
+}
 
 ChannelFabric::ChannelFabric(int num_senders, std::vector<RegAddr> mailboxes,
                              std::vector<RegAddr> links, bool eager)
@@ -69,6 +101,13 @@ void ChannelFabric::rehash(Mailbox& m) {
 void ChannelFabric::send(Pid sender, RegAddr mbox, const Value& msg) {
   if (eager_) {
     Mailbox& m = mbox_at(mbox);
+    if (!lossy_.empty() && sender.is_c()) {
+      const std::uint64_t key = pack_pair(sender.index, mbox_slot_.at(m.addr.id()));
+      if (std::find(lossy_.begin(), lossy_.end(), key) != lossy_.end()) {
+        ++fault_counters_.lost_sends;  // statically lossy: nothing mutates
+        return;
+      }
+    }
     m.pending.push_back(msg);
     rehash(m);
     return;
@@ -79,6 +118,11 @@ void ChannelFabric::send(Pid sender, RegAddr mbox, const Value& msg) {
   }
   Mailbox& m = mbox_at(mbox);  // validates the destination
   const int slot = mbox_slot_.at(m.addr.id());
+  if (!lossy_.empty() &&
+      std::find(lossy_.begin(), lossy_.end(), pack_pair(sender.index, slot)) != lossy_.end()) {
+    ++fault_counters_.lost_sends;
+    return;
+  }
   Link& l = links_[static_cast<std::size_t>(sender.index) * mailboxes_.size() +
                    static_cast<std::size_t>(slot)];
   l.in_flight.push_back(msg);
@@ -104,6 +148,9 @@ Value ChannelFabric::deliver(RegAddr link) {
     throw std::out_of_range("ChannelFabric: unknown link " + link.name());
   }
   Link& l = links_[static_cast<std::size_t>(it->second)];
+  if (!link_faults_.empty() && link_faults_.count(it->second) != 0) {
+    return faulty_deliver(l, it->second);
+  }
   if (l.in_flight.empty()) return Value{};
   Value msg = std::move(l.in_flight.front());
   l.in_flight.pop_front();
@@ -112,6 +159,96 @@ Value ChannelFabric::deliver(RegAddr link) {
   m.pending.push_back(msg);
   rehash(m);
   return msg;
+}
+
+Value ChannelFabric::faulty_deliver(Link& l, int slot) {
+  // Charge precedence is part of the replay contract (see header): severed
+  // holds everything; an empty channel consumes nothing; a delay charge is
+  // consumed by the STEP (the head stays in flight); a reorder charge picks
+  // the pop position; drop and dup charges are consumed by the popped
+  // MESSAGE, drop before dup.
+  LinkFaultModel& f = link_faults_[slot];
+  const auto reclaim = [this, slot, &f] {
+    if (f.idle()) link_faults_.erase(slot);
+  };
+  if (f.severed) {
+    ++fault_counters_.held_severed;
+    return Value{};
+  }
+  if (l.in_flight.empty()) {
+    reclaim();
+    return Value{};
+  }
+  if (f.delay_next > 0) {
+    --f.delay_next;
+    ++fault_counters_.delayed;
+    reclaim();
+    return Value{};
+  }
+  std::size_t pick = 0;
+  if (f.reorder_window > 0) {
+    pick = std::min(static_cast<std::size_t>(f.reorder_window), l.in_flight.size() - 1);
+    --f.reorder_window;
+    if (pick > 0) ++fault_counters_.reordered;
+  }
+  Value msg = std::move(l.in_flight[pick]);
+  l.in_flight.erase(l.in_flight.begin() + static_cast<std::ptrdiff_t>(pick));
+  --total_in_flight_;
+  if (f.drop_next > 0) {
+    --f.drop_next;
+    ++fault_counters_.dropped;
+    reclaim();
+    return Value{};  // the message is gone; the step reads as an empty deliver
+  }
+  if (f.dup_next > 0) {
+    --f.dup_next;
+    ++fault_counters_.duplicated;
+    l.in_flight.push_back(msg);
+    ++total_in_flight_;
+  }
+  reclaim();
+  Mailbox& m = mailboxes_[static_cast<std::size_t>(l.mbox_slot)];
+  m.pending.push_back(msg);
+  rehash(m);
+  return msg;
+}
+
+void ChannelFabric::charge_fault(RegAddr link, LinkFaultKind kind, int amount) {
+  if (eager_) {
+    throw std::logic_error("ChannelFabric: eager fabrics have no links to fault");
+  }
+  const auto it = link_slot_.find(link.id());
+  if (it == link_slot_.end()) {
+    throw std::out_of_range("ChannelFabric: unknown link " + link.name());
+  }
+  if (amount < 0) throw std::invalid_argument("ChannelFabric: negative fault charge");
+  LinkFaultModel& f = link_faults_[it->second];
+  switch (kind) {
+    case LinkFaultKind::kDrop: f.drop_next += amount; break;
+    case LinkFaultKind::kDup: f.dup_next += amount; break;
+    case LinkFaultKind::kDelay: f.delay_next += amount; break;
+    case LinkFaultKind::kReorder: f.reorder_window += amount; break;
+    case LinkFaultKind::kSever: f.severed = true; break;
+    case LinkFaultKind::kHeal: f.severed = false; break;
+  }
+  if (f.idle()) link_faults_.erase(it->second);
+}
+
+void ChannelFabric::set_lossy(int sender, RegAddr mbox, bool lossy) {
+  const Mailbox& m = mbox_at(mbox);  // validates the destination
+  const std::uint64_t key = pack_pair(sender, mbox_slot_.at(m.addr.id()));
+  const auto it = std::find(lossy_.begin(), lossy_.end(), key);
+  if (lossy && it == lossy_.end()) lossy_.push_back(key);
+  if (!lossy && it != lossy_.end()) lossy_.erase(it);
+}
+
+LinkFaultModel ChannelFabric::link_faults(RegAddr link) const {
+  const auto it = link_slot_.find(link.id());
+  if (it == link_slot_.end()) {
+    throw std::out_of_range("ChannelFabric: unknown link " + link.name());
+  }
+  const auto fit = link_faults_.find(it->second);
+  return fit == link_faults_.end() ? LinkFaultModel{} : fit->second;
 }
 
 Value ChannelFabric::peek(RegAddr mbox) const {

@@ -24,10 +24,25 @@
 // MsgSubstrate for equal mailbox contents. In-flight channel contents are
 // NOT hashed: exploration runs eager mode only, and driven (recorded) runs
 // never consult state hashes.
+//
+// Link faults (PR 10): each daemon-mode link can carry a LinkFaultModel —
+// drop-next-k, duplicate-next-k, bounded delay (hold the head for the next
+// k deliver steps), a reorder window, and transient sever/heal. Faults are
+// CHARGES consumed deterministically at deliver steps in a fixed precedence
+// order (severed > empty > delay > reorder pick > pop > drop > dup), so a
+// faulty delivery is an ordinary schedulable step and any run is replayed
+// exactly by re-charging the same faults at the same step indices — no
+// randomness lives in the fabric. Fault state is kept in a sparse side map
+// that the hot path consults only through one `empty()` test, so a fabric
+// with no charges behaves (and hashes) byte-identically to PR 9's.
+// Exploration (eager mode) supports only the STATELESS subset: statically
+// lossy (sender, mailbox) pairs whose sends silently vanish — safe under
+// explorer undo because a dropped send mutates nothing.
 #pragma once
 
 #include <cstdint>
 #include <deque>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -36,6 +51,48 @@
 #include "sim/value.hpp"
 
 namespace efd {
+
+/// The link-fault vocabulary shared by the fabric, the Substrate contract,
+/// tape `linkfaults` directives and plan-v1 `link` actions.
+enum class LinkFaultKind : std::uint8_t {
+  kDrop,     ///< discard the next `amount` popped messages
+  kDup,      ///< re-enqueue a copy of the next `amount` popped messages
+  kDelay,    ///< hold the head through the next `amount` deliver steps
+  kReorder,  ///< next `amount` delivers pop from deeper in the channel
+  kSever,    ///< transient partition: deliveries hold until healed
+  kHeal,     ///< end a transient sever
+};
+
+/// Token <-> kind for tapes and plans ("drop", "dup", "delay", "reorder",
+/// "sever", "heal"). parse returns false on an unknown token.
+[[nodiscard]] const char* link_fault_token(LinkFaultKind kind) noexcept;
+[[nodiscard]] bool parse_link_fault_token(const std::string& tok, LinkFaultKind& out) noexcept;
+
+/// Per-link fault charges (see header comment for consumption order). All
+/// counters are small and saturating semantics are the caller's problem —
+/// the fabric only ever decrements toward the idle state.
+struct LinkFaultModel {
+  int drop_next = 0;
+  int dup_next = 0;
+  int delay_next = 0;
+  int reorder_window = 0;
+  bool severed = false;
+
+  [[nodiscard]] bool idle() const noexcept {
+    return drop_next == 0 && dup_next == 0 && delay_next == 0 && reorder_window == 0 &&
+           !severed;
+  }
+};
+
+/// Fabric-wide tallies of consumed fault charges (monitoring / benches).
+struct LinkFaultCounters {
+  std::int64_t dropped = 0;      ///< messages discarded at a deliver step
+  std::int64_t duplicated = 0;   ///< messages re-enqueued after delivery
+  std::int64_t delayed = 0;      ///< deliver steps that held the head
+  std::int64_t reordered = 0;    ///< delivers that popped out of FIFO order
+  std::int64_t held_severed = 0; ///< deliver steps refused while severed
+  std::int64_t lost_sends = 0;   ///< sends swallowed by a lossy pair
+};
 
 class ChannelFabric {
  public:
@@ -81,6 +138,24 @@ class ChannelFabric {
   /// Total undelivered messages across all links.
   [[nodiscard]] std::size_t total_in_flight() const noexcept { return total_in_flight_; }
 
+  /// Adds `amount` fault charges of `kind` to a daemon-mode link (sever /
+  /// heal ignore the amount). Throws std::logic_error in eager mode and
+  /// std::out_of_range on an unknown link.
+  void charge_fault(RegAddr link, LinkFaultKind kind, int amount);
+
+  /// Marks the (sender c-index, mailbox) pair statically lossy: its sends
+  /// are silently swallowed (both modes; the only fault eager exploration
+  /// supports — it never mutates state, so explorer undo stays exact).
+  void set_lossy(int sender, RegAddr mbox, bool lossy);
+
+  /// Current fault charges of a link (idle model when never charged).
+  [[nodiscard]] LinkFaultModel link_faults(RegAddr link) const;
+  /// True iff no link carries charges and no pair is lossy.
+  [[nodiscard]] bool faults_idle() const noexcept {
+    return link_faults_.empty() && lossy_.empty();
+  }
+  [[nodiscard]] const LinkFaultCounters& fault_counters() const noexcept { return fault_counters_; }
+
   /// Commutative accumulator over touched mailboxes (see header comment).
   [[nodiscard]] std::uint64_t hash_acc() const noexcept { return hash_acc_; }
 
@@ -102,6 +177,9 @@ class ChannelFabric {
   [[nodiscard]] const Mailbox& mbox_at(RegAddr addr) const;
   /// Recomputes a mailbox's hash term after a pending/touched mutation.
   void rehash(Mailbox& m);
+  /// deliver() with a non-idle fault model on the link; erases the map entry
+  /// once the model drains back to idle.
+  Value faulty_deliver(Link& l, int slot);
 
   int num_senders_;
   bool eager_;
@@ -111,6 +189,9 @@ class ChannelFabric {
   std::unordered_map<RegId, int> link_slot_;  ///< RegId -> links_ index
   std::size_t total_in_flight_ = 0;
   std::uint64_t hash_acc_ = 0;
+  std::unordered_map<int, LinkFaultModel> link_faults_;  ///< links_ index -> charges
+  std::vector<std::uint64_t> lossy_;  ///< packed (sender, mbox slot) lossy pairs
+  LinkFaultCounters fault_counters_;
 };
 
 }  // namespace efd

@@ -57,6 +57,10 @@ std::string FaultPlan::to_string() const {
   for (const auto& b : bursts) {
     os << "; burst " << b.start_step << ' ' << b.length << ' ' << b.victim.to_string();
   }
+  for (const auto& l : links) {
+    os << "; link " << link_fault_token(l.kind) << ' ' << l.step << ' ' << l.from << ' '
+       << l.to << ' ' << l.amount;
+  }
   return os.str();
 }
 
@@ -121,6 +125,17 @@ FaultPlan FaultPlan::parse(const std::string& text) {
       if (!pid) plan_fail("burst: bad pid token '" + victim + "'");
       b.victim = *pid;
       plan.bursts.push_back(b);
+    } else if (key == "link") {
+      LinkAction l;
+      std::string kind;
+      if (!(seg >> kind >> l.step >> l.from >> l.to >> l.amount) || l.step < 0 || l.from < 0 ||
+          l.to < 0 || l.amount < 1) {
+        plan_fail("link: want '<kind> <step>=0.. <i>=0.. <j>=0.. <k>=1..'");
+      }
+      if (!parse_link_fault_token(kind, l.kind)) {
+        plan_fail("link: unknown fault kind '" + kind + "'");
+      }
+      plan.links.push_back(l);
     } else {
       plan_fail("unknown segment '" + key + "'");
     }
@@ -130,6 +145,27 @@ FaultPlan FaultPlan::parse(const std::string& text) {
   }
   if (first) plan_fail("empty plan text");
   return plan;
+}
+
+std::vector<LinkFaultPoint> FaultPlan::resolve_links() const {
+  std::vector<LinkFaultPoint> out;
+  out.reserve(links.size());
+  for (const auto& l : links) {
+    const std::string name =
+        "ch[" + std::to_string(l.from) + "][" + std::to_string(l.to) + "]";
+    if (l.kind == LinkFaultKind::kSever) {
+      out.push_back(LinkFaultPoint{l.step, name, LinkFaultKind::kSever, 1});
+      out.push_back(
+          LinkFaultPoint{l.step + std::max(1, l.amount), name, LinkFaultKind::kHeal, 1});
+    } else {
+      out.push_back(LinkFaultPoint{l.step, name, l.kind, l.amount});
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const LinkFaultPoint& a, const LinkFaultPoint& b) {
+                     return a.step_index < b.step_index;
+                   });
+  return out;
 }
 
 FaultPlan FaultPlan::sample(std::uint64_t seed, const Space& space) {
@@ -183,6 +219,35 @@ FaultPlan FaultPlan::sample(std::uint64_t seed, const Space& space) {
       plan.bursts.push_back(b);
     }
   }
+
+  // Link actions last: non-MP spaces (grid dims zero) draw nothing here, so
+  // their sampling streams are unchanged from earlier plan versions.
+  if (space.max_link_actions > 0 && space.mp_senders > 0 && space.mp_mailboxes > 0) {
+    const std::int64_t sever_max =
+        space.max_sever_window > 0 ? space.max_sever_window : std::max<std::int64_t>(1, horizon / 8);
+    const int charge_max = std::max(1, space.max_link_charge);
+    const auto n_link = rng.below(static_cast<std::uint64_t>(space.max_link_actions) + 1);
+    for (std::uint64_t i = 0; i < n_link; ++i) {
+      LinkAction l;
+      // Drop-weighted kind draw (3/7): loss is the fault class that actually
+      // starves protocols — dup/delay/reorder/sever mostly perturb timing —
+      // so a uniform draw wastes most of the campaign's action budget.
+      switch (rng.below(7)) {
+        case 1: l.kind = LinkFaultKind::kDup; break;
+        case 2: l.kind = LinkFaultKind::kDelay; break;
+        case 3: l.kind = LinkFaultKind::kReorder; break;
+        case 4: l.kind = LinkFaultKind::kSever; break;
+        default: l.kind = LinkFaultKind::kDrop; break;
+      }
+      l.step = static_cast<std::int64_t>(rng.below(static_cast<std::uint64_t>(horizon)));
+      l.from = static_cast<int>(rng.below(static_cast<std::uint64_t>(space.mp_senders)));
+      l.to = static_cast<int>(rng.below(static_cast<std::uint64_t>(space.mp_mailboxes)));
+      l.amount = l.kind == LinkFaultKind::kSever
+                     ? 1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(sever_max)))
+                     : 1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(charge_max)));
+      plan.links.push_back(l);
+    }
+  }
   return plan;
 }
 
@@ -225,6 +290,22 @@ FaultPlan clamp_to_space(FaultPlan plan, const FaultPlan::Space& space) {
     if (!in_world) {
       const int v = b.victim.index % std::max(1, population);
       b.victim = v < space.num_c ? cpid(v) : spid(v - space.num_c);
+    }
+  }
+  if (space.max_link_actions <= 0 || space.mp_senders <= 0 || space.mp_mailboxes <= 0) {
+    plan.links.clear();
+  }
+  while (static_cast<int>(plan.links.size()) > space.max_link_actions) plan.links.pop_back();
+  const std::int64_t sever_max =
+      space.max_sever_window > 0 ? space.max_sever_window : std::max<std::int64_t>(1, horizon / 8);
+  for (auto& l : plan.links) {
+    l.step = std::clamp<std::int64_t>(l.step, 0, horizon - 1);
+    l.from = std::clamp(l.from, 0, std::max(0, space.mp_senders - 1));
+    l.to = std::clamp(l.to, 0, std::max(0, space.mp_mailboxes - 1));
+    if (l.kind == LinkFaultKind::kSever) {
+      l.amount = static_cast<int>(std::clamp<std::int64_t>(l.amount, 1, sever_max));
+    } else {
+      l.amount = std::clamp(l.amount, 1, std::max(1, space.max_link_charge));
     }
   }
   return plan;
@@ -337,6 +418,58 @@ FaultPlan FaultPlan::mutate(std::uint64_t seed, const Space& space) const {
         break;
     }
   }
+  // Link edit drawn after the generic loop: non-MP spaces skip it entirely,
+  // keeping their mutation streams identical to earlier plan versions.
+  if (space.max_link_actions > 0 && space.mp_senders > 0 && space.mp_mailboxes > 0) {
+    const std::int64_t sever_max =
+        space.max_sever_window > 0 ? space.max_sever_window : std::max<std::int64_t>(1, horizon / 8);
+    const int charge_max = std::max(1, space.max_link_charge);
+    switch (rng.below(3)) {
+      case 0:  // perturb (or seed) a link action
+        if (!plan.links.empty()) {
+          LinkAction& l = plan.links[rng.below(plan.links.size())];
+          switch (rng.below(3)) {
+            case 0:
+              l.step += static_cast<std::int64_t>(rng.below(2 * jitter + 1)) - jitter;
+              break;
+            case 1:
+              l.from = static_cast<int>(rng.below(static_cast<std::uint64_t>(space.mp_senders)));
+              l.to = static_cast<int>(rng.below(static_cast<std::uint64_t>(space.mp_mailboxes)));
+              break;
+            default:
+              l.amount = 1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(
+                             l.kind == LinkFaultKind::kSever ? sever_max : charge_max)));
+              break;
+          }
+          break;
+        }
+        [[fallthrough]];
+      case 1: {  // add a link action
+        LinkAction l;
+        switch (rng.below(5)) {
+          case 1: l.kind = LinkFaultKind::kDup; break;
+          case 2: l.kind = LinkFaultKind::kDelay; break;
+          case 3: l.kind = LinkFaultKind::kReorder; break;
+          case 4: l.kind = LinkFaultKind::kSever; break;
+          default: l.kind = LinkFaultKind::kDrop; break;
+        }
+        l.step = static_cast<std::int64_t>(rng.below(static_cast<std::uint64_t>(horizon)));
+        l.from = static_cast<int>(rng.below(static_cast<std::uint64_t>(space.mp_senders)));
+        l.to = static_cast<int>(rng.below(static_cast<std::uint64_t>(space.mp_mailboxes)));
+        l.amount = l.kind == LinkFaultKind::kSever
+                       ? 1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(sever_max)))
+                       : 1 + static_cast<int>(rng.below(static_cast<std::uint64_t>(charge_max)));
+        plan.links.push_back(l);
+        break;
+      }
+      default:  // drop one link action (shrinking move)
+        if (!plan.links.empty()) {
+          plan.links.erase(plan.links.begin() +
+                           static_cast<std::ptrdiff_t>(rng.below(plan.links.size())));
+        }
+        break;
+    }
+  }
   return clamp_to_space(std::move(plan), space);
 }
 
@@ -355,6 +488,9 @@ FaultPlan FaultPlan::splice(const FaultPlan& a, const FaultPlan& b, std::uint64_
     const bool from_a = ib >= b.bursts.size() || (ia < a.bursts.size() && rng.below(2) == 0);
     plan.bursts.push_back(from_a ? a.bursts[ia++] : b.bursts[ib++]);
   }
+  // Link actions: a's first, then b's; clamping trims past the cap.
+  plan.links = a.links;
+  plan.links.insert(plan.links.end(), b.links.begin(), b.links.end());
   return clamp_to_space(std::move(plan), space);
 }
 
@@ -407,6 +543,9 @@ PlanDriveResult drive_with_plan(World& w, Scheduler& sched, std::int64_t max_ste
   if (!trig.empty()) w.enable_trace();  // trigger matching reads the trace
   std::size_t trace_seen = w.trace().size();
 
+  const std::vector<LinkFaultPoint> lf = plan.resolve_links();
+  std::size_t next_lf = 0;
+
   // Kills a live, in-range S-process and records the effective crash point;
   // mirrors drive_with_crashes' loop-top `step_index <= r.steps` convention so
   // the recorded points replay the faults at the exact same step indices.
@@ -423,6 +562,16 @@ PlanDriveResult drive_with_plan(World& w, Scheduler& sched, std::int64_t max_ste
     while (next_storm < storm.size() && storm[next_storm].step_index <= r.steps) {
       apply(storm[next_storm].s_index);
       ++next_storm;
+    }
+    while (next_lf < lf.size() && lf[next_lf].step_index <= r.steps) {
+      const LinkFaultPoint& p = lf[next_lf++];
+      try {
+        w.substrate().apply_link_fault(RegAddr(p.link), p.kind, p.amount);
+        out.applied_links.push_back(LinkFaultPoint{r.steps, p.link, p.kind, p.amount});
+      } catch (const std::exception&) {
+        // Link absent from this world (plan wider than the grid) or a
+        // substrate without faultable links: the action is a no-op.
+      }
     }
     for (std::size_t i = 0; i < armed.size();) {
       if (armed[i].step_index <= r.steps) {

@@ -11,7 +11,12 @@
 //  * advice corruption — wrap the scenario's detector in a fd/faulty.hpp
 //                        family (lying / omissive / stuttering) until a GST;
 //  * starvation bursts — unfair-but-eventually-fair scheduling: suppress one
-//                        process over a step-index window (BurstScheduler).
+//                        process over a step-index window (BurstScheduler);
+//  * link faults       — step-indexed charges against a message world's
+//                        links (sim/channel.hpp): drop/dup/delay/reorder the
+//                        next deliveries of ch[i][j], or sever it for a
+//                        bounded window (always paired with a heal, so a
+//                        plan can partition transiently, never permanently).
 //
 // drive_with_plan executes a plan: storms and trigger kills resolve ONLINE
 // into concrete, tape-ready CrashPoints (PlanDriveResult::applied), advice
@@ -55,6 +60,21 @@ struct StarvationBurst {
   friend bool operator==(const StarvationBurst&, const StarvationBurst&) = default;
 };
 
+/// One link-layer fault: charge link ch[from][to] with `kind` when the drive
+/// reaches schedule step `step`. `amount` is the charge count (how many
+/// deliveries to drop/dup/delay, or the reorder window); for kSever it is
+/// the sever WINDOW — drive_with_plan resolves a sever into a sever charge
+/// at `step` plus a heal at `step + amount`.
+struct LinkAction {
+  LinkFaultKind kind = LinkFaultKind::kDrop;
+  std::int64_t step = 0;
+  int from = 0;   ///< sender index i of ch[i][j]
+  int to = 0;     ///< mailbox index j of ch[i][j]
+  int amount = 1; ///< >= 1: charge count / sever window length
+
+  friend bool operator==(const LinkAction&, const LinkAction&) = default;
+};
+
 /// Advice corruption window (applied via make_faulty on the target's base
 /// detector). kind == kNone means the advice is left honest.
 struct FdFault {
@@ -71,9 +91,10 @@ class FaultPlan {
   std::vector<CrashTrigger> triggers;   ///< targeted kills
   FdFault fd;                           ///< advice corruption
   std::vector<StarvationBurst> bursts;  ///< scheduler starvation windows
+  std::vector<LinkAction> links;        ///< message-link fault charges
 
   [[nodiscard]] bool empty() const {
-    return storm.empty() && triggers.empty() && bursts.empty() &&
+    return storm.empty() && triggers.empty() && bursts.empty() && links.empty() &&
            fd.kind == FdFaultKind::kNone;
   }
 
@@ -88,6 +109,13 @@ class FaultPlan {
   /// Inverse of to_string; throws std::invalid_argument on malformed input.
   [[nodiscard]] static FaultPlan parse(const std::string& text);
 
+  /// The plan's link actions as tape-ready LinkFaultPoints against the
+  /// canonical link names ("ch[i][j]"), stably sorted by step index. Each
+  /// kSever action expands into a sever/heal pair `amount` steps apart, so
+  /// every resolved sequence heals what it severs. No grid bounds are
+  /// checked here — charging skips links the target world does not have.
+  [[nodiscard]] std::vector<LinkFaultPoint> resolve_links() const;
+
   friend bool operator==(const FaultPlan&, const FaultPlan&) = default;
 
   /// The dimensions a campaign target exposes for plan sampling.
@@ -101,6 +129,13 @@ class FaultPlan {
     Time max_gst = 0;             ///< 0: horizon / 4
     int max_bursts = 2;
     std::int64_t max_burst_len = 0;  ///< 0: horizon / 8
+    // Link-fault dimensions; all zero for shared-memory targets (sampling
+    // then never emits link actions and clamping strips any present).
+    int mp_senders = 0;      ///< link grid rows of ch[i][j] (0: no links)
+    int mp_mailboxes = 0;    ///< link grid columns
+    int max_link_actions = 0;         ///< cap on link actions per plan
+    int max_link_charge = 3;          ///< per-action drop/dup/delay charge cap
+    std::int64_t max_sever_window = 0;  ///< 0: horizon / 8
   };
 
   /// Deterministic pseudo-random plan. Storm sizes, trigger choices, FD
@@ -157,15 +192,22 @@ struct PlanDriveResult {
   /// campaign uses it to recompute honest advice over the EFFECTIVE pattern.
   std::vector<CrashPoint> applied;
   std::vector<Time> applied_at;
+  /// Link-fault charges actually applied (resolved sever/heal pairs
+  /// included, charges against links the world lacks skipped), recorded at
+  /// their application step index: tape-ready for ScheduleTape::linkfaults,
+  /// replaying byte-identically through drive_with_crashes.
+  std::vector<LinkFaultPoint> applied_links;
   int triggers_fired = 0;
 };
 
-/// drive() under `plan`'s crash faults: storm points apply at their step
-/// index, trigger matches arm kills `delay` steps later, both via
-/// World::inject_crash. Enables tracing when the plan has triggers (matching
-/// reads the trace). Starvation bursts are NOT applied here — wrap the
-/// scheduler in a BurstScheduler; advice corruption happens at world
-/// construction (FaultPlan::corrupt).
+/// drive() under `plan`'s crash and link faults: storm points apply at their
+/// step index, trigger matches arm kills `delay` steps later, both via
+/// World::inject_crash; resolved link actions charge the substrate at their
+/// step index (charges against links the world does not have are skipped —
+/// a plan may be wider than its world). Enables tracing when the plan has
+/// triggers (matching reads the trace). Starvation bursts are NOT applied
+/// here — wrap the scheduler in a BurstScheduler; advice corruption happens
+/// at world construction (FaultPlan::corrupt).
 PlanDriveResult drive_with_plan(World& w, Scheduler& sched, std::int64_t max_steps,
                                 const FaultPlan& plan);
 

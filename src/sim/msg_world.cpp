@@ -39,6 +39,11 @@ void install_msg_eager(World& w, int n, int m) {
 
 void install_shm_mailboxes(World& w) { w.set_substrate(std::make_unique<ShmSubstrate>()); }
 
+MsgSubstrate* msg_substrate(World& w) {
+  if (!w.substrate_set() || w.substrate().kind() != SubstrateKind::kMsg) return nullptr;
+  return static_cast<MsgSubstrate*>(&w.substrate());
+}
+
 ProcBody make_link_daemon(RegAddr link) {
   return [link](Context& ctx) { return link_daemon(ctx, link); };
 }

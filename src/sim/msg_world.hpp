@@ -65,11 +65,23 @@ class MsgSubstrate final : public Substrate {
   }
   [[nodiscard]] std::uint64_t hash_acc() const noexcept override { return fabric_.hash_acc(); }
 
+  void apply_link_fault(RegAddr link, LinkFaultKind kind, int amount) override {
+    fabric_.charge_fault(link, kind, amount);
+  }
+  [[nodiscard]] LinkFaultCounters link_fault_counters() const noexcept override {
+    return fabric_.fault_counters();
+  }
+
   [[nodiscard]] const ChannelFabric& fabric() const noexcept { return fabric_; }
+  [[nodiscard]] ChannelFabric& fabric() noexcept { return fabric_; }
 
  private:
   ChannelFabric fabric_;
 };
+
+/// The world's MsgSubstrate, or nullptr when another backend is installed.
+/// (Fault-charging helpers and the lossy-pair tests reach the fabric here.)
+[[nodiscard]] MsgSubstrate* msg_substrate(World& w);
 
 /// The standard mailbox set mb[0..m-1].
 [[nodiscard]] std::vector<RegAddr> mp_mailboxes(int m);

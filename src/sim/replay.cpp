@@ -207,6 +207,22 @@ std::string ScheduleTape::serialize() const {
     os << "\n";
   }
   for (const auto& c : crashes) os << "crash " << c.step_index << " " << c.s_index << "\n";
+  if (!linkfaults.empty()) {
+    // One line, ';'-separated actions in step order: canonical because parse
+    // stable-sorts by step_index and same-step order is preserved.
+    std::vector<LinkFaultPoint> pts = linkfaults;
+    std::stable_sort(pts.begin(), pts.end(), [](const LinkFaultPoint& a,
+                                                const LinkFaultPoint& b) {
+      return a.step_index < b.step_index;
+    });
+    os << "linkfaults ";
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      if (i != 0) os << "; ";
+      os << link_fault_token(pts[i].kind) << " " << pts[i].step_index << " " << pts[i].link
+         << " " << pts[i].amount;
+    }
+    os << "\n";
+  }
   for (const auto& d : fd) {
     os << "fd " << d.qi << " " << d.time << " ";
     encode_value(os, d.value);
@@ -295,6 +311,29 @@ ScheduleTape ScheduleTape::parse(const std::string& text) {
         parse_fail(line_no, "crash: malformed or out-of-range entry");
       }
       t.crashes.push_back(c);
+    } else if (key == "linkfaults") {
+      std::string rest;
+      std::getline(ls, rest);
+      std::istringstream entries(rest);
+      std::string entry;
+      bool any = false;
+      while (std::getline(entries, entry, ';')) {
+        std::istringstream es(entry);
+        LinkFaultPoint p;
+        std::string kind_tok;
+        if (!(es >> kind_tok)) continue;  // tolerate a trailing ';'
+        any = true;
+        if (!parse_link_fault_token(kind_tok, p.kind)) {
+          parse_fail(line_no, "linkfaults: unknown fault kind '" + kind_tok + "'");
+        }
+        if (!(es >> p.step_index >> p.link >> p.amount) || p.step_index < 0 || p.amount < 1) {
+          parse_fail(line_no, "linkfaults: malformed entry '" + entry + "'");
+        }
+        std::string extra;
+        if (es >> extra) parse_fail(line_no, "linkfaults: trailing garbage '" + extra + "'");
+        t.linkfaults.push_back(std::move(p));
+      }
+      if (!any) parse_fail(line_no, "linkfaults: empty list");
     } else if (key == "fd") {
       FdDelta d;
       if (!(ls >> d.qi >> d.time) || d.qi < 0 || d.qi >= t.num_s) {
@@ -333,6 +372,11 @@ ScheduleTape ScheduleTape::parse(const std::string& text) {
   if (static_cast<int>(t.base_crash.size()) != t.num_s) parse_fail(line_no, "missing 'pattern' line");
   std::sort(t.crashes.begin(), t.crashes.end(),
             [](const CrashPoint& a, const CrashPoint& b) { return a.step_index < b.step_index; });
+  // stable: same-step charges keep their written order (sever before heal).
+  std::stable_sort(t.linkfaults.begin(), t.linkfaults.end(),
+                   [](const LinkFaultPoint& a, const LinkFaultPoint& b) {
+                     return a.step_index < b.step_index;
+                   });
   return t;
 }
 
@@ -353,17 +397,29 @@ void save_tape(const ScheduleTape& tape, const std::string& path) {
 }
 
 DriveResult drive_with_crashes(World& w, Scheduler& sched, std::int64_t max_steps,
-                               const std::vector<CrashPoint>& crashes) {
+                               const std::vector<CrashPoint>& crashes,
+                               const std::vector<LinkFaultPoint>& linkfaults) {
   std::vector<CrashPoint> pending = crashes;
   std::sort(pending.begin(), pending.end(),
             [](const CrashPoint& a, const CrashPoint& b) { return a.step_index < b.step_index; });
+  std::vector<LinkFaultPoint> pending_lf = linkfaults;
+  std::stable_sort(pending_lf.begin(), pending_lf.end(),
+                   [](const LinkFaultPoint& a, const LinkFaultPoint& b) {
+                     return a.step_index < b.step_index;
+                   });
   std::size_t next_crash = 0;
+  std::size_t next_lf = 0;
 
   DriveResult r;
   for (;;) {
     while (next_crash < pending.size() && pending[next_crash].step_index <= r.steps) {
       w.inject_crash(pending[next_crash].s_index);
       ++next_crash;
+    }
+    while (next_lf < pending_lf.size() && pending_lf[next_lf].step_index <= r.steps) {
+      const LinkFaultPoint& p = pending_lf[next_lf];
+      w.substrate().apply_link_fault(RegAddr(p.link), p.kind, p.amount);
+      ++next_lf;
     }
     if (w.num_c() > 0 && w.all_c_decided()) {
       r.all_c_decided = true;
@@ -388,7 +444,7 @@ ReplayResult replay_tape(World& w, const ScheduleTape& tape) {
   ReplayScheduler rs(tape);
   ReplayResult out;
   out.drive = drive_with_crashes(w, rs, static_cast<std::int64_t>(tape.steps.size()),
-                                 tape.crashes);
+                                 tape.crashes, tape.linkfaults);
   out.hash = trace_hash(w.trace());
   out.hash_match = !tape.expect_hash || *tape.expect_hash == out.hash;
   return out;

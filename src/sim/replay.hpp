@@ -31,6 +31,7 @@
 
 #include "fd/failure_pattern.hpp"
 #include "fd/history.hpp"
+#include "sim/channel.hpp"  // LinkFaultKind
 #include "sim/schedule.hpp"
 #include "sim/trace.hpp"
 
@@ -64,6 +65,22 @@ struct CrashPoint {
   int s_index = 0;
 
   friend bool operator==(const CrashPoint&, const CrashPoint&) = default;
+};
+
+/// Charge `amount` link-fault charges of `kind` against the link named
+/// `link` ("ch[i][j]") immediately before the schedule step with this index
+/// executes. Unlike `plan`/`finding`, the tape's `linkfaults` line is
+/// SEMANTIC: a drop changes which messages reach a mailbox, so replay
+/// re-charges the fabric exactly as the recording drive did (sever/heal
+/// ignore the amount; it serializes as the sever window's length purely as
+/// provenance).
+struct LinkFaultPoint {
+  std::int64_t step_index = 0;
+  std::string link;
+  LinkFaultKind kind = LinkFaultKind::kDrop;
+  int amount = 1;
+
+  friend bool operator==(const LinkFaultPoint&, const LinkFaultPoint&) = default;
 };
 
 /// A recorded run: schedule, environment, and expectations. Text format
@@ -101,6 +118,7 @@ class ScheduleTape {
   int num_s = 0;
   std::vector<std::optional<Time>> base_crash;  ///< base pattern crash times
   std::vector<CrashPoint> crashes;              ///< injected, sorted by step_index
+  std::vector<LinkFaultPoint> linkfaults;       ///< charged, sorted by step_index
   std::vector<FdDelta> fd;                      ///< chronological per process
   std::vector<Pid> steps;                       ///< the schedule, in order
 
@@ -174,10 +192,14 @@ class ReplayScheduler final : public Scheduler {
 
 /// drive() with crash-point fault injection: immediately before attempting
 /// step index i (= DriveResult::steps so far), every CrashPoint with
-/// step_index == i is applied via World::inject_crash. Stop causes as in
-/// drive(). `crashes` need not be sorted.
+/// step_index == i is applied via World::inject_crash, and every
+/// LinkFaultPoint with step_index == i is charged via
+/// Substrate::apply_link_fault (a link fault against a backend without
+/// faultable links throws). Stop causes as in drive(). Neither list need be
+/// sorted.
 DriveResult drive_with_crashes(World& w, Scheduler& sched, std::int64_t max_steps,
-                               const std::vector<CrashPoint>& crashes);
+                               const std::vector<CrashPoint>& crashes,
+                               const std::vector<LinkFaultPoint>& linkfaults = {});
 
 struct ReplayResult {
   DriveResult drive;

@@ -38,6 +38,7 @@
 #include <cstdint>
 #include <stdexcept>
 
+#include "sim/channel.hpp"  // LinkFaultKind / LinkFaultCounters
 #include "sim/ids.hpp"
 #include "sim/memory.hpp"
 #include "sim/value.hpp"
@@ -95,6 +96,19 @@ class Substrate {
   /// Commutative accumulator over substrate-held mailbox state (0 when the
   /// substrate keeps none). Folded into World::state_hash().
   [[nodiscard]] virtual std::uint64_t hash_acc() const noexcept = 0;
+
+  // ---- link-fault adversary (message backends only) ----
+
+  /// Charges `amount` link faults of `kind` against `link` (tape `linkfaults`
+  /// directives and plan-v1 `link` actions land here). Backends without
+  /// faultable links throw std::logic_error — a lossy tape replayed into a
+  /// register world is a hard error, not a silent no-op.
+  virtual void apply_link_fault(RegAddr /*link*/, LinkFaultKind /*kind*/, int /*amount*/) {
+    throw std::logic_error("substrate: link faults require a message substrate");
+  }
+
+  /// Consumed-fault tallies (all zero for backends without faultable links).
+  [[nodiscard]] virtual LinkFaultCounters link_fault_counters() const noexcept { return {}; }
 };
 
 /// Registers-as-mailboxes: mailbox == one register whose value is the whole

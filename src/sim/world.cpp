@@ -216,7 +216,8 @@ bool World::step(Pid pid) {
 
   ++stats_.steps;
   if (observer_ != nullptr) {
-    observer_->on_step(pid, null_step, !null_step && op_kind == OpKind::kDecide, terminated);
+    observer_->on_step(pid, op_kind, null_step, !null_step && op_kind == OpKind::kDecide,
+                       terminated);
   }
   if (tracing_) {
     trace_.append(now_, pid, op_kind, addr, traced_value, traced_result, null_step, terminated);

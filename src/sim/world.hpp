@@ -42,10 +42,13 @@ using ProcBody = std::function<Proc(Context&)>;
 /// Per-step observer hook (core/monitors.hpp implements it). Called once for
 /// every successful (non-refused) step, after the op executed; refused steps
 /// of crashed S-processes are invisible to observers, like to the trace.
+/// `op` is the executed operation kind (kYield for null steps) — the
+/// retransmit-storm monitor classifies send traffic with it.
 class StepObserver {
  public:
   virtual ~StepObserver() = default;
-  virtual void on_step(Pid pid, bool null_step, bool decided_now, bool terminated_now) = 0;
+  virtual void on_step(Pid pid, OpKind op, bool null_step, bool decided_now,
+                       bool terminated_now) = 0;
 };
 
 class World {

@@ -115,7 +115,7 @@ def validate_campaign_doc(path, doc):
                   f"{name}: {key} must be a non-negative integer")
         mix = t.get("plan_mix")
         check(isinstance(mix, dict), f"{name}: plan_mix must be an object")
-        for key in ("fd_fault", "storm", "trigger", "burst"):
+        for key in ("fd_fault", "storm", "trigger", "burst", "link"):
             check(isinstance(mix.get(key), int) and mix[key] >= 0,
                   f"{name}: plan_mix.{key} must be a non-negative integer")
         viols = t.get("violation_list")

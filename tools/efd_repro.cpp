@@ -87,6 +87,13 @@ void print_summary(const ScheduleTape& t) {
   for (const auto& c : t.crashes) {
     std::printf("          step %" PRId64 " -> q%d\n", c.step_index, c.s_index + 1);
   }
+  if (!t.linkfaults.empty()) {
+    std::printf("linkfaults %zu charge(s)\n", t.linkfaults.size());
+    for (const auto& p : t.linkfaults) {
+      std::printf("          step %" PRId64 " %s %s x%d\n", p.step_index,
+                  link_fault_token(p.kind), p.link.c_str(), p.amount);
+    }
+  }
   std::printf("fd        %zu delta(s)\n", t.fd.size());
   std::printf("steps     %zu\n", t.steps.size());
   if (t.expect_hash) std::printf("hash      %016" PRIx64 "\n", *t.expect_hash);
@@ -135,6 +142,15 @@ int cmd_print(int argc, char** argv) {
     constexpr std::size_t kPrintLimit = 60;
     std::printf("--- steps (first %zu) ---\n%s", kPrintLimit,
                 format_trace(w.trace(), kPrintLimit).c_str());
+    if (!tape.linkfaults.empty()) {
+      // What the re-charged fabric actually did to deliveries this replay.
+      const LinkFaultCounters fc = w.substrate().link_fault_counters();
+      std::printf("--- link-fault deliveries ---\n");
+      std::printf("dropped %" PRId64 "  duplicated %" PRId64 "  delayed %" PRId64
+                  "  reordered %" PRId64 "  held_severed %" PRId64 "  lost_sends %" PRId64 "\n",
+                  fc.dropped, fc.duplicated, fc.delayed, fc.reordered, fc.held_severed,
+                  fc.lost_sends);
+    }
   }
   return 0;
 }
@@ -159,6 +175,9 @@ int cmd_replay(int argc, char** argv) {
   if (!tape.finding.empty()) std::printf("finding   %s\n", tape.finding.c_str());
   if (out.stats.injected_crashes > 0) {
     std::printf("faults    %" PRId64 " crash point(s) applied\n", out.stats.injected_crashes);
+  }
+  if (!tape.linkfaults.empty()) {
+    std::printf("linkfaults %zu charge(s) re-applied\n", tape.linkfaults.size());
   }
   return out.matches(tape) ? 0 : 1;
 }
@@ -196,6 +215,10 @@ int cmd_shrink(int argc, char** argv) {
 
   std::printf("shrunk    %zu -> %zu steps, %zu -> %zu crash point(s)\n", tape.steps.size(),
               min.steps.size(), tape.crashes.size(), min.crashes.size());
+  if (!tape.linkfaults.empty() || !min.linkfaults.empty()) {
+    std::printf("          %zu -> %zu link-fault charge(s)\n", tape.linkfaults.size(),
+                min.linkfaults.size());
+  }
   std::printf("          %" PRId64 " candidate replays, %d round(s)%s\n", stats.candidates,
               stats.rounds, stats.reached_fixpoint ? ", fixpoint" : "");
   std::printf("wrote     %s\n", out.c_str());

@@ -1,0 +1,84 @@
+#!/bin/sh
+# Lossy-link smoke: the E20 tape workflow through the efd_repro CLI.
+#
+#  1. record the E20 scenario pair under the SAME cross-link drop storm —
+#     the timeout protocol's tape must stamp `expect violated`, the
+#     retransmission-hardened one `expect ok`, and both must carry the
+#     `linkfaults` and `substrate msg` provenance lines plus the plan-v1
+#     `plan` line naming the storm;
+#  2. print the violating tape — the renderer must show the link-fault
+#     charge rows and the consumed-fault counter block;
+#  3. replay every tape bit-identically (exit 0: hash + predicate match),
+#     which re-charges the fabric from the `linkfaults` line;
+#  4. ddmin the violation to <= 25% of the recorded schedule (the E20 gate)
+#     and replay the minimum as still-violating.
+#
+# Usage: linkfault_smoke.sh EFD_REPRO_BINARY
+set -eu
+
+bin=$1
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+for seed in 1 7; do
+    for sc in mp_floodmin_lossy_raw mp_floodmin_lossy_rt; do
+        tape="$tmpdir/$sc.$seed.tape"
+        "$bin" record "$sc" --seed "$seed" -o "$tape" > /dev/null
+        for line in '^linkfaults drop ' '^substrate msg$' '^plan plan-v1; link drop '; do
+            grep -q "$line" "$tape" || {
+                echo "linkfault_smoke: $sc (seed $seed) lacks provenance '$line'" >&2
+                exit 1
+            }
+        done
+        "$bin" replay "$tape" > "$tmpdir/replay.txt" || {
+            echo "linkfault_smoke: $sc (seed $seed) did not replay bit-identically" >&2
+            cat "$tmpdir/replay.txt" >&2
+            exit 1
+        }
+        grep -q 'charge(s) re-applied' "$tmpdir/replay.txt" || {
+            echo "linkfault_smoke: $sc (seed $seed) replay did not re-charge the fabric" >&2
+            exit 1
+        }
+    done
+    grep -q '^expect violated$' "$tmpdir/mp_floodmin_lossy_raw.$seed.tape" || {
+        echo "linkfault_smoke: raw tape (seed $seed) did not violate (seed drift?)" >&2
+        exit 1
+    }
+    grep -q '^expect ok$' "$tmpdir/mp_floodmin_lossy_rt.$seed.tape" || {
+        echo "linkfault_smoke: hardened tape (seed $seed) was not clean under the storm" >&2
+        exit 1
+    }
+done
+
+# print must render the charge rows and the consumed-fault counters.
+bad="$tmpdir/mp_floodmin_lossy_raw.1.tape"
+"$bin" print "$bad" > "$tmpdir/print.txt"
+for want in 'linkfaults' 'link-fault deliveries' 'dropped'; do
+    grep -q "$want" "$tmpdir/print.txt" || {
+        echo "linkfault_smoke: print rendered no '$want'" >&2
+        cat "$tmpdir/print.txt" >&2
+        exit 1
+    }
+done
+
+"$bin" shrink "$bad" -o "$tmpdir/min.tape" > "$tmpdir/shrink.txt"
+cat "$tmpdir/shrink.txt"
+"$bin" replay "$tmpdir/min.tape"
+
+orig=$(sed -n 's/^steps \([0-9][0-9]*\)$/\1/p' "$bad")
+min=$(sed -n 's/^steps \([0-9][0-9]*\)$/\1/p' "$tmpdir/min.tape")
+if [ -z "$orig" ] || [ -z "$min" ]; then
+    echo "linkfault_smoke: could not read step counts" >&2
+    exit 1
+fi
+if [ "$min" -lt 1 ]; then
+    echo "linkfault_smoke: empty minimized schedule" >&2
+    exit 1
+fi
+if [ $((min * 4)) -gt "$orig" ]; then
+    echo "linkfault_smoke: shrink too weak: $orig -> $min steps (want <= 25%)" >&2
+    exit 1
+fi
+
+echo "linkfault_smoke: ok (lossy_raw $orig -> $min steps)"
